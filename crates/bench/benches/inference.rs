@@ -1,0 +1,52 @@
+//! Model-level inference benchmarks: SkyNet A/B/C against the Table 2
+//! baselines at equal width divisor — the CPU analogue of the paper's
+//! throughput story.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
+use skynet_nn::{Act, Layer, Mode};
+use skynet_tensor::rng::SkyRng;
+use skynet_tensor::{Shape, Tensor};
+use skynet_zoo::{mobilenet, resnet, vgg};
+
+fn bench_inference(c: &mut Criterion) {
+    let x = Tensor::zeros(Shape::new(1, 3, 48, 96));
+    let div = 8;
+
+    for variant in [Variant::A, Variant::B, Variant::C] {
+        let mut rng = SkyRng::new(1);
+        let cfg = SkyNetConfig::new(variant, Act::Relu6).with_width_divisor(div);
+        let mut net = SkyNet::new(cfg, &mut rng);
+        c.bench_function(&format!("skynet_{variant}_fwd_48x96"), |b| {
+            b.iter(|| net.forward(&x, Mode::Eval).unwrap())
+        });
+    }
+
+    let mut rng = SkyRng::new(2);
+    let mut r18 = resnet::detector(resnet::ResNetDepth::R18, div, &mut rng);
+    c.bench_function("resnet18_fwd_48x96", |b| {
+        b.iter(|| r18.forward(&x, Mode::Eval).unwrap())
+    });
+
+    let mut r50 = resnet::detector(resnet::ResNetDepth::R50, div, &mut rng);
+    c.bench_function("resnet50_fwd_48x96", |b| {
+        b.iter(|| r50.forward(&x, Mode::Eval).unwrap())
+    });
+
+    let mut v16 = vgg::detector(div, &mut rng);
+    c.bench_function("vgg16_fwd_48x96", |b| {
+        b.iter(|| v16.forward(&x, Mode::Eval).unwrap())
+    });
+
+    let mut mbn = mobilenet::detector(div, &mut rng);
+    c.bench_function("mobilenet_fwd_48x96", |b| {
+        b.iter(|| mbn.forward(&x, Mode::Eval).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Operator micro-benchmarks: the kernels behind every experiment.
+//!
+//! The interesting comparison is DW+PW vs dense 3×3 at equal widths —
+//! the software-side reason the SkyNet Bundle is cheap (its hardware-side
+//! twin is the Fig. 2(c)/latency model in `skynet-hw`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skynet_tensor::conv::{conv2d, ConvGeometry};
+use skynet_tensor::dwconv::dwconv2d;
+use skynet_tensor::ops::fake_quantize;
+use skynet_tensor::pool::maxpool2d;
+use skynet_tensor::reorg::reorg;
+use skynet_tensor::rng::SkyRng;
+use skynet_tensor::{Shape, Tensor};
+
+fn random(shape: Shape, seed: u64) -> Tensor {
+    let mut rng = SkyRng::new(seed);
+    Tensor::from_vec(shape, (0..shape.numel()).map(|_| rng.normal(0.0, 1.0)).collect()).unwrap()
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let x = random(Shape::new(1, 48, 20, 40), 1);
+
+    let w_dense = random(Shape::new(48, 48, 3, 3), 2);
+    c.bench_function("conv3x3_dense_48ch_20x40", |b| {
+        b.iter(|| conv2d(&x, &w_dense, None, ConvGeometry::same3x3()).unwrap())
+    });
+
+    let w_dw = random(Shape::new(48, 1, 3, 3), 3);
+    let w_pw = random(Shape::new(48, 48, 1, 1), 4);
+    c.bench_function("dwconv3x3_plus_pw_48ch_20x40", |b| {
+        b.iter(|| {
+            let mid = dwconv2d(&x, &w_dw, None, ConvGeometry::same3x3()).unwrap();
+            conv2d(&mid, &w_pw, None, ConvGeometry::pointwise()).unwrap()
+        })
+    });
+
+    c.bench_function("pointwise_48to96_20x40", |b| {
+        let w = random(Shape::new(96, 48, 1, 1), 5);
+        b.iter(|| conv2d(&x, &w, None, ConvGeometry::pointwise()).unwrap())
+    });
+
+    c.bench_function("reorg_x2_48ch_20x40", |b| b.iter(|| reorg(&x, 2).unwrap()));
+
+    c.bench_function("maxpool2x2_48ch_20x40", |b| b.iter(|| maxpool2d(&x, 2).unwrap()));
+
+    c.bench_function("fake_quantize_9bit_38k", |b| b.iter(|| fake_quantize(&x, 9)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ops
+}
+criterion_main!(benches);

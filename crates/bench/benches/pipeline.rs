@@ -1,0 +1,45 @@
+//! System-pipeline benchmark: serial vs task-partitioned schedules
+//! (Fig. 10) at three stage-balance points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skynet_hw::pipeline::{run_pipelined, run_serial, wait_us, Stages};
+
+fn stages(pre: u64, infer: u64, post: u64) -> Stages<usize, usize, usize> {
+    Stages {
+        pre: Box::new(move |i| {
+            wait_us(pre);
+            i
+        }),
+        infer: Box::new(move |i| {
+            wait_us(infer);
+            i
+        }),
+        post: Box::new(move |i| {
+            wait_us(post);
+            i
+        }),
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let frames = 20;
+    for (name, pre, infer, post) in [
+        ("balanced_300us", 300u64, 300u64, 300u64),
+        ("infer_heavy", 150, 600, 150),
+        ("pre_heavy", 600, 300, 100),
+    ] {
+        c.bench_function(&format!("serial_{name}"), |b| {
+            b.iter(|| run_serial(frames, &stages(pre, infer, post)))
+        });
+        c.bench_function(&format!("pipelined_{name}"), |b| {
+            b.iter(|| run_pipelined(frames, stages(pre, infer, post)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

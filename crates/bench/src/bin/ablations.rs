@@ -1,0 +1,142 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **group-based PSO vs random search** at the same training budget —
+//!    the Stage 2 search mechanism earns its keep;
+//! 2. **IP-shared vs per-layer dedicated FPGA mapping** — why the paper
+//!    shares one IP set across every Bundle;
+//! 3. **ReLU vs ReLU6 under feature-map quantization** — the §5.2 claim
+//!    that the clipped range needs fewer bits.
+
+use skynet_bench::runner::{train_detector, TRAIN_DIV};
+use skynet_bench::{data, table, Budget};
+use skynet_core::bundle::BundleSpec;
+use skynet_core::head::Anchors;
+use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
+use skynet_core::trainer::evaluate_mode;
+use skynet_hw::fpga::{estimate, estimate_dedicated, FpgaDevice};
+use skynet_hw::quant::QuantScheme;
+use skynet_nas::arch::CandidateArch;
+use skynet_nas::pso::{self, PsoConfig};
+use skynet_nn::{Act, Mode};
+use skynet_tensor::rng::SkyRng;
+
+fn main() {
+    let budget = Budget::from_env();
+
+    ablate_search(budget);
+    ablate_ip_sharing();
+    ablate_activation_quantization(budget);
+}
+
+/// PSO vs random search with identical per-candidate budgets.
+fn ablate_search(budget: Budget) {
+    let mut gcfg = skynet_data::dacsdc::DacSdcConfig::default().trainable();
+    gcfg.height = 24;
+    gcfg.width = 48;
+    gcfg.sizes.min_ratio = 0.02;
+    let mut gen = skynet_data::dacsdc::DacSdc::new(gcfg);
+    let (n_train, n_val) = budget.pick((16, 8), (96, 32));
+    let (train, val) = gen.generate_split(n_train, n_val);
+    let anchors = Anchors::dac_sdc();
+
+    let cfg = PsoConfig {
+        particles_per_group: budget.pick(2, 4),
+        iterations: budget.pick(1, 3),
+        base_epochs: budget.pick(1, 3),
+        depth: 4,
+        channel_range: (4, 32),
+        pools: 2,
+        ..PsoConfig::default()
+    };
+    let groups = vec![BundleSpec::skynet(Act::Relu6)];
+    let pso_out = pso::run(&groups, &cfg, &train, &val, &anchors).expect("pso runs");
+
+    // Random search: same number of (train + evaluate) calls, no
+    // evolution between rounds.
+    let evals = cfg.particles_per_group * cfg.iterations;
+    let mut best_random = f64::NEG_INFINITY;
+    for i in 0..evals {
+        let rcfg = PsoConfig {
+            particles_per_group: 1,
+            iterations: 1,
+            base_epochs: cfg.base_epochs + cfg.iterations / 2, // equalize epochs
+            seed: 0xAB10 + i as u64,
+            ..cfg.clone()
+        };
+        let out = pso::run(&groups, &rcfg, &train, &val, &anchors).expect("random arm runs");
+        best_random = best_random.max(out.global_best.fitness);
+    }
+
+    table::header(
+        "Ablation 1: group-based PSO vs random search (Eq. 1 fitness)",
+        &[("method", 14), ("best fitness", 12)],
+    );
+    table::row(&[("PSO".into(), 14), (table::f(pso_out.global_best.fitness, 3), 12)]);
+    table::row(&[("random".into(), 14), (table::f(best_random, 3), 12)]);
+    println!("PSO winner: {}", pso_out.global_best.arch);
+}
+
+/// Shared vs dedicated IP mapping on the Ultra96.
+fn ablate_ip_sharing() {
+    let desc = SkyNetConfig::new(Variant::C, Act::Relu6).descriptor(160, 320);
+    let scheme = QuantScheme::new(11, 9);
+    let shared = estimate(&desc, &FpgaDevice::ultra96(), scheme, 4);
+    let dedicated = estimate_dedicated(&desc, &FpgaDevice::ultra96(), scheme);
+    table::header(
+        "Ablation 2: IP-shared vs per-layer dedicated FPGA mapping",
+        &[("mapping", 10), ("ms/frame", 9), ("DSP", 6), ("BRAM18", 7), ("feasible", 8)],
+    );
+    for (name, e) in [("shared", shared), ("dedicated", dedicated)] {
+        table::row(&[
+            (name.into(), 10),
+            (table::f(e.latency_ms, 1), 9),
+            (format!("{}", e.dsp), 6),
+            (format!("{}", e.bram18), 7),
+            (format!("{}", e.feasible), 8),
+        ]);
+    }
+}
+
+/// ReLU vs ReLU6 robustness to feature-map quantization (trained models).
+fn ablate_activation_quantization(budget: Budget) {
+    let (train, val) = data::detection_split(budget);
+    table::header(
+        "Ablation 3: activation x FM quantization (validation IoU)",
+        &[("activation", 10), ("float", 7), ("FM10", 7), ("FM8", 7), ("FM6", 7)],
+    );
+    for act in [Act::Relu, Act::Relu6] {
+        let mut rng = SkyRng::new(0xAC7);
+        let cfg = SkyNetConfig::new(Variant::C, act).with_width_divisor(TRAIN_DIV);
+        let mut trained = train_detector(
+            Box::new(SkyNet::new(cfg, &mut rng)),
+            budget,
+            &train,
+            &val,
+            false,
+            0xAC7,
+        )
+        .expect("training succeeds");
+        let mut cells = vec![(act.to_string(), 10), (table::f(trained.iou as f64, 3), 7)];
+        for bits in [10u8, 8, 6] {
+            let iou = evaluate_mode(
+                &mut trained.detector,
+                &val,
+                16,
+                Mode::QuantEval { fm_bits: bits },
+            )
+            .expect("eval succeeds");
+            cells.push((table::f(iou as f64, 3), 7));
+        }
+        table::row(&cells);
+    }
+    println!("(§5.2: ReLU6's clipped range should tolerate fewer FM bits than ReLU)");
+
+    // Structural ablation context: the candidate abstraction exposes what
+    // the search space looked like.
+    let example = CandidateArch::new(
+        BundleSpec::skynet(Act::Relu6),
+        vec![6, 12, 24, 48, 64],
+        vec![true, true, true, false, false],
+    );
+    println!("example Stage-2 candidate: {example}");
+}

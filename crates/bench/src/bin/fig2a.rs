@@ -1,0 +1,138 @@
+//! Fig. 2(a) — AlexNet accuracy under parameter vs feature-map
+//! quantization.
+//!
+//! A mini-AlexNet classifier is trained on the synthetic shape set, then
+//! evaluated under two sweeps: weights quantized with feature maps kept
+//! float (blue bubbles in the paper), and feature maps quantized with
+//! weights kept float (green bubbles). Compression ratios and data sizes
+//! are computed at paper scale from the AlexNet descriptor.
+//!
+//! Paper shape: inference accuracy is **more sensitive to the feature-map
+//! precision** than to the parameter precision at equal compression.
+
+use skynet_bench::{table, Budget};
+use skynet_data::classif::{ClassifConfig, ClassifGen, NUM_CLASSES};
+use skynet_hw::quant::quantize_weights;
+use skynet_nn::{Layer, LrSchedule, Mode, Sequential, Sgd};
+use skynet_tensor::ops::cross_entropy;
+use skynet_tensor::rng::SkyRng;
+use skynet_tensor::Tensor;
+use skynet_zoo::alexnet;
+
+fn accuracy(model: &mut Sequential, data: &[skynet_data::classif::ClassifSample], mode: Mode) -> f64 {
+    let mut correct = 0usize;
+    for chunk in data.chunks(16) {
+        let images: Vec<Tensor> = chunk.iter().map(|s| s.image.clone()).collect();
+        let batch = Tensor::stack(&images).expect("same shapes");
+        let logits = model.forward(&batch, mode).expect("forward succeeds");
+        let k = logits.shape().item_numel();
+        for (i, s) in chunk.iter().enumerate() {
+            let row = &logits.as_slice()[i * k..(i + 1) * k];
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty row")
+                .0;
+            if pred == s.label {
+                correct += 1;
+            }
+        }
+    }
+    correct as f64 / data.len() as f64
+}
+
+fn main() {
+    let budget = Budget::from_env();
+    let (n_train, n_val, epochs) = budget.pick((64, 32, 2), (448, 224, 30));
+    // 24×24 inputs: the shapes fill most of the frame, so the lower
+    // resolution costs nothing and fits the CPU budget.
+    let mut gen = ClassifGen::new(ClassifConfig { size: 24, seed: 0xC1A55 });
+    let train = gen.generate(n_train);
+    let val = gen.generate(n_val);
+
+    let mut rng = SkyRng::new(2);
+    let mut model = alexnet::classifier(NUM_CLASSES, &mut rng);
+    let steps = epochs * n_train.div_ceil(16);
+    let mut opt = Sgd::new(
+        LrSchedule::Exponential { start: 2e-2, end: 1e-3, steps },
+        0.9,
+        1e-4,
+    );
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut shuffle_rng = SkyRng::new(3);
+    for _ in 0..epochs {
+        shuffle_rng.shuffle(&mut order);
+        for chunk in order.chunks(16) {
+            let images: Vec<Tensor> = chunk.iter().map(|&i| train[i].image.clone()).collect();
+            let labels: Vec<usize> = chunk.iter().map(|&i| train[i].label).collect();
+            let batch = Tensor::stack(&images).expect("same shapes");
+            let logits = model.forward(&batch, Mode::Train).expect("forward");
+            let (_, grad) = cross_entropy(&logits, &labels);
+            let _ = model.backward(&grad).expect("backward");
+            opt.step(&mut model);
+        }
+    }
+    let float_acc = accuracy(&mut model, &val, Mode::Eval);
+    println!("mini-AlexNet float32 accuracy: {float_acc:.3} ({NUM_CLASSES} classes)");
+
+    // Paper-scale sizes from the descriptor.
+    let desc = alexnet::descriptor();
+    let params = desc.total_params();
+    let fm_elems: usize = desc
+        .walk()
+        .iter()
+        .map(|ls| ls.c_out * ls.h_out * ls.w_out)
+        .sum();
+    let param_mb = |bits: f64| params as f64 * bits / 8.0 / 1048576.0;
+    let fm_mb = |bits: f64| fm_elems as f64 * bits / 8.0 / 1048576.0;
+    println!(
+        "paper-scale AlexNet: params {:.1} MB fp32 (paper 237.9), FMs {:.1} MB fp32 (paper 15.7)",
+        param_mb(32.0),
+        fm_mb(32.0)
+    );
+
+    // Snapshot float weights.
+    let mut snapshot: Vec<Vec<f32>> = Vec::new();
+    model.visit_params(&mut |p| snapshot.push(p.value.as_slice().to_vec()));
+    let restore = |m: &mut Sequential, snap: &[Vec<f32>]| {
+        let mut i = 0;
+        m.visit_params(&mut |p| {
+            p.value.as_mut_slice().copy_from_slice(&snap[i]);
+            i += 1;
+        });
+    };
+
+    table::header(
+        "Fig. 2(a): parameter quantization (FMs float)",
+        &[("W bits", 7), ("accuracy", 9), ("compression", 12), ("size MB", 9)],
+    );
+    for bits in [12u8, 10, 8, 6, 4] {
+        restore(&mut model, &snapshot);
+        quantize_weights(&mut model, bits);
+        let acc = accuracy(&mut model, &val, Mode::Eval);
+        table::row(&[
+            (format!("{bits}"), 7),
+            (table::f(acc, 3), 9),
+            (format!("{:.1}x", 32.0 / bits as f64), 12),
+            (table::f(param_mb(bits as f64), 1), 9),
+        ]);
+    }
+
+    table::header(
+        "Fig. 2(a): feature-map quantization (weights float)",
+        &[("FM bits", 7), ("accuracy", 9), ("compression", 12), ("size MB", 9)],
+    );
+    restore(&mut model, &snapshot);
+    for bits in [12u8, 10, 8, 6, 4] {
+        let acc = accuracy(&mut model, &val, Mode::QuantEval { fm_bits: bits });
+        table::row(&[
+            (format!("{bits}"), 7),
+            (table::f(acc, 3), 9),
+            (format!("{:.1}x", 32.0 / bits as f64), 12),
+            (table::f(fm_mb(bits as f64), 2), 9),
+        ]);
+    }
+    println!();
+    println!("(paper shape: accuracy collapses earlier along the FM axis than the W axis)");
+}

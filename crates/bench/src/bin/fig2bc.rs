@@ -1,0 +1,53 @@
+//! Fig. 2(b) and 2(c) — BRAM usage vs input resize factor × FM precision,
+//! and DSP utilization vs weight × FM precision.
+//!
+//! Both panels come straight from the FPGA resource model. The Fig. 2(b)
+//! accelerator double-buffers its **largest whole feature map** on chip
+//! (the configuration the paper sweeps — this is why memory scales with
+//! the *area* of the input and halves below a ~0.9 resize factor); DSP
+//! counts use the packing rule with 128 parallel multipliers.
+
+use skynet_bench::table;
+use skynet_core::skynet::{SkyNetConfig, Variant};
+use skynet_hw::fpga::{bram_usage, dsp_usage};
+use skynet_hw::quant::QuantScheme;
+use skynet_nn::Act;
+
+fn main() {
+    // --- Fig. 2(b): BRAM vs resize factor for FM12..FM16. ---
+    let factors = [1.00f64, 0.95, 0.90, 0.85, 0.80, 0.78, 0.75, 0.70];
+    let fm_bits = [12u8, 13, 14, 15, 16];
+    table::header(
+        "Fig. 2(b): BRAM-18Kb blocks vs resize factor",
+        &[("resize", 7), ("FM12", 6), ("FM13", 6), ("FM14", 6), ("FM15", 6), ("FM16", 6)],
+    );
+    let base_cfg = SkyNetConfig::new(Variant::C, Act::Relu6);
+    for &f in &factors {
+        let h = (160.0 * f) as usize;
+        let w = (320.0 * f) as usize;
+        let desc = base_cfg.descriptor(h.max(8), w.max(8));
+        // Whole-map double buffering (the figure's design point).
+        let tile = desc.peak_activation();
+        let mut cells = vec![(format!("{f:.2}"), 7)];
+        for &bits in &fm_bits {
+            cells.push((format!("{}", bram_usage(tile, bits)), 6));
+        }
+        table::row(&cells);
+    }
+    println!("(paper: reducing the factor below ~0.9 roughly halves FM memory)");
+
+    // --- Fig. 2(c): DSPs vs weight bits under FM12..FM16, 128 mults. ---
+    let w_bits = [16u8, 15, 14, 13, 12, 11, 10];
+    table::header(
+        "Fig. 2(c): DSP slices for 128 multipliers",
+        &[("weights", 8), ("FM12", 6), ("FM13", 6), ("FM14", 6), ("FM15", 6), ("FM16", 6)],
+    );
+    for &wb in &w_bits {
+        let mut cells = vec![(format!("W{wb}"), 8)];
+        for &fb in &fm_bits {
+            cells.push((format!("{}", dsp_usage(128, QuantScheme::new(wb, fb))), 6));
+        }
+        table::row(&cells);
+    }
+    println!("(paper: under FM16 the count steps 128 → 64 between W15 and W14)");
+}

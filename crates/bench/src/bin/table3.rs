@@ -1,0 +1,57 @@
+//! Table 3 / Fig. 4 — the SkyNet architecture family, layer by layer,
+//! printed from the same descriptors the hardware models consume, with
+//! per-layer output shapes, parameters and MACs at contest resolution
+//! (3×160×320).
+
+use skynet_bench::table;
+use skynet_core::desc::LayerDesc;
+use skynet_core::skynet::{SkyNetConfig, Variant};
+use skynet_nn::Act;
+
+fn layer_name(l: &LayerDesc) -> String {
+    match *l {
+        LayerDesc::Conv { in_c, out_c, k, .. } if k == 1 => format!("PW-Conv1 ({in_c}->{out_c})"),
+        LayerDesc::Conv { in_c, out_c, k, .. } => format!("Conv{k} ({in_c}->{out_c})"),
+        LayerDesc::DwConv { c, k, .. } => format!("DW-Conv{k} ({c})"),
+        LayerDesc::Pool { k, .. } => format!("{k}x{k} max-pool"),
+        LayerDesc::Bn { c } => format!("BN ({c})"),
+        LayerDesc::Act { .. } => "ReLU6".into(),
+        LayerDesc::Reorg { c, s } => format!("FM reorder x{s} ({c}->{})", c * s * s),
+        LayerDesc::Concat { c_main, c_bypass } => {
+            format!("concat ({c_main}+{c_bypass})")
+        }
+    }
+}
+
+fn main() {
+    for variant in [Variant::A, Variant::B, Variant::C] {
+        let cfg = SkyNetConfig::new(variant, Act::Relu6);
+        let desc = cfg.descriptor(160, 320);
+        table::header(
+            &format!(
+                "Table 3: SkyNet model {variant} ({} params, {:.2} MB, {:.0} MMACs)",
+                desc.total_params(),
+                desc.total_params() as f64 * 4.0 / 1048576.0,
+                desc.total_macs() as f64 / 1e6
+            ),
+            &[("layer", 24), ("output", 14), ("params", 9), ("MMACs", 8)],
+        );
+        for ls in desc.walk() {
+            // Skip the BN/activation glue rows for readability, as the
+            // paper's table does ("each convolutional layer ... followed
+            // by a BN and a ReLU, omitted for conciseness").
+            if matches!(ls.layer, LayerDesc::Bn { .. } | LayerDesc::Act { .. }) {
+                continue;
+            }
+            table::row(&[
+                (layer_name(&ls.layer), 24),
+                (format!("{}x{}x{}", ls.c_out, ls.h_out, ls.w_out), 14),
+                (format!("{}", ls.layer.params()), 9),
+                (format!("{:.1}", ls.layer.macs(ls.h_in, ls.w_in) as f64 / 1e6), 8),
+            ]);
+        }
+    }
+    println!();
+    println!("paper sizes: A 1.27 MB, B 1.57 MB, C 1.82 MB (Table 4 column 2);");
+    println!("backbone parameter count 0.44 M (Table 2).");
+}

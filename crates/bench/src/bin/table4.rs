@@ -1,0 +1,90 @@
+//! Table 4 — the SkyNet ablation: models A/B/C × ReLU/ReLU6, identical
+//! training budget, validation IoU (§6.1).
+//!
+//! Paper shape: the bypass helps (B > A), the wider Bundle-6 helps
+//! (C > B), and ReLU6 edges out ReLU within each model.
+
+use skynet_bench::runner::{train_detector, TRAIN_DIV};
+use skynet_bench::{data, table, Budget};
+use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
+use skynet_nn::Act;
+use skynet_tensor::rng::SkyRng;
+
+fn main() {
+    let budget = Budget::from_env();
+    let (train, val) = data::detection_split(budget);
+
+    let paper: [((Variant, Act), (f64, f64)); 6] = [
+        ((Variant::A, Act::Relu), (1.27, 0.653)),
+        ((Variant::A, Act::Relu6), (1.27, 0.673)),
+        ((Variant::B, Act::Relu), (1.57, 0.685)),
+        ((Variant::B, Act::Relu6), (1.57, 0.703)),
+        ((Variant::C, Act::Relu), (1.82, 0.713)),
+        ((Variant::C, Act::Relu6), (1.82, 0.741)),
+    ];
+
+    table::header(
+        "Table 4: SkyNet ablation (validation IoU)",
+        &[
+            ("model", 14),
+            ("size MB(paper)", 14),
+            ("IoU(paper)", 10),
+            ("size MB(ours)", 13),
+            ("IoU(ours)", 10),
+        ],
+    );
+    let seeds: &[u64] = match budget {
+        skynet_bench::Budget::Fast => &[40],
+        // Two seeds per arm: single-run variance on the small synthetic
+        // validation set is ±0.05 IoU, enough to scramble a six-way
+        // ablation; averaging restores the architecture signal.
+        skynet_bench::Budget::Full => &[40, 41],
+    };
+    let mut ours = Vec::new();
+    for (i, ((variant, act), (paper_mb, paper_iou))) in paper.iter().enumerate() {
+        let mut total = 0.0f32;
+        for &seed in seeds {
+            let mut rng = SkyRng::new(seed);
+            let cfg = SkyNetConfig::new(*variant, *act).with_width_divisor(TRAIN_DIV);
+            let out = train_detector(
+                Box::new(SkyNet::new(cfg, &mut rng)),
+                budget,
+                &train,
+                &val,
+                false,
+                seed * 100 + i as u64,
+            )
+            .expect("training succeeds");
+            total += out.iou;
+        }
+        let iou = total / seeds.len() as f32;
+        let paper_scale_params = SkyNetConfig::new(*variant, *act)
+            .descriptor(160, 320)
+            .total_params();
+        table::row(&[
+            (format!("SkyNet {variant} - {act}"), 14),
+            (table::f(*paper_mb, 2), 14),
+            (table::f(*paper_iou, 3), 10),
+            (
+                table::f(paper_scale_params as f64 * 4.0 / 1048576.0, 2),
+                13,
+            ),
+            (table::f(iou as f64, 3), 10),
+        ]);
+        ours.push(((*variant, *act), iou));
+    }
+    println!();
+    let get = |v: Variant, a: Act| {
+        ours.iter()
+            .find(|((vv, aa), _)| *vv == v && *aa == a)
+            .expect("arm present")
+            .1
+    };
+    let c6 = get(Variant::C, Act::Relu6);
+    let a6 = get(Variant::A, Act::Relu6);
+    let b6 = get(Variant::B, Act::Relu6);
+    println!(
+        "shape check (ReLU6 column): A {:.3}  B {:.3}  C {:.3}  (paper: bypass helps, C best)",
+        a6, b6, c6
+    );
+}

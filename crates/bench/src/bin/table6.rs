@@ -1,0 +1,70 @@
+//! Table 6 — DAC-SDC'19/'18 FPGA-track final results.
+//!
+//! As `table5`, but for the FPGA track: competitors re-scored with our
+//! Eqs. 3–5 (`x = 2`), and our entry built from the trained + quantized
+//! detector (Table 7 scheme 1), the Ultra96 shared-IP model with 4-input
+//! tiling, and the calibrated power model.
+
+use skynet_bench::runner::{train_detector, TRAIN_DIV};
+use skynet_bench::{data, table, Budget};
+use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
+use skynet_core::trainer::evaluate_mode;
+use skynet_hw::energy::PowerModel;
+use skynet_hw::fpga::{estimate, FpgaDevice};
+use skynet_hw::quant::{apply_scheme, QuantScheme};
+use skynet_hw::score::{score_field, table6_entries, Entry, Track};
+use skynet_nn::Act;
+use skynet_tensor::rng::SkyRng;
+
+fn main() {
+    let budget = Budget::from_env();
+
+    // --- Train, then quantize with Table 7 scheme 1 (FM9/W11). ---
+    let (train, val) = data::detection_split(budget);
+    let mut rng = SkyRng::new(6);
+    let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(TRAIN_DIV);
+    let mut trained =
+        train_detector(Box::new(SkyNet::new(cfg, &mut rng)), budget, &train, &val, false, 6)
+            .expect("training succeeds");
+    let scheme = QuantScheme::new(11, 9);
+    let mode = apply_scheme(trained.detector.backbone_mut(), scheme);
+    let float_iou = trained.iou;
+    let quant_iou =
+        evaluate_mode(&mut trained.detector, &val, 16, mode).expect("eval succeeds");
+
+    // --- Ultra96 estimate with tiling batch 4. ---
+    let desc = SkyNetConfig::new(Variant::C, Act::Relu6).descriptor(160, 320);
+    let est = estimate(&desc, &FpgaDevice::ultra96(), scheme, 4);
+    let power = PowerModel::ultra96().power_w(0.95);
+
+    let mut entries = table6_entries();
+    entries.push(Entry::new(
+        "SkyNet (ours, synthetic)",
+        quant_iou as f64,
+        est.fps,
+        power,
+    ));
+    let scored = score_field(&entries, Track::Fpga);
+
+    table::header(
+        "Table 6: FPGA track (paper totals recomputed with our Eqs. 3-5)",
+        &[("team", 26), ("IoU", 7), ("FPS", 8), ("Power W", 8), ("Total", 7)],
+    );
+    for s in &scored {
+        table::row(&[
+            (s.entry.name.clone(), 26),
+            (table::f(s.entry.iou, 3), 7),
+            (table::f(s.entry.fps, 2), 8),
+            (table::f(s.entry.power_w, 2), 8),
+            (table::f(s.total_score, 3), 7),
+        ]);
+    }
+    println!();
+    println!("paper-reported totals: SkyNet 1.526, XJTU Tripler 1.394, SystemsETHZ 1.318,");
+    println!("                       TGIIF 1.267, SystemsETHZ'18 1.179, iSmart2 1.164");
+    println!(
+        "our entry: float IoU {:.3} -> FM9/W11 quantized IoU {:.3}; Ultra96 model \
+         {:.1} ms/frame ({} DSP, {} BRAM18, feasible: {})",
+        float_iou, quant_iou, est.latency_ms, est.dsp, est.bram18, est.feasible
+    );
+}

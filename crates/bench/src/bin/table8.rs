@@ -1,0 +1,76 @@
+//! Table 8 — SiamRPN++ on (synthetic) GOT-10k with AlexNet, ResNet-50 and
+//! SkyNet backbones: AO, SR@0.50, SR@0.75 and measured FPS.
+//!
+//! Paper shape: SkyNet's AO matches ResNet-50 (0.364 vs 0.365) while
+//! running 1.60× faster (41.22 vs 25.90 FPS) with ~37× fewer backbone
+//! parameters; AlexNet is fastest but least accurate per SR@0.75.
+
+use skynet_bench::{data, table, Budget};
+use skynet_nn::{LrSchedule, Sgd};
+use skynet_track::backbone::BackboneKind;
+use skynet_track::eval::evaluate;
+use skynet_track::siamrpn::{train_on_sequences, SiamConfig, SiamRpn};
+
+fn main() {
+    let budget = Budget::from_env();
+    let (train_seqs, eval_seqs) = data::tracking_split(budget);
+    let epochs = budget.pick(2, 30);
+
+    let paper = [
+        (BackboneKind::AlexNet, (0.354, 0.385, 0.101, 52.36)),
+        (BackboneKind::ResNet50, (0.365, 0.411, 0.115, 25.90)),
+        (BackboneKind::SkyNet, (0.364, 0.391, 0.116, 41.22)),
+    ];
+
+    table::header(
+        "Table 8: SiamRPN++ backbones on synthetic GOT-10k",
+        &[
+            ("backbone", 10),
+            ("AO(p)", 6),
+            ("AO", 6),
+            ("SR.50", 6),
+            ("SR.75", 6),
+            ("FPS(p)", 7),
+            ("FPS", 8),
+            ("params", 8),
+        ],
+    );
+    let mut measured = Vec::new();
+    for (kind, (p_ao, _p_sr50, _p_sr75, p_fps)) in paper {
+        let mut tracker = SiamRpn::new(SiamConfig::new(kind));
+        let mut opt = Sgd::new(LrSchedule::Constant(1e-3), 0.9, 1e-4).with_grad_clip(1.0);
+        train_on_sequences(&mut tracker, &train_seqs, epochs, &mut opt, 8)
+            .expect("training succeeds");
+        let report = evaluate(&mut tracker, &eval_seqs).expect("evaluation succeeds");
+        table::row(&[
+            (kind.name().into(), 10),
+            (table::f(p_ao, 3), 6),
+            (table::f(report.metrics.ao as f64, 3), 6),
+            (table::f(report.metrics.sr50 as f64, 3), 6),
+            (table::f(report.metrics.sr75 as f64, 3), 6),
+            (table::f(p_fps, 2), 7),
+            (table::f(report.fps, 2), 8),
+            (table::params_m(kind.paper_params()), 8),
+        ]);
+        measured.push((kind, report.metrics.ao, report.fps));
+    }
+    println!();
+    let get = |k: BackboneKind| {
+        measured
+            .iter()
+            .find(|(kk, _, _)| *kk == k)
+            .expect("backbone present")
+    };
+    let sky = get(BackboneKind::SkyNet);
+    let r50 = get(BackboneKind::ResNet50);
+    println!(
+        "shape check: SkyNet/ResNet-50 speedup {:.2}x (paper 1.60x); AO gap {:+.3} (paper -0.001)",
+        sky.2 / r50.2,
+        sky.1 - r50.1
+    );
+    println!(
+        "paper-scale backbone size ratio ResNet-50/SkyNet: {:.1}x (paper reports 37.2x \
+         including tracker necks)",
+        BackboneKind::ResNet50.paper_params() as f64 / BackboneKind::SkyNet.paper_params() as f64
+    );
+}

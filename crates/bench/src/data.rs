@@ -1,0 +1,40 @@
+//! Standard dataset builders shared by the experiment binaries, so every
+//! table trains and evaluates on identical data.
+
+use crate::Budget;
+use skynet_core::Sample;
+use skynet_data::dacsdc::{DacSdc, DacSdcConfig};
+use skynet_data::got::{GotConfig, GotGen, TrackSequence};
+
+/// Canonical synthetic DAC-SDC split at training resolution (48×96 —
+/// the paper's 160×320 scaled for CPU training).
+pub fn detection_split(budget: Budget) -> (Vec<Sample>, Vec<Sample>) {
+    let (n_train, n_val) = budget.pick((48, 16), (384, 96));
+    let mut cfg = DacSdcConfig::default().trainable();
+    cfg.height = 48;
+    cfg.width = 96;
+    let mut gen = DacSdc::new(cfg);
+    gen.generate_split(n_train, n_val)
+}
+
+/// Canonical synthetic GOT-10k-style splits for the tracking tables.
+pub fn tracking_split(budget: Budget) -> (Vec<TrackSequence>, Vec<TrackSequence>) {
+    let (n_train, n_eval, len) = budget.pick((4, 2, 6), (24, 12, 16));
+    let mut cfg = GotConfig::default();
+    cfg.seq_len = len;
+    let mut gen = GotGen::new(cfg);
+    (gen.generate(n_train), gen.generate(n_eval))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_budget_is_small() {
+        let (tr, va) = detection_split(Budget::Fast);
+        assert_eq!((tr.len(), va.len()), (48, 16));
+        let (ts, es) = tracking_split(Budget::Fast);
+        assert_eq!((ts.len(), es.len()), (4, 2));
+    }
+}

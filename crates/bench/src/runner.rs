@@ -1,0 +1,121 @@
+//! Detector-training runner shared by the detection experiments.
+
+use crate::Budget;
+use skynet_core::detector::Detector;
+use skynet_core::head::Anchors;
+use skynet_core::trainer::{evaluate, TrainConfig, Trainer};
+use skynet_core::Sample;
+use skynet_nn::{Layer, LrSchedule, Sgd};
+use skynet_tensor::Result;
+use std::time::Instant;
+
+/// Width divisor used for all trainable detection models (paper scale ÷ 8
+/// keeps the structural comparisons while fitting the CPU budget).
+pub const TRAIN_DIV: usize = 8;
+
+/// Result of training one detection backbone.
+#[derive(Debug)]
+pub struct TrainedDetector {
+    /// The trained detector.
+    pub detector: Detector,
+    /// Validation mean IoU (the Eq. 2 accuracy).
+    pub iou: f32,
+    /// Trainable parameter count of the reduced-scale model.
+    pub params: usize,
+    /// Wall-clock training time in seconds.
+    pub train_secs: f64,
+}
+
+/// Trains `backbone` with the standard protocol (SGD momentum 0.9,
+/// exponential LR decay 5e-3 → 1e-4, batch 8, optional multi-scale) and
+/// evaluates mean IoU on `val`. The epoch budget follows the
+/// [`Budget`] (2 fast / 45 full) unless the `SKYNET_EPOCHS` env var
+/// overrides it.
+///
+/// # Errors
+///
+/// Propagates tensor shape errors from the model.
+pub fn train_detector(
+    backbone: Box<dyn Layer>,
+    budget: Budget,
+    train: &[Sample],
+    val: &[Sample],
+    multi_scale: bool,
+    seed: u64,
+) -> Result<TrainedDetector> {
+    let epochs = match std::env::var("SKYNET_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&e: &usize| e > 0)
+    {
+        Some(e) => e,
+        None => budget.pick(2, 45),
+    };
+    let mut detector = Detector::new(backbone, Anchors::dac_sdc());
+    let params = detector.param_count();
+    let steps = epochs * train.len().div_ceil(8);
+    let mut opt = Sgd::new(
+        LrSchedule::Exponential {
+            start: 5e-3,
+            end: 1e-4,
+            steps,
+        },
+        0.9,
+        1e-4,
+    );
+    let scales = if multi_scale {
+        // Multi-scale training (§6.1): resize the batch among three
+        // scales around the base resolution. The paper uses this when
+        // training to convergence on 100 k images; at the reduced CPU
+        // budget it slows convergence (≈ −0.11 IoU at 45 epochs in our
+        // A/B), so the experiment binaries train single-scale and this
+        // switch stays available for longer runs.
+        vec![(40, 80), (48, 96), (56, 112)]
+    } else {
+        Vec::new()
+    };
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs,
+        batch_size: 8,
+        scales,
+        seed,
+    });
+    let t0 = Instant::now();
+    trainer.train(&mut detector, train, &mut opt)?;
+    let train_secs = t0.elapsed().as_secs_f64();
+    let iou = evaluate(&mut detector, val)?;
+    Ok(TrainedDetector {
+        detector,
+        iou,
+        params,
+        train_secs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::detection_split;
+    use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
+    use skynet_nn::Act;
+    use skynet_tensor::rng::SkyRng;
+
+    #[test]
+    fn fast_budget_trains_and_reports() {
+        let (train, val) = detection_split(Budget::Fast);
+        let mut rng = SkyRng::new(0);
+        let cfg = SkyNetConfig::new(Variant::A, Act::Relu6).with_width_divisor(16);
+        let out = train_detector(
+            Box::new(SkyNet::new(cfg, &mut rng)),
+            Budget::Fast,
+            &train,
+            &val,
+            false,
+            1,
+        )
+        .unwrap();
+        assert!(out.iou >= 0.0 && out.iou <= 1.0);
+        assert!(out.params > 0);
+        assert!(out.train_secs > 0.0);
+    }
+}

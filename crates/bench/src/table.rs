@@ -1,0 +1,57 @@
+//! Fixed-width table printing for the experiment binaries.
+//!
+//! Every binary prints its reproduction next to the paper-reported values
+//! so the *shape* comparison (orderings, rough factors) is visible at a
+//! glance; EXPERIMENTS.md records the same rows.
+
+/// Prints a table header with a rule underneath.
+pub fn header(title: &str, columns: &[(&str, usize)]) {
+    println!("\n=== {title} ===");
+    let mut line = String::new();
+    for (name, width) in columns {
+        line.push_str(&format!("{name:>width$}  "));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().max(20)));
+}
+
+/// Prints one row of already-formatted cells with the same widths.
+pub fn row(cells: &[(String, usize)]) {
+    let mut line = String::new();
+    for (cell, width) in cells {
+        line.push_str(&format!("{cell:>width$}  "));
+    }
+    println!("{line}");
+}
+
+/// Formats a float with the given precision.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Formats an optional paper-reported value ("-" when the paper has no
+/// corresponding number).
+pub fn paper(v: Option<f64>, prec: usize) -> String {
+    match v {
+        Some(v) => format!("{v:.prec$}"),
+        None => "-".into(),
+    }
+}
+
+/// Formats a parameter count as millions.
+pub fn params_m(p: usize) -> String {
+    format!("{:.2}M", p as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(paper(None, 3), "-");
+        assert_eq!(paper(Some(0.731), 3), "0.731");
+        assert_eq!(params_m(440_000), "0.44M");
+    }
+}

@@ -1,0 +1,174 @@
+//! Axis-aligned bounding boxes in normalized image coordinates and the
+//! IoU metric used throughout the DAC-SDC evaluation (Eq. 2).
+
+/// An axis-aligned box stored as center + extent, all normalized to the
+/// `[0, 1]` image frame.
+///
+/// DAC-SDC scores a detector by the mean Intersection-over-Union between
+/// the predicted and ground-truth box over the test set; [`BBox::iou`] is
+/// that per-image term.
+///
+/// ```
+/// use skynet_core::BBox;
+/// let a = BBox::new(0.5, 0.5, 0.2, 0.2);
+/// assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+/// let b = BBox::new(0.9, 0.9, 0.1, 0.1);
+/// assert_eq!(a.iou(&b), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Center x in `[0, 1]`.
+    pub cx: f32,
+    /// Center y in `[0, 1]`.
+    pub cy: f32,
+    /// Width in `[0, 1]`.
+    pub w: f32,
+    /// Height in `[0, 1]`.
+    pub h: f32,
+}
+
+impl BBox {
+    /// Creates a box from center and extent.
+    pub fn new(cx: f32, cy: f32, w: f32, h: f32) -> Self {
+        BBox { cx, cy, w, h }
+    }
+
+    /// Creates a box from corner coordinates `(x1, y1)`–`(x2, y2)`.
+    pub fn from_corners(x1: f32, y1: f32, x2: f32, y2: f32) -> Self {
+        BBox {
+            cx: 0.5 * (x1 + x2),
+            cy: 0.5 * (y1 + y2),
+            w: (x2 - x1).max(0.0),
+            h: (y2 - y1).max(0.0),
+        }
+    }
+
+    /// Corner representation `(x1, y1, x2, y2)`.
+    pub fn corners(&self) -> (f32, f32, f32, f32) {
+        (
+            self.cx - 0.5 * self.w,
+            self.cy - 0.5 * self.h,
+            self.cx + 0.5 * self.w,
+            self.cy + 0.5 * self.h,
+        )
+    }
+
+    /// Box area (zero for degenerate boxes).
+    pub fn area(&self) -> f32 {
+        self.w.max(0.0) * self.h.max(0.0)
+    }
+
+    /// Intersection area with another box.
+    pub fn intersection(&self, other: &BBox) -> f32 {
+        let (ax1, ay1, ax2, ay2) = self.corners();
+        let (bx1, by1, bx2, by2) = other.corners();
+        let iw = (ax2.min(bx2) - ax1.max(bx1)).max(0.0);
+        let ih = (ay2.min(by2) - ay1.max(by1)).max(0.0);
+        iw * ih
+    }
+
+    /// Intersection over Union with another box, in `[0, 1]`.
+    pub fn iou(&self, other: &BBox) -> f32 {
+        let inter = self.intersection(other);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Clamps the box to the unit image frame, preserving the center as
+    /// far as possible.
+    pub fn clamp_to_frame(&self) -> BBox {
+        let (x1, y1, x2, y2) = self.corners();
+        BBox::from_corners(
+            x1.clamp(0.0, 1.0),
+            y1.clamp(0.0, 1.0),
+            x2.clamp(0.0, 1.0),
+            y2.clamp(0.0, 1.0),
+        )
+    }
+
+    /// Relative size of the box with respect to the image: the ratio the
+    /// paper's Fig. 6 histogram is built from (box area / image area; the
+    /// image frame has area 1 in normalized coordinates).
+    pub fn relative_size(&self) -> f32 {
+        self.area()
+    }
+
+    /// Translates the box by `(dx, dy)`.
+    pub fn translated(&self, dx: f32, dy: f32) -> BBox {
+        BBox {
+            cx: self.cx + dx,
+            cy: self.cy + dy,
+            ..*self
+        }
+    }
+
+    /// Scales the box extent by `(sx, sy)` about its center.
+    pub fn scaled(&self, sx: f32, sy: f32) -> BBox {
+        BBox {
+            w: self.w * sx,
+            h: self.h * sy,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_boxes_have_unit_iou() {
+        let b = BBox::new(0.3, 0.4, 0.2, 0.1);
+        assert!((b.iou(&b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disjoint_boxes_have_zero_iou() {
+        let a = BBox::new(0.2, 0.2, 0.1, 0.1);
+        let b = BBox::new(0.8, 0.8, 0.1, 0.1);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn half_overlap() {
+        // Two unit-height boxes sharing half their width.
+        let a = BBox::from_corners(0.0, 0.0, 0.2, 0.2);
+        let b = BBox::from_corners(0.1, 0.0, 0.3, 0.2);
+        // intersection = 0.1*0.2 = 0.02, union = 2*0.04 - 0.02 = 0.06.
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corners_roundtrip() {
+        let b = BBox::new(0.5, 0.5, 0.4, 0.2);
+        let (x1, y1, x2, y2) = b.corners();
+        let r = BBox::from_corners(x1, y1, x2, y2);
+        assert!((r.cx - b.cx).abs() < 1e-6);
+        assert!((r.w - b.w).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_boxes_are_safe() {
+        let z = BBox::new(0.5, 0.5, 0.0, 0.0);
+        assert_eq!(z.area(), 0.0);
+        assert_eq!(z.iou(&z), 0.0);
+    }
+
+    #[test]
+    fn clamp_keeps_box_inside_frame() {
+        let b = BBox::new(0.02, 0.98, 0.2, 0.2).clamp_to_frame();
+        let (x1, y1, x2, y2) = b.corners();
+        assert!(x1 >= -1e-6 && y1 >= -1e-6 && x2 <= 1.0 + 1e-6 && y2 <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn iou_is_symmetric() {
+        let a = BBox::new(0.4, 0.4, 0.3, 0.25);
+        let b = BBox::new(0.5, 0.45, 0.2, 0.3);
+        assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,129 @@
+//! A detector = backbone + two-anchor YOLO head geometry.
+//!
+//! [`Detector`] pairs any [`Layer`] whose output is a `5×anchors`-channel
+//! map with the anchor set and loss, so the same training and evaluation
+//! code runs SkyNet and every Table 2 baseline backbone.
+
+use crate::head::{decode_best, Anchors, Detection, DetectionLoss};
+use crate::BBox;
+use skynet_nn::{Layer, Mode};
+use skynet_tensor::{Result, Tensor};
+
+/// A trainable single-object detector.
+pub struct Detector {
+    backbone: Box<dyn Layer>,
+    anchors: Anchors,
+    loss: DetectionLoss,
+}
+
+impl Detector {
+    /// Creates a detector from a backbone and anchor set.
+    ///
+    /// The backbone must map `N×3×H×W` images to an
+    /// `N×(5·anchors)×(H/s)×(W/s)` prediction map.
+    pub fn new(backbone: Box<dyn Layer>, anchors: Anchors) -> Self {
+        Detector {
+            backbone,
+            anchors,
+            loss: DetectionLoss::default(),
+        }
+    }
+
+    /// Overrides the loss weighting.
+    pub fn with_loss(mut self, loss: DetectionLoss) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// The anchor set.
+    pub fn anchors(&self) -> &Anchors {
+        &self.anchors
+    }
+
+    /// Mutable access to the backbone (for the optimizer and checkpoints).
+    pub fn backbone_mut(&mut self) -> &mut dyn Layer {
+        self.backbone.as_mut()
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&mut self) -> usize {
+        self.backbone.param_count()
+    }
+
+    /// Runs inference and decodes the best box per image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backbone shape errors.
+    pub fn predict(&mut self, images: &Tensor) -> Result<Vec<Detection>> {
+        self.predict_mode(images, Mode::Eval)
+    }
+
+    /// Runs inference under an explicit mode — pass
+    /// [`Mode::QuantEval`] to simulate fixed-point feature maps (the
+    /// Table 7 protocol).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backbone shape errors.
+    pub fn predict_mode(&mut self, images: &Tensor, mode: Mode) -> Result<Vec<Detection>> {
+        let pred = self.backbone.forward(images, mode)?;
+        decode_best(&pred, &self.anchors)
+    }
+
+    /// One training step's forward + backward; returns the loss. The
+    /// caller applies the optimizer step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backbone/loss shape errors.
+    pub fn train_batch(&mut self, images: &Tensor, targets: &[BBox]) -> Result<f32> {
+        let pred = self.backbone.forward(images, Mode::Train)?;
+        let (loss, grad) = self.loss.loss_and_grad(&pred, targets, &self.anchors)?;
+        let _ = self.backbone.backward(&grad)?;
+        Ok(loss)
+    }
+}
+
+impl std::fmt::Debug for Detector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Detector({}, {} anchors)",
+            self.backbone.name(),
+            self.anchors.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skynet::{SkyNet, SkyNetConfig, Variant};
+    use skynet_nn::Act;
+    use skynet_tensor::{rng::SkyRng, Shape};
+
+    #[test]
+    fn predict_yields_one_detection_per_image() {
+        let mut rng = SkyRng::new(0);
+        let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(16);
+        let mut det = Detector::new(Box::new(SkyNet::new(cfg, &mut rng)), Anchors::dac_sdc());
+        let x = Tensor::zeros(Shape::new(3, 3, 16, 32));
+        let dets = det.predict(&x).unwrap();
+        assert_eq!(dets.len(), 3);
+        for d in dets {
+            assert!((0.0..=1.0).contains(&d.confidence));
+        }
+    }
+
+    #[test]
+    fn train_batch_returns_finite_loss() {
+        let mut rng = SkyRng::new(1);
+        let cfg = SkyNetConfig::new(Variant::A, Act::Relu6).with_width_divisor(16);
+        let mut det = Detector::new(Box::new(SkyNet::new(cfg, &mut rng)), Anchors::dac_sdc());
+        let x = Tensor::ones(Shape::new(2, 3, 16, 32));
+        let targets = [BBox::new(0.5, 0.5, 0.1, 0.1), BBox::new(0.2, 0.3, 0.05, 0.06)];
+        let loss = det.train_batch(&x, &targets).unwrap();
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+}

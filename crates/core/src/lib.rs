@@ -1,0 +1,47 @@
+//! # skynet-core
+//!
+//! The paper's primary contribution: the **SkyNet** compact detector
+//! family (models A, B and C from Table 3), together with everything
+//! needed to train and evaluate it —
+//!
+//! * [`BBox`] and IoU arithmetic (the DAC-SDC accuracy metric, Eq. 2),
+//! * the [`Bundle`](bundle) abstraction: the hardware-aware basic block
+//!   from Stage 1 of the bottom-up flow,
+//! * [`SkyNet`](skynet::SkyNet) with feature-map bypass + reordering and
+//!   a two-anchor, classification-free YOLO head (§5.1–5.2),
+//! * the detection loss and box decoder ([`head`]),
+//! * a [`Detector`](detector::Detector) wrapper that pairs any backbone
+//!   with the head geometry, and
+//! * a [`Trainer`](trainer::Trainer) with multi-scale training plus a
+//!   mean-IoU evaluator ([`trainer::evaluate`]).
+//!
+//! ```
+//! use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
+//! use skynet_nn::{Act, Layer, Mode};
+//! use skynet_tensor::{rng::SkyRng, Shape, Tensor};
+//!
+//! # fn main() -> Result<(), skynet_tensor::TensorError> {
+//! let mut rng = SkyRng::new(0);
+//! // Quarter-scale SkyNet C for CPU experiments.
+//! let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(4);
+//! let mut net = SkyNet::new(cfg, &mut rng);
+//! let x = Tensor::zeros(Shape::new(1, 3, 48, 96));
+//! let y = net.forward(&x, Mode::Eval)?;
+//! assert_eq!(y.shape().c, 10); // 2 anchors × (x, y, w, h, conf)
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod bbox;
+pub mod bundle;
+pub mod desc;
+pub mod detector;
+pub mod head;
+pub mod sample;
+pub mod skynet;
+pub mod trainer;
+
+pub use bbox::BBox;
+pub use sample::Sample;

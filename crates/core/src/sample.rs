@@ -1,0 +1,29 @@
+//! The training/evaluation sample type shared between the data generators
+//! and the trainer.
+
+use crate::BBox;
+use skynet_tensor::Tensor;
+
+/// One labelled detection sample: a `1×C×H×W` image and the ground-truth
+/// box of the (single) object of interest, as in the DAC-SDC protocol.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Image tensor with batch size 1.
+    pub image: Tensor,
+    /// Normalized ground-truth box.
+    pub bbox: BBox,
+    /// Category identifier (main category × sub category encoded by the
+    /// generator); carried for analysis, not used by the detector loss.
+    pub category: u32,
+}
+
+impl Sample {
+    /// Creates a sample.
+    pub fn new(image: Tensor, bbox: BBox, category: u32) -> Self {
+        Sample {
+            image,
+            bbox,
+            category,
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! The SkyNet architecture — Table 3 / Fig. 4 of the paper.
+//!
+//! Three configurations share a chain of six DW+PW Bundles with three
+//! 2×2 max-pool layers:
+//!
+//! * **Model A** — plain chain, head directly after Bundle 5;
+//! * **Model B** — feature-map bypass from Bundle 3's output, reordered
+//!   (space-to-depth ×2) and concatenated ahead of Bundle 6, whose
+//!   point-wise stage has 48 channels;
+//! * **Model C** — as B but with 96 channels in Bundle 6 (the DAC-SDC
+//!   winning configuration when paired with ReLU6).
+//!
+//! The head is a classification-free YOLO detector: a 1×1 convolution to
+//! `2 anchors × 5` channels (§5.1).
+
+use crate::bundle::BundleSpec;
+use crate::desc::{LayerDesc, NetDesc};
+use skynet_nn::{Act, Conv2d, Layer, MaxPool2d, Mode, Param, Reorg, Sequential};
+use skynet_tensor::ops::{concat_channels, split_channels};
+use skynet_tensor::{rng::SkyRng, Result, Tensor};
+
+/// Which SkyNet configuration to build (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// No bypass.
+    A,
+    /// Bypass + reorg, 48-channel Bundle 6.
+    B,
+    /// Bypass + reorg, 96-channel Bundle 6 — the contest entry.
+    C,
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Variant::A => write!(f, "A"),
+            Variant::B => write!(f, "B"),
+            Variant::C => write!(f, "C"),
+        }
+    }
+}
+
+/// Number of anchors in the detection head (the paper uses two).
+pub const NUM_ANCHORS: usize = 2;
+
+/// Output channels of the head: `NUM_ANCHORS × (x, y, w, h, conf)`.
+pub const HEAD_CHANNELS: usize = NUM_ANCHORS * 5;
+
+/// Paper-scale point-wise output widths of Bundles 1–5 (Table 3).
+pub const PAPER_WIDTHS: [usize; 5] = [48, 96, 192, 384, 512];
+
+/// Configuration of a SkyNet instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkyNetConfig {
+    /// Which variant to build.
+    pub variant: Variant,
+    /// Activation used inside every Bundle (the Table 4 ablation axis).
+    pub act: Act,
+    /// Point-wise output widths of Bundles 1–5.
+    pub widths: [usize; 5],
+    /// Width of Bundle 6's point-wise stage (ignored for variant A).
+    pub bundle6_width: usize,
+}
+
+impl SkyNetConfig {
+    /// Paper-scale configuration of the given variant and activation.
+    pub fn new(variant: Variant, act: Act) -> Self {
+        SkyNetConfig {
+            variant,
+            act,
+            widths: PAPER_WIDTHS,
+            bundle6_width: match variant {
+                Variant::B => 48,
+                _ => 96,
+            },
+        }
+    }
+
+    /// Divides every width by `d` (rounding up, minimum 2) — the scaling
+    /// used to make CPU training tractable while preserving the layer
+    /// structure.
+    pub fn with_width_divisor(mut self, d: usize) -> Self {
+        for w in &mut self.widths {
+            *w = (*w / d).max(2);
+        }
+        self.bundle6_width = (self.bundle6_width / d).max(2);
+        self
+    }
+
+    /// Channel count arriving at Bundle 6 via the bypass: Bundle 3's
+    /// output reordered ×2 (quadrupling channels).
+    pub fn bypass_channels(&self) -> usize {
+        self.widths[2] * 4
+    }
+
+    /// Abstract descriptor of this configuration for an `in_h×in_w` RGB
+    /// input (hardware models, parameter counting).
+    pub fn descriptor(&self, in_h: usize, in_w: usize) -> NetDesc {
+        let spec = BundleSpec::skynet(self.act);
+        let w = self.widths;
+        let mut layers = Vec::new();
+        let mut cur = 3usize;
+        for (i, &width) in w.iter().enumerate() {
+            layers.extend(spec.describe_layers(cur, width));
+            cur = width;
+            if i == 2 && self.variant != Variant::A {
+                // Bypass forks here: reorg of Bundle 3's output.
+                layers.push(LayerDesc::Reorg { c: cur, s: 2 });
+            }
+            if i < 3 {
+                layers.push(LayerDesc::Pool { c: cur, k: 2 });
+            }
+        }
+        match self.variant {
+            Variant::A => {
+                layers.push(LayerDesc::Conv {
+                    in_c: cur,
+                    out_c: HEAD_CHANNELS,
+                    k: 1,
+                    s: 1,
+                    p: 0,
+                });
+            }
+            Variant::B | Variant::C => {
+                let bypass = self.bypass_channels();
+                layers.push(LayerDesc::Concat {
+                    c_main: cur,
+                    c_bypass: bypass,
+                });
+                let cat = cur + bypass;
+                layers.push(LayerDesc::DwConv { c: cat, k: 3, s: 1, p: 1 });
+                layers.push(LayerDesc::Bn { c: cat });
+                layers.push(LayerDesc::Act { c: cat });
+                layers.push(LayerDesc::Conv {
+                    in_c: cat,
+                    out_c: self.bundle6_width,
+                    k: 1,
+                    s: 1,
+                    p: 0,
+                });
+                layers.push(LayerDesc::Bn { c: self.bundle6_width });
+                layers.push(LayerDesc::Act { c: self.bundle6_width });
+                layers.push(LayerDesc::Conv {
+                    in_c: self.bundle6_width,
+                    out_c: HEAD_CHANNELS,
+                    k: 1,
+                    s: 1,
+                    p: 0,
+                });
+            }
+        }
+        NetDesc::new(3, in_h, in_w, layers)
+    }
+}
+
+/// A trainable SkyNet detector backbone + head.
+///
+/// Implements [`Layer`], producing the raw `N×10×(H/8)×(W/8)` prediction
+/// map; decode it with [`crate::head::decode_best`].
+pub struct SkyNet {
+    cfg: SkyNetConfig,
+    bundles: Vec<Sequential>, // Bundles 1–5
+    pools: Vec<MaxPool2d>,    // after Bundles 1–3
+    reorg: Reorg,
+    bundle6: Option<Sequential>, // DW+BN+act, PW+BN+act (B/C only)
+    head: Conv2d,
+    // Backward routing state.
+    split_at: Option<usize>,
+}
+
+impl SkyNet {
+    /// Builds a SkyNet with freshly initialized weights.
+    pub fn new(cfg: SkyNetConfig, rng: &mut SkyRng) -> Self {
+        let spec = BundleSpec::skynet(cfg.act);
+        let mut bundles = Vec::with_capacity(5);
+        let mut cur = 3usize;
+        for &w in &cfg.widths {
+            bundles.push(spec.build(cur, w, rng));
+            cur = w;
+        }
+        let pools = vec![MaxPool2d::new(2), MaxPool2d::new(2), MaxPool2d::new(2)];
+        let (bundle6, head_in) = match cfg.variant {
+            Variant::A => (None, cur),
+            Variant::B | Variant::C => {
+                let cat = cur + cfg.bypass_channels();
+                // DW half over the concatenated map, then PW to the
+                // bundle-6 width; BundleSpec gives exactly that split.
+                let seq = spec.build(cat, cfg.bundle6_width, rng);
+                (Some(seq), cfg.bundle6_width)
+            }
+        };
+        let head = Conv2d::new(
+            head_in,
+            HEAD_CHANNELS,
+            skynet_tensor::conv::ConvGeometry::pointwise(),
+            rng,
+        );
+        SkyNet {
+            cfg,
+            bundles,
+            pools,
+            reorg: Reorg::new(2),
+            bundle6,
+            head,
+            split_at: None,
+        }
+    }
+
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> &SkyNetConfig {
+        &self.cfg
+    }
+
+    /// Abstract descriptor at the given input geometry.
+    pub fn descriptor(&self, in_h: usize, in_w: usize) -> NetDesc {
+        self.cfg.descriptor(in_h, in_w)
+    }
+
+    /// Total downsampling factor from input to prediction grid.
+    pub fn stride(&self) -> usize {
+        8
+    }
+}
+
+/// Builds the SkyNet **feature extractor**: Bundles 1–5 with the three
+/// pools (no bypass, no Bundle 6, no detection head) — the backbone the
+/// paper drops into SiamRPN++/SiamMask in §7. Returns the network and its
+/// output channel count.
+pub fn features(cfg: &SkyNetConfig, rng: &mut SkyRng) -> (Sequential, usize) {
+    let spec = BundleSpec::skynet(cfg.act);
+    let mut seq = Sequential::empty();
+    let mut cur = 3usize;
+    for (i, &w) in cfg.widths.iter().enumerate() {
+        seq.push(Box::new(spec.build(cur, w, rng)));
+        if i < 3 {
+            seq.push(Box::new(MaxPool2d::new(2)));
+        }
+        cur = w;
+    }
+    (seq, cur)
+}
+
+/// Abstract descriptor of the feature extractor at paper scale (for the
+/// §7 parameter-size comparison against ResNet-50).
+pub fn features_descriptor(cfg: &SkyNetConfig, in_h: usize, in_w: usize) -> NetDesc {
+    let spec = BundleSpec::skynet(cfg.act);
+    let mut layers = Vec::new();
+    let mut cur = 3usize;
+    for (i, &w) in cfg.widths.iter().enumerate() {
+        layers.extend(spec.describe_layers(cur, w));
+        cur = w;
+        if i < 3 {
+            layers.push(LayerDesc::Pool { c: cur, k: 2 });
+        }
+    }
+    NetDesc::new(3, in_h, in_w, layers)
+}
+
+impl Layer for SkyNet {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        // Bundles 1–3 with pooling after each.
+        let mut cur = x.clone();
+        let mut bypass = None;
+        for i in 0..3 {
+            cur = self.bundles[i].forward(&cur, mode)?;
+            if i == 2 && self.cfg.variant != Variant::A {
+                bypass = Some(self.reorg.forward(&cur, mode)?);
+            }
+            cur = self.pools[i].forward(&cur, mode)?;
+        }
+        // Bundles 4–5.
+        cur = self.bundles[3].forward(&cur, mode)?;
+        cur = self.bundles[4].forward(&cur, mode)?;
+        // Optional bypass merge + Bundle 6.
+        if let Some(b6) = &mut self.bundle6 {
+            let by = bypass.expect("bypass exists for variants B/C");
+            self.split_at = Some(cur.shape().c);
+            let cat = concat_channels(&cur, &by)?;
+            cur = b6.forward(&cat, mode)?;
+        }
+        self.head.forward(&cur, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut g = self.head.backward(grad_out)?;
+        let mut g_bypass = None;
+        if let Some(b6) = &mut self.bundle6 {
+            let g_cat = b6.backward(&g)?;
+            let split = self
+                .split_at
+                .take()
+                .expect("forward must run before backward");
+            let (g_main, g_by) = split_channels(&g_cat, split)?;
+            g = g_main;
+            g_bypass = Some(g_by);
+        }
+        g = self.bundles[4].backward(&g)?;
+        g = self.bundles[3].backward(&g)?;
+        for i in (0..3).rev() {
+            g = self.pools[i].backward(&g)?;
+            if i == 2 {
+                if let Some(g_by) = g_bypass.take() {
+                    let g_reorg = self.reorg.backward(&g_by)?;
+                    g = g.add(&g_reorg)?;
+                }
+            }
+            g = self.bundles[i].backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for b in &mut self.bundles {
+            b.visit_params(f);
+        }
+        if let Some(b6) = &mut self.bundle6 {
+            b6.visit_params(f);
+        }
+        self.head.visit_params(f);
+    }
+
+    fn name(&self) -> String {
+        format!("SkyNet-{} ({})", self.cfg.variant, self.cfg.act)
+    }
+}
+
+impl std::fmt::Debug for SkyNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SkyNet-{} act={} widths={:?} b6={}",
+            self.cfg.variant, self.cfg.act, self.cfg.widths, self.cfg.bundle6_width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_tensor::Shape;
+
+    #[test]
+    fn paper_scale_parameter_count_matches_table2() {
+        // Table 2 lists the SkyNet backbone at 0.44 M parameters; Table 4
+        // lists model C at 1.82 MB (float32). Our analytic count must land
+        // in that neighbourhood.
+        let cfg = SkyNetConfig::new(Variant::C, Act::Relu6);
+        let params = cfg.descriptor(160, 320).total_params();
+        assert!(
+            (430_000..470_000).contains(&params),
+            "model C params = {params}"
+        );
+    }
+
+    #[test]
+    fn variant_ordering_by_size_matches_table4() {
+        // Table 4: A (1.27 MB) < B (1.57 MB) < C (1.82 MB).
+        let p = |v| SkyNetConfig::new(v, Act::Relu6)
+            .descriptor(160, 320)
+            .total_params();
+        let (a, b, c) = (p(Variant::A), p(Variant::B), p(Variant::C));
+        assert!(a < b && b < c, "sizes {a} {b} {c}");
+    }
+
+    #[test]
+    fn forward_shapes_all_variants() {
+        for variant in [Variant::A, Variant::B, Variant::C] {
+            let mut rng = SkyRng::new(1);
+            let cfg = SkyNetConfig::new(variant, Act::Relu6).with_width_divisor(8);
+            let mut net = SkyNet::new(cfg, &mut rng);
+            let x = Tensor::zeros(Shape::new(2, 3, 24, 48));
+            let y = net.forward(&x, Mode::Eval).unwrap();
+            assert_eq!(y.shape(), Shape::new(2, HEAD_CHANNELS, 3, 6), "{variant}");
+        }
+    }
+
+    #[test]
+    fn descriptor_params_match_built_model() {
+        let mut rng = SkyRng::new(2);
+        let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(8);
+        let mut net = SkyNet::new(cfg.clone(), &mut rng);
+        // Built model has the head bias (+HEAD_CHANNELS) that the
+        // descriptor's conv layers don't count.
+        assert_eq!(
+            net.param_count(),
+            cfg.descriptor(24, 48).total_params() + HEAD_CHANNELS
+        );
+    }
+
+    #[test]
+    fn train_backward_runs_through_bypass() {
+        let mut rng = SkyRng::new(3);
+        let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(16);
+        let mut net = SkyNet::new(cfg, &mut rng);
+        let x = Tensor::ones(Shape::new(1, 3, 16, 16));
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let gx = net.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        let mut total = 0.0;
+        net.visit_params(&mut |p| total += p.grad.max_abs());
+        assert!(total > 0.0, "gradients must reach the Bundles");
+    }
+
+    #[test]
+    fn variant_a_has_no_bypass() {
+        let mut rng = SkyRng::new(4);
+        let cfg = SkyNetConfig::new(Variant::A, Act::Relu).with_width_divisor(16);
+        let net = SkyNet::new(cfg, &mut rng);
+        assert!(net.bundle6.is_none());
+    }
+
+    #[test]
+    fn descriptor_macs_dominated_by_pointwise() {
+        // Sanity: in a DW+PW network the PW convs dominate compute.
+        let cfg = SkyNetConfig::new(Variant::C, Act::Relu6);
+        let desc = cfg.descriptor(160, 320);
+        let total = desc.total_macs();
+        let pw: u64 = desc
+            .walk()
+            .iter()
+            .filter(|ls| matches!(ls.layer, LayerDesc::Conv { k: 1, .. }))
+            .map(|ls| ls.layer.macs(ls.h_in, ls.w_in))
+            .sum();
+        assert!(pw * 10 > total * 8, "PW should be >80% of MACs");
+    }
+}

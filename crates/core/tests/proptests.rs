@@ -1,0 +1,104 @@
+//! Property-based tests of the detection-layer invariants: IoU algebra,
+//! head decode/loss consistency, and descriptor arithmetic.
+
+use proptest::prelude::*;
+use skynet_core::bundle::BundleSpec;
+use skynet_core::desc::NetDesc;
+use skynet_core::head::{decode_best, Anchors, DetectionLoss};
+use skynet_core::skynet::{SkyNetConfig, Variant};
+use skynet_core::BBox;
+use skynet_nn::Act;
+use skynet_tensor::{Shape, Tensor};
+
+fn bbox_strategy() -> impl Strategy<Value = BBox> {
+    (0.05f32..0.95, 0.05f32..0.95, 0.01f32..0.5, 0.01f32..0.5)
+        .prop_map(|(cx, cy, w, h)| BBox::new(cx, cy, w, h).clamp_to_frame())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// IoU is symmetric, bounded, and 1 only for self-overlap.
+    #[test]
+    fn iou_axioms(a in bbox_strategy(), b in bbox_strategy()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+        if a.area() > 1e-6 {
+            prop_assert!((a.iou(&a) - 1.0).abs() < 1e-5);
+        }
+        // Intersection bounded by both areas.
+        prop_assert!(a.intersection(&b) <= a.area() + 1e-6);
+        prop_assert!(a.intersection(&b) <= b.area() + 1e-6);
+    }
+
+    /// Translating both boxes together preserves IoU.
+    #[test]
+    fn iou_translation_invariant(
+        a in bbox_strategy(),
+        b in bbox_strategy(),
+        dx in -0.2f32..0.2,
+        dy in -0.2f32..0.2,
+    ) {
+        let before = a.iou(&b);
+        let after = a.translated(dx, dy).iou(&b.translated(dx, dy));
+        prop_assert!((before - after).abs() < 1e-5);
+    }
+
+    /// A perfectly planted prediction decodes back to the ground truth
+    /// and produces near-zero loss (head decode/loss consistency).
+    #[test]
+    fn planted_boxes_roundtrip_through_the_head(gt in bbox_strategy()) {
+        // Keep the box compatible with the anchor range so ln() targets
+        // stay bounded.
+        let gt = BBox::new(gt.cx, gt.cy, gt.w.clamp(0.03, 0.5), gt.h.clamp(0.03, 0.5));
+        let anchors = Anchors::dac_sdc();
+        let (gh, gw) = (4usize, 8usize);
+        let mut pred = Tensor::full(Shape::new(1, 10, gh, gw), -20.0);
+        let cx = ((gt.cx * gw as f32) as usize).min(gw - 1);
+        let cy = ((gt.cy * gh as f32) as usize).min(gh - 1);
+        let a = anchors.best_match(gt.w, gt.h);
+        let (aw, ah) = anchors.sizes()[a];
+        let inv = |p: f32| {
+            let p = p.clamp(1e-4, 1.0 - 1e-4);
+            (p / (1.0 - p)).ln()
+        };
+        *pred.at_mut(0, a * 5, cy, cx) = inv(gt.cx * gw as f32 - cx as f32);
+        *pred.at_mut(0, a * 5 + 1, cy, cx) = inv(gt.cy * gh as f32 - cy as f32);
+        *pred.at_mut(0, a * 5 + 2, cy, cx) = (gt.w / aw).ln();
+        *pred.at_mut(0, a * 5 + 3, cy, cx) = (gt.h / ah).ln();
+        *pred.at_mut(0, a * 5 + 4, cy, cx) = 20.0;
+
+        let det = decode_best(&pred, &anchors).unwrap()[0];
+        prop_assert!(det.bbox.iou(&gt) > 0.95, "iou {}", det.bbox.iou(&gt));
+        let (loss, _) = DetectionLoss::default()
+            .loss_and_grad(&pred, &[gt], &anchors)
+            .unwrap();
+        prop_assert!(loss < 0.01, "loss {loss}");
+    }
+
+    /// Width scaling follows the closed form: a same-width SkyNet Bundle
+    /// has c² + 13c parameters (PW c², DW 9c, two BNs 4c), so doubling
+    /// the width gives exactly 4·p(c) − 26c.
+    #[test]
+    fn bundle_params_scale_with_width(c in 4usize..64) {
+        let spec = BundleSpec::skynet(Act::Relu6);
+        let p1 = spec.params(c, c);
+        prop_assert_eq!(p1, c * c + 13 * c);
+        let p2 = spec.params(2 * c, 2 * c);
+        prop_assert_eq!(p2, 4 * p1 - 26 * c);
+    }
+
+    /// Descriptor parameter counts are invariant to input resolution and
+    /// MACs grow monotonically with it.
+    #[test]
+    fn descriptor_resolution_properties(div in 1usize..8) {
+        let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(div);
+        let small: NetDesc = cfg.descriptor(40, 80);
+        let large: NetDesc = cfg.descriptor(80, 160);
+        prop_assert_eq!(small.total_params(), large.total_params());
+        prop_assert!(large.total_macs() > small.total_macs());
+        prop_assert!(large.peak_activation() > small.peak_activation());
+    }
+}

@@ -1,0 +1,218 @@
+//! Training-time data augmentation (§6.1): "we use data augmentations to
+//! distort, jitter, crop, and resize inputs".
+//!
+//! All transforms keep the label consistent: geometric transforms move the
+//! bounding box with the pixels; photometric transforms leave it alone.
+
+use skynet_core::{BBox, Sample};
+use skynet_tensor::ops::resize_bilinear;
+use skynet_tensor::{rng::SkyRng, Shape, Tensor};
+
+/// Augmentation policy with per-transform probabilities and strengths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AugmentConfig {
+    /// Probability of a horizontal flip.
+    pub flip_prob: f32,
+    /// Maximum brightness shift (additive, per image).
+    pub brightness: f32,
+    /// Maximum contrast scale deviation (multiplicative, per image).
+    pub contrast: f32,
+    /// Maximum per-channel color jitter (additive).
+    pub color_jitter: f32,
+    /// Maximum crop fraction removed per edge (0 disables cropping).
+    pub max_crop: f32,
+    /// Additive pixel-noise amplitude ("distort").
+    pub noise: f32,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig {
+            flip_prob: 0.5,
+            brightness: 0.12,
+            contrast: 0.2,
+            color_jitter: 0.06,
+            max_crop: 0.15,
+            noise: 0.02,
+        }
+    }
+}
+
+/// A reusable augmenter with its own RNG stream.
+#[derive(Debug)]
+pub struct Augmenter {
+    cfg: AugmentConfig,
+    rng: SkyRng,
+}
+
+impl Augmenter {
+    /// Creates an augmenter.
+    pub fn new(cfg: AugmentConfig, seed: u64) -> Self {
+        Augmenter {
+            cfg,
+            rng: SkyRng::new(seed),
+        }
+    }
+
+    /// Applies the policy to a sample, returning a new sample.
+    pub fn apply(&mut self, sample: &Sample) -> Sample {
+        let mut img = sample.image.clone();
+        let mut bbox = sample.bbox;
+        if self.rng.chance(self.cfg.flip_prob) {
+            img = flip_horizontal(&img);
+            bbox = BBox::new(1.0 - bbox.cx, bbox.cy, bbox.w, bbox.h);
+        }
+        if self.cfg.max_crop > 0.0 {
+            let (ci, cb) = random_crop(&img, &bbox, self.cfg.max_crop, &mut self.rng);
+            img = ci;
+            bbox = cb;
+        }
+        // Photometric transforms.
+        let b = self.rng.range(-self.cfg.brightness, self.cfg.brightness);
+        let c = 1.0 + self.rng.range(-self.cfg.contrast, self.cfg.contrast);
+        let jitter: [f32; 3] = [
+            self.rng.range(-self.cfg.color_jitter, self.cfg.color_jitter),
+            self.rng.range(-self.cfg.color_jitter, self.cfg.color_jitter),
+            self.rng.range(-self.cfg.color_jitter, self.cfg.color_jitter),
+        ];
+        let s = img.shape();
+        for ch in 0..s.c.min(3) {
+            for y in 0..s.h {
+                for x in 0..s.w {
+                    let noise = self.rng.range(-self.cfg.noise, self.cfg.noise);
+                    let v = img.at(0, ch, y, x);
+                    *img.at_mut(0, ch, y, x) =
+                        (((v - 0.5) * c + 0.5) + b + jitter[ch] + noise).clamp(0.0, 1.0);
+                }
+            }
+        }
+        Sample::new(img, bbox, sample.category)
+    }
+}
+
+/// Horizontally mirrors a `1×C×H×W` image.
+pub fn flip_horizontal(img: &Tensor) -> Tensor {
+    let s = img.shape();
+    let mut out = Tensor::zeros(s);
+    for c in 0..s.c {
+        for y in 0..s.h {
+            for x in 0..s.w {
+                *out.at_mut(0, c, y, x) = img.at(0, c, y, s.w - 1 - x);
+            }
+        }
+    }
+    out
+}
+
+/// Randomly crops up to `max_crop` of each edge — always keeping the whole
+/// ground-truth box — then resizes back to the original extent and maps
+/// the box into the crop frame.
+pub fn random_crop(
+    img: &Tensor,
+    bbox: &BBox,
+    max_crop: f32,
+    rng: &mut SkyRng,
+) -> (Tensor, BBox) {
+    let (bx1, by1, bx2, by2) = bbox.corners();
+    // Crop window in normalized coordinates, clamped to contain the box.
+    let left = rng.range(0.0, max_crop).min(bx1.max(0.0));
+    let top = rng.range(0.0, max_crop).min(by1.max(0.0));
+    let right = (1.0 - rng.range(0.0, max_crop)).max(bx2.min(1.0));
+    let bottom = (1.0 - rng.range(0.0, max_crop)).max(by2.min(1.0));
+    let s = img.shape();
+    let px1 = (left * s.w as f32) as usize;
+    let py1 = (top * s.h as f32) as usize;
+    let px2 = ((right * s.w as f32).ceil() as usize).clamp(px1 + 2, s.w);
+    let py2 = ((bottom * s.h as f32).ceil() as usize).clamp(py1 + 2, s.h);
+    let (cw, ch) = (px2 - px1, py2 - py1);
+    let mut crop = Tensor::zeros(Shape::new(1, s.c, ch, cw));
+    for c in 0..s.c {
+        for y in 0..ch {
+            for x in 0..cw {
+                *crop.at_mut(0, c, y, x) = img.at(0, c, py1 + y, px1 + x);
+            }
+        }
+    }
+    let resized = resize_bilinear(&crop, s.h, s.w).expect("positive extents");
+    // Remap the box into the crop frame using actual pixel bounds.
+    let (l, t) = (px1 as f32 / s.w as f32, py1 as f32 / s.h as f32);
+    let (w_frac, h_frac) = (cw as f32 / s.w as f32, ch as f32 / s.h as f32);
+    let nb = BBox::new(
+        (bbox.cx - l) / w_frac,
+        (bbox.cy - t) / h_frac,
+        bbox.w / w_frac,
+        bbox.h / h_frac,
+    )
+    .clamp_to_frame();
+    (resized, nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe_sample() -> Sample {
+        // Bright square at a known off-center location.
+        let mut img = Tensor::zeros(Shape::new(1, 3, 16, 32));
+        let bbox = BBox::new(0.25, 0.5, 0.2, 0.3);
+        for y in 0..16 {
+            for x in 0..32 {
+                let fx = (x as f32 + 0.5) / 32.0;
+                let fy = (y as f32 + 0.5) / 16.0;
+                if (fx - 0.25).abs() < 0.1 && (fy - 0.5).abs() < 0.15 {
+                    for c in 0..3 {
+                        *img.at_mut(0, c, y, x) = 1.0;
+                    }
+                }
+            }
+        }
+        Sample::new(img, bbox, 3)
+    }
+
+    #[test]
+    fn flip_mirrors_box_and_pixels() {
+        let s = probe_sample();
+        let flipped = flip_horizontal(&s.image);
+        assert_eq!(flipped.at(0, 0, 8, 31 - 8), s.image.at(0, 0, 8, 8));
+        // Applying flip twice is the identity.
+        assert_eq!(flip_horizontal(&flipped), s.image);
+    }
+
+    #[test]
+    fn crop_keeps_object_inside() {
+        let s = probe_sample();
+        let mut rng = SkyRng::new(3);
+        for _ in 0..20 {
+            let (img, nb) = random_crop(&s.image, &s.bbox, 0.2, &mut rng);
+            assert_eq!(img.shape(), s.image.shape());
+            let (x1, y1, x2, y2) = nb.corners();
+            assert!(x1 >= -0.05 && y1 >= -0.05 && x2 <= 1.05 && y2 <= 1.05, "{nb:?}");
+            // Object must still be bright near the new center.
+            let px = ((nb.cx * 32.0) as usize).min(31);
+            let py = ((nb.cy * 16.0) as usize).min(15);
+            assert!(img.at(0, 0, py, px) > 0.3, "object lost after crop");
+        }
+    }
+
+    #[test]
+    fn augmenter_preserves_category_and_range() {
+        let s = probe_sample();
+        let mut aug = Augmenter::new(AugmentConfig::default(), 7);
+        for _ in 0..10 {
+            let out = aug.apply(&s);
+            assert_eq!(out.category, 3);
+            for &v in out.image.as_slice() {
+                assert!((0.0..=1.0).contains(&v));
+            }
+            assert!(out.bbox.w > 0.0 && out.bbox.h > 0.0);
+        }
+    }
+
+    #[test]
+    fn augmentation_is_deterministic_per_seed() {
+        let s = probe_sample();
+        let a = Augmenter::new(AugmentConfig::default(), 11).apply(&s);
+        let b = Augmenter::new(AugmentConfig::default(), 11).apply(&s);
+        assert_eq!(a.image, b.image);
+    }
+}

@@ -1,0 +1,214 @@
+//! Procedural drawing primitives shared by the dataset generators.
+//!
+//! Everything operates on `1×3×H×W` RGB tensors with values roughly in
+//! `[0, 1]`. Backgrounds are low-frequency noise fields (bilinear
+//! upsampling of a coarse random grid) over a vertical gradient, which
+//! reads as terrain/sky in a downsampled aerial frame; objects are filled
+//! parametric shapes with a texture phase so that two objects of the same
+//! category are similar but not identical.
+
+use skynet_core::BBox;
+use skynet_tensor::ops::resize_bilinear;
+use skynet_tensor::{rng::SkyRng, Shape, Tensor};
+
+/// Shape families used as main categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShapeKind {
+    /// Filled rectangle.
+    Rect,
+    /// Filled ellipse.
+    Ellipse,
+    /// Upward triangle.
+    Triangle,
+    /// Plus / cross.
+    Cross,
+    /// Ring (ellipse with hole).
+    Ring,
+    /// Diamond (rotated square).
+    Diamond,
+}
+
+/// All shape kinds, indexable by category id.
+pub const SHAPE_KINDS: [ShapeKind; 6] = [
+    ShapeKind::Rect,
+    ShapeKind::Ellipse,
+    ShapeKind::Triangle,
+    ShapeKind::Cross,
+    ShapeKind::Ring,
+    ShapeKind::Diamond,
+];
+
+impl ShapeKind {
+    /// Shape kind for a main-category index (wraps around).
+    pub fn for_category(cat: usize) -> ShapeKind {
+        SHAPE_KINDS[cat % SHAPE_KINDS.len()]
+    }
+
+    /// Signed membership test: is normalized offset `(dx, dy)` (each in
+    /// `[-1, 1]` across the box) inside the shape?
+    pub fn contains(&self, dx: f32, dy: f32) -> bool {
+        match self {
+            ShapeKind::Rect => dx.abs() <= 1.0 && dy.abs() <= 1.0,
+            ShapeKind::Ellipse => dx * dx + dy * dy <= 1.0,
+            ShapeKind::Triangle => dy >= -1.0 && dy <= 1.0 && dx.abs() <= (1.0 + dy) / 2.0,
+            ShapeKind::Cross => dx.abs() <= 0.33 || dy.abs() <= 0.33,
+            ShapeKind::Ring => {
+                let r = dx * dx + dy * dy;
+                (0.25..=1.0).contains(&r)
+            }
+            ShapeKind::Diamond => dx.abs() + dy.abs() <= 1.0,
+        }
+    }
+}
+
+/// Fills `img` with a low-frequency noise background over a vertical
+/// gradient. `detail` controls the coarse-grid resolution (≥ 2).
+pub fn fill_background(img: &mut Tensor, rng: &mut SkyRng, detail: usize) {
+    let s = img.shape();
+    let d = detail.max(2);
+    // Coarse random field, bilinearly upsampled.
+    let mut coarse = Tensor::zeros(Shape::new(1, s.c, d, d));
+    for v in coarse.as_mut_slice() {
+        *v = rng.range(0.15, 0.55);
+    }
+    let field = resize_bilinear(&coarse, s.h, s.w).expect("positive extents");
+    let grad_top = rng.range(-0.08, 0.08);
+    for c in 0..s.c {
+        for y in 0..s.h {
+            let g = grad_top * (1.0 - y as f32 / s.h as f32);
+            for x in 0..s.w {
+                let noise = rng.range(-0.03, 0.03);
+                *img.at_mut(0, c, y, x) = (field.at(0, c, y, x) + g + noise).clamp(0.0, 1.0);
+            }
+        }
+    }
+}
+
+/// Draws a filled shape of the given kind and RGB color into the box
+/// `bbox` (normalized coordinates). `texture_phase` modulates the fill so
+/// instances differ; `alpha` blends over the background.
+pub fn draw_shape(
+    img: &mut Tensor,
+    bbox: &BBox,
+    kind: ShapeKind,
+    color: [f32; 3],
+    texture_phase: f32,
+    alpha: f32,
+) {
+    let s = img.shape();
+    let (x1, y1, x2, y2) = bbox.corners();
+    let px1 = ((x1 * s.w as f32).floor().max(0.0)) as usize;
+    let py1 = ((y1 * s.h as f32).floor().max(0.0)) as usize;
+    let px2 = ((x2 * s.w as f32).ceil().min(s.w as f32)) as usize;
+    let py2 = ((y2 * s.h as f32).ceil().min(s.h as f32)) as usize;
+    let subpixel =
+        ((x2 - x1) * s.w as f32) < 1.0 || ((y2 - y1) * s.h as f32) < 1.0;
+    if px2 <= px1 || py2 <= py1 || subpixel {
+        // Sub-pixel object: stamp the nearest pixel so tiny objects stay
+        // visible (they are 31% of the DAC-SDC distribution).
+        let px = ((bbox.cx * s.w as f32) as usize).min(s.w - 1);
+        let py = ((bbox.cy * s.h as f32) as usize).min(s.h - 1);
+        for c in 0..3.min(s.c) {
+            let v = img.at(0, c, py, px);
+            *img.at_mut(0, c, py, px) = v * (1.0 - alpha) + color[c] * alpha;
+        }
+        return;
+    }
+    let bw = (x2 - x1).max(1e-6);
+    let bh = (y2 - y1).max(1e-6);
+    for py in py1..py2 {
+        let fy = (py as f32 + 0.5) / s.h as f32;
+        let dy = 2.0 * (fy - bbox.cy) / bh;
+        for px in px1..px2 {
+            let fx = (px as f32 + 0.5) / s.w as f32;
+            let dx = 2.0 * (fx - bbox.cx) / bw;
+            if kind.contains(dx, dy) {
+                // Cheap procedural texture: sinusoidal shading.
+                let tex = 0.12 * ((dx * 4.0 + texture_phase).sin() * (dy * 4.0).cos());
+                for c in 0..3.min(s.c) {
+                    let v = img.at(0, c, py, px);
+                    let target = (color[c] + tex).clamp(0.0, 1.0);
+                    *img.at_mut(0, c, py, px) = v * (1.0 - alpha) + target * alpha;
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic color for a (main, sub) category pair: hue from the sub
+/// category, brightness from the main category. High saturation keeps
+/// tiny objects separable from the muted background.
+pub fn category_color(main: usize, sub: usize) -> [f32; 3] {
+    let hue = (sub as f32 * 0.137 + main as f32 * 0.31).fract() * 6.0;
+    let v = 0.75 + 0.25 * ((main % 3) as f32 / 2.0);
+    let c = v;
+    let x = c * (1.0 - ((hue % 2.0) - 1.0).abs());
+    let (r, g, b) = match hue as usize {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    [r, g, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn background_is_in_range_and_nonuniform() {
+        let mut rng = SkyRng::new(1);
+        let mut img = Tensor::zeros(Shape::new(1, 3, 16, 32));
+        fill_background(&mut img, &mut rng, 4);
+        let (mut lo, mut hi) = (f32::MAX, f32::MIN);
+        for &v in img.as_slice() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo >= 0.0 && hi <= 1.0);
+        assert!(hi - lo > 0.05, "background should vary: {lo}..{hi}");
+    }
+
+    #[test]
+    fn shape_membership_basics() {
+        assert!(ShapeKind::Rect.contains(0.9, -0.9));
+        assert!(!ShapeKind::Ellipse.contains(0.9, 0.9));
+        assert!(ShapeKind::Ellipse.contains(0.0, 0.0));
+        assert!(!ShapeKind::Ring.contains(0.0, 0.0));
+        assert!(ShapeKind::Ring.contains(0.9, 0.0));
+        assert!(ShapeKind::Diamond.contains(0.4, 0.4));
+        assert!(!ShapeKind::Diamond.contains(0.8, 0.8));
+    }
+
+    #[test]
+    fn drawn_shape_changes_pixels_inside_box() {
+        let mut img = Tensor::zeros(Shape::new(1, 3, 32, 32));
+        let bbox = BBox::new(0.5, 0.5, 0.4, 0.4);
+        draw_shape(&mut img, &bbox, ShapeKind::Rect, [1.0, 0.0, 0.0], 0.0, 1.0);
+        assert!(img.at(0, 0, 16, 16) > 0.5, "center painted red");
+        assert_eq!(img.at(0, 0, 2, 2), 0.0, "outside untouched");
+    }
+
+    #[test]
+    fn subpixel_object_still_stamps_a_pixel() {
+        let mut img = Tensor::zeros(Shape::new(1, 3, 16, 16));
+        let bbox = BBox::new(0.5, 0.5, 0.001, 0.001);
+        draw_shape(&mut img, &bbox, ShapeKind::Ellipse, [0.0, 1.0, 0.0], 0.0, 1.0);
+        assert!(img.sum() > 0.0);
+    }
+
+    #[test]
+    fn category_colors_are_valid_and_distinct() {
+        let a = category_color(0, 0);
+        let b = category_color(0, 1);
+        assert_ne!(a, b);
+        for col in [a, b] {
+            for ch in col {
+                assert!((0.0..=1.0).contains(&ch));
+            }
+        }
+    }
+}

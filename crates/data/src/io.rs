@@ -1,0 +1,219 @@
+//! Binary import/export of synthetic datasets.
+//!
+//! Generators are deterministic, but exporting a materialized dataset
+//! lets the same frames be shared across machines, diffed between
+//! versions, or inspected offline. Format (little-endian):
+//!
+//! ```text
+//! magic "SKYD" | version u32 | sample count u32
+//! per sample: category u32 | cx f32 | cy f32 | w f32 | h f32
+//!             | c u32 | h u32 | w u32 | h*w*c f32 pixels
+//! ```
+
+use skynet_core::{BBox, Sample};
+use skynet_tensor::{Shape, Tensor};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SKYD";
+const VERSION: u32 = 1;
+
+/// Errors produced by dataset I/O.
+#[derive(Debug)]
+pub enum DatasetIoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Not a dataset file, or an unsupported version.
+    BadHeader(String),
+    /// Structurally invalid payload.
+    Corrupt(String),
+}
+
+impl fmt::Display for DatasetIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetIoError::Io(e) => write!(f, "dataset i/o error: {e}"),
+            DatasetIoError::BadHeader(d) => write!(f, "bad dataset header: {d}"),
+            DatasetIoError::Corrupt(d) => write!(f, "corrupt dataset: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DatasetIoError {
+    fn from(e: io::Error) -> Self {
+        DatasetIoError::Io(e)
+    }
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+/// Writes samples to `path`.
+///
+/// # Errors
+///
+/// Returns [`DatasetIoError::Io`] on filesystem failures.
+pub fn save_samples(samples: &[Sample], path: impl AsRef<Path>) -> Result<(), DatasetIoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, samples.len() as u32)?;
+    for s in samples {
+        write_u32(&mut w, s.category)?;
+        write_f32(&mut w, s.bbox.cx)?;
+        write_f32(&mut w, s.bbox.cy)?;
+        write_f32(&mut w, s.bbox.w)?;
+        write_f32(&mut w, s.bbox.h)?;
+        let shape = s.image.shape();
+        write_u32(&mut w, shape.c as u32)?;
+        write_u32(&mut w, shape.h as u32)?;
+        write_u32(&mut w, shape.w as u32)?;
+        for &v in s.image.as_slice() {
+            write_f32(&mut w, v)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads samples written by [`save_samples`].
+///
+/// # Errors
+///
+/// Returns [`DatasetIoError::BadHeader`] for foreign files and
+/// [`DatasetIoError::Corrupt`] for impossible geometry.
+pub fn load_samples(path: impl AsRef<Path>) -> Result<Vec<Sample>, DatasetIoError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(DatasetIoError::BadHeader("wrong magic bytes".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(DatasetIoError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut samples = Vec::with_capacity(count);
+    for _ in 0..count {
+        let category = read_u32(&mut r)?;
+        let bbox = BBox::new(
+            read_f32(&mut r)?,
+            read_f32(&mut r)?,
+            read_f32(&mut r)?,
+            read_f32(&mut r)?,
+        );
+        let c = read_u32(&mut r)? as usize;
+        let h = read_u32(&mut r)? as usize;
+        let w = read_u32(&mut r)? as usize;
+        // Refuse absurd geometry before allocating.
+        if c == 0 || h == 0 || w == 0 || c * h * w > 64 << 20 {
+            return Err(DatasetIoError::Corrupt(format!(
+                "implausible image geometry {c}x{h}x{w}"
+            )));
+        }
+        let mut data = Vec::with_capacity(c * h * w);
+        for _ in 0..c * h * w {
+            data.push(read_f32(&mut r)?);
+        }
+        let image = Tensor::from_vec(Shape::new(1, c, h, w), data)
+            .map_err(|e| DatasetIoError::Corrupt(e.to_string()))?;
+        samples.push(Sample::new(image, bbox, category));
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dacsdc::{DacSdc, DacSdcConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("skynet-data-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut cfg = DacSdcConfig::default();
+        cfg.height = 12;
+        cfg.width = 20;
+        let mut gen = DacSdc::new(cfg);
+        let samples = gen.generate(5);
+        let path = tmp("roundtrip");
+        save_samples(&samples, &path).unwrap();
+        let loaded = load_samples(&path).unwrap();
+        assert_eq!(loaded.len(), samples.len());
+        for (a, b) in loaded.iter().zip(&samples) {
+            assert_eq!(a.category, b.category);
+            assert_eq!(a.bbox, b.bbox);
+            assert_eq!(a.image, b.image);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn foreign_file_is_rejected() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"definitely not a dataset").unwrap();
+        assert!(matches!(
+            load_samples(&path),
+            Err(DatasetIoError::BadHeader(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_an_io_error() {
+        let mut cfg = DacSdcConfig::default();
+        cfg.height = 8;
+        cfg.width = 8;
+        let mut gen = DacSdc::new(cfg);
+        let samples = gen.generate(2);
+        let path = tmp("truncated");
+        save_samples(&samples, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(load_samples(&path), Err(DatasetIoError::Io(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let path = tmp("empty");
+        save_samples(&[], &path).unwrap();
+        assert!(load_samples(&path).unwrap().is_empty());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,29 @@
+//! # skynet-data
+//!
+//! Synthetic stand-ins for the paper's proprietary datasets.
+//!
+//! * [`dacsdc`] — a procedural UAV-like single-object detection set. The
+//!   real DAC-SDC data (100 k DJI drone images, hidden 50 k test set) is
+//!   not redistributable; this generator reproduces the property the
+//!   paper's design decisions hinge on — the bounding-box relative-size
+//!   distribution of Fig. 6 (31 % of objects under 1 % of the image area,
+//!   91 % under 9 %) — plus the 12-main-category structure and
+//!   similar-object distractors visible in Fig. 7.
+//! * [`aug`] — the §6.1 training augmentations: distort, jitter, crop and
+//!   resize.
+//! * [`got`] — synthetic GOT-10k-style tracking sequences with smooth
+//!   random-walk motion, scale drift and distractors (for Tables 8–9).
+//! * [`classif`] — a small shape-classification set for the AlexNet
+//!   quantization study of Fig. 2(a);
+//! * [`io`] — binary export/import of materialized datasets.
+//!
+//! All generators are deterministic given a seed.
+
+#![deny(missing_docs)]
+
+pub mod aug;
+pub mod classif;
+pub mod dacsdc;
+pub mod draw;
+pub mod got;
+pub mod io;

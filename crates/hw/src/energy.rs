@@ -1,0 +1,75 @@
+//! Power and energy model feeding the DAC-SDC score (Eqs. 3–4).
+//!
+//! The contest measures wall power while the system processes the test
+//! set; energy per entry is `P · K / FPS` for `K` images. We model power
+//! as an idle floor plus a dynamic term proportional to accelerator
+//! utilization, calibrated to the published SkyNet measurements
+//! (13.50 W on TX2, 7.26 W on Ultra96 — Tables 5–6).
+
+/// Platform power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Idle (board + host CPU) power in watts.
+    pub idle_w: f64,
+    /// Dynamic power at full accelerator utilization, watts.
+    pub dynamic_w: f64,
+}
+
+impl PowerModel {
+    /// Jetson TX2 board: ~5 W idle at max clocks, ~9.5 W dynamic under a
+    /// pipelined full-utilization detection workload (total ≈ 13.5 W, the
+    /// Table 5 SkyNet figure).
+    pub fn tx2() -> Self {
+        PowerModel {
+            idle_w: 4.5,
+            dynamic_w: 9.5,
+        }
+    }
+
+    /// Ultra96 board: ~3 W idle, ~4.5 W dynamic (total ≈ 7.3 W, the
+    /// Table 6 SkyNet figure).
+    pub fn ultra96() -> Self {
+        PowerModel {
+            idle_w: 3.0,
+            dynamic_w: 4.5,
+        }
+    }
+
+    /// Total board power at a given accelerator utilization in `[0, 1]`.
+    pub fn power_w(&self, utilization: f64) -> f64 {
+        self.idle_w + self.dynamic_w * utilization.clamp(0.0, 1.0)
+    }
+
+    /// Energy in joules to process `images` frames at `fps` under the
+    /// given utilization.
+    pub fn energy_j(&self, images: usize, fps: f64, utilization: f64) -> f64 {
+        assert!(fps > 0.0, "fps must be positive");
+        self.power_w(utilization) * images as f64 / fps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_published_power() {
+        assert!((PowerModel::tx2().power_w(0.95) - 13.5).abs() < 0.6);
+        assert!((PowerModel::ultra96().power_w(0.95) - 7.26).abs() < 0.4);
+    }
+
+    #[test]
+    fn energy_scales_inversely_with_fps() {
+        let m = PowerModel::ultra96();
+        let slow = m.energy_j(50_000, 10.0, 1.0);
+        let fast = m.energy_j(50_000, 40.0, 1.0);
+        assert!((slow / fast - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let m = PowerModel::tx2();
+        assert_eq!(m.power_w(2.0), m.power_w(1.0));
+        assert_eq!(m.power_w(-1.0), m.power_w(0.0));
+    }
+}

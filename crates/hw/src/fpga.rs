@@ -1,0 +1,445 @@
+//! IP-based FPGA performance and resource model (after Hao et al.,
+//! DAC'19 — the model the paper's NAS loop uses for FPGA feedback).
+//!
+//! The key idea matches §6.4: because a SkyNet-style network is built from
+//! a *single* Bundle type, one shared set of hardware IPs (a PW-Conv IP, a
+//! DW-Conv IP and a pool/data-mover IP) executes every layer in sequence.
+//! The model therefore:
+//!
+//! 1. sizes the IPs' multiply parallelism against the device DSP budget
+//!    using the DSP-packing rule of Fig. 2(c),
+//! 2. sizes the shared on-chip buffers against the network's peak feature
+//!    map using the BRAM rule of Fig. 2(b), and
+//! 3. walks the [`NetDesc`] accumulating per-layer compute cycles plus
+//!    off-chip feature-map traffic, which on these boards dominates —
+//!    this is why the measured contest FPS (25) sits far below the
+//!    compute-bound roofline.
+
+use crate::quant::QuantScheme;
+use skynet_core::desc::{LayerDesc, NetDesc};
+
+/// An embedded FPGA device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaDevice {
+    /// Board name.
+    pub name: &'static str,
+    /// DSP slice count.
+    pub dsp: usize,
+    /// BRAM capacity in 18 Kb blocks.
+    pub bram18: usize,
+    /// LUT count.
+    pub luts: usize,
+    /// Fabric clock in MHz.
+    pub freq_mhz: f64,
+    /// Effective DDR bandwidth available to the accelerator, GB/s.
+    /// Embedded PS–PL interfaces sustain well under their nominal rate on
+    /// short, strided feature-map bursts; 0.40 GB/s reproduces the
+    /// contest-measured SkyNet throughput on the Ultra96.
+    pub eff_bandwidth_gbps: f64,
+}
+
+impl FpgaDevice {
+    /// Ultra96 (Zynq UltraScale+ ZU3EG): 360 DSP48E2, 216 BRAM36
+    /// (432 × 18 Kb), ~70 k LUTs; the paper runs it at 200 MHz for
+    /// 144 GOPS peak (§6.4).
+    pub fn ultra96() -> Self {
+        FpgaDevice {
+            name: "Ultra96",
+            dsp: 360,
+            bram18: 432,
+            luts: 70_560,
+            freq_mhz: 200.0,
+            eff_bandwidth_gbps: 0.40,
+        }
+    }
+
+    /// Pynq-Z1 (Zynq-7020): 220 DSP48E1, 140 BRAM36 (280 × 18 Kb),
+    /// 53.2 k LUTs, typically clocked near 100 MHz by contest designs.
+    pub fn pynq_z1() -> Self {
+        FpgaDevice {
+            name: "Pynq-Z1",
+            dsp: 220,
+            bram18: 280,
+            luts: 53_200,
+            freq_mhz: 100.0,
+            eff_bandwidth_gbps: 0.30,
+        }
+    }
+
+    /// Peak GOPS of the multiplier array under a quantization scheme
+    /// (2 ops per MAC).
+    pub fn peak_gops(&self, scheme: QuantScheme) -> f64 {
+        let mults = (self.dsp as f64 / dsp_per_mac(scheme.weight_bits, scheme.fm_bits)).floor();
+        2.0 * mults * self.freq_mhz * 1e6 / 1e9
+    }
+}
+
+/// DSP slices needed per multiplier for a `w_bits × fm_bits` product —
+/// the Fig. 2(c) packing rule.
+///
+/// A DSP48E2 offers a 27×18 multiplier. Two weight operands can share one
+/// DSP (the standard low-bit packing trick) when both weights plus a guard
+/// bit fit the 27-bit port alongside the feature-map operand:
+/// `2·w + fm + 1 ≤ 45`. Under FM16 this flips exactly between W15
+/// (2·15+16+1 = 47 → 1 DSP each) and W14 (2·14+16+1 = 45 → packed), the
+/// 128 → 64 step the figure reports.
+pub fn dsp_per_mac(w_bits: u8, fm_bits: u8) -> f64 {
+    if 2 * w_bits as usize + fm_bits as usize + 1 <= 45 {
+        0.5
+    } else {
+        1.0
+    }
+}
+
+/// DSP usage of an accelerator with `parallelism` concurrent multipliers
+/// under the given quantization (Fig. 2(c)).
+pub fn dsp_usage(parallelism: usize, scheme: QuantScheme) -> usize {
+    (parallelism as f64 * dsp_per_mac(scheme.weight_bits, scheme.fm_bits)).ceil() as usize
+}
+
+/// BRAM blocks (18 Kb) needed to double-buffer an on-chip working set of
+/// `elems` values at `fm_bits` bits each (Fig. 2(b)).
+pub fn bram_usage(elems: usize, fm_bits: u8) -> usize {
+    let bits = 2 * elems * fm_bits as usize;
+    bits.div_ceil(18 * 1024)
+}
+
+/// Rows of the feature map each IP holds on chip: a 3×3 IP needs `k + 1`
+/// rows of line buffer, so four rows cover every kernel in the Bundle.
+/// The shared-IP design streams row bands through this window rather than
+/// holding whole maps (which would need megabytes — see the Fig. 2(b)
+/// sweep).
+pub const TILE_ROWS: usize = 4;
+
+/// On-chip working-set size (elements) of the shared feature-map buffer:
+/// the widest layer's `channels × width × TILE_ROWS` band.
+pub fn fm_tile_elems(net: &NetDesc) -> usize {
+    net.walk()
+        .iter()
+        .map(|ls| ls.c_out * ls.w_out * TILE_ROWS.min(ls.h_out))
+        .max()
+        .unwrap_or(0)
+}
+
+/// How the shared-IP accelerator is configured for a network + scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IpPool {
+    /// Concurrent multipliers in the point-wise/dense conv IP.
+    pub pw_parallel: usize,
+    /// Concurrent multipliers in the depth-wise conv IP.
+    pub dw_parallel: usize,
+    /// Quantization scheme the IPs are built for.
+    pub scheme: QuantScheme,
+}
+
+impl IpPool {
+    /// Sizes the IPs as large as the device DSP budget allows (the paper
+    /// configures IPs "to be as large as possible within the available
+    /// FPGA resources"), splitting 7:1 between the PW and DW IPs (PW
+    /// carries >80 % of SkyNet's MACs) and rounding down to powers of two.
+    pub fn fit(device: &FpgaDevice, scheme: QuantScheme) -> IpPool {
+        let budget = device.dsp as f64 * 0.9; // leave headroom for control
+        let mults = budget / dsp_per_mac(scheme.weight_bits, scheme.fm_bits);
+        let pw = pow2_floor((mults * 7.0 / 8.0) as usize).max(8);
+        let dw = pow2_floor((mults / 8.0) as usize).max(4);
+        IpPool {
+            pw_parallel: pw,
+            dw_parallel: dw,
+            scheme,
+        }
+    }
+
+    /// Total DSP slices the pool occupies.
+    pub fn dsp(&self) -> usize {
+        dsp_usage(self.pw_parallel + self.dw_parallel, self.scheme)
+    }
+}
+
+fn pow2_floor(x: usize) -> usize {
+    if x == 0 {
+        0
+    } else {
+        1 << (usize::BITS - 1 - x.leading_zeros())
+    }
+}
+
+/// End-to-end estimate for one network on one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaEstimate {
+    /// Batch-amortized time per frame in milliseconds (total batch time
+    /// including the shared weight load, divided by the batch size). A
+    /// single frame's end-to-end latency is higher at `batch > 1`.
+    pub latency_ms: f64,
+    /// Throughput, frames per second (accounting for batch amortization).
+    pub fps: f64,
+    /// DSP slices used.
+    pub dsp: usize,
+    /// BRAM 18 Kb blocks used.
+    pub bram18: usize,
+    /// Rough LUT usage.
+    pub luts: usize,
+    /// Whether the design fits the device.
+    pub feasible: bool,
+    /// Compute-only share of the latency (ms) — the roofline component.
+    pub compute_ms: f64,
+    /// Memory-traffic share of the latency (ms).
+    pub memory_ms: f64,
+}
+
+/// Estimates latency, throughput and resources for `net` on `device`
+/// under `scheme`, processing `batch` frames per weight load (the Fig. 9
+/// tiling scheme sets `batch = 4`).
+pub fn estimate(net: &NetDesc, device: &FpgaDevice, scheme: QuantScheme, batch: usize) -> FpgaEstimate {
+    let pool = IpPool::fit(device, scheme);
+    let batch = batch.max(1);
+    let mut compute_cycles = 0f64;
+    let mut fm_bytes = 0f64;
+    for ls in net.walk() {
+        let macs = ls.layer.macs(ls.h_in, ls.w_in) as f64;
+        match ls.layer {
+            LayerDesc::Conv { .. } => compute_cycles += macs / pool.pw_parallel as f64,
+            LayerDesc::DwConv { .. } => compute_cycles += macs / pool.dw_parallel as f64,
+            // Data movers: 8 elements per cycle.
+            _ => compute_cycles += macs / 8.0,
+        }
+        // Per-layer pipeline fill/drain.
+        compute_cycles += 1024.0;
+        // BN and activations are fused into the preceding convolution IP
+        // (standard practice and what the paper's IP template does), so
+        // only convolution/pool/reorg outputs travel to DDR between IP
+        // invocations of the shared-IP schedule.
+        let materializes = matches!(
+            ls.layer,
+            LayerDesc::Conv { .. } | LayerDesc::DwConv { .. } | LayerDesc::Pool { .. } | LayerDesc::Reorg { .. }
+        );
+        if materializes {
+            let out_elems = (ls.c_out * ls.h_out * ls.w_out) as f64;
+            fm_bytes += out_elems * scheme.fm_bits.min(16) as f64 / 8.0;
+        }
+    }
+    // Input image (8-bit RGB) in, final map out — small next to the FMs.
+    fm_bytes += (net.in_c * net.in_h * net.in_w) as f64;
+
+    // Weight loading, amortized over the batch.
+    let weight_bytes = net.total_params() as f64 * scheme.weight_bits.min(16) as f64 / 8.0;
+
+    let compute_ms = compute_cycles / (device.freq_mhz * 1e6) * 1e3;
+    let memory_ms = fm_bytes / (device.eff_bandwidth_gbps * 1e9) * 1e3;
+    let weight_ms = weight_bytes / (device.eff_bandwidth_gbps * 1e9) * 1e3;
+    // Compute and memory overlap imperfectly on a shared-IP schedule;
+    // charge the max plus 30% of the min (partial serialization).
+    let (hi, lo) = if compute_ms > memory_ms {
+        (compute_ms, memory_ms)
+    } else {
+        (memory_ms, compute_ms)
+    };
+    let per_frame = hi + 0.3 * lo;
+    let batch_ms = per_frame * batch as f64 + weight_ms;
+    let latency_ms = batch_ms / batch as f64;
+    let fps = 1e3 / latency_ms;
+
+    let bram = bram_usage(fm_tile_elems(net), scheme.fm_bits)
+        + (weight_bytes.min(64.0 * 18.0 * 1024.0 / 8.0) * 8.0 / (18.0 * 1024.0)).ceil() as usize;
+    let dsp = pool.dsp();
+    // LUT model: control + muxing scales with parallelism.
+    let luts = 12_000 + 40 * (pool.pw_parallel + pool.dw_parallel);
+    FpgaEstimate {
+        latency_ms,
+        fps,
+        dsp,
+        bram18: bram,
+        luts,
+        feasible: dsp <= device.dsp && bram <= device.bram18 && luts <= device.luts,
+        compute_ms,
+        memory_ms,
+    }
+}
+
+/// Estimates latency when every convolution layer owns a **dedicated**
+/// IP instead of sharing one — the ablation against the paper's
+/// IP-shared mapping. The DSP budget is split evenly across the conv
+/// layers, so each IP's parallelism collapses and per-layer latency
+/// balloons; this is why the paper shares IPs on resource-starved
+/// devices ("all DNN layers of the same type share the same hardware
+/// computational IP ... to save FPGA resources").
+pub fn estimate_dedicated(
+    net: &NetDesc,
+    device: &FpgaDevice,
+    scheme: QuantScheme,
+) -> FpgaEstimate {
+    let shapes = net.walk();
+    let conv_layers = shapes
+        .iter()
+        .filter(|ls| matches!(ls.layer, LayerDesc::Conv { .. } | LayerDesc::DwConv { .. }))
+        .count()
+        .max(1);
+    let budget = device.dsp as f64 * 0.9;
+    let per_layer =
+        pow2_floor(((budget / dsp_per_mac(scheme.weight_bits, scheme.fm_bits)) / conv_layers as f64) as usize)
+            .max(1);
+    let mut compute_cycles = 0f64;
+    let mut fm_bytes = 0f64;
+    for ls in &shapes {
+        let macs = ls.layer.macs(ls.h_in, ls.w_in) as f64;
+        match ls.layer {
+            LayerDesc::Conv { .. } | LayerDesc::DwConv { .. } => {
+                compute_cycles += macs / per_layer as f64;
+            }
+            _ => compute_cycles += macs / 8.0,
+        }
+        compute_cycles += 1024.0;
+        if matches!(
+            ls.layer,
+            LayerDesc::Conv { .. } | LayerDesc::DwConv { .. } | LayerDesc::Pool { .. } | LayerDesc::Reorg { .. }
+        ) {
+            fm_bytes += (ls.c_out * ls.h_out * ls.w_out) as f64 * scheme.fm_bits.min(16) as f64 / 8.0;
+        }
+    }
+    let compute_ms = compute_cycles / (device.freq_mhz * 1e6) * 1e3;
+    let memory_ms = fm_bytes / (device.eff_bandwidth_gbps * 1e9) * 1e3;
+    let (hi, lo) = if compute_ms > memory_ms {
+        (compute_ms, memory_ms)
+    } else {
+        (memory_ms, compute_ms)
+    };
+    let latency_ms = hi + 0.3 * lo;
+    let dsp = dsp_usage(per_layer * conv_layers, scheme);
+    let bram = bram_usage(fm_tile_elems(net), scheme.fm_bits) * conv_layers.min(8);
+    let luts = 12_000 + 40 * per_layer * conv_layers;
+    FpgaEstimate {
+        latency_ms,
+        fps: 1e3 / latency_ms,
+        dsp,
+        bram18: bram,
+        luts,
+        feasible: dsp <= device.dsp && bram <= device.bram18 && luts <= device.luts,
+        compute_ms,
+        memory_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_core::skynet::{SkyNetConfig, Variant};
+    use skynet_nn::Act;
+
+    fn skynet_desc() -> NetDesc {
+        SkyNetConfig::new(Variant::C, Act::Relu6).descriptor(160, 320)
+    }
+
+    #[test]
+    fn fig2c_packing_step() {
+        // FM16: W15 needs a full DSP per mult, W14 packs two per DSP.
+        assert_eq!(dsp_per_mac(15, 16), 1.0);
+        assert_eq!(dsp_per_mac(14, 16), 0.5);
+        assert_eq!(dsp_usage(128, QuantScheme::new(15, 16)), 128);
+        assert_eq!(dsp_usage(128, QuantScheme::new(14, 16)), 64);
+    }
+
+    #[test]
+    fn fig2b_bram_monotone_in_bits_and_size() {
+        let peak = 100_000;
+        let b12 = bram_usage(peak, 12);
+        let b16 = bram_usage(peak, 16);
+        assert!(b12 < b16);
+        // Resize factor 0.78 ⇒ 0.78² ≈ 0.61 of the elements ⇒ roughly
+        // 0.6× the blocks (the "save half memory below 0.9" effect).
+        let small = bram_usage((peak as f64 * 0.78 * 0.78) as usize, 16);
+        assert!((small as f64) < b16 as f64 * 0.65);
+    }
+
+    #[test]
+    fn skynet_fits_ultra96_and_hits_contest_fps_band() {
+        let est = estimate(
+            &skynet_desc(),
+            &FpgaDevice::ultra96(),
+            QuantScheme::new(11, 9),
+            4,
+        );
+        assert!(est.feasible, "{est:?}");
+        // The contest result is 25.05 FPS; the model should land in the
+        // same band (memory-bound regime), not at the compute roofline.
+        assert!(
+            est.fps > 10.0 && est.fps < 60.0,
+            "fps {} (compute {} ms, memory {} ms)",
+            est.fps,
+            est.compute_ms,
+            est.memory_ms
+        );
+        assert!(est.memory_ms > est.compute_ms, "SkyNet on Ultra96 is memory-bound");
+    }
+
+    #[test]
+    fn resnet50_is_much_slower_than_skynet_on_fpga() {
+        let sky = estimate(
+            &skynet_desc(),
+            &FpgaDevice::ultra96(),
+            QuantScheme::new(11, 9),
+            4,
+        );
+        let res = estimate(
+            &skynet_zoo_resnet50_desc(),
+            &FpgaDevice::ultra96(),
+            QuantScheme::new(11, 9),
+            4,
+        );
+        assert!(res.latency_ms > 4.0 * sky.latency_ms);
+    }
+
+    fn skynet_zoo_resnet50_desc() -> NetDesc {
+        // A local stand-in with ResNet-50-like mass to avoid a dev-dep
+        // cycle: 50 convs of 256→256×3×3 at 40×80.
+        let mut layers = Vec::new();
+        let mut in_c = 3;
+        for _ in 0..50 {
+            layers.push(LayerDesc::Conv { in_c, out_c: 256, k: 3, s: 1, p: 1 });
+            in_c = 256;
+        }
+        NetDesc::new(3, 40, 80, layers)
+    }
+
+    #[test]
+    fn batching_amortizes_weight_loads() {
+        let d = FpgaDevice::ultra96();
+        let s = QuantScheme::new(11, 9);
+        let b1 = estimate(&skynet_desc(), &d, s, 1);
+        let b4 = estimate(&skynet_desc(), &d, s, 4);
+        assert!(b4.fps > b1.fps, "batch 4 {} ≤ batch 1 {}", b4.fps, b1.fps);
+    }
+
+    #[test]
+    fn pynq_is_slower_than_ultra96() {
+        let s = QuantScheme::new(11, 9);
+        let u = estimate(&skynet_desc(), &FpgaDevice::ultra96(), s, 4);
+        let p = estimate(&skynet_desc(), &FpgaDevice::pynq_z1(), s, 4);
+        assert!(p.fps < u.fps);
+    }
+
+    #[test]
+    fn ip_pool_respects_budget() {
+        let d = FpgaDevice::ultra96();
+        for (w, f) in [(11u8, 9u8), (14, 16), (15, 16), (8, 8)] {
+            let pool = IpPool::fit(&d, QuantScheme::new(w, f));
+            assert!(pool.dsp() <= d.dsp, "{pool:?}");
+        }
+    }
+
+    #[test]
+    fn dedicated_ips_are_slower_and_hungrier_than_shared() {
+        let desc = skynet_desc();
+        let s = QuantScheme::new(11, 9);
+        let shared = estimate(&desc, &FpgaDevice::ultra96(), s, 4);
+        let dedicated = estimate_dedicated(&desc, &FpgaDevice::ultra96(), s);
+        assert!(dedicated.compute_ms > shared.compute_ms * 2.0);
+        assert!(!dedicated.feasible || dedicated.latency_ms > shared.latency_ms);
+    }
+
+    #[test]
+    fn peak_gops_near_paper_number() {
+        // §6.4: 144 GOPS @ 200 MHz. With 360 DSPs at 1 DSP/MAC the raw
+        // array peak is 2·360·200 MHz = 144 GOPS.
+        let gops = FpgaDevice::ultra96().peak_gops(QuantScheme::new(16, 16));
+        assert!((gops - 144.0).abs() < 1.0, "{gops}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # skynet-hw
+//!
+//! The hardware co-design layer of the reproduction:
+//!
+//! * [`quant`] — fixed-point quantization of weights and feature maps
+//!   (Table 7 schemes, Fig. 2(a) sweeps) on top of
+//!   [`skynet_nn::Mode::QuantEval`],
+//! * [`fpga`] — the IP-based FPGA model after Hao et al. (DAC'19): shared
+//!   DW/PW/pool IPs, DSP-packing arithmetic (Fig. 2(c)), BRAM buffer
+//!   sizing (Fig. 2(b)), end-to-end latency and resource estimation for
+//!   Ultra96 and Pynq-Z1,
+//! * [`gpu`] — roofline latency model for the TX2 and 1080Ti,
+//! * [`energy`] — the power/energy model feeding the contest score,
+//! * [`score`] — the official DAC-SDC scoring (Eqs. 2–5),
+//! * [`tiling`] — the input batch-and-tiling buffer plan of Fig. 9,
+//! * [`lut`] — the look-up-table latency approximation the paper argues
+//!   against (§2.2), for head-to-head comparison,
+//! * [`pipeline`] — the task-partitioned three-stage pipeline of Fig. 10,
+//!   implemented with real threads and measured for the §6.3 speedup.
+//!
+//! Device constants come from the paper (§6.4: Ultra96 = 144 GOPS @
+//! 200 MHz, TX2 = 665 GFLOPS @ 1300 MHz) and public datasheets; each
+//! constant is documented where it is defined.
+
+#![deny(missing_docs)]
+
+pub mod energy;
+pub mod fpga;
+pub mod gpu;
+pub mod lut;
+pub mod pipeline;
+pub mod quant;
+pub mod score;
+pub mod tiling;

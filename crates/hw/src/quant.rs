@@ -1,0 +1,185 @@
+//! Post-training fixed-point quantization (§6.4.1).
+//!
+//! A [`QuantScheme`] pairs a weight bit-width with a feature-map
+//! bit-width. Applying a scheme fake-quantizes every parameter in place
+//! (symmetric per-tensor, as [`skynet_tensor::ops::fake_quantize`]) and
+//! evaluation then runs under [`Mode::QuantEval`] so each compute layer's
+//! output feature map is quantized too. Table 7's four schemes are
+//! provided as constants.
+
+use skynet_nn::{Layer, Mode};
+use skynet_tensor::ops::fake_quantize;
+
+/// A weight/feature-map bit-width pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QuantScheme {
+    /// Bits for weights.
+    pub weight_bits: u8,
+    /// Bits for intermediate feature maps.
+    pub fm_bits: u8,
+}
+
+impl QuantScheme {
+    /// Creates a scheme.
+    pub fn new(weight_bits: u8, fm_bits: u8) -> Self {
+        QuantScheme {
+            weight_bits,
+            fm_bits,
+        }
+    }
+
+    /// Float32 baseline (scheme 0 of Table 7): no quantization.
+    pub fn float32() -> Self {
+        QuantScheme::new(32, 32)
+    }
+
+    /// The four fixed-point schemes explored in Table 7, in order:
+    /// (FM 9, W 11), (FM 9, W 10), (FM 8, W 11), (FM 8, W 10).
+    pub fn table7() -> [QuantScheme; 4] {
+        [
+            QuantScheme::new(11, 9),
+            QuantScheme::new(10, 9),
+            QuantScheme::new(11, 8),
+            QuantScheme::new(10, 8),
+        ]
+    }
+
+    /// Whether the scheme is effectively float (no quantization applied).
+    pub fn is_float(&self) -> bool {
+        self.weight_bits >= 24 && self.fm_bits >= 24
+    }
+
+    /// The evaluation mode implementing this scheme's feature-map side.
+    pub fn eval_mode(&self) -> Mode {
+        if self.fm_bits >= 24 {
+            Mode::Eval
+        } else {
+            Mode::QuantEval {
+                fm_bits: self.fm_bits,
+            }
+        }
+    }
+
+    /// Model parameter size in megabytes for `params` scalars under this
+    /// scheme's weight width (float32 baseline: 4 bytes each).
+    pub fn param_megabytes(&self, params: usize) -> f64 {
+        let bits = if self.weight_bits >= 24 {
+            32
+        } else {
+            self.weight_bits as usize
+        };
+        (params * bits) as f64 / 8.0 / (1024.0 * 1024.0)
+    }
+}
+
+impl std::fmt::Display for QuantScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_float() {
+            write!(f, "Float32/Float32")
+        } else {
+            write!(f, "FM{} bits / W{} bits", self.fm_bits, self.weight_bits)
+        }
+    }
+}
+
+/// Fake-quantizes every trainable parameter of `model` in place to
+/// `weight_bits`. No-op for widths ≥ 24 bits.
+pub fn quantize_weights(model: &mut dyn Layer, weight_bits: u8) {
+    if weight_bits >= 24 {
+        return;
+    }
+    model.visit_params(&mut |p| {
+        p.value = fake_quantize(&p.value, weight_bits);
+    });
+}
+
+/// Applies a full scheme to a model: weights in place, and returns the
+/// [`Mode`] to evaluate under for the feature-map side.
+pub fn apply_scheme(model: &mut dyn Layer, scheme: QuantScheme) -> Mode {
+    quantize_weights(model, scheme.weight_bits);
+    scheme.eval_mode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_nn::{Conv2d, Sequential};
+    use skynet_tensor::{conv::ConvGeometry, rng::SkyRng, Shape, Tensor};
+
+    #[test]
+    fn table7_schemes_are_ordered_most_to_least_precise() {
+        let s = QuantScheme::table7();
+        assert_eq!(s[0], QuantScheme::new(11, 9));
+        assert_eq!(s[3], QuantScheme::new(10, 8));
+        // Total bits strictly decrease scheme 0 → 3 is not required, but
+        // the first dominates the last in both axes.
+        assert!(s[0].weight_bits >= s[3].weight_bits && s[0].fm_bits >= s[3].fm_bits);
+    }
+
+    #[test]
+    fn quantize_weights_snaps_parameters() {
+        let mut rng = SkyRng::new(0);
+        let mut net = Sequential::new(vec![Box::new(Conv2d::new(
+            2,
+            2,
+            ConvGeometry::same3x3(),
+            &mut rng,
+        ))]);
+        let mut before = Vec::new();
+        net.visit_params(&mut |p| before.push(p.value.clone()));
+        quantize_weights(&mut net, 4);
+        let mut after = Vec::new();
+        net.visit_params(&mut |p| after.push(p.value.clone()));
+        // Weights changed (coarse grid) but stayed close.
+        let w0 = &before[0];
+        let w1 = &after[0];
+        assert_ne!(w0, w1);
+        assert!(w0.sub(w1).unwrap().max_abs() < w0.max_abs() / 4.0);
+    }
+
+    #[test]
+    fn float_scheme_is_identity() {
+        let mut rng = SkyRng::new(1);
+        let mut net = Sequential::new(vec![Box::new(Conv2d::pointwise(3, 3, &mut rng))]);
+        let mut before = Vec::new();
+        net.visit_params(&mut |p| before.push(p.value.clone()));
+        let mode = apply_scheme(&mut net, QuantScheme::float32());
+        assert_eq!(mode, Mode::Eval);
+        let mut after = Vec::new();
+        net.visit_params(&mut |p| after.push(p.value.clone()));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn quant_eval_perturbs_but_tracks_float_output() {
+        let mut rng = SkyRng::new(2);
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(3, 8, ConvGeometry::same3x3(), &mut rng)),
+            Box::new(Conv2d::pointwise(8, 4, &mut rng)),
+        ]);
+        let x = Tensor::from_vec(
+            Shape::new(1, 3, 6, 6),
+            (0..108).map(|i| ((i % 9) as f32 - 4.0) * 0.1).collect(),
+        )
+        .unwrap();
+        let y_float = net.forward(&x, Mode::Eval).unwrap();
+        let mode = apply_scheme(&mut net, QuantScheme::new(11, 9));
+        let y_q = net.forward(&x, mode).unwrap();
+        let err = y_float.sub(&y_q).unwrap().max_abs();
+        let scale = y_float.max_abs();
+        assert!(err > 0.0, "quantization must perturb");
+        assert!(err < scale * 0.1, "9/11-bit error should be small: {err} vs {scale}");
+    }
+
+    #[test]
+    fn param_megabytes_matches_hand_math() {
+        let s = QuantScheme::new(11, 9);
+        // 1 M params × 11 bits = 11 Mbit = 1.375 MB ÷ 1.048576.
+        let mb = s.param_megabytes(1_000_000);
+        assert!((mb - 11.0e6 / 8.0 / 1048576.0).abs() < 1e-9);
+        assert!((QuantScheme::float32().param_megabytes(1_000_000)
+            - 4.0e6 / 1048576.0)
+            .abs()
+            < 1e-9);
+    }
+}

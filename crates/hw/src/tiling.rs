@@ -1,0 +1,265 @@
+//! The input batch-and-tiling scheme of Fig. 9 (§6.4.1).
+//!
+//! The shared-IP accelerator owns one on-chip feature-map buffer sized for
+//! the largest single-image layer. Deeper layers shrink 4× at every pool,
+//! so most of that buffer idles — and naive batching can't help because
+//! the early layers would overflow it. The paper's fix: **stitch four
+//! inputs into one 2×2 tiled frame**. Early layers run tile-by-tile
+//! (same per-tile footprint as before), and once the per-image map has
+//! shrunk 4×, the whole stitched map fits the unchanged buffer — so the
+//! deep layers process all four images in one pass, reusing each weight
+//! load 4× and eliminating the idle buffer space.
+//!
+//! [`stitch4`] is the actual tensor operation (verified against
+//! per-image execution in the tests), and [`plan`] quantifies the buffer
+//! utilization and weight-reuse effects on a [`NetDesc`].
+
+use skynet_core::desc::NetDesc;
+use skynet_tensor::{ops::concat_channels, Result, Shape, Tensor, TensorError};
+
+/// Stitches four `1×C×H×W` images into one `1×C×2H×2W` frame in a 2×2
+/// grid (row-major: `[0][1]` over `[2][3]`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless exactly four same-shaped
+/// single-batch images are given.
+pub fn stitch4(images: &[Tensor]) -> Result<Tensor> {
+    if images.len() != 4 {
+        return Err(TensorError::ShapeMismatch {
+            op: "stitch4",
+            expected: "4 images".into(),
+            got: format!("{} images", images.len()),
+        });
+    }
+    let s = images[0].shape();
+    for img in images {
+        if img.shape() != s || s.n != 1 {
+            return Err(TensorError::ShapeMismatch {
+                op: "stitch4",
+                expected: format!("four 1×{}×{}×{} images", s.c, s.h, s.w),
+                got: img.shape().to_string(),
+            });
+        }
+    }
+    let os = Shape::new(1, s.c, 2 * s.h, 2 * s.w);
+    let mut out = Tensor::zeros(os);
+    for (idx, img) in images.iter().enumerate() {
+        let (oy, ox) = (idx / 2 * s.h, idx % 2 * s.w);
+        for c in 0..s.c {
+            for y in 0..s.h {
+                for x in 0..s.w {
+                    *out.at_mut(0, c, oy + y, ox + x) = img.at(0, c, y, x);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a stitched `1×C×2H×2W` map back into four `1×C×H×W` quadrants
+/// (inverse of [`stitch4`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] for odd spatial extents.
+pub fn unstitch4(stitched: &Tensor) -> Result<Vec<Tensor>> {
+    let s = stitched.shape();
+    if s.h % 2 != 0 || s.w % 2 != 0 {
+        return Err(TensorError::InvalidDimension {
+            op: "unstitch4",
+            detail: format!("extents {}×{} not even", s.h, s.w),
+        });
+    }
+    let (h, w) = (s.h / 2, s.w / 2);
+    let mut out = Vec::with_capacity(4);
+    for idx in 0..4 {
+        let (oy, ox) = (idx / 2 * h, idx % 2 * w);
+        let mut img = Tensor::zeros(Shape::new(1, s.c, h, w));
+        for c in 0..s.c {
+            for y in 0..h {
+                for x in 0..w {
+                    *img.at_mut(0, c, y, x) = stitched.at(0, c, oy + y, ox + x);
+                }
+            }
+        }
+        out.push(img);
+    }
+    Ok(out)
+}
+
+/// Stitches four images channel-wise instead of spatially — a strawman
+/// used by the ablation bench to contrast against Fig. 9's spatial tiling
+/// (channel stacking changes every layer's channel count and therefore
+/// cannot share the conv IPs).
+///
+/// # Errors
+///
+/// Propagates concatenation shape errors.
+pub fn stack_channels4(images: &[Tensor]) -> Result<Tensor> {
+    let ab = concat_channels(&images[0], &images[1])?;
+    let cd = concat_channels(&images[2], &images[3])?;
+    concat_channels(&ab, &cd)
+}
+
+/// Quantified effect of the tiling plan on a network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilingPlan {
+    /// Shared buffer size in elements (largest single-image layer output).
+    pub buffer_elems: usize,
+    /// Per-layer single-image output sizes.
+    pub layer_elems: Vec<usize>,
+    /// Per-layer flag: can this layer process the whole 4-image stitched
+    /// map inside the shared buffer (vs. tile-by-tile execution)?
+    pub merged: Vec<bool>,
+    /// Mean buffer utilization without tiling (batch 1).
+    pub utilization_plain: f64,
+    /// Mean buffer utilization with the 4-input tiling.
+    pub utilization_tiled: f64,
+    /// Average images sharing each weight load under tiling, weighted by
+    /// each layer's parameter count (1.0 without tiling; approaches 4 as
+    /// the parameter-heavy deep layers merge).
+    pub weight_reuse: f64,
+}
+
+impl TilingPlan {
+    /// Number of layers that execute in whole-batch mode.
+    pub fn merged_layers(&self) -> usize {
+        self.merged.iter().filter(|&&m| m).count()
+    }
+}
+
+/// Computes the Fig. 9 plan for `net`. A layer executes the 4-image
+/// stitched map in one pass when that map fits the shared buffer;
+/// otherwise it runs tile-by-tile (4 passes, weights re-read per tile).
+pub fn plan(net: &NetDesc) -> TilingPlan {
+    let shapes = net.walk();
+    let layer_elems: Vec<usize> = shapes
+        .iter()
+        .map(|ls| ls.c_out * ls.h_out * ls.w_out)
+        .collect();
+    let buffer = layer_elems.iter().copied().max().unwrap_or(0);
+    let merged: Vec<bool> = layer_elems.iter().map(|&e| e * 4 <= buffer).collect();
+    let n = layer_elems.len().max(1) as f64;
+    let utilization_plain =
+        layer_elems.iter().map(|&e| e as f64 / buffer as f64).sum::<f64>() / n;
+    let utilization_tiled = layer_elems
+        .iter()
+        .zip(&merged)
+        .map(|(&e, &m)| if m { (4 * e) as f64 } else { e as f64 } / buffer as f64)
+        .sum::<f64>()
+        / n;
+    // Weight reuse weighted by parameter mass: merged layers read weights
+    // once per 4 images, tiled layers once per image.
+    let mut total_params = 0f64;
+    let mut weighted = 0f64;
+    for (ls, &m) in shapes.iter().zip(&merged) {
+        let p = ls.layer.params() as f64;
+        total_params += p;
+        weighted += p * if m { 4.0 } else { 1.0 };
+    }
+    let weight_reuse = if total_params > 0.0 {
+        weighted / total_params
+    } else {
+        1.0
+    };
+    TilingPlan {
+        buffer_elems: buffer,
+        layer_elems,
+        merged,
+        utilization_plain,
+        utilization_tiled,
+        weight_reuse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_core::skynet::{SkyNetConfig, Variant};
+    use skynet_nn::{Act, Conv2d, Layer, Mode};
+    use skynet_tensor::{conv::ConvGeometry, rng::SkyRng};
+
+    fn image(seed: u64, c: usize, h: usize, w: usize) -> Tensor {
+        let mut rng = SkyRng::new(seed);
+        let s = Shape::new(1, c, h, w);
+        Tensor::from_vec(s, (0..s.numel()).map(|_| rng.uniform()).collect()).unwrap()
+    }
+
+    #[test]
+    fn stitch_unstitch_roundtrip() {
+        let imgs: Vec<Tensor> = (0..4).map(|i| image(i, 3, 4, 6)).collect();
+        let stitched = stitch4(&imgs).unwrap();
+        assert_eq!(stitched.shape(), Shape::new(1, 3, 8, 12));
+        let back = unstitch4(&stitched).unwrap();
+        for (a, b) in back.iter().zip(&imgs) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn pointwise_conv_commutes_with_stitching_exactly() {
+        // 1×1 convolutions have no cross-pixel taps, so tiled execution is
+        // bit-exact — the property that lets the PW IP process stitched
+        // frames unchanged.
+        let mut rng = SkyRng::new(9);
+        let mut conv = Conv2d::pointwise(3, 5, &mut rng);
+        let imgs: Vec<Tensor> = (0..4).map(|i| image(i + 10, 3, 4, 4)).collect();
+        let tiled_out = conv.forward(&stitch4(&imgs).unwrap(), Mode::Eval).unwrap();
+        let quads = unstitch4(&tiled_out).unwrap();
+        for (img, quad) in imgs.iter().zip(&quads) {
+            let single = conv.forward(img, Mode::Eval).unwrap();
+            for (a, b) in single.as_slice().iter().zip(quad.as_slice()) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn conv3x3_matches_on_interior_pixels() {
+        // 3×3 convolutions only differ along the 1-pixel stitch seam.
+        let mut rng = SkyRng::new(11);
+        let mut conv = Conv2d::new_no_bias(2, 2, ConvGeometry::same3x3(), &mut rng);
+        let imgs: Vec<Tensor> = (0..4).map(|i| image(i + 20, 2, 6, 6)).collect();
+        let tiled_out = conv.forward(&stitch4(&imgs).unwrap(), Mode::Eval).unwrap();
+        let quads = unstitch4(&tiled_out).unwrap();
+        let single = conv.forward(&imgs[0], Mode::Eval).unwrap();
+        for c in 0..2 {
+            for y in 1..5 {
+                for x in 1..5 {
+                    let a = single.at(0, c, y, x);
+                    let b = quads[0].at(0, c, y, x);
+                    assert!((a - b).abs() < 1e-5, "interior ({c},{y},{x})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skynet_plan_improves_utilization_and_reuse() {
+        let desc = SkyNetConfig::new(Variant::C, Act::Relu6).descriptor(160, 320);
+        let p = plan(&desc);
+        assert!(p.buffer_elems > 0);
+        assert!(
+            p.utilization_tiled > p.utilization_plain * 1.5,
+            "tiled {} vs plain {}",
+            p.utilization_tiled,
+            p.utilization_plain
+        );
+        assert!(p.weight_reuse > 2.0, "reuse {}", p.weight_reuse);
+        assert!(p.merged_layers() > 0 && p.merged_layers() < p.merged.len());
+    }
+
+    #[test]
+    fn stitch_rejects_wrong_inputs() {
+        let imgs: Vec<Tensor> = (0..3).map(|i| image(i, 1, 2, 2)).collect();
+        assert!(stitch4(&imgs).is_err());
+        let mixed = vec![
+            image(0, 1, 2, 2),
+            image(1, 1, 2, 2),
+            image(2, 1, 4, 4),
+            image(3, 1, 2, 2),
+        ];
+        assert!(stitch4(&mixed).is_err());
+    }
+}

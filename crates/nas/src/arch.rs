@@ -1,0 +1,175 @@
+//! Candidate-architecture representation shared by all three NAS stages.
+
+use skynet_core::bundle::BundleSpec;
+use skynet_core::desc::{LayerDesc, NetDesc};
+use skynet_core::detector::Detector;
+use skynet_core::head::Anchors;
+use skynet_core::skynet::HEAD_CHANNELS;
+use skynet_nn::{Conv2d, MaxPool2d, Sequential};
+use skynet_tensor::{conv::ConvGeometry, rng::SkyRng};
+
+/// A searchable architecture: one Bundle type stacked `channels.len()`
+/// times, with 2×2 pooling after the flagged positions, and the shared
+/// 10-channel detection back-end.
+///
+/// The two tunable dimensions match Algorithm 1: `dim¹ = channels` and
+/// `dim² = pool_after`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateArch {
+    /// The Bundle type (fixed within a PSO group).
+    pub bundle: BundleSpec,
+    /// Output channels of each Bundle instance (`dim¹`).
+    pub channels: Vec<usize>,
+    /// Whether a 2×2 max pool follows each position (`dim²`). The same
+    /// number of pools must stay set during evolution so every candidate
+    /// keeps the same output stride.
+    pub pool_after: Vec<bool>,
+}
+
+impl CandidateArch {
+    /// Creates a candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` and `pool_after` lengths differ or no channel
+    /// entry exists.
+    pub fn new(bundle: BundleSpec, channels: Vec<usize>, pool_after: Vec<bool>) -> Self {
+        assert_eq!(channels.len(), pool_after.len(), "dimension mismatch");
+        assert!(!channels.is_empty(), "need at least one Bundle");
+        CandidateArch {
+            bundle,
+            channels,
+            pool_after,
+        }
+    }
+
+    /// Number of stacked Bundles.
+    pub fn depth(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Output stride implied by the pooling flags.
+    pub fn stride(&self) -> usize {
+        1 << self.pool_after.iter().filter(|&&p| p).count()
+    }
+
+    /// Builds the trainable network: Bundles + pools + 1×1 head.
+    pub fn build(&self, rng: &mut SkyRng) -> Sequential {
+        let mut seq = Sequential::empty();
+        let mut in_c = 3usize;
+        for (i, &c) in self.channels.iter().enumerate() {
+            let bundle_seq = self.bundle.build(in_c, c, rng);
+            seq.push(Box::new(bundle_seq));
+            if self.pool_after[i] {
+                seq.push(Box::new(MaxPool2d::new(2)));
+            }
+            in_c = c;
+        }
+        seq.push(Box::new(Conv2d::new(
+            in_c,
+            HEAD_CHANNELS,
+            ConvGeometry::pointwise(),
+            rng,
+        )));
+        seq
+    }
+
+    /// Builds a full [`Detector`] around the network.
+    pub fn build_detector(&self, anchors: Anchors, rng: &mut SkyRng) -> Detector {
+        Detector::new(Box::new(self.build(rng)), anchors)
+    }
+
+    /// Abstract descriptor with every channel multiplied by `scale` at an
+    /// `in_h×in_w` input — used to evaluate hardware feedback at paper
+    /// scale while training at reduced scale.
+    pub fn descriptor_scaled(&self, scale: usize, in_h: usize, in_w: usize) -> NetDesc {
+        let mut layers = Vec::new();
+        let mut in_c = 3usize;
+        for (i, &c) in self.channels.iter().enumerate() {
+            let c = c * scale;
+            layers.extend(self.bundle.describe_layers(in_c, c));
+            if self.pool_after[i] {
+                layers.push(LayerDesc::Pool { c, k: 2 });
+            }
+            in_c = c;
+        }
+        layers.push(LayerDesc::Conv {
+            in_c,
+            out_c: HEAD_CHANNELS,
+            k: 1,
+            s: 1,
+            p: 0,
+        });
+        NetDesc::new(3, in_h, in_w, layers)
+    }
+
+    /// Total trainable parameters at search scale.
+    pub fn params(&self) -> usize {
+        self.descriptor_scaled(1, 8, 8).total_params()
+    }
+}
+
+impl std::fmt::Display for CandidateArch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ×{} ch={:?} pools=", self.bundle.describe(), self.depth(), self.channels)?;
+        for &p in &self.pool_after {
+            write!(f, "{}", if p { "P" } else { "-" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_nn::{Act, Layer, Mode};
+    use skynet_tensor::{Shape, Tensor};
+
+    fn candidate() -> CandidateArch {
+        CandidateArch::new(
+            BundleSpec::skynet(Act::Relu6),
+            vec![8, 16, 24],
+            vec![true, true, false],
+        )
+    }
+
+    #[test]
+    fn build_produces_working_detector_head() {
+        let mut rng = SkyRng::new(0);
+        let mut net = candidate().build(&mut rng);
+        let x = Tensor::zeros(Shape::new(1, 3, 16, 32));
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        // Two pools ⇒ stride 4.
+        assert_eq!(y.shape(), Shape::new(1, HEAD_CHANNELS, 4, 8));
+        assert_eq!(candidate().stride(), 4);
+    }
+
+    #[test]
+    fn descriptor_matches_built_params() {
+        let mut rng = SkyRng::new(1);
+        let c = candidate();
+        let mut net = c.build(&mut rng);
+        // Head bias not counted in descriptor convs.
+        assert_eq!(net.param_count(), c.params() + HEAD_CHANNELS);
+    }
+
+    #[test]
+    fn scaling_multiplies_compute() {
+        let c = candidate();
+        let small = c.descriptor_scaled(1, 32, 64).total_macs();
+        let big = c.descriptor_scaled(4, 32, 64).total_macs();
+        // PW layers scale ~16× with a ×4 width multiplier; the fixed
+        // 3-channel stem and DW layers dilute that to roughly 8–9×.
+        assert!(big > 6 * small, "{big} vs {small}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_rejected() {
+        let _ = CandidateArch::new(
+            BundleSpec::skynet(Act::Relu6),
+            vec![8, 16],
+            vec![true],
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! The end-to-end bottom-up flow (Fig. 3): Stage 1 → Stage 2 → Stage 3.
+
+use crate::arch::CandidateArch;
+use crate::pso::{self, PsoConfig};
+use crate::stage1::{self, Stage1Config};
+use crate::stage3::{self, FeatureTrial, Stage3Config};
+use skynet_core::head::Anchors;
+use skynet_core::Sample;
+use skynet_nn::Act;
+use skynet_tensor::Result;
+
+/// Configuration for the full flow.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Stage 1 budget.
+    pub stage1: Stage1Config,
+    /// Stage 2 budget.
+    pub stage2: PsoConfig,
+    /// Stage 3 budget.
+    pub stage3: Stage3Config,
+    /// How many Pareto Bundles proceed to Stage 2 ("the most promising
+    /// Bundles located in the Pareto curve are selected").
+    pub stage2_groups: usize,
+    /// Activation used during the search (Stage 3 re-examines it).
+    pub act: Act,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            stage1: Stage1Config::default(),
+            stage2: PsoConfig::default(),
+            stage3: Stage3Config::default(),
+            stage2_groups: 2,
+            act: Act::Relu6,
+        }
+    }
+}
+
+/// Everything the flow produces.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// All Stage 1 evaluations.
+    pub bundle_evals: Vec<stage1::BundleEval>,
+    /// The Pareto frontier that seeded Stage 2.
+    pub frontier: Vec<stage1::BundleEval>,
+    /// The PSO winner.
+    pub winner: CandidateArch,
+    /// Winner's search fitness.
+    pub winner_fitness: f64,
+    /// Stage 3 trials, best first (only present when the winner is a
+    /// 5-Bundle chain; other depths skip the SkyNet mapping).
+    pub feature_trials: Vec<FeatureTrial>,
+}
+
+/// Runs all three stages over the given data.
+///
+/// # Errors
+///
+/// Propagates tensor shape errors from training.
+pub fn run(
+    cfg: &FlowConfig,
+    train: &[Sample],
+    val: &[Sample],
+    anchors: &Anchors,
+) -> Result<FlowOutcome> {
+    // Stage 1: Bundle selection and evaluation.
+    let bundle_evals = stage1::run(&cfg.stage1, cfg.act, train, val, anchors)?;
+    let frontier = stage1::pareto_frontier(&bundle_evals);
+    let groups: Vec<_> = frontier
+        .iter()
+        .take(cfg.stage2_groups.max(1))
+        .map(|e| e.bundle.clone())
+        .collect();
+    let groups = if groups.is_empty() {
+        // Fall back to the best raw accuracy when nothing is feasible.
+        vec![bundle_evals
+            .iter()
+            .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
+            .expect("stage 1 evaluated at least one bundle")
+            .bundle
+            .clone()]
+    } else {
+        groups
+    };
+
+    // Stage 2: group-based PSO.
+    let outcome = pso::run(&groups, &cfg.stage2, train, val, anchors)?;
+    let winner = outcome.global_best.arch.clone();
+
+    // Stage 3: feature addition (requires the SkyNet 5-chain shape).
+    let feature_trials = if winner.depth() == 5 {
+        stage3::run(&winner, &cfg.stage3, train, val, anchors)?
+    } else {
+        Vec::new()
+    };
+
+    Ok(FlowOutcome {
+        bundle_evals,
+        frontier,
+        winner,
+        winner_fitness: outcome.global_best.fitness,
+        feature_trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_data::dacsdc::{DacSdc, DacSdcConfig};
+
+    /// A minimal smoke test of the full flow; the `nas_search` example
+    /// runs the realistic budget.
+    #[test]
+    fn flow_runs_end_to_end_at_tiny_budget() {
+        let mut gcfg = DacSdcConfig::default().trainable();
+        gcfg.height = 16;
+        gcfg.width = 32;
+        gcfg.sizes.min_ratio = 0.05;
+        let mut gen = DacSdc::new(gcfg);
+        let (train, val) = gen.generate_split(10, 5);
+
+        let mut cfg = FlowConfig::default();
+        cfg.stage1.epochs = 1;
+        cfg.stage1.sketch_channels = vec![4, 8];
+        cfg.stage1.sketch_pools = vec![true, true];
+        cfg.stage2.particles_per_group = 2;
+        cfg.stage2.iterations = 1;
+        cfg.stage2.base_epochs = 1;
+        cfg.stage2.depth = 3;
+        cfg.stage2.channel_range = (4, 8);
+        cfg.stage2.pools = 2;
+        cfg.stage2_groups = 1;
+        cfg.stage3.epochs = 1;
+
+        let outcome = run(&cfg, &train, &val, &Anchors::dac_sdc()).unwrap();
+        assert!(!outcome.bundle_evals.is_empty());
+        assert!(outcome.winner_fitness.is_finite());
+        assert_eq!(outcome.winner.depth(), 3);
+        // Depth-3 winner skips the SkyNet mapping.
+        assert!(outcome.feature_trials.is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! # skynet-nas
+//!
+//! The paper's primary methodological contribution: the **bottom-up,
+//! hardware-aware DNN design flow** of §4 (Fig. 3), in three stages:
+//!
+//! 1. [`stage1`] — enumerate candidate [`Bundle`]s from DNN components,
+//!    fast-train a fixed-front/back-end sketch per Bundle, pair the
+//!    accuracy with hardware feedback from the `skynet-hw` models, and
+//!    keep the Pareto-optimal Bundles;
+//! 2. [`pso`] — the group-based particle-swarm search of Algorithm 1 over
+//!    per-stack channel counts (`dim¹`) and pooling positions (`dim²`),
+//!    with the multi-objective fitness of Eq. 1;
+//! 3. [`stage3`] — manual feature addition: feature-map bypass +
+//!    reordering for small objects and the ReLU → ReLU6 swap.
+//!
+//! [`flow`] chains the three stages end-to-end (see
+//! `examples/nas_search.rs`). Everything runs at reduced scale on the
+//! synthetic DAC-SDC set so a full search completes in CPU-minutes;
+//! the hardware feedback is evaluated at paper scale so latency and
+//! resource pressure are realistic.
+//!
+//! [`Bundle`]: skynet_core::bundle::BundleSpec
+
+#![deny(missing_docs)]
+
+pub mod arch;
+pub mod flow;
+pub mod pso;
+pub mod stage1;
+pub mod stage3;

@@ -1,0 +1,400 @@
+//! Stage 2: hardware-aware DNN search with group-based PSO
+//! (Algorithm 1, §4.2).
+//!
+//! Each DNN is a particle; particles built from the same Bundle type form
+//! a **group** and only evolve within it ("a DNN only evolves within its
+//! own group"). Per iteration every particle is fast-trained for an
+//! epoch budget that grows with the iteration (`e_itr`), hardware
+//! latencies are estimated for every target platform, and the fitness of
+//! Eq. 1 combines validation accuracy with latency penalties weighted
+//! per platform (`β_FPGA > β_GPU`, since the FPGA budget is tighter).
+//!
+//! Velocity/update rules follow §4.2: channel counts move a random
+//! fraction of the distance toward the group best; a random subset of
+//! pooling positions is adopted from the group best.
+
+use crate::arch::CandidateArch;
+use skynet_core::bundle::BundleSpec;
+use skynet_core::head::Anchors;
+use skynet_core::trainer::{evaluate, TrainConfig, Trainer};
+use skynet_core::Sample;
+use skynet_hw::fpga::{self, FpgaDevice};
+use skynet_hw::gpu::{self, GpuDevice};
+use skynet_hw::quant::QuantScheme;
+use skynet_nn::Sgd;
+use skynet_tensor::{rng::SkyRng, Result};
+
+/// A hardware target with its latency requirement and penalty weight
+/// (`Req_h` and `β_h` of Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Target {
+    /// Embedded FPGA target.
+    Fpga {
+        /// Required latency in milliseconds.
+        req_ms: f64,
+        /// Penalty weight β.
+        beta: f64,
+    },
+    /// Embedded GPU target.
+    Gpu {
+        /// Required latency in milliseconds.
+        req_ms: f64,
+        /// Penalty weight β.
+        beta: f64,
+    },
+}
+
+impl Target {
+    /// The paper's dual-target setup: both platforms, with the FPGA
+    /// weighted more heavily ("we set the FPGA platform factor larger
+    /// than GPU to prioritize FPGA implementation").
+    pub fn dac_sdc() -> Vec<Target> {
+        vec![
+            Target::Fpga {
+                req_ms: 50.0,
+                beta: 2.0,
+            },
+            Target::Gpu {
+                req_ms: 20.0,
+                beta: 0.5,
+            },
+        ]
+    }
+
+    fn penalty(&self, arch: &CandidateArch, hw_scale: usize, hw_in: (usize, usize)) -> f64 {
+        let desc = arch.descriptor_scaled(hw_scale, hw_in.0, hw_in.1);
+        match *self {
+            Target::Fpga { req_ms, beta } => {
+                let est = fpga::estimate(
+                    &desc,
+                    &FpgaDevice::ultra96(),
+                    QuantScheme::new(11, 9),
+                    4,
+                );
+                let over = (est.latency_ms - req_ms).max(0.0) / req_ms;
+                let infeasible = if est.feasible { 0.0 } else { 1.0 };
+                beta * (over + infeasible)
+            }
+            Target::Gpu { req_ms, beta } => {
+                let est = gpu::estimate(&desc, &GpuDevice::tx2());
+                beta * (est.latency_ms - req_ms).max(0.0) / req_ms
+            }
+        }
+    }
+}
+
+/// PSO configuration.
+#[derive(Debug, Clone)]
+pub struct PsoConfig {
+    /// Particles per group (`N`).
+    pub particles_per_group: usize,
+    /// Search iterations (`I`).
+    pub iterations: usize,
+    /// Epochs for iteration 0; iteration `i` trains `base_epochs + i`
+    /// ("e_itr increases with itr").
+    pub base_epochs: usize,
+    /// Mini-batch size for fast training.
+    pub batch: usize,
+    /// Stack depth of every candidate.
+    pub depth: usize,
+    /// Channel search range (inclusive).
+    pub channel_range: (usize, usize),
+    /// Number of pooling layers every candidate must place.
+    pub pools: usize,
+    /// Accuracy/latency balance (`α` of Eq. 1, applied as a penalty).
+    pub alpha: f64,
+    /// Hardware targets.
+    pub targets: Vec<Target>,
+    /// Channel multiplier for hardware estimation.
+    pub hw_scale: usize,
+    /// Hardware-estimate input extent.
+    pub hw_input: (usize, usize),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PsoConfig {
+    fn default() -> Self {
+        PsoConfig {
+            particles_per_group: 4,
+            iterations: 3,
+            base_epochs: 2,
+            batch: 8,
+            depth: 4,
+            channel_range: (4, 40),
+            pools: 2,
+            alpha: 0.3,
+            targets: Target::dac_sdc(),
+            hw_scale: 12,
+            hw_input: (160, 320),
+            seed: 0x9_50,
+        }
+    }
+}
+
+/// A particle: a candidate plus its last evaluation.
+#[derive(Debug, Clone)]
+pub struct Particle {
+    /// The architecture.
+    pub arch: CandidateArch,
+    /// Validation accuracy from the last fast training.
+    pub accuracy: f32,
+    /// Eq. 1 fitness (higher is better).
+    pub fitness: f64,
+}
+
+/// Search outcome.
+#[derive(Debug, Clone)]
+pub struct PsoOutcome {
+    /// Best particle per group, in group order.
+    pub group_best: Vec<Particle>,
+    /// The global best particle.
+    pub global_best: Particle,
+    /// Fitness of the global best at each iteration (monotone
+    /// non-decreasing).
+    pub history: Vec<f64>,
+}
+
+/// Runs the group-based PSO over the given Bundle groups.
+///
+/// # Errors
+///
+/// Propagates tensor shape errors from candidate training.
+///
+/// # Panics
+///
+/// Panics if `groups` is empty.
+pub fn run(
+    groups: &[BundleSpec],
+    cfg: &PsoConfig,
+    train: &[Sample],
+    val: &[Sample],
+    anchors: &Anchors,
+) -> Result<PsoOutcome> {
+    assert!(!groups.is_empty(), "need at least one Bundle group");
+    let mut rng = SkyRng::new(cfg.seed);
+    // Population generation.
+    let mut population: Vec<Vec<Particle>> = groups
+        .iter()
+        .map(|bundle| {
+            (0..cfg.particles_per_group)
+                .map(|_| Particle {
+                    arch: random_arch(bundle, cfg, &mut rng),
+                    accuracy: 0.0,
+                    fitness: f64::NEG_INFINITY,
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut history = Vec::with_capacity(cfg.iterations);
+    let mut global_best: Option<Particle> = None;
+    for itr in 0..cfg.iterations {
+        let epochs = cfg.base_epochs + itr;
+        // Fast training + performance estimation for every particle.
+        for group in population.iter_mut() {
+            for p in group.iter_mut() {
+                let (acc, fit) = evaluate_particle(&p.arch, cfg, epochs, train, val, anchors, &mut rng)?;
+                p.accuracy = acc;
+                p.fitness = fit;
+            }
+        }
+        // Group bests, then velocity update toward them.
+        for group in population.iter_mut() {
+            let best = group
+                .iter()
+                .max_by(|a, b| a.fitness.total_cmp(&b.fitness))
+                .expect("non-empty group")
+                .clone();
+            if global_best
+                .as_ref()
+                .map(|g| best.fitness > g.fitness)
+                .unwrap_or(true)
+            {
+                global_best = Some(best.clone());
+            }
+            for p in group.iter_mut() {
+                if p.arch == best.arch {
+                    continue;
+                }
+                evolve_toward(&mut p.arch, &best.arch, cfg, &mut rng);
+            }
+        }
+        history.push(global_best.as_ref().expect("set above").fitness);
+    }
+    let group_best = population
+        .iter()
+        .map(|g| {
+            g.iter()
+                .max_by(|a, b| a.fitness.total_cmp(&b.fitness))
+                .expect("non-empty group")
+                .clone()
+        })
+        .collect();
+    Ok(PsoOutcome {
+        group_best,
+        global_best: global_best.expect("at least one iteration"),
+        history,
+    })
+}
+
+fn random_arch(bundle: &BundleSpec, cfg: &PsoConfig, rng: &mut SkyRng) -> CandidateArch {
+    let (lo, hi) = cfg.channel_range;
+    let mut channels: Vec<usize> = (0..cfg.depth)
+        .map(|_| lo + rng.below(hi - lo + 1))
+        .collect();
+    // Encourage monotone widening, like hand-designed backbones.
+    channels.sort_unstable();
+    let mut pool_after = vec![false; cfg.depth];
+    let mut placed = 0;
+    while placed < cfg.pools.min(cfg.depth) {
+        let i = rng.below(cfg.depth);
+        if !pool_after[i] {
+            pool_after[i] = true;
+            placed += 1;
+        }
+    }
+    CandidateArch::new(bundle.clone(), channels, pool_after)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn evaluate_particle(
+    arch: &CandidateArch,
+    cfg: &PsoConfig,
+    epochs: usize,
+    train: &[Sample],
+    val: &[Sample],
+    anchors: &Anchors,
+    rng: &mut SkyRng,
+) -> Result<(f32, f64)> {
+    let mut det = arch.build_detector(anchors.clone(), &mut rng.fork(1));
+    let mut opt = Sgd::paper_detector(epochs * train.len().div_ceil(cfg.batch));
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs,
+        batch_size: cfg.batch,
+        scales: Vec::new(),
+        seed: rng.next_u64(),
+    });
+    trainer.train(&mut det, train, &mut opt)?;
+    let acc = evaluate(&mut det, val)?;
+    // Eq. 1: Fit = Acc − α·Σ_h β_h·penalty_h  (the paper writes the
+    // hardware term additively with α balancing; latency overruns must
+    // reduce fitness, so α enters with a negative sign here).
+    let penalty: f64 = cfg
+        .targets
+        .iter()
+        .map(|t| t.penalty(arch, cfg.hw_scale, cfg.hw_input))
+        .sum();
+    Ok((acc, acc as f64 - cfg.alpha * penalty))
+}
+
+/// §4.2 particle update: channels move a random percentage of the
+/// per-layer difference toward the group best; a random number of pooling
+/// positions switch to the group best's.
+fn evolve_toward(
+    arch: &mut CandidateArch,
+    best: &CandidateArch,
+    cfg: &PsoConfig,
+    rng: &mut SkyRng,
+) {
+    let (lo, hi) = cfg.channel_range;
+    for (c, &bc) in arch.channels.iter_mut().zip(&best.channels) {
+        let diff = bc as f64 - *c as f64;
+        let step = (diff * rng.uniform() as f64).round() as i64;
+        // Small random exploration on top of the attraction term.
+        let jitter = rng.below(3) as i64 - 1;
+        let nc = (*c as i64 + step + jitter).clamp(lo as i64, hi as i64);
+        *c = nc as usize;
+    }
+    // With probability 1/2, adopt the group best's entire pooling layout
+    // (the paper changes "a random number of pooling positions"; moving
+    // individual pools would change the output stride mid-search, so we
+    // move the layout atomically). Pool count is preserved by copying.
+    if rng.chance(0.5) && arch.pool_after != best.pool_after {
+        arch.pool_after = best.pool_after.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_data::dacsdc::{DacSdc, DacSdcConfig};
+    use skynet_nn::Act;
+
+    fn tiny_data() -> (Vec<Sample>, Vec<Sample>) {
+        let mut cfg = DacSdcConfig::default().trainable();
+        cfg.height = 16;
+        cfg.width = 32;
+        cfg.sizes.min_ratio = 0.05;
+        let mut gen = DacSdc::new(cfg);
+        gen.generate_split(12, 6)
+    }
+
+    fn tiny_cfg() -> PsoConfig {
+        PsoConfig {
+            particles_per_group: 2,
+            iterations: 2,
+            base_epochs: 1,
+            batch: 6,
+            depth: 3,
+            channel_range: (4, 12),
+            pools: 2,
+            ..PsoConfig::default()
+        }
+    }
+
+    #[test]
+    fn search_produces_global_best_with_monotone_history() {
+        let (train, val) = tiny_data();
+        let groups = vec![
+            BundleSpec::skynet(Act::Relu6),
+            skynet_core::bundle::BundleSpec::new(vec![
+                skynet_core::bundle::Component::Conv3,
+                skynet_core::bundle::Component::Bn,
+                skynet_core::bundle::Component::Relu6,
+            ]),
+        ];
+        let outcome = run(&groups, &tiny_cfg(), &train, &val, &Anchors::dac_sdc()).unwrap();
+        assert_eq!(outcome.group_best.len(), 2);
+        assert!(outcome.global_best.fitness.is_finite());
+        for w in outcome.history.windows(2) {
+            assert!(w[1] >= w[0], "history must be monotone: {:?}", outcome.history);
+        }
+    }
+
+    #[test]
+    fn evolution_moves_channels_toward_best() {
+        let cfg = tiny_cfg();
+        let bundle = BundleSpec::skynet(Act::Relu6);
+        let mut rng = SkyRng::new(3);
+        let mut arch = CandidateArch::new(bundle.clone(), vec![4, 4, 4], vec![true, true, false]);
+        let best = CandidateArch::new(bundle, vec![12, 12, 12], vec![true, true, false]);
+        let before: usize = arch.channels.iter().sum();
+        for _ in 0..10 {
+            evolve_toward(&mut arch, &best, &cfg, &mut rng);
+        }
+        let after: usize = arch.channels.iter().sum();
+        assert!(after > before, "channels should drift toward the best");
+        // Pool count preserved.
+        assert_eq!(arch.pool_after.iter().filter(|&&p| p).count(), 2);
+    }
+
+    #[test]
+    fn fitness_penalizes_latency_overruns() {
+        let cfg = PsoConfig {
+            targets: vec![Target::Fpga {
+                req_ms: 0.001, // impossible requirement
+                beta: 5.0,
+            }],
+            ..tiny_cfg()
+        };
+        let bundle = BundleSpec::skynet(Act::Relu6);
+        let arch = CandidateArch::new(bundle, vec![8, 8, 8], vec![true, true, false]);
+        let p: f64 = cfg
+            .targets
+            .iter()
+            .map(|t| t.penalty(&arch, cfg.hw_scale, cfg.hw_input))
+            .sum();
+        assert!(p > 1.0, "penalty {p} should be large for impossible targets");
+    }
+}

@@ -1,0 +1,254 @@
+//! Stage 1: Bundle selection and evaluation (§4.1).
+//!
+//! Enumerate Bundles from DNN components, build a DNN *sketch* per Bundle
+//! (fixed front-end and bounding-box back-end, the Bundle stacked in the
+//! middle), fast-train each sketch for a handful of epochs to estimate
+//! its accuracy potential, collect hardware feedback (latency on the
+//! FPGA, the tighter of the two targets, per the paper), and keep the
+//! Pareto frontier.
+
+use crate::arch::CandidateArch;
+use skynet_core::bundle::{BundleSpec, Component};
+use skynet_core::head::Anchors;
+use skynet_core::trainer::{evaluate, TrainConfig, Trainer};
+use skynet_core::Sample;
+use skynet_hw::fpga::{estimate, FpgaDevice};
+use skynet_hw::quant::QuantScheme;
+use skynet_nn::{Act, Sgd};
+use skynet_tensor::{rng::SkyRng, Result};
+
+/// The component pools enumerated into candidate Bundles: each candidate
+/// is `conv-part + BN + activation`, optionally preceded by a depth-wise
+/// stage. This covers the paper's component families (DW-Conv3/5,
+/// PW-Conv1, Conv3, BN, ReLU/ReLU6).
+pub fn enumerate_bundles(act: Act) -> Vec<BundleSpec> {
+    let a = match act {
+        Act::Relu => Component::Relu,
+        Act::Relu6 => Component::Relu6,
+    };
+    vec![
+        // The eventual winner: DW3 + PW1.
+        BundleSpec::new(vec![
+            Component::DwConv3,
+            Component::Bn,
+            a,
+            Component::PwConv1,
+            Component::Bn,
+            a,
+        ]),
+        // DW5 + PW1: larger receptive field, more DW cost.
+        BundleSpec::new(vec![
+            Component::DwConv5,
+            Component::Bn,
+            a,
+            Component::PwConv1,
+            Component::Bn,
+            a,
+        ]),
+        // Plain dense 3×3.
+        BundleSpec::new(vec![Component::Conv3, Component::Bn, a]),
+        // Dense 3×3 + PW bottleneck.
+        BundleSpec::new(vec![
+            Component::Conv3,
+            Component::Bn,
+            a,
+            Component::PwConv1,
+            Component::Bn,
+            a,
+        ]),
+        // Pure point-wise (no spatial aggregation).
+        BundleSpec::new(vec![Component::PwConv1, Component::Bn, a]),
+        // Double depth-wise + PW.
+        BundleSpec::new(vec![
+            Component::DwConv3,
+            Component::Bn,
+            a,
+            Component::DwConv3,
+            Component::Bn,
+            a,
+            Component::PwConv1,
+            Component::Bn,
+            a,
+        ]),
+    ]
+}
+
+/// Evaluation result for one Bundle's sketch.
+#[derive(Debug, Clone)]
+pub struct BundleEval {
+    /// The Bundle.
+    pub bundle: BundleSpec,
+    /// Validation IoU of the fast-trained sketch.
+    pub accuracy: f32,
+    /// Estimated FPGA latency of the paper-scale sketch, ms.
+    pub latency_ms: f64,
+    /// Whether the paper-scale sketch fits the device.
+    pub feasible: bool,
+}
+
+/// Stage-1 configuration.
+#[derive(Debug, Clone)]
+pub struct Stage1Config {
+    /// Sketch stack channels (the fixed middle of the sketch).
+    pub sketch_channels: Vec<usize>,
+    /// Pool placement in the sketch.
+    pub sketch_pools: Vec<bool>,
+    /// Fast-training epochs ("quickly trained for 20 epochs" in the
+    /// paper; reduced here).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Channel multiplier applied for the hardware estimate.
+    pub hw_scale: usize,
+    /// Hardware input extent for the estimate (paper scale: 160×320).
+    pub hw_input: (usize, usize),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Stage1Config {
+    fn default() -> Self {
+        Stage1Config {
+            sketch_channels: vec![8, 16, 32],
+            sketch_pools: vec![true, true, true],
+            epochs: 4,
+            batch: 8,
+            hw_scale: 12,
+            hw_input: (160, 320),
+            seed: 0x57A6E1,
+        }
+    }
+}
+
+/// Fast-trains one Bundle's sketch and collects hardware feedback.
+///
+/// # Errors
+///
+/// Propagates tensor shape errors from training.
+pub fn evaluate_bundle(
+    bundle: &BundleSpec,
+    cfg: &Stage1Config,
+    train: &[Sample],
+    val: &[Sample],
+    anchors: &Anchors,
+) -> Result<BundleEval> {
+    let arch = CandidateArch::new(
+        bundle.clone(),
+        cfg.sketch_channels.clone(),
+        cfg.sketch_pools.clone(),
+    );
+    let mut rng = SkyRng::new(cfg.seed);
+    let mut detector = arch.build_detector(anchors.clone(), &mut rng);
+    let mut opt = Sgd::paper_detector(cfg.epochs * train.len().div_ceil(cfg.batch));
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: cfg.epochs,
+        batch_size: cfg.batch,
+        scales: Vec::new(),
+        seed: cfg.seed ^ 1,
+    });
+    trainer.train(&mut detector, train, &mut opt)?;
+    let accuracy = evaluate(&mut detector, val)?;
+    let desc = arch.descriptor_scaled(cfg.hw_scale, cfg.hw_input.0, cfg.hw_input.1);
+    let est = estimate(&desc, &FpgaDevice::ultra96(), QuantScheme::new(11, 9), 4);
+    Ok(BundleEval {
+        bundle: bundle.clone(),
+        accuracy,
+        latency_ms: est.latency_ms,
+        feasible: est.feasible,
+    })
+}
+
+/// Runs Stage 1 over all enumerated Bundles.
+///
+/// # Errors
+///
+/// Propagates tensor shape errors from training.
+pub fn run(
+    cfg: &Stage1Config,
+    act: Act,
+    train: &[Sample],
+    val: &[Sample],
+    anchors: &Anchors,
+) -> Result<Vec<BundleEval>> {
+    enumerate_bundles(act)
+        .iter()
+        .map(|b| evaluate_bundle(b, cfg, train, val, anchors))
+        .collect()
+}
+
+/// Selects the Pareto frontier (maximize accuracy, minimize latency)
+/// among feasible evaluations, sorted by descending accuracy.
+pub fn pareto_frontier(evals: &[BundleEval]) -> Vec<BundleEval> {
+    let mut frontier: Vec<BundleEval> = evals
+        .iter()
+        .filter(|e| e.feasible)
+        .filter(|e| {
+            !evals.iter().any(|o| {
+                o.feasible
+                    && o.accuracy >= e.accuracy
+                    && o.latency_ms <= e.latency_ms
+                    && (o.accuracy > e.accuracy || o.latency_ms < e.latency_ms)
+            })
+        })
+        .cloned()
+        .collect();
+    frontier.sort_by(|a, b| b.accuracy.total_cmp(&a.accuracy));
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_contains_the_winning_bundle() {
+        let bundles = enumerate_bundles(Act::Relu6);
+        assert!(bundles
+            .iter()
+            .any(|b| b.describe() == "DW-Conv3+BN+ReLU6+PW-Conv1+BN+ReLU6"));
+        assert!(bundles.len() >= 5);
+    }
+
+    #[test]
+    fn pareto_rejects_dominated_points() {
+        let b = BundleSpec::skynet(Act::Relu6);
+        let mk = |acc: f32, lat: f64, feas: bool| BundleEval {
+            bundle: b.clone(),
+            accuracy: acc,
+            latency_ms: lat,
+            feasible: feas,
+        };
+        let evals = vec![
+            mk(0.7, 10.0, true),  // frontier
+            mk(0.6, 20.0, true),  // dominated by first
+            mk(0.8, 30.0, true),  // frontier (more accurate, slower)
+            mk(0.9, 5.0, false),  // infeasible
+        ];
+        let f = pareto_frontier(&evals);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].accuracy, 0.8);
+        assert_eq!(f[1].accuracy, 0.7);
+    }
+
+    #[test]
+    fn dw_pw_bundle_has_lowest_latency_among_spatial_bundles() {
+        // The hardware half of the Stage 1 argument: at equal widths the
+        // DW+PW Bundle needs far less compute than dense 3×3 bundles.
+        let cfg = Stage1Config::default();
+        let lat = |b: &BundleSpec| {
+            let arch = CandidateArch::new(
+                b.clone(),
+                cfg.sketch_channels.clone(),
+                cfg.sketch_pools.clone(),
+            );
+            let desc = arch.descriptor_scaled(cfg.hw_scale, 160, 320);
+            estimate(&desc, &FpgaDevice::ultra96(), QuantScheme::new(11, 9), 4).latency_ms
+        };
+        let bundles = enumerate_bundles(Act::Relu6);
+        let dwpw = lat(&bundles[0]);
+        let conv3 = lat(&bundles[2]);
+        let conv3pw = lat(&bundles[3]);
+        assert!(dwpw < conv3, "{dwpw} vs {conv3}");
+        assert!(dwpw < conv3pw, "{dwpw} vs {conv3pw}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Stage 3: feature addition (§4.3).
+//!
+//! After the search settles on a chain architecture, the paper manually
+//! adds features that the hardware budget permits: a bypass from
+//! low-level to high-level features with reordering (because DAC-SDC
+//! objects are small — Fig. 6), and the ReLU → ReLU6 swap for cheaper
+//! fixed-point feature maps. This module applies those additions to a
+//! PSO winner and verifies the accuracy effect with a quick training run.
+
+use crate::arch::CandidateArch;
+use skynet_core::detector::Detector;
+use skynet_core::head::Anchors;
+use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
+use skynet_core::trainer::{evaluate, TrainConfig, Trainer};
+use skynet_core::Sample;
+use skynet_nn::{Act, Sgd};
+use skynet_tensor::{rng::SkyRng, Result};
+
+/// Maps a 5-deep chain winner onto a [`SkyNetConfig`]: the PSO channel
+/// vector becomes the Bundle widths, the requested variant adds the
+/// bypass, and the activation is the Stage 3 choice.
+///
+/// # Panics
+///
+/// Panics if the winner is not 5 Bundles deep (SkyNet's chain length
+/// before the bypass merge).
+pub fn to_skynet_config(winner: &CandidateArch, variant: Variant, act: Act) -> SkyNetConfig {
+    assert_eq!(
+        winner.depth(),
+        5,
+        "SkyNet mapping expects a 5-Bundle chain, got {}",
+        winner.depth()
+    );
+    let mut cfg = SkyNetConfig::new(variant, act);
+    for (dst, &src) in cfg.widths.iter_mut().zip(&winner.channels) {
+        *dst = src.max(2);
+    }
+    // Bundle-6 width follows the paper's B/C ratio of the stage-3 width.
+    cfg.bundle6_width = (winner.channels[2] / 2).max(2);
+    cfg
+}
+
+/// Result of one Stage 3 trial.
+#[derive(Debug, Clone)]
+pub struct FeatureTrial {
+    /// Variant evaluated.
+    pub variant: Variant,
+    /// Activation evaluated.
+    pub act: Act,
+    /// Validation IoU after the quick training run.
+    pub accuracy: f32,
+}
+
+/// Stage 3 budget.
+#[derive(Debug, Clone, Copy)]
+pub struct Stage3Config {
+    /// Training epochs per trial.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Stage3Config {
+    fn default() -> Self {
+        Stage3Config {
+            epochs: 6,
+            batch: 8,
+            seed: 0x57A6E3,
+        }
+    }
+}
+
+/// Trains and evaluates one (variant, activation) combination of the
+/// winner — the same protocol as the Table 4 ablation.
+///
+/// # Errors
+///
+/// Propagates tensor shape errors from training.
+pub fn trial(
+    winner: &CandidateArch,
+    variant: Variant,
+    act: Act,
+    cfg: &Stage3Config,
+    train: &[Sample],
+    val: &[Sample],
+    anchors: &Anchors,
+) -> Result<FeatureTrial> {
+    let sky_cfg = to_skynet_config(winner, variant, act);
+    let mut rng = SkyRng::new(cfg.seed);
+    let mut det = Detector::new(Box::new(SkyNet::new(sky_cfg, &mut rng)), anchors.clone());
+    let mut opt = Sgd::paper_detector(cfg.epochs * train.len().div_ceil(cfg.batch));
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: cfg.epochs,
+        batch_size: cfg.batch,
+        scales: Vec::new(),
+        seed: cfg.seed ^ 0xFF,
+    });
+    trainer.train(&mut det, train, &mut opt)?;
+    let accuracy = evaluate(&mut det, val)?;
+    Ok(FeatureTrial {
+        variant,
+        act,
+        accuracy,
+    })
+}
+
+/// Runs the full Stage 3 sweep (A/B/C × ReLU/ReLU6) and returns the
+/// trials sorted by descending accuracy.
+///
+/// # Errors
+///
+/// Propagates tensor shape errors from training.
+pub fn run(
+    winner: &CandidateArch,
+    cfg: &Stage3Config,
+    train: &[Sample],
+    val: &[Sample],
+    anchors: &Anchors,
+) -> Result<Vec<FeatureTrial>> {
+    let mut trials = Vec::new();
+    for variant in [Variant::A, Variant::B, Variant::C] {
+        for act in [Act::Relu, Act::Relu6] {
+            trials.push(trial(winner, variant, act, cfg, train, val, anchors)?);
+        }
+    }
+    trials.sort_by(|a, b| b.accuracy.total_cmp(&a.accuracy));
+    Ok(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_core::bundle::BundleSpec;
+
+    fn winner() -> CandidateArch {
+        CandidateArch::new(
+            BundleSpec::skynet(Act::Relu6),
+            vec![6, 12, 24, 48, 64],
+            vec![true, true, true, false, false],
+        )
+    }
+
+    #[test]
+    fn mapping_preserves_channels() {
+        let cfg = to_skynet_config(&winner(), Variant::C, Act::Relu6);
+        assert_eq!(cfg.widths, [6, 12, 24, 48, 64]);
+        assert_eq!(cfg.bundle6_width, 12);
+        assert_eq!(cfg.variant, Variant::C);
+    }
+
+    #[test]
+    #[should_panic(expected = "5-Bundle chain")]
+    fn wrong_depth_rejected() {
+        let w = CandidateArch::new(
+            BundleSpec::skynet(Act::Relu6),
+            vec![4, 8],
+            vec![true, true],
+        );
+        let _ = to_skynet_config(&w, Variant::A, Act::Relu);
+    }
+}

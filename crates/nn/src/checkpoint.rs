@@ -1,0 +1,207 @@
+//! Minimal binary checkpoint format for model parameters.
+//!
+//! Layout: magic `b"SKYN"`, format version `u32`, parameter count `u32`,
+//! then for each parameter its element count (`u32`) followed by the raw
+//! little-endian `f32` payload. Parameters are visited in the model's
+//! [`Layer::visit_params`] order, so save/load must use structurally
+//! identical models.
+
+use crate::Layer;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SKYN";
+const VERSION: u32 = 1;
+
+/// Errors produced by checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file is not a SkyNet checkpoint or uses an unknown version.
+    BadHeader(String),
+    /// The stored tensor inventory does not match the model.
+    ModelMismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadHeader(d) => write!(f, "bad checkpoint header: {d}"),
+            CheckpointError::ModelMismatch(d) => write!(f, "checkpoint/model mismatch: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serializes every parameter of `model` to `path`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem failures.
+pub fn save_params(model: &mut dyn Layer, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut blobs: Vec<Vec<f32>> = Vec::new();
+    model.visit_params(&mut |p| blobs.push(p.value.as_slice().to_vec()));
+    let mut file = File::create(path)?;
+    file.write_all(MAGIC)?;
+    file.write_all(&VERSION.to_le_bytes())?;
+    file.write_all(&(blobs.len() as u32).to_le_bytes())?;
+    for blob in &blobs {
+        file.write_all(&(blob.len() as u32).to_le_bytes())?;
+        let mut bytes = Vec::with_capacity(blob.len() * 4);
+        for v in blob {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        file.write_all(&bytes)?;
+    }
+    Ok(())
+}
+
+/// Restores parameters saved by [`save_params`] into a structurally
+/// identical model.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadHeader`] for foreign files and
+/// [`CheckpointError::ModelMismatch`] when the parameter inventory
+/// disagrees with the model.
+pub fn load_params(model: &mut dyn Layer, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let mut file = File::open(path)?;
+    let mut magic = [0u8; 4];
+    file.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadHeader("wrong magic bytes".into()));
+    }
+    let mut u32buf = [0u8; 4];
+    file.read_exact(&mut u32buf)?;
+    let version = u32::from_le_bytes(u32buf);
+    if version != VERSION {
+        return Err(CheckpointError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
+    }
+    file.read_exact(&mut u32buf)?;
+    let count = u32::from_le_bytes(u32buf) as usize;
+    let mut blobs: Vec<Vec<f32>> = Vec::with_capacity(count);
+    for _ in 0..count {
+        file.read_exact(&mut u32buf)?;
+        let len = u32::from_le_bytes(u32buf) as usize;
+        let mut bytes = vec![0u8; len * 4];
+        file.read_exact(&mut bytes)?;
+        blobs.push(
+            bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect(),
+        );
+    }
+    let mut idx = 0usize;
+    let mut mismatch: Option<String> = None;
+    model.visit_params(&mut |p| {
+        if mismatch.is_some() {
+            return;
+        }
+        match blobs.get(idx) {
+            Some(blob) if blob.len() == p.numel() => {
+                p.value.as_mut_slice().copy_from_slice(blob);
+            }
+            Some(blob) => {
+                mismatch = Some(format!(
+                    "parameter {idx}: checkpoint has {} values, model expects {}",
+                    blob.len(),
+                    p.numel()
+                ));
+            }
+            None => {
+                mismatch = Some(format!(
+                    "checkpoint has {count} parameters, model has more"
+                ));
+            }
+        }
+        idx += 1;
+    });
+    if let Some(detail) = mismatch {
+        return Err(CheckpointError::ModelMismatch(detail));
+    }
+    if idx != count {
+        return Err(CheckpointError::ModelMismatch(format!(
+            "checkpoint has {count} parameters, model consumed {idx}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv2d, Mode, Sequential};
+    use skynet_tensor::{conv::ConvGeometry, rng::SkyRng, Shape, Tensor};
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("skynet-ckpt-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut rng = SkyRng::new(0);
+        let mut a = Sequential::new(vec![
+            Box::new(Conv2d::new(2, 4, ConvGeometry::same3x3(), &mut rng)),
+            Box::new(Conv2d::pointwise(4, 3, &mut rng)),
+        ]);
+        let mut rng2 = SkyRng::new(99);
+        let mut b = Sequential::new(vec![
+            Box::new(Conv2d::new(2, 4, ConvGeometry::same3x3(), &mut rng2)),
+            Box::new(Conv2d::pointwise(4, 3, &mut rng2)),
+        ]);
+        let path = tmpfile("roundtrip");
+        save_params(&mut a, &path).unwrap();
+        load_params(&mut b, &path).unwrap();
+        let x = Tensor::ones(Shape::new(1, 2, 4, 4));
+        let ya = a.forward(&x, Mode::Eval).unwrap();
+        let yb = b.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(ya, yb);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mismatched_model_is_rejected() {
+        let mut rng = SkyRng::new(0);
+        let mut a = Sequential::new(vec![Box::new(Conv2d::pointwise(2, 2, &mut rng))]);
+        let mut b = Sequential::new(vec![Box::new(Conv2d::pointwise(2, 3, &mut rng))]);
+        let path = tmpfile("mismatch");
+        save_params(&mut a, &path).unwrap();
+        let err = load_params(&mut b, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::ModelMismatch(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn foreign_file_is_rejected() {
+        let path = tmpfile("foreign");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        let mut rng = SkyRng::new(0);
+        let mut m = Sequential::new(vec![Box::new(Conv2d::pointwise(1, 1, &mut rng))]);
+        let err = load_params(&mut m, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadHeader(_)));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,53 @@
+//! Weight initialization schemes.
+
+use skynet_tensor::{rng::SkyRng, Shape, Tensor};
+
+/// He (Kaiming) normal initialization: `N(0, sqrt(2 / fan_in))`.
+///
+/// The right choice ahead of ReLU-family activations, which every
+/// convolution in this workspace uses.
+pub fn he_normal(shape: Shape, fan_in: usize, rng: &mut SkyRng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    let data = (0..shape.numel()).map(|_| rng.normal(0.0, std)).collect();
+    Tensor::from_vec(shape, data).expect("generated buffer matches shape")
+}
+
+/// Xavier (Glorot) uniform initialization:
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+///
+/// Used for the linear heads where the output is not rectified.
+pub fn xavier_uniform(shape: Shape, fan_in: usize, fan_out: usize, rng: &mut SkyRng) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    let data = (0..shape.numel())
+        .map(|_| rng.range(-bound, bound))
+        .collect();
+    Tensor::from_vec(shape, data).expect("generated buffer matches shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_std_tracks_fan_in() {
+        let mut rng = SkyRng::new(1);
+        let shape = Shape::new(64, 64, 3, 3);
+        let t = he_normal(shape, 64 * 9, &mut rng);
+        let n = t.shape().numel() as f32;
+        let mean = t.sum() / n;
+        let var = t.map(|v| (v - mean) * (v - mean)).sum() / n;
+        let want = 2.0 / (64.0 * 9.0);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - want).abs() / want < 0.15, "var {var} want {want}");
+    }
+
+    #[test]
+    fn xavier_is_bounded() {
+        let mut rng = SkyRng::new(2);
+        let t = xavier_uniform(Shape::new(10, 10, 1, 1), 10, 10, &mut rng);
+        let bound = (6.0f32 / 20.0).sqrt();
+        for &v in t.as_slice() {
+            assert!(v.abs() <= bound);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+use crate::Param;
+use skynet_tensor::{Result, Tensor};
+
+/// Whether a forward pass is part of training or inference.
+///
+/// In [`Mode::Train`] layers cache activations for the backward pass,
+/// batch norm uses batch statistics, and dropout is active. In
+/// [`Mode::Eval`] nothing is cached, batch norm uses running statistics
+/// and dropout is the identity. [`Mode::QuantEval`] behaves like `Eval`
+/// but additionally fake-quantizes every compute layer's output feature
+/// map to `fm_bits` — the fixed-point FPGA inference simulation used by
+/// the Table 7 / Fig. 2(a) quantization studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: cache state, use batch statistics, apply dropout.
+    Train,
+    /// Inference: no caches, running statistics, no dropout.
+    Eval,
+    /// Inference with feature maps quantized to the given bit width at
+    /// every compute layer's output.
+    QuantEval {
+        /// Total bits for the fixed-point feature-map representation.
+        fm_bits: u8,
+    },
+}
+
+impl Mode {
+    /// Whether this is a training pass (caches state for backward).
+    pub fn is_train(self) -> bool {
+        self == Mode::Train
+    }
+
+    /// The feature-map quantization width, if any.
+    pub fn fm_bits(self) -> Option<u8> {
+        match self {
+            Mode::QuantEval { fm_bits } => Some(fm_bits),
+            _ => None,
+        }
+    }
+
+    /// Applies the mode's feature-map post-processing to a layer output:
+    /// identity for `Train`/`Eval`, fake quantization for `QuantEval`.
+    /// Compute layers (convolutions, BN, activations, linear) call this on
+    /// their output; pure data-movement layers (pool, reorg, concat,
+    /// dropout) do not, since they introduce no new values.
+    pub fn finalize(self, y: skynet_tensor::Tensor) -> skynet_tensor::Tensor {
+        match self {
+            Mode::QuantEval { fm_bits } => skynet_tensor::ops::fake_quantize(&y, fm_bits),
+            _ => y,
+        }
+    }
+}
+
+/// A differentiable network layer.
+///
+/// The contract is the classic two-phase protocol:
+///
+/// 1. `forward(x, Mode::Train)` computes the output and caches whatever the
+///    backward pass needs;
+/// 2. `backward(grad_out)` consumes that cache, **accumulates** parameter
+///    gradients into the layer's [`Param`]s, and returns the gradient with
+///    respect to the layer input.
+///
+/// Calling `backward` without a preceding training-mode `forward` is a
+/// programming error and panics.
+pub trait Layer {
+    /// Computes the layer output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error when the input shape is incompatible with the
+    /// layer configuration.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Computes the input gradient and accumulates parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error when `grad_out` does not match the cached
+    /// forward output shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training-mode forward pass preceded this call.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Visits every trainable parameter (used by optimizers, checkpoints
+    /// and parameter counting).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Short human-readable layer descriptor for debugging and summaries.
+    fn name(&self) -> String;
+
+    /// Total trainable scalar count.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Clears every parameter gradient.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+}

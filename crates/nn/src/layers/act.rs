@@ -1,0 +1,114 @@
+//! Activation layers: ReLU and the hardware-friendly ReLU6.
+
+use crate::{Layer, Mode, Param};
+use skynet_tensor::ops::{relu, relu6, relu6_backward, relu_backward};
+use skynet_tensor::{Result, Tensor};
+
+/// Which activation function to apply.
+///
+/// The paper replaces ReLU with ReLU6 in Stage 3 of the design flow: the
+/// clipped `[0, 6]` range needs fewer integer bits for fixed-point feature
+/// maps, which Table 4 shows also trains slightly better on DAC-SDC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Act {
+    /// `max(x, 0)`.
+    Relu,
+    /// `clamp(x, 0, 6)`.
+    Relu6,
+}
+
+impl Act {
+    /// Upper clip value of the activation's output range, if bounded.
+    pub fn output_ceiling(self) -> Option<f32> {
+        match self {
+            Act::Relu => None,
+            Act::Relu6 => Some(6.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Act {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Act::Relu => write!(f, "ReLU"),
+            Act::Relu6 => write!(f, "ReLU6"),
+        }
+    }
+}
+
+/// A stateless activation layer.
+#[derive(Debug, Clone)]
+pub struct Activation {
+    act: Act,
+    cache: Option<Tensor>,
+}
+
+impl Activation {
+    /// Creates an activation layer of the given kind.
+    pub fn new(act: Act) -> Self {
+        Activation { act, cache: None }
+    }
+
+    /// The activation kind.
+    pub fn kind(&self) -> Act {
+        self.act
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let y = match self.act {
+            Act::Relu => relu(x),
+            Act::Relu6 => relu6(x),
+        };
+        if mode.is_train() {
+            self.cache = Some(x.clone());
+        }
+        Ok(mode.finalize(y))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cache
+            .take()
+            .expect("Activation::backward requires a prior training forward");
+        match self.act {
+            Act::Relu => relu_backward(&x, grad_out),
+            Act::Relu6 => relu6_backward(&x, grad_out),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> String {
+        self.act.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_tensor::Shape;
+
+    #[test]
+    fn relu6_clips_and_masks() {
+        let mut a = Activation::new(Act::Relu6);
+        let x = Tensor::from_vec(Shape::new(1, 1, 1, 3), vec![-1.0, 3.0, 8.0]).unwrap();
+        let y = a.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 3.0, 6.0]);
+        let g = a.backward(&Tensor::ones(x.shape())).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_has_no_ceiling() {
+        assert_eq!(Act::Relu.output_ceiling(), None);
+        assert_eq!(Act::Relu6.output_ceiling(), Some(6.0));
+    }
+
+    #[test]
+    fn activation_has_no_params() {
+        let mut a = Activation::new(Act::Relu);
+        assert_eq!(a.param_count(), 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Batch normalization (Ioffe & Szegedy, 2015) — the `BN` element of the
+//! SkyNet Bundle.
+
+use crate::{Layer, Mode, Param};
+use skynet_tensor::ops::{channel_mean, channel_var};
+use skynet_tensor::{Result, Shape, Tensor, TensorError};
+
+/// 2-D batch normalization with learnable per-channel scale and shift.
+///
+/// Training mode normalizes with batch statistics and maintains running
+/// estimates (momentum 0.9); eval mode uses the running estimates, which
+/// is what the quantized FPGA deployment folds into the preceding
+/// convolution.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` channels
+    /// (γ = 1, β = 0, ε = 1e-5, momentum = 0.9).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new_no_decay(Tensor::ones(Shape::new(1, 1, 1, channels))),
+            beta: Param::new_no_decay(Tensor::zeros(Shape::new(1, 1, 1, channels))),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            channels,
+            eps: 1e-5,
+            momentum: 0.9,
+            cache: None,
+        }
+    }
+
+    /// Running mean estimate (for checkpointing and BN folding).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running variance estimate.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+
+    /// Effective per-channel scale `γ/√(var+ε)` and shift `β − mean·scale`
+    /// under the running statistics — the values a deployment folds into
+    /// the preceding convolution's weights and bias.
+    pub fn folded_scale_shift(&self) -> (Vec<f32>, Vec<f32>) {
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        let mut scale = vec![0.0; self.channels];
+        let mut shift = vec![0.0; self.channels];
+        for c in 0..self.channels {
+            let s = gamma[c] / (self.running_var[c] + self.eps).sqrt();
+            scale[c] = s;
+            shift[c] = beta[c] - self.running_mean[c] * s;
+        }
+        (scale, shift)
+    }
+
+    fn check(&self, x: &Tensor) -> Result<()> {
+        if x.shape().c != self.channels {
+            return Err(TensorError::ShapeMismatch {
+                op: "BatchNorm2d",
+                expected: format!("{} channels", self.channels),
+                got: x.shape().to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        self.check(x)?;
+        let s = x.shape();
+        let plane = s.plane();
+        let gamma = self.gamma.value.as_slice().to_vec();
+        let beta = self.beta.value.as_slice().to_vec();
+        match mode {
+            Mode::Train => {
+                let mean = channel_mean(x);
+                let var = channel_var(x, &mean);
+                for c in 0..self.channels {
+                    self.running_mean[c] =
+                        self.momentum * self.running_mean[c] + (1.0 - self.momentum) * mean[c];
+                    self.running_var[c] =
+                        self.momentum * self.running_var[c] + (1.0 - self.momentum) * var[c];
+                }
+                let inv_std: Vec<f32> =
+                    var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+                let mut x_hat = Tensor::zeros(s);
+                let mut y = Tensor::zeros(s);
+                for n in 0..s.n {
+                    for c in 0..s.c {
+                        let base = (n * s.c + c) * plane;
+                        let (m, is) = (mean[c], inv_std[c]);
+                        let (g, b) = (gamma[c], beta[c]);
+                        for i in base..base + plane {
+                            let xh = (x.as_slice()[i] - m) * is;
+                            x_hat.as_mut_slice()[i] = xh;
+                            y.as_mut_slice()[i] = g * xh + b;
+                        }
+                    }
+                }
+                self.cache = Some(BnCache { x_hat, inv_std });
+                Ok(y)
+            }
+            Mode::Eval | Mode::QuantEval { .. } => {
+                let mut y = Tensor::zeros(s);
+                for n in 0..s.n {
+                    for c in 0..s.c {
+                        let base = (n * s.c + c) * plane;
+                        let is = 1.0 / (self.running_var[c] + self.eps).sqrt();
+                        let (m, g, b) = (self.running_mean[c], gamma[c], beta[c]);
+                        for i in base..base + plane {
+                            y.as_mut_slice()[i] = g * (x.as_slice()[i] - m) * is + b;
+                        }
+                    }
+                }
+                Ok(mode.finalize(y))
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let BnCache { x_hat, inv_std } = self
+            .cache
+            .take()
+            .expect("BatchNorm2d::backward requires a prior training forward");
+        let s = grad_out.shape();
+        if s != x_hat.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "BatchNorm2d::backward",
+                expected: x_hat.shape().to_string(),
+                got: s.to_string(),
+            });
+        }
+        let plane = s.plane();
+        let m = (s.n * plane) as f32;
+        let gamma = self.gamma.value.as_slice().to_vec();
+        // Per-channel reductions.
+        let mut sum_go = vec![0.0f32; s.c];
+        let mut sum_go_xhat = vec![0.0f32; s.c];
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let base = (n * s.c + c) * plane;
+                for i in base..base + plane {
+                    let g = grad_out.as_slice()[i];
+                    sum_go[c] += g;
+                    sum_go_xhat[c] += g * x_hat.as_slice()[i];
+                }
+            }
+        }
+        // Parameter gradients.
+        for c in 0..s.c {
+            self.gamma.grad.as_mut_slice()[c] += sum_go_xhat[c];
+            self.beta.grad.as_mut_slice()[c] += sum_go[c];
+        }
+        // Input gradient:
+        // dx = γ·inv_std/m · (m·go − Σgo − x̂·Σ(go·x̂))
+        let mut gi = Tensor::zeros(s);
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let base = (n * s.c + c) * plane;
+                let k = gamma[c] * inv_std[c] / m;
+                for i in base..base + plane {
+                    let g = grad_out.as_slice()[i];
+                    gi.as_mut_slice()[i] =
+                        k * (m * g - sum_go[c] - x_hat.as_slice()[i] * sum_go_xhat[c]);
+                }
+            }
+        }
+        Ok(gi)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn name(&self) -> String {
+        format!("BatchNorm2d({})", self.channels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_tensor::rng::SkyRng;
+
+    fn random(shape: Shape, seed: u64) -> Tensor {
+        let mut rng = SkyRng::new(seed);
+        Tensor::from_vec(
+            shape,
+            (0..shape.numel()).map(|_| rng.normal(1.0, 2.0)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut bn = BatchNorm2d::new(4);
+        let x = random(Shape::new(8, 4, 6, 6), 1);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        let mean = channel_mean(&y);
+        let var = channel_var(&y, &mean);
+        for c in 0..4 {
+            assert!(mean[c].abs() < 1e-4, "mean[{c}] = {}", mean[c]);
+            assert!((var[c] - 1.0).abs() < 1e-2, "var[{c}] = {}", var[c]);
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_statistics() {
+        let mut bn = BatchNorm2d::new(2);
+        // Train a few steps so running stats move toward the data stats.
+        let x = random(Shape::new(16, 2, 8, 8), 2);
+        for _ in 0..200 {
+            let _ = bn.forward(&x, Mode::Train).unwrap();
+            bn.cache = None;
+        }
+        let y = bn.forward(&x, Mode::Eval).unwrap();
+        let mean = channel_mean(&y);
+        for c in 0..2 {
+            assert!(mean[c].abs() < 0.05, "eval mean[{c}] = {}", mean[c]);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = random(Shape::new(2, 2, 3, 3), 3);
+        let go = random(Shape::new(2, 2, 3, 3), 4);
+
+        let y0 = bn.forward(&x, Mode::Train).unwrap();
+        let _ = y0;
+        let gi = bn.backward(&go).unwrap();
+
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 5, 17, 35] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            // Fresh BN clones so running stats don't contaminate.
+            let mut bnp = BatchNorm2d::new(2);
+            let mut bnm = BatchNorm2d::new(2);
+            let lp = bnp
+                .forward(&xp, Mode::Train)
+                .unwrap()
+                .mul(&go)
+                .unwrap()
+                .sum();
+            let lm = bnm
+                .forward(&xm, Mode::Train)
+                .unwrap()
+                .mul(&go)
+                .unwrap()
+                .sum();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = gi.as_slice()[idx];
+            assert!((num - ana).abs() < 2e-2, "x[{idx}]: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn folded_scale_shift_matches_eval() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = random(Shape::new(8, 1, 4, 4), 5);
+        for _ in 0..50 {
+            let _ = bn.forward(&x, Mode::Train).unwrap();
+            bn.cache = None;
+        }
+        let y = bn.forward(&x, Mode::Eval).unwrap();
+        let (scale, shift) = bn.folded_scale_shift();
+        for (i, &xv) in x.as_slice().iter().enumerate() {
+            let want = xv * scale[0] + shift[0];
+            assert!((y.as_slice()[i] - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::zeros(Shape::new(1, 4, 2, 2));
+        assert!(bn.forward(&x, Mode::Eval).is_err());
+    }
+}

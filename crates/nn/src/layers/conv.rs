@@ -1,0 +1,236 @@
+//! Dense convolution layer, including the 1×1 point-wise special case.
+
+use crate::{he_normal, Layer, Mode, Param};
+use skynet_tensor::conv::{conv2d, conv2d_backward, ConvGeometry};
+use skynet_tensor::{rng::SkyRng, Result, Shape, Tensor};
+
+/// A dense 2-D convolution layer with optional bias.
+///
+/// SkyNet's point-wise convolution (`PW-Conv1` in Table 3) is
+/// [`Conv2d::pointwise`] — geometry `1×1/s1/p0` — which the underlying
+/// kernel executes as a single matrix product.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    geo: ConvGeometry,
+    in_c: usize,
+    out_c: usize,
+    cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a He-initialized convolution with bias.
+    pub fn new(in_c: usize, out_c: usize, geo: ConvGeometry, rng: &mut SkyRng) -> Self {
+        let fan_in = in_c * geo.kernel * geo.kernel;
+        let weight = he_normal(Shape::new(out_c, in_c, geo.kernel, geo.kernel), fan_in, rng);
+        Conv2d {
+            weight: Param::new(weight),
+            bias: Some(Param::new_no_decay(Tensor::zeros(Shape::new(
+                1, 1, 1, out_c,
+            )))),
+            geo,
+            in_c,
+            out_c,
+            cache: None,
+        }
+    }
+
+    /// Creates a bias-free convolution (the convention ahead of batch
+    /// norm, which subsumes the bias).
+    pub fn new_no_bias(in_c: usize, out_c: usize, geo: ConvGeometry, rng: &mut SkyRng) -> Self {
+        Conv2d {
+            bias: None,
+            ..Conv2d::new(in_c, out_c, geo, rng)
+        }
+    }
+
+    /// A 1×1 point-wise convolution without bias — `PW-Conv1` in the
+    /// SkyNet Bundle.
+    pub fn pointwise(in_c: usize, out_c: usize, rng: &mut SkyRng) -> Self {
+        Conv2d::new_no_bias(in_c, out_c, ConvGeometry::pointwise(), rng)
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_c
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Convolution geometry.
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geo
+    }
+
+    fn bias_slice(&self) -> Option<&[f32]> {
+        self.bias.as_ref().map(|b| b.value.as_slice())
+    }
+
+    /// Folds a following batch-norm's per-channel affine transform
+    /// (`y = scale·conv(x) + shift`, from
+    /// [`BatchNorm2d::folded_scale_shift`](crate::BatchNorm2d::folded_scale_shift))
+    /// into this convolution's weights and bias — the standard deployment
+    /// transform before fixed-point quantization (§6.4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices don't have one entry per output channel.
+    pub fn fold_bn(&mut self, scale: &[f32], shift: &[f32]) {
+        assert_eq!(scale.len(), self.out_c, "one scale per output channel");
+        assert_eq!(shift.len(), self.out_c, "one shift per output channel");
+        let per_filter = self.in_c * self.geo.kernel * self.geo.kernel;
+        for (oc, &s) in scale.iter().enumerate() {
+            let w = &mut self.weight.value.as_mut_slice()[oc * per_filter..(oc + 1) * per_filter];
+            for v in w {
+                *v *= s;
+            }
+        }
+        match &mut self.bias {
+            Some(b) => {
+                for ((bv, &s), &sh) in b
+                    .value
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(scale)
+                    .zip(shift)
+                {
+                    *bv = *bv * s + sh;
+                }
+            }
+            None => {
+                let mut bias = Param::new_no_decay(Tensor::zeros(Shape::new(
+                    1,
+                    1,
+                    1,
+                    self.out_c,
+                )));
+                bias.value.as_mut_slice().copy_from_slice(shift);
+                self.bias = Some(bias);
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let y = conv2d(x, &self.weight.value, self.bias_slice(), self.geo)?;
+        if mode.is_train() {
+            self.cache = Some(x.clone());
+        }
+        Ok(mode.finalize(y))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cache
+            .take()
+            .expect("Conv2d::backward requires a prior training forward");
+        let grads = conv2d_backward(&x, &self.weight.value, grad_out, self.geo)?;
+        self.weight.grad.axpy(1.0, &grads.weight)?;
+        if let Some(b) = &mut self.bias {
+            for (g, &d) in b.grad.as_mut_slice().iter_mut().zip(&grads.bias) {
+                *g += d;
+            }
+        }
+        Ok(grads.input)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Conv{}x{}({}, {}, s{}, p{})",
+            self.geo.kernel, self.geo.kernel, self.in_c, self.out_c, self.geo.stride, self.geo.pad
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = SkyRng::new(0);
+        let mut conv = Conv2d::new(3, 8, ConvGeometry::same3x3(), &mut rng);
+        let x = Tensor::ones(Shape::new(2, 3, 6, 6));
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), Shape::new(2, 8, 6, 6));
+        assert_eq!(conv.param_count(), 8 * 3 * 9 + 8);
+    }
+
+    #[test]
+    fn pointwise_param_count_matches_formula() {
+        let mut rng = SkyRng::new(0);
+        let mut pw = Conv2d::pointwise(48, 96, &mut rng);
+        assert_eq!(pw.param_count(), 48 * 96);
+    }
+
+    #[test]
+    fn backward_requires_training_forward() {
+        let mut rng = SkyRng::new(0);
+        let mut conv = Conv2d::new(1, 1, ConvGeometry::pointwise(), &mut rng);
+        let x = Tensor::ones(Shape::new(1, 1, 2, 2));
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        let gx = conv.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        // Gradient accumulated.
+        let mut total = 0.0;
+        conv.visit_params(&mut |p| total += p.grad.sum().abs());
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn bn_folding_matches_conv_then_bn() {
+        use crate::BatchNorm2d;
+        let mut rng = SkyRng::new(5);
+        let mut conv = Conv2d::new_no_bias(3, 4, ConvGeometry::same3x3(), &mut rng);
+        let mut bn = BatchNorm2d::new(4);
+        // Drive the BN's running statistics away from the identity.
+        let mut warm = Tensor::zeros(Shape::new(4, 3, 6, 6));
+        for (i, v) in warm.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i % 17) as f32 - 8.0) * 0.2;
+        }
+        for _ in 0..50 {
+            let y = conv.forward(&warm, Mode::Train).unwrap();
+            let _ = bn.forward(&y, Mode::Train).unwrap();
+        }
+        // Reference: conv → BN in eval mode (training caches are unused
+        // from here on; eval forwards leave them alone).
+        let x = Tensor::from_vec(
+            Shape::new(1, 3, 6, 6),
+            (0..108).map(|i| ((i % 11) as f32 - 5.0) * 0.1).collect(),
+        )
+        .unwrap();
+        let y_ref = {
+            let y = conv.forward(&x, Mode::Eval).unwrap();
+            bn.forward(&y, Mode::Eval).unwrap()
+        };
+        // Folded: conv alone with adjusted weights.
+        let (scale, shift) = bn.folded_scale_shift();
+        let mut folded = conv.clone();
+        folded.fold_bn(&scale, &shift);
+        let y_fold = folded.forward(&x, Mode::Eval).unwrap();
+        let err = y_ref.sub(&y_fold).unwrap().max_abs();
+        assert!(err < 1e-4, "folding error {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a prior training forward")]
+    fn backward_after_eval_panics() {
+        let mut rng = SkyRng::new(0);
+        let mut conv = Conv2d::new(1, 1, ConvGeometry::pointwise(), &mut rng);
+        let x = Tensor::ones(Shape::new(1, 1, 2, 2));
+        let _ = conv.forward(&x, Mode::Eval).unwrap();
+        let _ = conv.backward(&Tensor::ones(Shape::new(1, 1, 2, 2)));
+    }
+}

@@ -1,0 +1,115 @@
+//! Inverted dropout (used by the AlexNet baseline of Fig. 2(a)).
+
+use crate::{Layer, Mode, Param};
+use skynet_tensor::{rng::SkyRng, Result, Tensor};
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; during eval the
+/// layer is the identity.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: SkyRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
+        Dropout {
+            p,
+            rng: SkyRng::new(seed),
+            mask: None,
+        }
+    }
+
+    /// Drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        if !mode.is_train() || self.p == 0.0 {
+            self.mask = None;
+            return Ok(x.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..x.shape().numel())
+            .map(|_| if self.rng.chance(keep) { scale } else { 0.0 })
+            .collect();
+        let data = x
+            .as_slice()
+            .iter()
+            .zip(&mask)
+            .map(|(&v, &m)| v * m)
+            .collect();
+        self.mask = Some(mask);
+        Tensor::from_vec(x.shape(), data)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        match self.mask.take() {
+            Some(mask) => {
+                let data = grad_out
+                    .as_slice()
+                    .iter()
+                    .zip(&mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
+                Tensor::from_vec(grad_out.shape(), data)
+            }
+            // p == 0 or eval-mode forward: identity.
+            None => Ok(grad_out.clone()),
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> String {
+        format!("Dropout(p={})", self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_tensor::Shape;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = Tensor::ones(Shape::new(1, 1, 4, 4));
+        let y = d.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::ones(Shape::new(1, 1, 100, 100));
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::ones(Shape::new(1, 1, 8, 8));
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let g = d.backward(&Tensor::ones(x.shape())).unwrap();
+        // Wherever the output was zeroed, the gradient must be zero, and
+        // survivors share the same scale.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(yv, gv);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Depth-wise convolution layer (`DW-Conv3` in the SkyNet Bundle).
+
+use crate::{he_normal, Layer, Mode, Param};
+use skynet_tensor::conv::ConvGeometry;
+use skynet_tensor::dwconv::{dwconv2d, dwconv2d_backward};
+use skynet_tensor::{rng::SkyRng, Result, Shape, Tensor};
+
+/// A depth-wise 2-D convolution (channel multiplier 1), bias-free by
+/// default since SkyNet always follows it with batch norm.
+#[derive(Debug, Clone)]
+pub struct DwConv2d {
+    weight: Param,
+    geo: ConvGeometry,
+    channels: usize,
+    cache: Option<Tensor>,
+}
+
+impl DwConv2d {
+    /// Creates a He-initialized depth-wise convolution over `channels`
+    /// channels.
+    pub fn new(channels: usize, geo: ConvGeometry, rng: &mut SkyRng) -> Self {
+        let fan_in = geo.kernel * geo.kernel;
+        let weight = he_normal(Shape::new(channels, 1, geo.kernel, geo.kernel), fan_in, rng);
+        DwConv2d {
+            weight: Param::new(weight),
+            geo,
+            channels,
+            cache: None,
+        }
+    }
+
+    /// The 3×3 same-padding variant used by every SkyNet Bundle.
+    pub fn new3x3(channels: usize, rng: &mut SkyRng) -> Self {
+        DwConv2d::new(channels, ConvGeometry::same3x3(), rng)
+    }
+
+    /// Channel count (input = output).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+impl Layer for DwConv2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let y = dwconv2d(x, &self.weight.value, None, self.geo)?;
+        if mode.is_train() {
+            self.cache = Some(x.clone());
+        }
+        Ok(mode.finalize(y))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cache
+            .take()
+            .expect("DwConv2d::backward requires a prior training forward");
+        let grads = dwconv2d_backward(&x, &self.weight.value, grad_out, self.geo)?;
+        self.weight.grad.axpy(1.0, &grads.weight)?;
+        Ok(grads.input)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "DwConv{}x{}({}, s{})",
+            self.geo.kernel, self.geo.kernel, self.channels, self.geo.stride
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_params() {
+        let mut rng = SkyRng::new(0);
+        let mut dw = DwConv2d::new3x3(48, &mut rng);
+        let x = Tensor::ones(Shape::new(1, 48, 8, 8));
+        let y = dw.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), x.shape());
+        // 48 channels × 9 weights, no bias: DW-Conv3(48) from Table 3.
+        assert_eq!(dw.param_count(), 48 * 9);
+    }
+
+    #[test]
+    fn train_roundtrip_accumulates_grad() {
+        let mut rng = SkyRng::new(0);
+        let mut dw = DwConv2d::new3x3(2, &mut rng);
+        let x = Tensor::ones(Shape::new(1, 2, 4, 4));
+        let y = dw.forward(&x, Mode::Train).unwrap();
+        let gx = dw.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        let mut g = 0.0;
+        dw.visit_params(&mut |p| g += p.grad.max_abs());
+        assert!(g > 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Fully-connected layer (used by the classification baselines and the
+//! tracker heads).
+
+use crate::{xavier_uniform, Layer, Mode, Param};
+use skynet_tensor::matmul::{matmul_a_bt_acc, matmul_acc, matmul_at_b_acc};
+use skynet_tensor::{rng::SkyRng, Result, Shape, Tensor, TensorError};
+
+/// A dense linear map `y = x·Wᵀ + b` applied to flattened batch items.
+///
+/// The input may be any `N×C×H×W` tensor with `C·H·W == in_features`; the
+/// output has shape `N×out_features×1×1`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param, // [out, in] stored as Shape(out, in, 1, 1)
+    bias: Param,   // [out]
+    in_features: usize,
+    out_features: usize,
+    cache: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialized linear layer.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut SkyRng) -> Self {
+        let weight = xavier_uniform(
+            Shape::new(out_features, in_features, 1, 1),
+            in_features,
+            out_features,
+            rng,
+        );
+        Linear {
+            weight: Param::new(weight),
+            bias: Param::new_no_decay(Tensor::zeros(Shape::new(1, 1, 1, out_features))),
+            in_features,
+            out_features,
+            cache: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let s = x.shape();
+        if s.item_numel() != self.in_features {
+            return Err(TensorError::ShapeMismatch {
+                op: "Linear",
+                expected: format!("{} features per item", self.in_features),
+                got: s.to_string(),
+            });
+        }
+        let n = s.n;
+        let mut y = Tensor::zeros(Shape::new(n, self.out_features, 1, 1));
+        // y (n×out) = x (n×in) · Wᵀ (in×out)
+        matmul_a_bt_acc(
+            x.as_slice(),
+            self.weight.value.as_slice(),
+            y.as_mut_slice(),
+            n,
+            self.in_features,
+            self.out_features,
+        );
+        for bi in 0..n {
+            let row = &mut y.as_mut_slice()[bi * self.out_features..(bi + 1) * self.out_features];
+            for (v, &b) in row.iter_mut().zip(self.bias.value.as_slice()) {
+                *v += b;
+            }
+        }
+        if mode.is_train() {
+            self.cache = Some(x.clone());
+        }
+        Ok(mode.finalize(y))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cache
+            .take()
+            .expect("Linear::backward requires a prior training forward");
+        let s = x.shape();
+        let n = s.n;
+        let go = grad_out.as_slice();
+        // dW (out×in) += goᵀ (out×n) · x (n×in)
+        matmul_at_b_acc(
+            go,
+            x.as_slice(),
+            self.weight.grad.as_mut_slice(),
+            self.out_features,
+            n,
+            self.in_features,
+        );
+        // db += column sums of go
+        for bi in 0..n {
+            for o in 0..self.out_features {
+                self.bias.grad.as_mut_slice()[o] += go[bi * self.out_features + o];
+            }
+        }
+        // dx (n×in) = go (n×out) · W (out×in)
+        let mut gi = Tensor::zeros(s);
+        matmul_acc(
+            go,
+            self.weight.value.as_slice(),
+            gi.as_mut_slice(),
+            n,
+            self.out_features,
+            self.in_features,
+        );
+        Ok(gi)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> String {
+        format!("Linear({}, {})", self.in_features, self.out_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut rng = SkyRng::new(0);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        // Overwrite with known weights.
+        lin.weight.value =
+            Tensor::from_vec(Shape::new(2, 3, 1, 1), vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]).unwrap();
+        lin.bias.value = Tensor::from_vec(Shape::new(1, 1, 1, 2), vec![0.5, -0.5]).unwrap();
+        let x = Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![2.0, 3.0, 4.0]).unwrap();
+        let y = lin.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[2.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = SkyRng::new(1);
+        let mut lin = Linear::new(4, 3, &mut rng);
+        let x = Tensor::from_vec(
+            Shape::new(2, 4, 1, 1),
+            vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.7, -0.8],
+        )
+        .unwrap();
+        let y = lin.forward(&x, Mode::Train).unwrap();
+        let go = Tensor::ones(y.shape());
+        let gi = lin.backward(&go).unwrap();
+        let eps = 1e-3;
+        for idx in 0..x.shape().numel() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp = lin.forward(&xp, Mode::Eval).unwrap().sum();
+            let lm = lin.forward(&xm, Mode::Eval).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gi.as_slice()[idx]).abs() < 1e-2,
+                "x[{idx}]: {num} vs {}",
+                gi.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_input_width() {
+        let mut rng = SkyRng::new(2);
+        let mut lin = Linear::new(8, 2, &mut rng);
+        let x = Tensor::zeros(Shape::new(1, 4, 1, 1));
+        assert!(lin.forward(&x, Mode::Eval).is_err());
+    }
+}

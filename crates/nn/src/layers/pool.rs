@@ -1,0 +1,150 @@
+//! Pooling layers: windowed max pooling and global average pooling.
+
+use crate::{Layer, Mode, Param};
+use skynet_tensor::pool::{maxpool2d, maxpool2d_backward};
+use skynet_tensor::{Result, Shape, Tensor};
+
+/// Non-overlapping `k×k` max pooling (stride = window), as used between
+/// SkyNet Bundles.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    k: usize,
+    cache: Option<(Shape, Vec<u32>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with window and stride `k`.
+    pub fn new(k: usize) -> Self {
+        MaxPool2d { k, cache: None }
+    }
+
+    /// Window size.
+    pub fn window(&self) -> usize {
+        self.k
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let pooled = maxpool2d(x, self.k)?;
+        if mode.is_train() {
+            self.cache = Some((x.shape(), pooled.argmax.clone()));
+        }
+        Ok(pooled.output)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (shape, argmax) = self
+            .cache
+            .take()
+            .expect("MaxPool2d::backward requires a prior training forward");
+        maxpool2d_backward(shape, &argmax, grad_out)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> String {
+        format!("MaxPool{}x{}", self.k, self.k)
+    }
+}
+
+/// Global average pooling: `N×C×H×W → N×C×1×1`.
+///
+/// Used by the classification baselines (AlexNet/ResNet heads) in the
+/// Fig. 2(a) and Table 2 experiments.
+#[derive(Debug, Clone)]
+pub struct GlobalAvgPool {
+    cache: Option<Shape>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cache: None }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        GlobalAvgPool::new()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let s = x.shape();
+        let plane = s.plane() as f32;
+        let mut y = Tensor::zeros(Shape::new(s.n, s.c, 1, 1));
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let base = (n * s.c + c) * s.plane();
+                y.as_mut_slice()[n * s.c + c] =
+                    x.as_slice()[base..base + s.plane()].iter().sum::<f32>() / plane;
+            }
+        }
+        if mode.is_train() {
+            self.cache = Some(s);
+        }
+        Ok(mode.finalize(y))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let s = self
+            .cache
+            .take()
+            .expect("GlobalAvgPool::backward requires a prior training forward");
+        let plane = s.plane() as f32;
+        let mut gi = Tensor::zeros(s);
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let g = grad_out.as_slice()[n * s.c + c] / plane;
+                let base = (n * s.c + c) * s.plane();
+                gi.as_mut_slice()[base..base + s.plane()].fill(g);
+            }
+        }
+        Ok(gi)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> String {
+        "GlobalAvgPool".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_forward_backward() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            Shape::new(1, 1, 2, 2),
+            vec![1.0, 9.0, 3.0, 4.0],
+        )
+        .unwrap();
+        let y = p.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.as_slice(), &[9.0]);
+        let g = p
+            .backward(&Tensor::from_vec(Shape::new(1, 1, 1, 1), vec![5.0]).unwrap())
+            .unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gap_averages_and_spreads() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::from_vec(
+            Shape::new(1, 2, 1, 2),
+            vec![2.0, 4.0, 10.0, 20.0],
+        )
+        .unwrap();
+        let y = p.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.as_slice(), &[3.0, 15.0]);
+        let g = p
+            .backward(&Tensor::from_vec(Shape::new(1, 2, 1, 1), vec![2.0, 4.0]).unwrap())
+            .unwrap();
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+}

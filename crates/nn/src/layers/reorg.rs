@@ -1,0 +1,66 @@
+//! The reorg (space-to-depth) layer wrapping
+//! [`skynet_tensor::reorg`].
+
+use crate::{Layer, Mode, Param};
+use skynet_tensor::reorg::{reorg, reorg_backward};
+use skynet_tensor::{Result, Shape, Tensor};
+
+/// Feature-map reordering with block size `s` (Fig. 5 of the paper):
+/// `C×H×W → C·s²×(H/s)×(W/s)` with no information loss.
+#[derive(Debug, Clone)]
+pub struct Reorg {
+    s: usize,
+    cache: Option<Shape>,
+}
+
+impl Reorg {
+    /// Creates a reorg layer with block size `s`.
+    pub fn new(s: usize) -> Self {
+        Reorg { s, cache: None }
+    }
+
+    /// Block size.
+    pub fn block(&self) -> usize {
+        self.s
+    }
+}
+
+impl Layer for Reorg {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let y = reorg(x, self.s)?;
+        if mode.is_train() {
+            self.cache = Some(x.shape());
+        }
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cache
+            .take()
+            .expect("Reorg::backward requires a prior training forward");
+        reorg_backward(shape, grad_out, self.s)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> String {
+        format!("Reorg(x{})", self.s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reorg_layer_roundtrip() {
+        let mut r = Reorg::new(2);
+        let s = Shape::new(1, 3, 4, 4);
+        let x = Tensor::from_vec(s, (0..s.numel()).map(|i| i as f32).collect()).unwrap();
+        let y = r.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), Shape::new(1, 12, 2, 2));
+        let gx = r.backward(&y).unwrap();
+        assert_eq!(gx, x);
+    }
+}

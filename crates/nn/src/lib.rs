@@ -1,0 +1,65 @@
+//! # skynet-nn
+//!
+//! Neural-network building blocks on top of [`skynet_tensor`]: a [`Layer`]
+//! trait with explicit forward/backward, the layer set SkyNet and its
+//! baselines need (dense / depth-wise / point-wise convolutions, batch
+//! norm, ReLU / ReLU6, max pooling, reorg, linear, dropout), container
+//! combinators ([`Sequential`], [`Residual`]), He/Xavier initialization, an
+//! SGD(+momentum) optimizer with scheduling, and a binary checkpoint
+//! format.
+//!
+//! There is no autograd tape: every layer caches what its own backward
+//! pass needs during `forward(Mode::Train)`. This mirrors how the paper
+//! reasons about per-IP buffer requirements on the FPGA.
+//!
+//! ```
+//! use skynet_nn::{Sequential, Conv2d, Activation, Act, Mode, Layer};
+//! use skynet_tensor::{Tensor, Shape, rng::SkyRng, conv::ConvGeometry};
+//!
+//! # fn main() -> Result<(), skynet_tensor::TensorError> {
+//! let mut rng = SkyRng::new(0);
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Conv2d::new(3, 8, ConvGeometry::same3x3(), &mut rng)),
+//!     Box::new(Activation::new(Act::Relu6)),
+//! ]);
+//! let x = Tensor::ones(Shape::new(1, 3, 8, 8));
+//! let y = net.forward(&x, Mode::Eval)?;
+//! assert_eq!(y.shape().c, 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod checkpoint;
+mod init;
+mod layer;
+mod optim;
+mod param;
+
+mod layers {
+    pub mod act;
+    pub mod bn;
+    pub mod container;
+    pub mod conv;
+    pub mod dropout;
+    pub mod dwconv;
+    pub mod linear;
+    pub mod pool;
+    pub mod reorg;
+}
+
+pub use checkpoint::{load_params, save_params, CheckpointError};
+pub use init::{he_normal, xavier_uniform};
+pub use layer::{Layer, Mode};
+pub use layers::act::{Act, Activation};
+pub use layers::bn::BatchNorm2d;
+pub use layers::container::{Residual, Sequential};
+pub use layers::conv::Conv2d;
+pub use layers::dropout::Dropout;
+pub use layers::dwconv::DwConv2d;
+pub use layers::linear::Linear;
+pub use layers::pool::{GlobalAvgPool, MaxPool2d};
+pub use layers::reorg::Reorg;
+pub use optim::{LrSchedule, Sgd};
+pub use param::Param;

@@ -1,0 +1,71 @@
+use skynet_tensor::Tensor;
+
+/// A trainable parameter: a value tensor plus its accumulated gradient.
+///
+/// Layers expose their parameters through
+/// [`Layer::visit_params`](crate::Layer::visit_params); the
+/// [`Sgd`](crate::Sgd) optimizer walks them, applies the update and clears
+/// the gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient, same shape as `value`.
+    pub grad: Tensor,
+    /// When `false` the optimizer applies no weight decay (used for biases
+    /// and batch-norm affine parameters, the usual convention).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient and weight decay on.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param {
+            value,
+            grad,
+            decay: true,
+        }
+    }
+
+    /// Wraps a value tensor with weight decay disabled.
+    pub fn new_no_decay(value: Tensor) -> Self {
+        Param {
+            decay: false,
+            ..Param::new(value)
+        }
+    }
+
+    /// Number of scalar values in the parameter.
+    pub fn numel(&self) -> usize {
+        self.value.shape().numel()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_tensor::Shape;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(Shape::new(1, 2, 3, 4)));
+        assert_eq!(p.numel(), 24);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert!(p.decay);
+        assert!(!Param::new_no_decay(Tensor::ones(Shape::new(1, 1, 1, 1))).decay);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(Shape::new(1, 1, 1, 2)));
+        p.grad.as_mut_slice().fill(3.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

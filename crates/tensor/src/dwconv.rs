@@ -1,0 +1,271 @@
+//! Depth-wise 2-D convolution — the `DW-Conv3` half of the SkyNet Bundle.
+//!
+//! Each channel is convolved with its own `k×k` filter (channel multiplier
+//! 1, as in MobileNet and SkyNet). The kernels are direct loops rather than
+//! im2col: with one filter per channel there is no matrix structure to
+//! exploit, and direct loops match the line-buffer dataflow of the paper's
+//! DW-Conv FPGA IP.
+
+use crate::conv::ConvGeometry;
+use crate::{Result, Shape, Tensor, TensorError};
+
+fn check(input: Shape, weight: Shape, geo: ConvGeometry) -> Result<()> {
+    if weight.n != input.c || weight.c != 1 || weight.h != geo.kernel || weight.w != geo.kernel {
+        return Err(TensorError::ShapeMismatch {
+            op: "dwconv2d",
+            expected: format!("weight [{}, 1, {}, {}]", input.c, geo.kernel, geo.kernel),
+            got: weight.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Depth-wise convolution.
+///
+/// `weight` has shape `[c, 1, k, k]`; `bias`, when given, has `c` entries.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when the weight shape disagrees with the input
+/// channel count or geometry, or when the bias length is wrong.
+pub fn dwconv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    geo: ConvGeometry,
+) -> Result<Tensor> {
+    let is = input.shape();
+    check(is, weight.shape(), geo)?;
+    if let Some(b) = bias {
+        if b.len() != is.c {
+            return Err(TensorError::ShapeMismatch {
+                op: "dwconv2d bias",
+                expected: format!("{} entries", is.c),
+                got: format!("{} entries", b.len()),
+            });
+        }
+    }
+    let os = geo.out_shape(is, is.c);
+    let mut out = Tensor::zeros(os);
+    let (k, s, p) = (geo.kernel, geo.stride, geo.pad);
+    let kk = k * k;
+    for n in 0..is.n {
+        for c in 0..is.c {
+            let filt = &weight.as_slice()[c * kk..(c + 1) * kk];
+            let bv = bias.map(|b| b[c]).unwrap_or(0.0);
+            let chan_in = &input.as_slice()
+                [(n * is.c + c) * is.plane()..(n * is.c + c + 1) * is.plane()];
+            let chan_out = &mut out.as_mut_slice()
+                [(n * os.c + c) * os.plane()..(n * os.c + c + 1) * os.plane()];
+            for oy in 0..os.h {
+                let iy0 = (oy * s) as isize - p as isize;
+                for ox in 0..os.w {
+                    let ix0 = (ox * s) as isize - p as isize;
+                    let mut acc = bv;
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= is.h as isize {
+                            continue;
+                        }
+                        let row = iy as usize * is.w;
+                        let frow = ky * k;
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            if ix >= 0 && ix < is.w as isize {
+                                acc += chan_in[row + ix as usize] * filt[frow + kx];
+                            }
+                        }
+                    }
+                    chan_out[oy * os.w + ox] = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradients produced by [`dwconv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct DwConvGrads {
+    /// Gradient w.r.t. the input feature map.
+    pub input: Tensor,
+    /// Gradient w.r.t. the `[c, 1, k, k]` weight tensor.
+    pub weight: Tensor,
+    /// Gradient w.r.t. the per-channel bias.
+    pub bias: Vec<f32>,
+}
+
+/// Backward pass of [`dwconv2d`].
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when `grad_out`'s shape disagrees with the
+/// forward geometry.
+pub fn dwconv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    geo: ConvGeometry,
+) -> Result<DwConvGrads> {
+    let is = input.shape();
+    check(is, weight.shape(), geo)?;
+    let os = geo.out_shape(is, is.c);
+    if grad_out.shape() != os {
+        return Err(TensorError::ShapeMismatch {
+            op: "dwconv2d_backward",
+            expected: os.to_string(),
+            got: grad_out.shape().to_string(),
+        });
+    }
+    let (k, s, p) = (geo.kernel, geo.stride, geo.pad);
+    let kk = k * k;
+    let mut gi = Tensor::zeros(is);
+    let mut gw = Tensor::zeros(weight.shape());
+    let mut gb = vec![0.0f32; is.c];
+    for n in 0..is.n {
+        for c in 0..is.c {
+            let filt = &weight.as_slice()[c * kk..(c + 1) * kk];
+            let chan_in = &input.as_slice()
+                [(n * is.c + c) * is.plane()..(n * is.c + c + 1) * is.plane()];
+            let go = &grad_out.as_slice()
+                [(n * os.c + c) * os.plane()..(n * os.c + c + 1) * os.plane()];
+            // Accumulate into temporary per-channel buffers to keep the
+            // borrow checker happy and the inner loop tight.
+            let gw_c: &mut [f32] = {
+                let base = c * kk;
+                // SAFETY-free: split via index math on the same mutable slice.
+                &mut gw.as_mut_slice()[base..base + kk]
+            };
+            let mut gb_c = 0.0f32;
+            {
+                let gi_c = &mut gi.as_mut_slice()
+                    [(n * is.c + c) * is.plane()..(n * is.c + c + 1) * is.plane()];
+                for oy in 0..os.h {
+                    let iy0 = (oy * s) as isize - p as isize;
+                    for ox in 0..os.w {
+                        let ix0 = (ox * s) as isize - p as isize;
+                        let g = go[oy * os.w + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb_c += g;
+                        for ky in 0..k {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= is.h as isize {
+                                continue;
+                            }
+                            let row = iy as usize * is.w;
+                            let frow = ky * k;
+                            for kx in 0..k {
+                                let ix = ix0 + kx as isize;
+                                if ix >= 0 && ix < is.w as isize {
+                                    let ii = row + ix as usize;
+                                    gw_c[frow + kx] += g * chan_in[ii];
+                                    gi_c[ii] += g * filt[frow + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            gb[c] += gb_c;
+        }
+    }
+    Ok(DwConvGrads {
+        input: gi,
+        weight: gw,
+        bias: gb,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{conv2d, conv2d_backward};
+
+    fn filled(shape: Shape, f: impl Fn(usize) -> f32) -> Tensor {
+        Tensor::from_vec(shape, (0..shape.numel()).map(f).collect()).unwrap()
+    }
+
+    /// A depth-wise conv equals a dense conv whose weight is block-diagonal
+    /// across channels. We use that identity as the reference.
+    fn as_dense_weight(dw: &Tensor, c: usize, k: usize) -> Tensor {
+        let mut dense = Tensor::zeros(Shape::new(c, c, k, k));
+        for ch in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    *dense.at_mut(ch, ch, ky, kx) = dw.at(ch, 0, ky, kx);
+                }
+            }
+        }
+        dense
+    }
+
+    #[test]
+    fn forward_matches_dense_blockdiag() {
+        let geo = ConvGeometry::same3x3();
+        let c = 4;
+        let x = filled(Shape::new(2, c, 5, 6), |i| ((i % 10) as f32 - 4.5) * 0.1);
+        let w = filled(Shape::new(c, 1, 3, 3), |i| ((i % 7) as f32 - 3.0) * 0.2);
+        let b: Vec<f32> = (0..c).map(|i| i as f32 * 0.1).collect();
+        let got = dwconv2d(&x, &w, Some(&b), geo).unwrap();
+        let dense = as_dense_weight(&w, c, 3);
+        let want = conv2d(&x, &dense, Some(&b), geo).unwrap();
+        for (a, e) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn strided_forward_matches_dense() {
+        let geo = ConvGeometry::new(3, 2, 1);
+        let c = 3;
+        let x = filled(Shape::new(1, c, 7, 8), |i| (i as f32 * 0.37).sin());
+        let w = filled(Shape::new(c, 1, 3, 3), |i| (i as f32 * 0.11).cos());
+        let got = dwconv2d(&x, &w, None, geo).unwrap();
+        let dense = as_dense_weight(&w, c, 3);
+        let want = conv2d(&x, &dense, None, geo).unwrap();
+        assert_eq!(got.shape(), want.shape());
+        for (a, e) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn backward_matches_dense_blockdiag() {
+        let geo = ConvGeometry::same3x3();
+        let c = 3;
+        let x = filled(Shape::new(1, c, 4, 5), |i| ((i % 8) as f32 - 3.5) * 0.15);
+        let w = filled(Shape::new(c, 1, 3, 3), |i| ((i % 5) as f32 - 2.0) * 0.1);
+        let out = dwconv2d(&x, &w, None, geo).unwrap();
+        let go = filled(out.shape(), |i| ((i % 4) as f32 - 1.5) * 0.2);
+
+        let got = dwconv2d_backward(&x, &w, &go, geo).unwrap();
+        let dense = as_dense_weight(&w, c, 3);
+        let want = conv2d_backward(&x, &dense, &go, geo).unwrap();
+
+        for (a, e) in got.input.as_slice().iter().zip(want.input.as_slice()) {
+            assert!((a - e).abs() < 1e-4);
+        }
+        // Dense weight grad on the diagonal blocks must equal the dw grad.
+        for ch in 0..c {
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    let a = got.weight.at(ch, 0, ky, kx);
+                    let e = want.weight.at(ch, ch, ky, kx);
+                    assert!((a - e).abs() < 1e-4);
+                }
+            }
+        }
+        for (a, e) in got.bias.iter().zip(&want.bias) {
+            assert!((a - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_weight() {
+        let x = Tensor::zeros(Shape::new(1, 3, 4, 4));
+        let w = Tensor::zeros(Shape::new(4, 1, 3, 3));
+        assert!(dwconv2d(&x, &w, None, ConvGeometry::same3x3()).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+use std::fmt;
+
+/// Error type for tensor operations.
+///
+/// All fallible public functions in this crate return
+/// [`Result<T>`](crate::Result) with this error. The variants carry enough
+/// context to diagnose shape mismatches without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// The shape that was expected.
+        expected: String,
+        /// The shape that was provided.
+        got: String,
+    },
+    /// A dimension was invalid for the requested operation (e.g. a spatial
+    /// size not divisible by the pooling stride).
+    InvalidDimension {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Explanation of the constraint that was violated.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, expected, got } => {
+                write!(f, "shape mismatch in {op}: expected {expected}, got {got}")
+            }
+            TensorError::InvalidDimension { op, detail } => {
+                write!(f, "invalid dimension in {op}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,54 @@
+//! # skynet-tensor
+//!
+//! A small, dependency-light NCHW tensor library purpose-built for the
+//! SkyNet reproduction. It provides the dense `f32` [`Tensor`] type plus the
+//! forward *and* backward kernels needed to train and run compact
+//! convolutional detectors on a CPU:
+//!
+//! * standard convolution via [`im2col`](conv) + blocked [`matmul`],
+//! * 3×3 depth-wise convolution with direct loops ([`dwconv`]),
+//! * 1×1 point-wise convolution as a batched matrix product,
+//! * 2×2 max-pooling with argmax bookkeeping ([`pool`]),
+//! * the feature-map **reorg** (space-to-depth) operator from Fig. 5 of the
+//!   paper ([`reorg`]),
+//! * element-wise activations (ReLU / ReLU6) and channel concatenation
+//!   ([`ops`]).
+//!
+//! The library deliberately avoids an autograd tape: each kernel exposes an
+//! explicit `*_backward` companion, and the layer objects in `skynet-nn`
+//! cache whatever forward state the backward pass needs. This keeps the
+//! memory behaviour predictable, which is the property the paper's
+//! hardware-aware flow cares about.
+//!
+//! ## Example
+//!
+//! ```
+//! use skynet_tensor::{Tensor, Shape};
+//!
+//! // A 1×3×4×4 feature map filled with ones.
+//! let x = Tensor::ones(Shape::new(1, 3, 4, 4));
+//! assert_eq!(x.shape().numel(), 48);
+//! let doubled = x.map(|v| v * 2.0);
+//! assert_eq!(doubled.as_slice()[0], 2.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod conv;
+pub mod dwconv;
+pub mod matmul;
+pub mod ops;
+pub mod pool;
+pub mod reorg;
+pub mod rng;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,437 @@
+//! Element-wise and structural operators: activations, channel
+//! concatenation, per-channel statistics and bilinear resizing.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Forward ReLU: `max(x, 0)`.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Backward ReLU: passes gradient where the *input* was positive.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn relu_backward(input: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+    mask_backward(input, grad_out, |v| v > 0.0)
+}
+
+/// Forward ReLU6: `min(max(x, 0), 6)` (Sandler et al., 2018).
+///
+/// The clipped range is what makes low-bit fixed-point feature maps viable
+/// on the FPGA (§5.2 of the paper).
+pub fn relu6(x: &Tensor) -> Tensor {
+    x.map(|v| v.clamp(0.0, 6.0))
+}
+
+/// Backward ReLU6: passes gradient on the open interval `(0, 6)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn relu6_backward(input: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+    mask_backward(input, grad_out, |v| v > 0.0 && v < 6.0)
+}
+
+fn mask_backward(
+    input: &Tensor,
+    grad_out: &Tensor,
+    pass: impl Fn(f32) -> bool,
+) -> Result<Tensor> {
+    if input.shape() != grad_out.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "activation backward",
+            expected: input.shape().to_string(),
+            got: grad_out.shape().to_string(),
+        });
+    }
+    let data = input
+        .as_slice()
+        .iter()
+        .zip(grad_out.as_slice())
+        .map(|(&x, &g)| if pass(x) { g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(input.shape(), data)
+}
+
+/// Concatenates two tensors along the channel axis. This is the bypass
+/// merge point in SkyNet models B and C.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when batch or spatial extents
+/// differ.
+pub fn concat_channels(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (sa, sb) = (a.shape(), b.shape());
+    if sa.n != sb.n || sa.h != sb.h || sa.w != sb.w {
+        return Err(TensorError::ShapeMismatch {
+            op: "concat_channels",
+            expected: format!("[{}, *, {}, {}]", sa.n, sa.h, sa.w),
+            got: sb.to_string(),
+        });
+    }
+    let os = sa.with_c(sa.c + sb.c);
+    let mut out = Tensor::zeros(os);
+    let dst = out.as_mut_slice();
+    let plane = sa.plane();
+    for n in 0..sa.n {
+        let dst_base = n * os.item_numel();
+        dst[dst_base..dst_base + sa.c * plane]
+            .copy_from_slice(&a.as_slice()[n * sa.item_numel()..(n + 1) * sa.item_numel()]);
+        dst[dst_base + sa.c * plane..dst_base + os.c * plane]
+            .copy_from_slice(&b.as_slice()[n * sb.item_numel()..(n + 1) * sb.item_numel()]);
+    }
+    Ok(out)
+}
+
+/// Splits a gradient flowing into [`concat_channels`] back into the two
+/// branch gradients. `c_a` is the channel count of the first branch.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] when `c_a` exceeds the channel
+/// count of `grad`.
+pub fn split_channels(grad: &Tensor, c_a: usize) -> Result<(Tensor, Tensor)> {
+    let s = grad.shape();
+    if c_a > s.c {
+        return Err(TensorError::InvalidDimension {
+            op: "split_channels",
+            detail: format!("split point {c_a} exceeds {} channels", s.c),
+        });
+    }
+    let sa = s.with_c(c_a);
+    let sb = s.with_c(s.c - c_a);
+    let mut a = Tensor::zeros(sa);
+    let mut b = Tensor::zeros(sb);
+    let plane = s.plane();
+    for n in 0..s.n {
+        let src = &grad.as_slice()[n * s.item_numel()..(n + 1) * s.item_numel()];
+        a.as_mut_slice()[n * sa.item_numel()..(n + 1) * sa.item_numel()]
+            .copy_from_slice(&src[..c_a * plane]);
+        b.as_mut_slice()[n * sb.item_numel()..(n + 1) * sb.item_numel()]
+            .copy_from_slice(&src[c_a * plane..]);
+    }
+    Ok((a, b))
+}
+
+/// Per-channel mean over batch and spatial axes (the batch-norm statistic).
+pub fn channel_mean(x: &Tensor) -> Vec<f32> {
+    let s = x.shape();
+    let mut mean = vec![0.0f32; s.c];
+    let plane = s.plane();
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let base = (n * s.c + c) * plane;
+            mean[c] += x.as_slice()[base..base + plane].iter().sum::<f32>();
+        }
+    }
+    let denom = (s.n * plane) as f32;
+    for m in &mut mean {
+        *m /= denom;
+    }
+    mean
+}
+
+/// Per-channel (biased) variance over batch and spatial axes.
+pub fn channel_var(x: &Tensor, mean: &[f32]) -> Vec<f32> {
+    let s = x.shape();
+    let mut var = vec![0.0f32; s.c];
+    let plane = s.plane();
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let base = (n * s.c + c) * plane;
+            let m = mean[c];
+            var[c] += x.as_slice()[base..base + plane]
+                .iter()
+                .map(|&v| (v - m) * (v - m))
+                .sum::<f32>();
+        }
+    }
+    let denom = (s.n * plane) as f32;
+    for v in &mut var {
+        *v /= denom;
+    }
+    var
+}
+
+/// Bilinear resize of every batch item to `(new_h, new_w)`.
+///
+/// Used for the paper's input-resizing optimization (Table 1, opt ①),
+/// multi-scale training (§6.1) and the resize-factor sweep of Fig. 2(b).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] when a target extent is zero.
+pub fn resize_bilinear(x: &Tensor, new_h: usize, new_w: usize) -> Result<Tensor> {
+    if new_h == 0 || new_w == 0 {
+        return Err(TensorError::InvalidDimension {
+            op: "resize_bilinear",
+            detail: "target extents must be positive".into(),
+        });
+    }
+    let s = x.shape();
+    let os = s.with_hw(new_h, new_w);
+    if (new_h, new_w) == (s.h, s.w) {
+        return Ok(x.clone());
+    }
+    let mut out = Tensor::zeros(os);
+    let sy = if new_h > 1 { (s.h - 1) as f32 / (new_h - 1) as f32 } else { 0.0 };
+    let sx = if new_w > 1 { (s.w - 1) as f32 / (new_w - 1) as f32 } else { 0.0 };
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let base = (n * s.c + c) * s.plane();
+            let src = &x.as_slice()[base..base + s.plane()];
+            let obase = (n * os.c + c) * os.plane();
+            for oy in 0..new_h {
+                let fy = oy as f32 * sy;
+                let y0 = fy.floor() as usize;
+                let y1 = (y0 + 1).min(s.h - 1);
+                let wy = fy - y0 as f32;
+                for ox in 0..new_w {
+                    let fx = ox as f32 * sx;
+                    let x0 = fx.floor() as usize;
+                    let x1 = (x0 + 1).min(s.w - 1);
+                    let wx = fx - x0 as f32;
+                    let v = src[y0 * s.w + x0] * (1.0 - wy) * (1.0 - wx)
+                        + src[y0 * s.w + x1] * (1.0 - wy) * wx
+                        + src[y1 * s.w + x0] * wy * (1.0 - wx)
+                        + src[y1 * s.w + x1] * wy * wx;
+                    out.as_mut_slice()[obase + oy * os.w + ox] = v;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Row-wise softmax over an `N×K` logits matrix stored as `Shape(n, k, 1, 1)`.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    let s = logits.shape();
+    let k = s.item_numel();
+    let mut out = logits.clone();
+    for n in 0..s.n {
+        let row = &mut out.as_mut_slice()[n * k..(n + 1) * k];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy loss of `N×K` logits against integer labels, plus the
+/// logits gradient (softmax − one-hot, scaled by `1/N`).
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or a label is out
+/// of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let s = logits.shape();
+    let k = s.item_numel();
+    assert_eq!(labels.len(), s.n, "one label per batch item");
+    let probs = softmax_rows(logits);
+    let mut grad = probs.clone();
+    let mut loss = 0.0f32;
+    let inv_n = 1.0 / s.n as f32;
+    for (n, &label) in labels.iter().enumerate() {
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let p = probs.as_slice()[n * k + label].max(1e-12);
+        loss -= p.ln();
+        let row = &mut grad.as_mut_slice()[n * k..(n + 1) * k];
+        row[label] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_n;
+        }
+    }
+    (loss * inv_n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn relu_and_relu6_clip_correctly() {
+        let x = Tensor::from_vec(
+            Shape::new(1, 1, 1, 5),
+            vec![-2.0, 0.0, 3.0, 6.0, 9.0],
+        )
+        .unwrap();
+        assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 3.0, 6.0, 9.0]);
+        assert_eq!(relu6(&x).as_slice(), &[0.0, 0.0, 3.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn activation_gradients_mask_correctly() {
+        let x = Tensor::from_vec(
+            Shape::new(1, 1, 1, 5),
+            vec![-2.0, 0.5, 3.0, 6.5, 9.0],
+        )
+        .unwrap();
+        let g = Tensor::ones(x.shape());
+        assert_eq!(
+            relu_backward(&x, &g).unwrap().as_slice(),
+            &[0.0, 1.0, 1.0, 1.0, 1.0]
+        );
+        assert_eq!(
+            relu6_backward(&x, &g).unwrap().as_slice(),
+            &[0.0, 1.0, 1.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn concat_then_split_roundtrips() {
+        let a = Tensor::from_vec(Shape::new(2, 1, 2, 2), (0..8).map(|i| i as f32).collect())
+            .unwrap();
+        let b = Tensor::from_vec(
+            Shape::new(2, 2, 2, 2),
+            (0..16).map(|i| 100.0 + i as f32).collect(),
+        )
+        .unwrap();
+        let cat = concat_channels(&a, &b).unwrap();
+        assert_eq!(cat.shape(), Shape::new(2, 3, 2, 2));
+        assert_eq!(cat.at(0, 0, 0, 0), 0.0);
+        assert_eq!(cat.at(0, 1, 0, 0), 100.0);
+        assert_eq!(cat.at(1, 0, 0, 0), 4.0);
+        let (ga, gb) = split_channels(&cat, 1).unwrap();
+        assert_eq!(ga, a);
+        assert_eq!(gb, b);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_spatial() {
+        let a = Tensor::zeros(Shape::new(1, 1, 2, 2));
+        let b = Tensor::zeros(Shape::new(1, 1, 4, 4));
+        assert!(concat_channels(&a, &b).is_err());
+    }
+
+    #[test]
+    fn channel_statistics() {
+        // Channel 0 constant 2.0, channel 1 alternating 0/4.
+        let x = Tensor::from_vec(
+            Shape::new(1, 2, 1, 4),
+            vec![2.0, 2.0, 2.0, 2.0, 0.0, 4.0, 0.0, 4.0],
+        )
+        .unwrap();
+        let m = channel_mean(&x);
+        assert_eq!(m, vec![2.0, 2.0]);
+        let v = channel_var(&x, &m);
+        assert_eq!(v, vec![0.0, 4.0]);
+    }
+
+    #[test]
+    fn resize_identity_and_downscale() {
+        let x = Tensor::from_vec(
+            Shape::new(1, 1, 2, 2),
+            vec![0.0, 1.0, 2.0, 3.0],
+        )
+        .unwrap();
+        assert_eq!(resize_bilinear(&x, 2, 2).unwrap(), x);
+        let up = resize_bilinear(&x, 3, 3).unwrap();
+        // Center of a bilinear upsample of [0..3] is the average.
+        assert!((up.at(0, 0, 1, 1) - 1.5).abs() < 1e-5);
+        assert_eq!(up.at(0, 0, 0, 0), 0.0);
+        assert_eq!(up.at(0, 0, 2, 2), 3.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(
+            Shape::new(2, 3, 1, 1),
+            vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0],
+        )
+        .unwrap();
+        let p = softmax_rows(&logits);
+        for n in 0..2 {
+            let s: f32 = p.as_slice()[n * 3..(n + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_softmax_minus_onehot() {
+        let logits =
+            Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![0.0, 0.0, 0.0]).unwrap();
+        let (loss, grad) = cross_entropy(&logits, &[1]);
+        assert!((loss - (3.0f32).ln()).abs() < 1e-5);
+        let g = grad.as_slice();
+        assert!((g[0] - 1.0 / 3.0).abs() < 1e-5);
+        assert!((g[1] + 2.0 / 3.0).abs() < 1e-5);
+        assert!((g[2] - 1.0 / 3.0).abs() < 1e-5);
+    }
+}
+
+/// Symmetric per-tensor fake quantization to `bits` total bits.
+///
+/// Values are scaled by `Δ = max|x| / (2^{bits−1} − 1)`, rounded to the
+/// nearest integer level, clamped to the signed range and rescaled — the
+/// standard simulation of fixed-point hardware arithmetic used for the
+/// paper's quantization studies (Fig. 2(a), Table 7).
+///
+/// A zero tensor (or `bits == 0`) is returned unchanged; `bits ≥ 24`
+/// exceeds the f32 mantissa and is also treated as a no-op.
+pub fn fake_quantize(x: &Tensor, bits: u8) -> Tensor {
+    if bits == 0 || bits >= 24 {
+        return x.clone();
+    }
+    let max_abs = x.max_abs();
+    if max_abs == 0.0 {
+        return x.clone();
+    }
+    let levels = ((1u32 << (bits - 1)) - 1) as f32;
+    let delta = max_abs / levels;
+    x.map(|v| (v / delta).round().clamp(-levels - 1.0, levels) * delta)
+}
+
+#[cfg(test)]
+mod quant_tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn quantization_error_shrinks_with_bits() {
+        let s = Shape::new(1, 1, 1, 101);
+        let x = Tensor::from_vec(s, (0..101).map(|i| (i as f32 * 0.37).sin()).collect())
+            .unwrap();
+        let mut last_err = f32::MAX;
+        for bits in [4u8, 6, 8, 10, 12] {
+            let q = fake_quantize(&x, bits);
+            let err = x.sub(&q).unwrap().sq_norm();
+            assert!(err <= last_err, "error grew at {bits} bits");
+            last_err = err;
+        }
+    }
+
+    #[test]
+    fn high_bits_are_identity() {
+        let x = Tensor::from_vec(Shape::new(1, 1, 1, 3), vec![0.1, -0.7, 0.33]).unwrap();
+        assert_eq!(fake_quantize(&x, 24), x);
+        assert_eq!(fake_quantize(&x, 0), x);
+    }
+
+    #[test]
+    fn quantized_values_lie_on_grid() {
+        let x = Tensor::from_vec(Shape::new(1, 1, 1, 4), vec![1.0, 0.3, -0.6, -1.0]).unwrap();
+        let q = fake_quantize(&x, 3); // levels = 3, delta = 1/3
+        for &v in q.as_slice() {
+            let k = v * 3.0;
+            assert!((k - k.round()).abs() < 1e-5, "{v} not on grid");
+        }
+        // Extremes survive.
+        assert_eq!(q.as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn zero_tensor_unchanged() {
+        let x = Tensor::zeros(Shape::new(1, 1, 2, 2));
+        assert_eq!(fake_quantize(&x, 8), x);
+    }
+}

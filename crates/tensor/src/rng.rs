@@ -1,0 +1,185 @@
+//! Deterministic random number helpers.
+//!
+//! Every stochastic component in the workspace (weight init, data synthesis,
+//! augmentation, PSO search) draws from a seeded [`SkyRng`] so that each
+//! experiment in `EXPERIMENTS.md` is exactly reproducible.
+
+/// A small, fast, seedable PRNG (xoshiro256**) with the few sampling
+/// helpers the workspace needs.
+///
+/// We ship our own generator instead of threading `rand`'s trait objects
+/// through every crate: the algorithm is 10 lines, fully deterministic
+/// across platforms, and keeps `skynet-tensor`'s public API free of
+/// third-party types (C-STABLE).
+///
+/// ```
+/// use skynet_tensor::rng::SkyRng;
+/// let mut a = SkyRng::new(42);
+/// let mut b = SkyRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkyRng {
+    s: [u64; 4],
+    /// Cached second output of the Box-Muller transform.
+    gauss_spare: Option<f32>,
+}
+
+impl SkyRng {
+    /// Creates a generator from a 64-bit seed via splitmix64 expansion.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        SkyRng {
+            s: [next(), next(), next(), next()],
+            gauss_spare: None,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f32) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal sample via the Box-Muller transform.
+    pub fn gaussian(&mut self) -> f32 {
+        if let Some(v) = self.gauss_spare.take() {
+            return v;
+        }
+        // Avoid ln(0).
+        let u1 = self.uniform().max(1e-12);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.gaussian()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Derives an independent child generator; used to give each worker or
+    /// experiment arm its own stream.
+    pub fn fork(&mut self, stream: u64) -> SkyRng {
+        SkyRng::new(self.next_u64() ^ stream.wrapping_mul(0xA24BAED4963EE407))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SkyRng::new(7);
+        let mut b = SkyRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SkyRng::new(1);
+        let mut b = SkyRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = SkyRng::new(3);
+        for _ in 0..10_000 {
+            let v = r.uniform();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = SkyRng::new(4);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut r = SkyRng::new(5);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| r.gaussian()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SkyRng::new(6);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut root = SkyRng::new(9);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

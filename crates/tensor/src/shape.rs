@@ -1,0 +1,101 @@
+use std::fmt;
+
+/// A four-dimensional NCHW shape.
+///
+/// All tensors in this crate are dense `f32` arrays laid out in
+/// batch-channel-height-width order, the layout SkyNet's hardware model
+/// assumes for its buffer-size arithmetic.
+///
+/// ```
+/// use skynet_tensor::Shape;
+/// let s = Shape::new(2, 3, 8, 16);
+/// assert_eq!(s.numel(), 2 * 3 * 8 * 16);
+/// assert_eq!(s.index(1, 2, 7, 15), s.numel() - 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Batch size.
+    pub n: usize,
+    /// Number of channels.
+    pub c: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl Shape {
+    /// Creates a new shape from batch, channel, height and width extents.
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Number of elements in a single batch item (`c * h * w`).
+    pub fn item_numel(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Number of elements in one spatial plane (`h * w`).
+    pub fn plane(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Linear index of element `(n, c, h, w)` in the dense NCHW buffer.
+    #[inline(always)]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Returns a shape identical to `self` but with a different channel
+    /// count. Useful when deriving layer output shapes.
+    pub fn with_c(&self, c: usize) -> Self {
+        Shape { c, ..*self }
+    }
+
+    /// Returns a shape identical to `self` but with different spatial
+    /// extents.
+    pub fn with_hw(&self, h: usize, w: usize) -> Self {
+        Shape { h, w, ..*self }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}, {}, {}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_row_major_nchw() {
+        let s = Shape::new(2, 3, 4, 5);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 1), 1);
+        assert_eq!(s.index(0, 0, 1, 0), 5);
+        assert_eq!(s.index(0, 1, 0, 0), 20);
+        assert_eq!(s.index(1, 0, 0, 0), 60);
+        assert_eq!(s.index(1, 2, 3, 4), s.numel() - 1);
+    }
+
+    #[test]
+    fn derived_shapes() {
+        let s = Shape::new(1, 8, 10, 20);
+        assert_eq!(s.with_c(16), Shape::new(1, 16, 10, 20));
+        assert_eq!(s.with_hw(5, 10), Shape::new(1, 8, 5, 10));
+        assert_eq!(s.plane(), 200);
+        assert_eq!(s.item_numel(), 1600);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Shape::new(1, 2, 3, 4).to_string(), "[1, 2, 3, 4]");
+    }
+}

@@ -1,0 +1,357 @@
+use crate::{Result, Shape, TensorError};
+
+/// A dense, heap-allocated `f32` tensor in NCHW layout.
+///
+/// `Tensor` is the single value type flowing through every layer, dataset
+/// and hardware model in the workspace. It is intentionally plain: a shape
+/// plus a contiguous `Vec<f32>`, with element accessors and a handful of
+/// bulk helpers. All compute kernels live in the sibling modules
+/// ([`conv`](crate::conv), [`dwconv`](crate::dwconv), [`pool`](crate::pool),
+/// [`reorg`](crate::reorg), [`ops`](crate::ops)).
+///
+/// ```
+/// use skynet_tensor::{Tensor, Shape};
+/// let mut t = Tensor::zeros(Shape::new(1, 1, 2, 2));
+/// *t.at_mut(0, 0, 1, 1) = 3.5;
+/// assert_eq!(t.at(0, 0, 1, 1), 3.5);
+/// assert_eq!(t.sum(), 3.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with zeros.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor {
+            shape,
+            data: vec![0.0; shape.numel()],
+        }
+    }
+
+    /// Creates a tensor of the given shape filled with ones.
+    pub fn ones(shape: Shape) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        Tensor {
+            shape,
+            data: vec![value; shape.numel()],
+        }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `data.len()` differs from
+    /// `shape.numel()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self> {
+        if data.len() != shape.numel() {
+            return Err(TensorError::ShapeMismatch {
+                op: "Tensor::from_vec",
+                expected: format!("{} elements for {shape}", shape.numel()),
+                got: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Read-only view of the underlying buffer in NCHW order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer in NCHW order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of range.
+    #[inline(always)]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert!(n < self.shape.n && c < self.shape.c && h < self.shape.h && w < self.shape.w);
+        self.data[self.shape.index(n, c, h, w)]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of range.
+    #[inline(always)]
+    pub fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        debug_assert!(n < self.shape.n && c < self.shape.c && h < self.shape.h && w < self.shape.w);
+        let idx = self.shape.index(n, c, h, w);
+        &mut self.data[idx]
+    }
+
+    /// Returns a new tensor with `f` applied element-wise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` element-wise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise sum with another tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "Tensor::add", |a, b| a + b)
+    }
+
+    /// Element-wise difference (`self - other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "Tensor::sub", |a, b| a - b)
+    }
+
+    /// Element-wise product (Hadamard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, "Tensor::mul", |a, b| a * b)
+    }
+
+    /// Adds `other * scale` into `self` in place (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn axpy(&mut self, scale: f32, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "Tensor::axpy",
+                expected: self.shape.to_string(),
+                got: other.shape.to_string(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `scale` in place.
+    pub fn scale_inplace(&mut self, scale: f32) {
+        for v in &mut self.data {
+            *v *= scale;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements; zero for empty tensors.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute value; zero for empty tensors.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Squared L2 norm of the buffer.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum()
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when element counts differ.
+    pub fn reshape(&self, shape: Shape) -> Result<Tensor> {
+        if shape.numel() != self.shape.numel() {
+            return Err(TensorError::ShapeMismatch {
+                op: "Tensor::reshape",
+                expected: format!("{} elements", self.shape.numel()),
+                got: format!("{shape} = {} elements", shape.numel()),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Extracts the `n`-th batch item as a `1×C×H×W` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn batch_item(&self, n: usize) -> Tensor {
+        assert!(n < self.shape.n, "batch index {n} out of range");
+        let len = self.shape.item_numel();
+        let start = n * len;
+        Tensor {
+            shape: Shape::new(1, self.shape.c, self.shape.h, self.shape.w),
+            data: self.data[start..start + len].to_vec(),
+        }
+    }
+
+    /// Stacks `1×C×H×W` tensors along the batch dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `items` is empty or the item shapes disagree.
+    pub fn stack(items: &[Tensor]) -> Result<Tensor> {
+        let first = items.first().ok_or(TensorError::InvalidDimension {
+            op: "Tensor::stack",
+            detail: "cannot stack zero tensors".into(),
+        })?;
+        let s = first.shape();
+        let mut data = Vec::with_capacity(s.item_numel() * items.len() * s.n);
+        let mut n_total = 0;
+        for item in items {
+            let is = item.shape();
+            if (is.c, is.h, is.w) != (s.c, s.h, s.w) {
+                return Err(TensorError::ShapeMismatch {
+                    op: "Tensor::stack",
+                    expected: s.to_string(),
+                    got: is.to_string(),
+                });
+            }
+            n_total += is.n;
+            data.extend_from_slice(item.as_slice());
+        }
+        Ok(Tensor {
+            shape: Shape::new(n_total, s.c, s.h, s.w),
+            data,
+        })
+    }
+}
+
+impl Tensor {
+    fn zip(&self, other: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                expected: self.shape.to_string(),
+                got: other.shape.to_string(),
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let s = Shape::new(2, 2, 2, 2);
+        let mut t = Tensor::zeros(s);
+        assert_eq!(t.shape(), s);
+        *t.at_mut(1, 1, 1, 1) = 7.0;
+        assert_eq!(t.at(1, 1, 1, 1), 7.0);
+        assert_eq!(t.sum(), 7.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        let s = Shape::new(1, 1, 2, 2);
+        assert!(Tensor::from_vec(s, vec![0.0; 3]).is_err());
+        assert!(Tensor::from_vec(s, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let s = Shape::new(1, 1, 1, 3);
+        let a = Tensor::from_vec(s, vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(s, vec![4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        let mut c = a.clone();
+        c.axpy(2.0, &b).unwrap();
+        assert_eq!(c.as_slice(), &[9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn arithmetic_rejects_shape_mismatch() {
+        let a = Tensor::zeros(Shape::new(1, 1, 1, 3));
+        let b = Tensor::zeros(Shape::new(1, 1, 3, 1));
+        assert!(a.add(&b).is_err());
+        assert!(a.clone().axpy(1.0, &b).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let s = Shape::new(1, 1, 1, 4);
+        let t = Tensor::from_vec(s, vec![-3.0, 1.0, 2.0, 0.0]).unwrap();
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.max_abs(), 3.0);
+        assert_eq!(t.sq_norm(), 14.0);
+    }
+
+    #[test]
+    fn stack_and_batch_item_roundtrip() {
+        let s = Shape::new(1, 2, 1, 2);
+        let a = Tensor::from_vec(s, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(s, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let stacked = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(stacked.shape(), Shape::new(2, 2, 1, 2));
+        assert_eq!(stacked.batch_item(0), a);
+        assert_eq!(stacked.batch_item(1), b);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(Shape::new(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let r = t.reshape(Shape::new(1, 4, 1, 1)).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(Shape::new(1, 3, 1, 1)).is_err());
+    }
+}

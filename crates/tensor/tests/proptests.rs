@@ -1,0 +1,135 @@
+//! Property-based tests of the tensor kernels' algebraic invariants.
+
+use proptest::prelude::*;
+use skynet_tensor::conv::{conv2d, ConvGeometry};
+use skynet_tensor::dwconv::dwconv2d;
+use skynet_tensor::ops::{concat_channels, fake_quantize, resize_bilinear, split_channels};
+use skynet_tensor::pool::maxpool2d;
+use skynet_tensor::reorg::{reorg, reorg_backward};
+use skynet_tensor::{Shape, Tensor};
+
+fn tensor_strategy(shape: Shape) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, shape.numel())
+        .prop_map(move |v| Tensor::from_vec(shape, v).expect("length matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Convolution is linear: conv(a + b) = conv(a) + conv(b).
+    #[test]
+    fn conv_is_linear(
+        a in tensor_strategy(Shape::new(1, 2, 5, 5)),
+        b in tensor_strategy(Shape::new(1, 2, 5, 5)),
+        w in tensor_strategy(Shape::new(3, 2, 3, 3)),
+    ) {
+        let geo = ConvGeometry::same3x3();
+        let sum = a.add(&b).unwrap();
+        let lhs = conv2d(&sum, &w, None, geo).unwrap();
+        let rhs = conv2d(&a, &w, None, geo).unwrap()
+            .add(&conv2d(&b, &w, None, geo).unwrap()).unwrap();
+        let err = lhs.sub(&rhs).unwrap().max_abs();
+        prop_assert!(err < 1e-3, "nonlinearity {err}");
+    }
+
+    /// Depth-wise conv is linear too.
+    #[test]
+    fn dwconv_is_linear(
+        a in tensor_strategy(Shape::new(1, 3, 4, 4)),
+        b in tensor_strategy(Shape::new(1, 3, 4, 4)),
+        w in tensor_strategy(Shape::new(3, 1, 3, 3)),
+    ) {
+        let geo = ConvGeometry::same3x3();
+        let sum = a.add(&b).unwrap();
+        let lhs = dwconv2d(&sum, &w, None, geo).unwrap();
+        let rhs = dwconv2d(&a, &w, None, geo).unwrap()
+            .add(&dwconv2d(&b, &w, None, geo).unwrap()).unwrap();
+        prop_assert!(lhs.sub(&rhs).unwrap().max_abs() < 1e-3);
+    }
+
+    /// Reorg is a bijection: backward(forward(x)) == x, and values are a
+    /// permutation.
+    #[test]
+    fn reorg_is_a_permutation(x in tensor_strategy(Shape::new(1, 2, 4, 6))) {
+        let y = reorg(&x, 2).unwrap();
+        let back = reorg_backward(x.shape(), &y, 2).unwrap();
+        prop_assert_eq!(back, x.clone());
+        let mut a: Vec<f32> = x.as_slice().to_vec();
+        let mut b: Vec<f32> = y.as_slice().to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Max pooling returns the max of each window; every output equals
+    /// some input and is ≥ all inputs of its window.
+    #[test]
+    fn maxpool_outputs_window_maxima(x in tensor_strategy(Shape::new(1, 2, 4, 4))) {
+        let p = maxpool2d(&x, 2).unwrap();
+        for (i, &v) in p.output.as_slice().iter().enumerate() {
+            let src = x.as_slice()[p.argmax[i] as usize];
+            prop_assert_eq!(v, src);
+        }
+        // Global max survives pooling.
+        let gmax = x.as_slice().iter().copied().fold(f32::MIN, f32::max);
+        let pmax = p.output.as_slice().iter().copied().fold(f32::MIN, f32::max);
+        prop_assert_eq!(gmax, pmax);
+    }
+
+    /// Fake quantization is idempotent and bounded by one step.
+    #[test]
+    fn fake_quantize_idempotent_and_bounded(
+        x in tensor_strategy(Shape::new(1, 1, 3, 7)),
+        bits in 2u8..12,
+    ) {
+        let q1 = fake_quantize(&x, bits);
+        let q2 = fake_quantize(&q1, bits);
+        let drift = q1.sub(&q2).unwrap().max_abs();
+        let levels = ((1u32 << (bits - 1)) - 1) as f32;
+        let delta = x.max_abs() / levels;
+        prop_assert!(drift <= delta * 0.51 + 1e-6, "drift {drift} vs delta {delta}");
+        let err = x.sub(&q1).unwrap().max_abs();
+        prop_assert!(err <= delta * 0.51 + 1e-6, "err {err} vs delta {delta}");
+    }
+
+    /// Concat then split is the identity.
+    #[test]
+    fn concat_split_roundtrip(
+        a in tensor_strategy(Shape::new(2, 2, 3, 3)),
+        b in tensor_strategy(Shape::new(2, 3, 3, 3)),
+    ) {
+        let cat = concat_channels(&a, &b).unwrap();
+        let (a2, b2) = split_channels(&cat, 2).unwrap();
+        prop_assert_eq!(a2, a);
+        prop_assert_eq!(b2, b);
+    }
+
+    /// Resizing to the same extent is the identity; resized values stay
+    /// within the input's range (bilinear is a convex combination).
+    #[test]
+    fn resize_respects_range(x in tensor_strategy(Shape::new(1, 1, 4, 6))) {
+        prop_assert_eq!(resize_bilinear(&x, 4, 6).unwrap(), x.clone());
+        let up = resize_bilinear(&x, 7, 9).unwrap();
+        let lo = x.as_slice().iter().copied().fold(f32::MAX, f32::min);
+        let hi = x.as_slice().iter().copied().fold(f32::MIN, f32::max);
+        for &v in up.as_slice() {
+            prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4);
+        }
+    }
+
+    /// Pointwise conv commutes with spatial subsetting: computing on a
+    /// batch equals computing per item.
+    #[test]
+    fn conv_batch_equals_per_item(
+        x in tensor_strategy(Shape::new(3, 2, 3, 3)),
+        w in tensor_strategy(Shape::new(4, 2, 1, 1)),
+    ) {
+        let geo = ConvGeometry::pointwise();
+        let batched = conv2d(&x, &w, None, geo).unwrap();
+        for n in 0..3 {
+            let single = conv2d(&x.batch_item(n), &w, None, geo).unwrap();
+            let err = single.sub(&batched.batch_item(n)).unwrap().max_abs();
+            prop_assert!(err < 1e-4);
+        }
+    }
+}

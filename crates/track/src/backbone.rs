@@ -1,0 +1,109 @@
+//! Swappable tracker backbones (Tables 8–9).
+
+use skynet_core::skynet::{self, SkyNetConfig, Variant};
+use skynet_nn::{Act, Layer, Sequential};
+use skynet_tensor::rng::SkyRng;
+use skynet_zoo::{alexnet, resnet};
+
+/// Which backbone the tracker extracts features with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackboneKind {
+    /// AlexNet — the fast baseline of Table 8.
+    AlexNet,
+    /// ResNet-50 — the reference backbone of SiamRPN++/SiamMask.
+    ResNet50,
+    /// SkyNet (Bundles 1–5) — the paper's proposal.
+    SkyNet,
+}
+
+impl BackboneKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackboneKind::AlexNet => "AlexNet",
+            BackboneKind::ResNet50 => "ResNet-50",
+            BackboneKind::SkyNet => "SkyNet",
+        }
+    }
+
+    /// Paper-scale backbone parameter count (for the §7 size comparison;
+    /// ResNet-50 / SkyNet ≈ 37–53× depending on whether heads are
+    /// included — EXPERIMENTS.md reports our measured ratio).
+    pub fn paper_params(&self) -> usize {
+        match self {
+            BackboneKind::AlexNet => alexnet::descriptor()
+                .layers
+                .iter()
+                .take(13) // conv stack only (FC layers are classifier-only)
+                .map(|l| l.params())
+                .sum(),
+            BackboneKind::ResNet50 => {
+                resnet::descriptor(resnet::ResNetDepth::R50, 224, 224).total_params()
+            }
+            BackboneKind::SkyNet => {
+                let cfg = SkyNetConfig::new(Variant::C, Act::Relu6);
+                skynet::features_descriptor(&cfg, 160, 320).total_params()
+            }
+        }
+    }
+
+    /// Builds the reduced-scale feature extractor (stride 8); returns the
+    /// network and its output channel count. `div` scales widths down for
+    /// CPU training.
+    pub fn build(&self, div: usize, rng: &mut SkyRng) -> (Sequential, usize) {
+        match self {
+            BackboneKind::AlexNet => alexnet::features(div, rng),
+            BackboneKind::ResNet50 => resnet::features(resnet::ResNetDepth::R50, div, rng),
+            BackboneKind::SkyNet => {
+                let cfg =
+                    SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(div.max(1));
+                skynet::features(&cfg, rng)
+            }
+        }
+    }
+
+    /// Relative single-frame inference cost at reduced scale, measured in
+    /// parameters (a cheap proxy used only by tests; FPS is measured for
+    /// real by the evaluation loop).
+    pub fn reduced_params(&self, div: usize) -> usize {
+        let mut rng = SkyRng::new(0);
+        let (mut net, _) = self.build(div, &mut rng);
+        net.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_nn::Mode;
+    use skynet_tensor::{Shape, Tensor};
+
+    #[test]
+    fn paper_scale_size_ratio_matches_section7() {
+        let r50 = BackboneKind::ResNet50.paper_params() as f64;
+        let sky = BackboneKind::SkyNet.paper_params() as f64;
+        let ratio = r50 / sky;
+        // §7 reports 37.20× smaller parameter size; our backbone-only
+        // counts land in the same regime (the exact paper figure includes
+        // the tracker necks).
+        assert!(ratio > 30.0 && ratio < 90.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn all_backbones_produce_stride8_features() {
+        for kind in [BackboneKind::AlexNet, BackboneKind::ResNet50, BackboneKind::SkyNet] {
+            let mut rng = SkyRng::new(1);
+            let (mut net, c) = kind.build(16, &mut rng);
+            let x = Tensor::zeros(Shape::new(1, 3, 32, 32));
+            let y = net.forward(&x, Mode::Eval).unwrap();
+            assert_eq!(y.shape(), Shape::new(1, c, 4, 4), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn skynet_is_the_smallest_at_equal_divisor() {
+        let sky = BackboneKind::SkyNet.reduced_params(8);
+        let r50 = BackboneKind::ResNet50.reduced_params(8);
+        assert!(sky < r50, "{sky} vs {r50}");
+    }
+}

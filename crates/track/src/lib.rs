@@ -1,0 +1,28 @@
+//! # skynet-track
+//!
+//! The §7 tracking extension: Siamese trackers whose backbone is swappable
+//! between SkyNet, ResNet-50 and AlexNet, evaluated with the GOT-10k
+//! metrics on the synthetic sequences from `skynet-data`.
+//!
+//! * [`backbone`] — the three backbone choices of Tables 8–9, with
+//!   paper-scale parameter counts for the 37.2× size comparison;
+//! * [`xcorr`] — depth-wise cross-correlation between exemplar and search
+//!   features (implemented on the depth-wise convolution kernels);
+//! * [`siamfc`] — a SiamFC-style baseline (channel-summed correlation,
+//!   scale pyramid, no learned heads) — the ablation below SiamRPN++;
+//! * [`siamrpn`] — a SiamRPN++-style tracker: correlation + classification
+//!   and box-regression heads, trained on frame pairs;
+//! * [`siammask`] — a SiamMask-style tracker adding a mask branch whose
+//!   output refines the reported box;
+//! * [`metrics`] — GOT-10k Average Overlap (AO) and Success Rate (SR@t);
+//! * [`eval`] — the online tracking loop and the AO/SR/FPS report.
+
+#![deny(missing_docs)]
+
+pub mod backbone;
+pub mod eval;
+pub mod metrics;
+pub mod siamfc;
+pub mod siammask;
+pub mod siamrpn;
+pub mod xcorr;

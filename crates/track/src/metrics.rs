@@ -1,0 +1,133 @@
+//! GOT-10k evaluation metrics (§7): Average Overlap and Success Rate.
+
+use skynet_core::BBox;
+
+/// Per-sequence overlap record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceOverlaps {
+    /// IoU between prediction and ground truth for every evaluated frame
+    /// (the first frame is initialization and excluded, per protocol).
+    pub ious: Vec<f32>,
+}
+
+impl SequenceOverlaps {
+    /// Mean IoU over the sequence.
+    pub fn average_overlap(&self) -> f32 {
+        if self.ious.is_empty() {
+            return 0.0;
+        }
+        self.ious.iter().sum::<f32>() / self.ious.len() as f32
+    }
+
+    /// Fraction of frames with IoU above `threshold`.
+    pub fn success_rate(&self, threshold: f32) -> f32 {
+        if self.ious.is_empty() {
+            return 0.0;
+        }
+        self.ious.iter().filter(|&&v| v > threshold).count() as f32 / self.ious.len() as f32
+    }
+}
+
+/// Computes per-frame IoUs of predictions against ground truth.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn overlaps(predictions: &[BBox], ground_truth: &[BBox]) -> SequenceOverlaps {
+    assert_eq!(
+        predictions.len(),
+        ground_truth.len(),
+        "one prediction per annotated frame"
+    );
+    SequenceOverlaps {
+        ious: predictions
+            .iter()
+            .zip(ground_truth)
+            .map(|(p, g)| p.iou(g))
+            .collect(),
+    }
+}
+
+/// Benchmark-level aggregation: AO and SR averaged across sequences
+/// ("models are evaluated with two metrics in GOT-10k benchmark, average
+/// overlap (AO) and success rate (SR)").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GotMetrics {
+    /// Average overlap.
+    pub ao: f32,
+    /// Success rate at IoU > 0.50.
+    pub sr50: f32,
+    /// Success rate at IoU > 0.75.
+    pub sr75: f32,
+}
+
+/// Aggregates per-sequence overlaps into benchmark metrics (mean over
+/// sequences, matching the GOT-10k server).
+pub fn aggregate(sequences: &[SequenceOverlaps]) -> GotMetrics {
+    if sequences.is_empty() {
+        return GotMetrics {
+            ao: 0.0,
+            sr50: 0.0,
+            sr75: 0.0,
+        };
+    }
+    let n = sequences.len() as f32;
+    GotMetrics {
+        ao: sequences.iter().map(|s| s.average_overlap()).sum::<f32>() / n,
+        sr50: sequences.iter().map(|s| s.success_rate(0.50)).sum::<f32>() / n,
+        sr75: sequences.iter().map(|s| s.success_rate(0.75)).sum::<f32>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_tracking_scores_one() {
+        let gt = vec![BBox::new(0.5, 0.5, 0.2, 0.2); 10];
+        let o = overlaps(&gt, &gt);
+        assert!((o.average_overlap() - 1.0).abs() < 1e-6);
+        assert_eq!(o.success_rate(0.5), 1.0);
+        assert_eq!(o.success_rate(0.75), 1.0);
+    }
+
+    #[test]
+    fn lost_track_scores_zero() {
+        let gt = vec![BBox::new(0.2, 0.2, 0.1, 0.1); 5];
+        let pred = vec![BBox::new(0.8, 0.8, 0.1, 0.1); 5];
+        let o = overlaps(&pred, &gt);
+        assert_eq!(o.average_overlap(), 0.0);
+        assert_eq!(o.success_rate(0.5), 0.0);
+    }
+
+    #[test]
+    fn success_rate_thresholds_are_ordered() {
+        // Mixed-quality track: SR(0.5) ≥ SR(0.75).
+        let gt: Vec<BBox> = (0..10).map(|_| BBox::new(0.5, 0.5, 0.2, 0.2)).collect();
+        let pred: Vec<BBox> = (0..10)
+            .map(|i| BBox::new(0.5 + i as f32 * 0.01, 0.5, 0.2, 0.2))
+            .collect();
+        let o = overlaps(&pred, &gt);
+        assert!(o.success_rate(0.5) >= o.success_rate(0.75));
+        assert!(o.average_overlap() > 0.5);
+    }
+
+    #[test]
+    fn aggregate_means_over_sequences() {
+        let a = SequenceOverlaps { ious: vec![1.0, 1.0] };
+        let b = SequenceOverlaps { ious: vec![0.0, 0.0] };
+        let m = aggregate(&[a, b]);
+        assert!((m.ao - 0.5).abs() < 1e-6);
+        assert!((m.sr50 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        let m = aggregate(&[]);
+        assert_eq!(m.ao, 0.0);
+        let s = SequenceOverlaps { ious: vec![] };
+        assert_eq!(s.average_overlap(), 0.0);
+        assert_eq!(s.success_rate(0.5), 0.0);
+    }
+}

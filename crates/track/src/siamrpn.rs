@@ -1,0 +1,561 @@
+//! A SiamRPN++-style Siamese tracker (Li et al., 2019; §7.1).
+//!
+//! Structure: a shared backbone extracts exemplar and search features;
+//! depth-wise cross-correlation produces a response volume; a 1×1
+//! classification head scores each response position and a 1×1 regression
+//! head predicts log-scale box adjustments. Training uses frame pairs
+//! from the same sequence, with the exemplar branch run without gradient
+//! (the standard frozen-template simplification — the backbone still
+//! learns through the search branch, and both branches share the updated
+//! weights).
+
+use crate::backbone::BackboneKind;
+use crate::xcorr::{xcorr, xcorr_backward};
+use skynet_core::BBox;
+use skynet_data::got::crop_patch;
+use skynet_nn::{Conv2d, Layer, Mode, Param, Sequential, Sgd};
+use skynet_tensor::{conv::ConvGeometry, rng::SkyRng, Result, Tensor};
+
+/// Tracker configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiamConfig {
+    /// Backbone choice.
+    pub backbone: BackboneKind,
+    /// Width divisor for the reduced-scale backbone.
+    pub div: usize,
+    /// Exemplar patch edge in pixels (paper: 127/128; scaled here).
+    pub exemplar_px: usize,
+    /// Search patch edge in pixels (paper: 255/256; scaled here).
+    pub search_px: usize,
+    /// Exemplar crop half-extent as a multiple of the object's larger
+    /// side.
+    pub context: f32,
+    /// Damping on the regression head's scale update at inference.
+    pub scale_damping: f32,
+    /// Weight of the Hann-window motion prior blended into the response
+    /// at inference (standard Siamese-tracker practice: the target moved
+    /// little between frames, so central cells are favoured when the
+    /// appearance response is ambiguous).
+    pub window_influence: f32,
+    /// RNG seed for weight init.
+    pub seed: u64,
+}
+
+impl SiamConfig {
+    /// Default configuration for a backbone at tracking scale.
+    pub fn new(backbone: BackboneKind) -> Self {
+        SiamConfig {
+            backbone,
+            div: 8,
+            exemplar_px: 16,
+            search_px: 48,
+            context: 1.0,
+            scale_damping: 0.3,
+            window_influence: 0.35,
+            seed: 0x51A,
+        }
+    }
+
+    /// Search half-extent multiplier implied by the patch geometry.
+    pub fn search_context(&self) -> f32 {
+        self.context * self.search_px as f32 / self.exemplar_px as f32
+    }
+}
+
+/// Tracker state carried between frames.
+#[derive(Debug, Clone)]
+struct TrackState {
+    feat_z: Tensor,
+    center: (f32, f32),
+    size: (f32, f32),
+}
+
+/// One training example: an exemplar frame/box and a nearby search
+/// frame/box from the same sequence.
+#[derive(Debug, Clone)]
+pub struct TrainPair {
+    /// Frame the template is cut from.
+    pub frame_z: Tensor,
+    /// Template box.
+    pub box_z: BBox,
+    /// Frame the search window is cut from.
+    pub frame_x: Tensor,
+    /// Ground-truth box in the search frame.
+    pub box_x: BBox,
+}
+
+/// The SiamRPN++-style tracker.
+pub struct SiamRpn {
+    cfg: SiamConfig,
+    backbone: Sequential,
+    feat_c: usize,
+    cls_head: Conv2d,
+    reg_head: Conv2d,
+    state: Option<TrackState>,
+}
+
+impl SiamRpn {
+    /// Builds a tracker with fresh weights.
+    pub fn new(cfg: SiamConfig) -> Self {
+        let mut rng = SkyRng::new(cfg.seed);
+        let (backbone, feat_c) = cfg.backbone.build(cfg.div, &mut rng);
+        SiamRpn {
+            cfg,
+            backbone,
+            feat_c,
+            cls_head: Conv2d::new(feat_c, 1, ConvGeometry::pointwise(), &mut rng),
+            reg_head: Conv2d::new(feat_c, 2, ConvGeometry::pointwise(), &mut rng),
+            state: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SiamConfig {
+        &self.cfg
+    }
+
+    /// Mutable configuration access (e.g. to adjust the window influence
+    /// or scale damping after construction).
+    pub fn config_mut(&mut self) -> &mut SiamConfig {
+        &mut self.cfg
+    }
+
+    /// Backbone feature channels.
+    pub fn feature_channels(&self) -> usize {
+        self.feat_c
+    }
+
+    /// Total trainable parameters (backbone + heads).
+    pub fn param_count(&mut self) -> usize {
+        let mut n = self.backbone.param_count();
+        n += self.cls_head.param_count();
+        n += self.reg_head.param_count();
+        n
+    }
+
+    /// Visits all trainable parameters (for [`Sgd::step_visit`]).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.backbone.visit_params(f);
+        self.cls_head.visit_params(f);
+        self.reg_head.visit_params(f);
+    }
+
+    fn extract(&mut self, frame: &Tensor, cx: f32, cy: f32, half: f32, px: usize, mode: Mode) -> Result<Tensor> {
+        let patch = crop_patch(frame, cx, cy, half, px);
+        self.backbone.forward(&patch, mode)
+    }
+
+    /// One training step on a frame pair; returns the combined loss.
+    /// The caller applies `opt.step_visit(&mut |f| tracker.visit_params(f))`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn train_pair(
+        &mut self,
+        frame_z: &Tensor,
+        box_z: &BBox,
+        frame_x: &Tensor,
+        box_x: &BBox,
+    ) -> Result<f32> {
+        self.train_batch(&[TrainPair {
+            frame_z: frame_z.clone(),
+            box_z: *box_z,
+            frame_x: frame_x.clone(),
+            box_x: *box_x,
+        }])
+    }
+
+    /// One training step on a **batch** of frame pairs. Batch statistics
+    /// matter: the backbone's batch-norm layers are unstable with a batch
+    /// of one, so the search patches of all pairs run through the
+    /// backbone together.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch.
+    pub fn train_batch(&mut self, pairs: &[TrainPair]) -> Result<f32> {
+        assert!(!pairs.is_empty(), "need at least one pair");
+        let search_ctx = self.cfg.search_px as f32 / self.cfg.exemplar_px as f32;
+        // Template branch without gradient (frozen-template protocol);
+        // caches survive eval forwards, so these can run first.
+        let mut feats_z = Vec::with_capacity(pairs.len());
+        let mut halves_x = Vec::with_capacity(pairs.len());
+        let mut patches_x = Vec::with_capacity(pairs.len());
+        for p in pairs {
+            let half_z = self.cfg.context * p.box_z.w.max(p.box_z.h);
+            let half_x = half_z * search_ctx;
+            feats_z.push(self.extract(
+                &p.frame_z,
+                p.box_z.cx,
+                p.box_z.cy,
+                half_z,
+                self.cfg.exemplar_px,
+                Mode::Eval,
+            )?);
+            halves_x.push(half_x);
+            patches_x.push(crop_patch(
+                &p.frame_x,
+                p.box_z.cx,
+                p.box_z.cy,
+                half_x,
+                self.cfg.search_px,
+            ));
+        }
+        // Search branch trained as one batch.
+        let batch_x = Tensor::stack(&patches_x)?;
+        let feat_x_all = self.backbone.forward(&batch_x, Mode::Train)?;
+        // Correlate per pair (each pair has its own template), then batch
+        // the heads.
+        let mut resps = Vec::with_capacity(pairs.len());
+        for (i, fz) in feats_z.iter().enumerate() {
+            resps.push(xcorr(&feat_x_all.batch_item(i), fz)?);
+        }
+        let resp_batch = Tensor::stack(&resps)?;
+        let cls = self.cls_head.forward(&resp_batch, Mode::Train)?;
+        let reg = self.reg_head.forward(&resp_batch, Mode::Train)?;
+
+        let rs = cls.shape();
+        let (gh, gw) = (rs.h, rs.w);
+        let inv_n = 1.0 / pairs.len() as f32;
+        let mut loss = 0.0f32;
+        let mut g_cls = Tensor::zeros(cls.shape());
+        let mut g_reg = Tensor::zeros(reg.shape());
+        for (i, p) in pairs.iter().enumerate() {
+            let (ty, tx) = displacement_to_cell(
+                p.box_x.cx - p.box_z.cx,
+                p.box_x.cy - p.box_z.cy,
+                halves_x[i],
+                gh,
+                gw,
+            );
+            // Classification: sigmoid MSE against one-hot, positive cell
+            // upweighted to balance the grid.
+            for y in 0..gh {
+                for x in 0..gw {
+                    let v = cls.at(i, 0, y, x);
+                    let s = 1.0 / (1.0 + (-v).exp());
+                    let t = if (y, x) == (ty, tx) { 1.0 } else { 0.0 };
+                    let w = if t > 0.5 { 4.0 } else { 1.0 };
+                    loss += inv_n * w * (s - t) * (s - t);
+                    *g_cls.at_mut(i, 0, y, x) = inv_n * w * 2.0 * (s - t) * s * (1.0 - s);
+                }
+            }
+            // Regression at the target cell: log-scale deltas.
+            let twl = (p.box_x.w / p.box_z.w.max(1e-6)).max(1e-4).ln();
+            let thl = (p.box_x.h / p.box_z.h.max(1e-6)).max(1e-4).ln();
+            let dw = reg.at(i, 0, ty, tx) - twl;
+            let dh = reg.at(i, 1, ty, tx) - thl;
+            loss += inv_n * (dw * dw + dh * dh);
+            *g_reg.at_mut(i, 0, ty, tx) = inv_n * 2.0 * dw;
+            *g_reg.at_mut(i, 1, ty, tx) = inv_n * 2.0 * dh;
+        }
+
+        // Backward: heads → response volume → per-pair correlation →
+        // batched backbone.
+        let g_resp_cls = self.cls_head.backward(&g_cls)?;
+        let g_resp_reg = self.reg_head.backward(&g_reg)?;
+        let g_resp = g_resp_cls.add(&g_resp_reg)?;
+        let mut g_feats = Vec::with_capacity(pairs.len());
+        for (i, fz) in feats_z.iter().enumerate() {
+            let grads = xcorr_backward(&feat_x_all.batch_item(i), fz, &g_resp.batch_item(i))?;
+            // Template-branch gradient dropped (frozen-template protocol).
+            g_feats.push(grads.search);
+        }
+        let _ = self.backbone.backward(&Tensor::stack(&g_feats)?)?;
+        Ok(loss)
+    }
+
+    /// Runs the backbone in eval mode on an already-cropped patch
+    /// (used by the SiamMask mask branch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn backbone_forward_eval(&mut self, patch: &Tensor) -> Result<Tensor> {
+        self.backbone.forward(patch, Mode::Eval)
+    }
+
+    /// Current tracked center, if initialized.
+    pub fn state_center(&self) -> Option<(f32, f32)> {
+        self.state.as_ref().map(|s| s.center)
+    }
+
+    /// Replaces the tracked center/size with a refined box (used by
+    /// SiamMask after mask-based refinement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SiamRpn::init`] has not been called.
+    pub fn overwrite_state(&mut self, bbox: &BBox) {
+        let state = self.state.as_mut().expect("init before overwrite_state");
+        state.center = (bbox.cx, bbox.cy);
+        state.size = (bbox.w, bbox.h);
+    }
+
+    /// Initializes tracking on the first frame with the ground-truth box
+    /// (the GOT-10k one-shot protocol).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn init(&mut self, frame: &Tensor, bbox: &BBox) -> Result<()> {
+        let half_z = self.cfg.context * bbox.w.max(bbox.h);
+        let feat_z = self.extract(frame, bbox.cx, bbox.cy, half_z, self.cfg.exemplar_px, Mode::Eval)?;
+        self.state = Some(TrackState {
+            feat_z,
+            center: (bbox.cx, bbox.cy),
+            size: (bbox.w, bbox.h),
+        });
+        Ok(())
+    }
+
+    /// Raw response analysis shared by `update` and SiamMask: returns
+    /// `(response, feat_x, search half-extent, peak cell)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SiamRpn::init`] has not been called.
+    pub fn respond(&mut self, frame: &Tensor) -> Result<(Tensor, Tensor, f32, (usize, usize))> {
+        let state = self.state.clone().expect("init before update");
+        let half_z = self.cfg.context * state.size.0.max(state.size.1);
+        let half_x = half_z * self.cfg.search_px as f32 / self.cfg.exemplar_px as f32;
+        let feat_x = self.extract(
+            frame,
+            state.center.0,
+            state.center.1,
+            half_x,
+            self.cfg.search_px,
+            Mode::Eval,
+        )?;
+        let resp = xcorr(&feat_x, &state.feat_z)?;
+        let cls = self.cls_head.forward(&resp, Mode::Eval)?;
+        let rs = cls.shape();
+        let gamma = self.cfg.window_influence;
+        let mut best = (0usize, 0usize);
+        let mut best_v = f32::MIN;
+        for y in 0..rs.h {
+            for x in 0..rs.w {
+                let p = 1.0 / (1.0 + (-cls.at(0, 0, y, x)).exp());
+                let v = (1.0 - gamma) * p + gamma * hann2(y, x, rs.h, rs.w);
+                if v > best_v {
+                    best_v = v;
+                    best = (y, x);
+                }
+            }
+        }
+        Ok((resp, feat_x, half_x, best))
+    }
+
+    /// Tracks the object into the next frame, returning the new box.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SiamRpn::init`] has not been called.
+    pub fn update(&mut self, frame: &Tensor) -> Result<BBox> {
+        let (resp, _feat_x, half_x, peak) = self.respond(frame)?;
+        self.advance(&resp, half_x, peak)
+    }
+
+    /// Advances the tracker state from an already-computed response
+    /// (produced by [`SiamRpn::respond`]). Split out so SiamMask can run
+    /// one backbone pass per frame and share it between the RPN update
+    /// and its mask branch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SiamRpn::init`] has not been called.
+    pub fn advance(&mut self, resp: &Tensor, half_x: f32, peak: (usize, usize)) -> Result<BBox> {
+        let reg = self.reg_head.forward(resp, Mode::Eval)?;
+        let rs = reg.shape();
+        let state = self.state.as_mut().expect("init before update");
+        let (dx, dy) = cell_to_displacement(peak.0, peak.1, half_x, rs.h, rs.w);
+        let mut cx = (state.center.0 + dx).clamp(0.02, 0.98);
+        let mut cy = (state.center.1 + dy).clamp(0.02, 0.98);
+        // Damped scale update from the regression head. A diverged model
+        // can emit non-finite logits; treat those as "no scale change"
+        // instead of poisoning the tracker state (f32::clamp panics on
+        // NaN bounds-free inputs).
+        let damp = self.cfg.scale_damping;
+        let sanitize = |v: f32| if v.is_finite() { (v * damp).clamp(-0.08, 0.08) } else { 0.0 };
+        let sw = sanitize(reg.at(0, 0, peak.0, peak.1)).exp();
+        let sh = sanitize(reg.at(0, 1, peak.0, peak.1)).exp();
+        let w = (state.size.0 * sw).clamp(0.02, 0.9);
+        let h = (state.size.1 * sh).clamp(0.02, 0.9);
+        // Keep the box inside the frame.
+        cx = cx.clamp(w / 2.0, 1.0 - w / 2.0);
+        cy = cy.clamp(h / 2.0, 1.0 - h / 2.0);
+        state.center = (cx, cy);
+        state.size = (w, h);
+        Ok(BBox::new(cx, cy, w, h))
+    }
+}
+
+impl std::fmt::Debug for SiamRpn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SiamRPN({}, C={})", self.cfg.backbone.name(), self.feat_c)
+    }
+}
+
+/// Normalized 2-D Hann window value at cell `(y, x)` of a `gh×gw` grid
+/// (1 at the center, 0 at the corners).
+pub fn hann2(y: usize, x: usize, gh: usize, gw: usize) -> f32 {
+    let h = |i: usize, n: usize| {
+        if n <= 1 {
+            1.0
+        } else {
+            0.5 * (1.0 - (2.0 * std::f32::consts::PI * i as f32 / (n - 1) as f32).cos())
+        }
+    };
+    h(y, gh) * h(x, gw)
+}
+
+/// Maps a normalized frame displacement to a response-grid cell.
+pub fn displacement_to_cell(
+    dx: f32,
+    dy: f32,
+    half_x: f32,
+    gh: usize,
+    gw: usize,
+) -> (usize, usize) {
+    let fx = (dx / (2.0 * half_x) + 0.5).clamp(0.0, 1.0 - 1e-6);
+    let fy = (dy / (2.0 * half_x) + 0.5).clamp(0.0, 1.0 - 1e-6);
+    ((fy * gh as f32) as usize, (fx * gw as f32) as usize)
+}
+
+/// Inverse of [`displacement_to_cell`] at cell centers.
+pub fn cell_to_displacement(cy: usize, cx: usize, half_x: f32, gh: usize, gw: usize) -> (f32, f32) {
+    let fx = (cx as f32 + 0.5) / gw as f32 - 0.5;
+    let fy = (cy as f32 + 0.5) / gh as f32 - 0.5;
+    (fx * 2.0 * half_x, fy * 2.0 * half_x)
+}
+
+/// Trains a tracker over sequences by sampling frame pairs; returns the
+/// mean loss of the final epoch.
+///
+/// # Errors
+///
+/// Propagates tensor shape errors.
+pub fn train_on_sequences(
+    tracker: &mut SiamRpn,
+    sequences: &[skynet_data::got::TrackSequence],
+    epochs: usize,
+    opt: &mut Sgd,
+    seed: u64,
+) -> Result<f32> {
+    let mut rng = SkyRng::new(seed);
+    let mut last_epoch_loss = 0.0;
+    const BATCH: usize = 6;
+    for _ in 0..epochs {
+        let mut total = 0.0;
+        let mut steps = 0;
+        let mut pending: Vec<TrainPair> = Vec::with_capacity(BATCH);
+        for seq in sequences {
+            if seq.len() < 2 {
+                continue;
+            }
+            let i = rng.below(seq.len() - 1);
+            let j = (i + 1 + rng.below((seq.len() - i - 1).min(4))).min(seq.len() - 1);
+            pending.push(TrainPair {
+                frame_z: seq.frames[i].clone(),
+                box_z: seq.boxes[i],
+                frame_x: seq.frames[j].clone(),
+                box_x: seq.boxes[j],
+            });
+            if pending.len() == BATCH {
+                total += tracker.train_batch(&pending)?;
+                opt.step_visit(&mut |f| tracker.visit_params(f));
+                pending.clear();
+                steps += 1;
+            }
+        }
+        if !pending.is_empty() {
+            total += tracker.train_batch(&pending)?;
+            opt.step_visit(&mut |f| tracker.visit_params(f));
+            steps += 1;
+        }
+        last_epoch_loss = total / steps.max(1) as f32;
+    }
+    Ok(last_epoch_loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_data::got::{GotConfig, GotGen};
+
+    fn tiny_cfg() -> SiamConfig {
+        SiamConfig {
+            div: 32,
+            ..SiamConfig::new(BackboneKind::SkyNet)
+        }
+    }
+
+    #[test]
+    fn displacement_cell_roundtrip() {
+        let (gh, gw) = (5, 5);
+        let half = 0.3;
+        for cell in [(0, 0), (2, 2), (4, 3)] {
+            let (dx, dy) = cell_to_displacement(cell.0, cell.1, half, gh, gw);
+            let back = displacement_to_cell(dx, dy, half, gh, gw);
+            assert_eq!(back, cell);
+        }
+    }
+
+    #[test]
+    fn init_and_update_produce_valid_boxes() {
+        let mut gen = GotGen::new(GotConfig::default());
+        let seq = gen.sequence();
+        let mut tracker = SiamRpn::new(tiny_cfg());
+        tracker.init(&seq.frames[0], &seq.boxes[0]).unwrap();
+        for frame in &seq.frames[1..4] {
+            let b = tracker.update(frame).unwrap();
+            assert!(b.w > 0.0 && b.h > 0.0);
+            let (x1, y1, x2, y2) = b.corners();
+            assert!(x1 >= -1e-4 && y1 >= -1e-4 && x2 <= 1.0 + 1e-4 && y2 <= 1.0 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn training_reduces_pair_loss() {
+        let mut gen = GotGen::new(GotConfig {
+            seq_len: 6,
+            distractor_prob: 0.0,
+            ..GotConfig::default()
+        });
+        let seqs = gen.generate(4);
+        let mut tracker = SiamRpn::new(tiny_cfg());
+        let mut opt = Sgd::new(skynet_nn::LrSchedule::Constant(2e-3), 0.9, 1e-4);
+        let first = train_on_sequences(&mut tracker, &seqs, 1, &mut opt, 1).unwrap();
+        let mut mid = 0.0;
+        for _ in 0..6 {
+            mid = train_on_sequences(&mut tracker, &seqs, 1, &mut opt, 2).unwrap();
+        }
+        assert!(mid < first, "loss should drop: {first} → {mid}");
+    }
+
+    #[test]
+    #[should_panic(expected = "init before update")]
+    fn update_without_init_panics() {
+        let mut gen = GotGen::new(GotConfig::default());
+        let seq = gen.sequence();
+        let mut tracker = SiamRpn::new(tiny_cfg());
+        let _ = tracker.update(&seq.frames[0]);
+    }
+}

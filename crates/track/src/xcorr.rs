@@ -1,0 +1,167 @@
+//! Depth-wise cross-correlation (the SiamRPN++ correlation operator).
+//!
+//! The exemplar feature map acts as a per-channel filter slid over the
+//! search feature map — exactly a depth-wise convolution with no padding,
+//! so the kernels from [`skynet_tensor::dwconv`] do the work. Backward
+//! returns gradients for **both** operands.
+
+use skynet_tensor::conv::ConvGeometry;
+use skynet_tensor::dwconv::{dwconv2d, dwconv2d_backward};
+use skynet_tensor::{Result, Shape, Tensor, TensorError};
+
+fn geometry(z: Shape) -> ConvGeometry {
+    ConvGeometry::new(z.h.max(z.w), 1, 0)
+}
+
+fn check(search: Shape, exemplar: Shape) -> Result<()> {
+    if search.c != exemplar.c || exemplar.n != 1 || search.n != 1 {
+        return Err(TensorError::ShapeMismatch {
+            op: "xcorr",
+            expected: format!("single-batch maps with {} channels", search.c),
+            got: exemplar.to_string(),
+        });
+    }
+    if exemplar.h != exemplar.w || exemplar.h > search.h || exemplar.w > search.w {
+        return Err(TensorError::InvalidDimension {
+            op: "xcorr",
+            detail: format!(
+                "exemplar {}×{} must be square and fit search {}×{}",
+                exemplar.h, exemplar.w, search.h, search.w
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Valid depth-wise cross-correlation of a `1×C×hx×wx` search map with a
+/// square `1×C×hz×hz` exemplar map → `1×C×(hx−hz+1)×(wx−hz+1)`.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when channel counts differ, batches aren't 1
+/// or the exemplar doesn't fit inside the search map.
+pub fn xcorr(search: &Tensor, exemplar: &Tensor) -> Result<Tensor> {
+    let (sx, sz) = (search.shape(), exemplar.shape());
+    check(sx, sz)?;
+    let weight = exemplar.reshape(Shape::new(sz.c, 1, sz.h, sz.w))?;
+    dwconv2d(search, &weight, None, geometry(sz))
+}
+
+/// Gradients of [`xcorr`] with respect to both operands.
+#[derive(Debug, Clone)]
+pub struct XcorrGrads {
+    /// Gradient w.r.t. the search feature map.
+    pub search: Tensor,
+    /// Gradient w.r.t. the exemplar feature map.
+    pub exemplar: Tensor,
+}
+
+/// Backward pass of [`xcorr`].
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when `grad_out` doesn't match the forward
+/// output shape.
+pub fn xcorr_backward(
+    search: &Tensor,
+    exemplar: &Tensor,
+    grad_out: &Tensor,
+) -> Result<XcorrGrads> {
+    let (sx, sz) = (search.shape(), exemplar.shape());
+    check(sx, sz)?;
+    let weight = exemplar.reshape(Shape::new(sz.c, 1, sz.h, sz.w))?;
+    let grads = dwconv2d_backward(search, &weight, grad_out, geometry(sz))?;
+    Ok(XcorrGrads {
+        search: grads.input,
+        exemplar: grads.weight.reshape(sz)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_tensor::rng::SkyRng;
+
+    fn random(shape: Shape, seed: u64) -> Tensor {
+        let mut rng = SkyRng::new(seed);
+        Tensor::from_vec(shape, (0..shape.numel()).map(|_| rng.normal(0.0, 1.0)).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn response_peaks_where_exemplar_matches() {
+        // Plant the exemplar inside the search map; the response argmax
+        // must be at the plant position.
+        let z = random(Shape::new(1, 4, 3, 3), 1);
+        let mut x = Tensor::zeros(Shape::new(1, 4, 8, 8));
+        let (py, px) = (2usize, 4usize);
+        for c in 0..4 {
+            for y in 0..3 {
+                for w in 0..3 {
+                    *x.at_mut(0, c, py + y, px + w) = z.at(0, c, y, w);
+                }
+            }
+        }
+        let r = xcorr(&x, &z).unwrap();
+        assert_eq!(r.shape(), Shape::new(1, 4, 6, 6));
+        // Sum response over channels, find argmax.
+        let mut best = (0usize, 0usize);
+        let mut best_v = f32::MIN;
+        for y in 0..6 {
+            for w in 0..6 {
+                let v: f32 = (0..4).map(|c| r.at(0, c, y, w)).sum();
+                if v > best_v {
+                    best_v = v;
+                    best = (y, w);
+                }
+            }
+        }
+        assert_eq!(best, (py, px));
+    }
+
+    #[test]
+    fn output_shape_is_valid_correlation() {
+        let x = random(Shape::new(1, 2, 8, 10), 2);
+        let z = random(Shape::new(1, 2, 4, 4), 3);
+        let r = xcorr(&x, &z).unwrap();
+        assert_eq!(r.shape(), Shape::new(1, 2, 5, 7));
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let x = random(Shape::new(1, 2, 5, 5), 4);
+        let z = random(Shape::new(1, 2, 3, 3), 5);
+        let r = xcorr(&x, &z).unwrap();
+        let go = Tensor::ones(r.shape());
+        let grads = xcorr_backward(&x, &z, &go).unwrap();
+        let eps = 1e-2f32;
+        // Probe a few coordinates of each operand.
+        for idx in [0usize, 13, 31, 49] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let lp = xcorr(&xp, &z).unwrap().sum();
+            xp.as_mut_slice()[idx] -= 2.0 * eps;
+            let lm = xcorr(&xp, &z).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grads.search.as_slice()[idx]).abs() < 1e-2);
+        }
+        for idx in [0usize, 7, 17] {
+            let mut zp = z.clone();
+            zp.as_mut_slice()[idx] += eps;
+            let lp = xcorr(&x, &zp).unwrap().sum();
+            zp.as_mut_slice()[idx] -= 2.0 * eps;
+            let lm = xcorr(&x, &zp).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grads.exemplar.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_operands() {
+        let x = random(Shape::new(1, 2, 8, 8), 6);
+        let z_badc = random(Shape::new(1, 3, 3, 3), 7);
+        assert!(xcorr(&x, &z_badc).is_err());
+        let z_toobig = random(Shape::new(1, 2, 9, 9), 8);
+        assert!(xcorr(&x, &z_toobig).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # skynet-zoo
+//!
+//! Baseline backbones the paper compares against:
+//!
+//! * [`resnet`] — ResNet-18/34/50 (Table 2 detection baselines; ResNet-50
+//!   is also the SiamRPN++/SiamMask reference backbone of Tables 8–9),
+//! * [`vgg`] — VGG-16 (Table 2),
+//! * [`alexnet`] — AlexNet (the Fig. 2(a) quantization subject and the
+//!   fast SiamRPN++ baseline of Table 8),
+//! * [`mobilenet`] — a MobileNet-V1-style DW/PW chain (the compact-DNN
+//!   family several DAC-SDC entries in Table 1 started from).
+//!
+//! Every family exposes three views:
+//!
+//! 1. a **paper-scale descriptor** ([`skynet_core::desc::NetDesc`]) whose
+//!    parameter counts match the published sizes (used for Table 2's
+//!    parameter column and the 37.2× comparison of §7),
+//! 2. a **reduced-scale trainable detector** with overall stride 8 and the
+//!    same 10-channel YOLO back-end as SkyNet, and
+//! 3. a **reduced-scale feature extractor** for the Siamese trackers.
+
+#![deny(missing_docs)]
+
+pub mod alexnet;
+pub mod mobilenet;
+pub mod resnet;
+pub mod vgg;

@@ -1,0 +1,122 @@
+//! A MobileNet-V1-style backbone (Howard et al., 2017).
+//!
+//! Several DAC-SDC entries in Table 1 start from MobileNet; we include a
+//! reduced-scale variant as an extra compact baseline and as an ablation
+//! reference point for the Bundle search (its DW/PW chain is the same
+//! component family SkyNet's winning Bundle comes from, but with strided
+//! depth-wise convolutions instead of max pooling and ReLU instead of
+//! ReLU6).
+
+use skynet_core::desc::{LayerDesc, NetDesc};
+use skynet_core::skynet::HEAD_CHANNELS;
+use skynet_nn::{Act, Activation, BatchNorm2d, Conv2d, DwConv2d, Sequential};
+use skynet_tensor::{conv::ConvGeometry, rng::SkyRng};
+
+/// (output channels, stride) plan of the stride-8 prefix of MobileNet-V1.
+pub const PLAN: [(usize, usize); 6] = [
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 1),
+];
+
+/// Paper-scale descriptor of the stride-8 prefix (stem + PLAN).
+pub fn descriptor(in_h: usize, in_w: usize) -> NetDesc {
+    let mut layers = vec![
+        LayerDesc::Conv { in_c: 3, out_c: 32, k: 3, s: 2, p: 1 },
+        LayerDesc::Bn { c: 32 },
+        LayerDesc::Act { c: 32 },
+    ];
+    let mut in_c = 32usize;
+    for (out_c, s) in PLAN {
+        layers.extend([
+            LayerDesc::DwConv { c: in_c, k: 3, s, p: 1 },
+            LayerDesc::Bn { c: in_c },
+            LayerDesc::Act { c: in_c },
+            LayerDesc::Conv { in_c, out_c, k: 1, s: 1, p: 0 },
+            LayerDesc::Bn { c: out_c },
+            LayerDesc::Act { c: out_c },
+        ]);
+        in_c = out_c;
+    }
+    NetDesc::new(3, in_h, in_w, layers)
+}
+
+/// Reduced-scale feature extractor with stride 8; returns the network and
+/// its output channel count.
+pub fn features(div: usize, rng: &mut SkyRng) -> (Sequential, usize) {
+    let mut seq = Sequential::empty();
+    let stem = (32usize / div).max(4);
+    seq.push(Box::new(Conv2d::new_no_bias(
+        3,
+        stem,
+        ConvGeometry::new(3, 2, 1),
+        rng,
+    )));
+    seq.push(Box::new(BatchNorm2d::new(stem)));
+    seq.push(Box::new(Activation::new(Act::Relu)));
+    let mut in_c = stem;
+    for (out_c, s) in PLAN {
+        let out_c = (out_c / div).max(4);
+        seq.push(Box::new(DwConv2d::new(in_c, ConvGeometry::new(3, s, 1), rng)));
+        seq.push(Box::new(BatchNorm2d::new(in_c)));
+        seq.push(Box::new(Activation::new(Act::Relu)));
+        seq.push(Box::new(Conv2d::pointwise(in_c, out_c, rng)));
+        seq.push(Box::new(BatchNorm2d::new(out_c)));
+        seq.push(Box::new(Activation::new(Act::Relu)));
+        in_c = out_c;
+    }
+    (seq, in_c)
+}
+
+/// Reduced-scale MobileNet detector with the shared 10-channel back-end.
+pub fn detector(div: usize, rng: &mut SkyRng) -> Sequential {
+    let (mut seq, out_c) = features(div, rng);
+    seq.push(Box::new(Conv2d::new(
+        out_c,
+        HEAD_CHANNELS,
+        ConvGeometry::pointwise(),
+        rng,
+    )));
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_nn::{Layer, Mode};
+    use skynet_tensor::{Shape, Tensor};
+
+    #[test]
+    fn detector_stride_8() {
+        let mut rng = SkyRng::new(0);
+        let mut net = detector(8, &mut rng);
+        let x = Tensor::zeros(Shape::new(1, 3, 32, 64));
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), Shape::new(1, HEAD_CHANNELS, 4, 8));
+    }
+
+    #[test]
+    fn descriptor_is_mostly_pointwise_params() {
+        let d = descriptor(160, 320);
+        let pw: usize = d
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerDesc::Conv { k: 1, .. }))
+            .map(|l| l.params())
+            .sum();
+        assert!(pw * 10 > d.total_params() * 8);
+    }
+
+    #[test]
+    fn features_train_roundtrip() {
+        let mut rng = SkyRng::new(1);
+        let (mut net, _) = features(8, &mut rng);
+        let x = Tensor::ones(Shape::new(1, 3, 16, 16));
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let gx = net.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+    }
+}

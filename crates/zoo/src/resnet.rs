@@ -1,0 +1,264 @@
+//! ResNet-18/34/50 (He et al., 2016).
+//!
+//! Paper-scale descriptors reproduce the published backbone parameter
+//! counts of Table 2 (11.18 M / 21.28 M / 23.51 M); reduced-scale builders
+//! produce trainable detectors (stride 8, SkyNet's 10-channel back-end)
+//! and tracker feature extractors.
+
+use skynet_core::desc::{LayerDesc, NetDesc};
+use skynet_core::skynet::HEAD_CHANNELS;
+use skynet_nn::{
+    Act, Activation, BatchNorm2d, Conv2d, Layer, Residual, Sequential,
+};
+use skynet_tensor::{conv::ConvGeometry, rng::SkyRng};
+
+/// Which ResNet depth to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResNetDepth {
+    /// ResNet-18: basic blocks, [2, 2, 2, 2].
+    R18,
+    /// ResNet-34: basic blocks, [3, 4, 6, 3].
+    R34,
+    /// ResNet-50: bottleneck blocks, [3, 4, 6, 3].
+    R50,
+}
+
+impl ResNetDepth {
+    /// Blocks per stage.
+    pub fn blocks(&self) -> [usize; 4] {
+        match self {
+            ResNetDepth::R18 => [2, 2, 2, 2],
+            ResNetDepth::R34 | ResNetDepth::R50 => [3, 4, 6, 3],
+        }
+    }
+
+    /// Whether stages use bottleneck (1×1–3×3–1×1) blocks.
+    pub fn bottleneck(&self) -> bool {
+        matches!(self, ResNetDepth::R50)
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResNetDepth::R18 => "ResNet-18",
+            ResNetDepth::R34 => "ResNet-34",
+            ResNetDepth::R50 => "ResNet-50",
+        }
+    }
+}
+
+/// Paper-scale backbone descriptor (stem + 4 stages, no classifier head)
+/// for an `in_h×in_w` input.
+pub fn descriptor(depth: ResNetDepth, in_h: usize, in_w: usize) -> NetDesc {
+    let mut layers = vec![
+        // Stem: 7×7/2 conv, BN, ReLU, 3×3/2 max pool (approximated as 2×2
+        // for the non-overlapping pool model; parameter count unaffected).
+        LayerDesc::Conv { in_c: 3, out_c: 64, k: 7, s: 2, p: 3 },
+        LayerDesc::Bn { c: 64 },
+        LayerDesc::Act { c: 64 },
+        LayerDesc::Pool { c: 64, k: 2 },
+    ];
+    let widths = [64usize, 128, 256, 512];
+    let expansion = if depth.bottleneck() { 4 } else { 1 };
+    let mut in_c = 64usize;
+    for (stage, (&w, &n)) in widths.iter().zip(depth.blocks().iter()).enumerate() {
+        for b in 0..n {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            let out_c = w * expansion;
+            if depth.bottleneck() {
+                layers.extend([
+                    LayerDesc::Conv { in_c, out_c: w, k: 1, s: 1, p: 0 },
+                    LayerDesc::Bn { c: w },
+                    LayerDesc::Act { c: w },
+                    LayerDesc::Conv { in_c: w, out_c: w, k: 3, s: stride, p: 1 },
+                    LayerDesc::Bn { c: w },
+                    LayerDesc::Act { c: w },
+                    LayerDesc::Conv { in_c: w, out_c, k: 1, s: 1, p: 0 },
+                    LayerDesc::Bn { c: out_c },
+                ]);
+            } else {
+                layers.extend([
+                    LayerDesc::Conv { in_c, out_c, k: 3, s: stride, p: 1 },
+                    LayerDesc::Bn { c: out_c },
+                    LayerDesc::Act { c: out_c },
+                    LayerDesc::Conv { in_c: out_c, out_c, k: 3, s: 1, p: 1 },
+                    LayerDesc::Bn { c: out_c },
+                ]);
+            }
+            if b == 0 && (stride != 1 || in_c != out_c) {
+                // Projection shortcut.
+                layers.extend([
+                    LayerDesc::Conv { in_c, out_c, k: 1, s: stride, p: 0 },
+                    LayerDesc::Bn { c: out_c },
+                ]);
+            }
+            layers.push(LayerDesc::Act { c: out_c });
+            in_c = out_c;
+        }
+    }
+    NetDesc::new(3, in_h, in_w, layers)
+}
+
+fn conv_bn_act(
+    in_c: usize,
+    out_c: usize,
+    geo: ConvGeometry,
+    act: bool,
+    rng: &mut SkyRng,
+) -> Vec<Box<dyn Layer>> {
+    let mut v: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new_no_bias(in_c, out_c, geo, rng)),
+        Box::new(BatchNorm2d::new(out_c)),
+    ];
+    if act {
+        v.push(Box::new(Activation::new(Act::Relu)));
+    }
+    v
+}
+
+fn basic_block(in_c: usize, out_c: usize, stride: usize, rng: &mut SkyRng) -> Residual {
+    let mut main = Sequential::empty();
+    for l in conv_bn_act(in_c, out_c, ConvGeometry::new(3, stride, 1), true, rng) {
+        main.push(l);
+    }
+    for l in conv_bn_act(out_c, out_c, ConvGeometry::same3x3(), false, rng) {
+        main.push(l);
+    }
+    if stride != 1 || in_c != out_c {
+        let mut short = Sequential::empty();
+        for l in conv_bn_act(in_c, out_c, ConvGeometry::new(1, stride, 0), false, rng) {
+            short.push(l);
+        }
+        Residual::projected(main, short)
+    } else {
+        Residual::identity(main)
+    }
+}
+
+fn bottleneck_block(in_c: usize, mid_c: usize, stride: usize, rng: &mut SkyRng) -> Residual {
+    let out_c = mid_c * 4;
+    let mut main = Sequential::empty();
+    for l in conv_bn_act(in_c, mid_c, ConvGeometry::new(1, 1, 0), true, rng) {
+        main.push(l);
+    }
+    for l in conv_bn_act(mid_c, mid_c, ConvGeometry::new(3, stride, 1), true, rng) {
+        main.push(l);
+    }
+    for l in conv_bn_act(mid_c, out_c, ConvGeometry::new(1, 1, 0), false, rng) {
+        main.push(l);
+    }
+    if stride != 1 || in_c != out_c {
+        let mut short = Sequential::empty();
+        for l in conv_bn_act(in_c, out_c, ConvGeometry::new(1, stride, 0), false, rng) {
+            short.push(l);
+        }
+        Residual::projected(main, short)
+    } else {
+        Residual::identity(main)
+    }
+}
+
+/// Builds a reduced-scale ResNet **feature extractor** with overall
+/// stride 8 (stem stride 1, three strided stages) and widths divided by
+/// `div`. Returns the network and its output channel count.
+pub fn features(depth: ResNetDepth, div: usize, rng: &mut SkyRng) -> (Sequential, usize) {
+    let widths: Vec<usize> = [64usize, 128, 256, 512]
+        .iter()
+        .map(|w| (w / div).max(4))
+        .collect();
+    let expansion = if depth.bottleneck() { 4 } else { 1 };
+    let mut seq = Sequential::empty();
+    // Reduced-scale stem: 3×3 stride-1 conv (a 7×7/2 stem would collapse
+    // the small training inputs).
+    for l in conv_bn_act(3, widths[0], ConvGeometry::same3x3(), true, rng) {
+        seq.push(l);
+    }
+    let mut in_c = widths[0];
+    for (stage, (&w, &n)) in widths.iter().zip(depth.blocks().iter()).enumerate() {
+        for b in 0..n {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            if depth.bottleneck() {
+                seq.push(Box::new(bottleneck_block(in_c, w, stride, rng)));
+                in_c = w * expansion;
+            } else {
+                seq.push(Box::new(basic_block(in_c, w, stride, rng)));
+                in_c = w;
+            }
+        }
+    }
+    (seq, in_c)
+}
+
+/// Builds a reduced-scale ResNet **detector**: [`features`] followed by
+/// the 10-channel point-wise back-end (same back-end as SkyNet, per the
+/// Table 2 protocol).
+pub fn detector(depth: ResNetDepth, div: usize, rng: &mut SkyRng) -> Sequential {
+    let (mut seq, out_c) = features(depth, div, rng);
+    seq.push(Box::new(Conv2d::new(
+        out_c,
+        HEAD_CHANNELS,
+        ConvGeometry::pointwise(),
+        rng,
+    )));
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_nn::{Layer, Mode};
+    use skynet_tensor::{Shape, Tensor};
+
+    #[test]
+    fn paper_scale_params_match_table2() {
+        // Table 2: 11.18 M / 21.28 M / 23.51 M backbone parameters.
+        let cases = [
+            (ResNetDepth::R18, 11.18e6),
+            (ResNetDepth::R34, 21.28e6),
+            (ResNetDepth::R50, 23.51e6),
+        ];
+        for (depth, want) in cases {
+            let got = descriptor(depth, 224, 224).total_params() as f64;
+            let err = (got - want).abs() / want;
+            assert!(err < 0.02, "{}: {got} vs {want}", depth.name());
+        }
+    }
+
+    #[test]
+    fn detector_has_stride8_and_head_channels() {
+        let mut rng = SkyRng::new(0);
+        let mut net = detector(ResNetDepth::R18, 16, &mut rng);
+        let x = Tensor::zeros(Shape::new(1, 3, 32, 64));
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), Shape::new(1, HEAD_CHANNELS, 4, 8));
+    }
+
+    #[test]
+    fn bottleneck_detector_runs() {
+        let mut rng = SkyRng::new(1);
+        let mut net = detector(ResNetDepth::R50, 16, &mut rng);
+        let x = Tensor::zeros(Shape::new(1, 3, 16, 32));
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape().c, HEAD_CHANNELS);
+    }
+
+    #[test]
+    fn deeper_nets_have_more_params_at_same_divisor() {
+        let mut rng = SkyRng::new(2);
+        let p18 = detector(ResNetDepth::R18, 8, &mut rng).param_count();
+        let p34 = detector(ResNetDepth::R34, 8, &mut rng).param_count();
+        let p50 = detector(ResNetDepth::R50, 8, &mut rng).param_count();
+        assert!(p18 < p34 && p34 < p50, "{p18} {p34} {p50}");
+    }
+
+    #[test]
+    fn features_train_roundtrip() {
+        let mut rng = SkyRng::new(3);
+        let (mut net, out_c) = features(ResNetDepth::R18, 16, &mut rng);
+        let x = Tensor::ones(Shape::new(1, 3, 16, 16));
+        let y = net.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape().c, out_c);
+        let gx = net.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+    }
+}

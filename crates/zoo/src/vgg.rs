@@ -1,0 +1,106 @@
+//! VGG-16 (Simonyan & Zisserman, 2014) — the Table 2 baseline with
+//! 14.71 M backbone parameters.
+
+use skynet_core::desc::{LayerDesc, NetDesc};
+use skynet_core::skynet::HEAD_CHANNELS;
+use skynet_nn::{Act, Activation, BatchNorm2d, Conv2d, MaxPool2d, Sequential};
+use skynet_tensor::{conv::ConvGeometry, rng::SkyRng};
+
+/// The 13-conv-layer VGG-16 plan: widths between pools.
+pub const VGG16_PLAN: [&[usize]; 5] = [
+    &[64, 64],
+    &[128, 128],
+    &[256, 256, 256],
+    &[512, 512, 512],
+    &[512, 512, 512],
+];
+
+/// Paper-scale conv-backbone descriptor (no classifier head).
+pub fn descriptor(in_h: usize, in_w: usize) -> NetDesc {
+    let mut layers = Vec::new();
+    let mut in_c = 3usize;
+    for stage in VGG16_PLAN {
+        for &w in stage.iter() {
+            layers.push(LayerDesc::Conv { in_c, out_c: w, k: 3, s: 1, p: 1 });
+            layers.push(LayerDesc::Act { c: w });
+            in_c = w;
+        }
+        layers.push(LayerDesc::Pool { c: in_c, k: 2 });
+    }
+    NetDesc::new(3, in_h, in_w, layers)
+}
+
+/// Reduced-scale VGG feature extractor with stride 8 (first three stages)
+/// and widths divided by `div`; returns the network and its output channel
+/// count. BN is added after each conv for trainability at small batch
+/// sizes (the modern VGG-BN convention).
+pub fn features(div: usize, rng: &mut SkyRng) -> (Sequential, usize) {
+    let mut seq = Sequential::empty();
+    let mut in_c = 3usize;
+    // Stride 8 = three pooled stages; include stage 4 convs unpooled for
+    // depth parity with the paper's full backbone use.
+    for (i, stage) in VGG16_PLAN.iter().enumerate().take(4) {
+        for &w in stage.iter() {
+            let w = (w / div).max(4);
+            seq.push(Box::new(Conv2d::new_no_bias(
+                in_c,
+                w,
+                ConvGeometry::same3x3(),
+                rng,
+            )));
+            seq.push(Box::new(BatchNorm2d::new(w)));
+            seq.push(Box::new(Activation::new(Act::Relu)));
+            in_c = w;
+        }
+        if i < 3 {
+            seq.push(Box::new(MaxPool2d::new(2)));
+        }
+    }
+    (seq, in_c)
+}
+
+/// Reduced-scale VGG detector with the shared 10-channel back-end.
+pub fn detector(div: usize, rng: &mut SkyRng) -> Sequential {
+    let (mut seq, out_c) = features(div, rng);
+    seq.push(Box::new(Conv2d::new(
+        out_c,
+        HEAD_CHANNELS,
+        ConvGeometry::pointwise(),
+        rng,
+    )));
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skynet_nn::{Layer, Mode};
+    use skynet_tensor::{Shape, Tensor};
+
+    #[test]
+    fn paper_scale_params_match_table2() {
+        // Table 2 lists VGG-16 at 14.71 M backbone parameters.
+        let got = descriptor(224, 224).total_params() as f64;
+        let want = 14.71e6;
+        assert!((got - want).abs() / want < 0.02, "{got} vs {want}");
+    }
+
+    #[test]
+    fn detector_shape() {
+        let mut rng = SkyRng::new(0);
+        let mut net = detector(16, &mut rng);
+        let x = Tensor::zeros(Shape::new(1, 3, 24, 48));
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), Shape::new(1, HEAD_CHANNELS, 3, 6));
+    }
+
+    #[test]
+    fn features_backward_runs() {
+        let mut rng = SkyRng::new(1);
+        let (mut net, _) = features(32, &mut rng);
+        let x = Tensor::ones(Shape::new(1, 3, 16, 16));
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let gx = net.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+    }
+}

@@ -1,0 +1,79 @@
+//! The FPGA deployment path (§6.4): train → quantize → map onto the
+//! Ultra96 shared-IP accelerator → tile → score like the contest.
+//!
+//! ```text
+//! cargo run --release --example deploy_fpga
+//! ```
+
+use skynet::core::detector::Detector;
+use skynet::core::head::Anchors;
+use skynet::core::skynet::{SkyNet, SkyNetConfig, Variant};
+use skynet::core::trainer::{evaluate, evaluate_mode, TrainConfig, Trainer};
+use skynet::data::dacsdc::{DacSdc, DacSdcConfig};
+use skynet::hw::energy::PowerModel;
+use skynet::hw::fpga::{estimate, FpgaDevice};
+use skynet::hw::quant::{apply_scheme, QuantScheme};
+use skynet::hw::score::{score_field, table6_entries, Entry, Track};
+use skynet::hw::tiling::plan;
+use skynet::nn::{Act, LrSchedule, Sgd};
+use skynet::tensor::rng::SkyRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train a reduced-scale SkyNet C.
+    let mut gcfg = DacSdcConfig::default().trainable();
+    gcfg.height = 48;
+    gcfg.width = 96;
+    let mut gen = DacSdc::new(gcfg);
+    let (train, val) = gen.generate_split(192, 48);
+    let mut rng = SkyRng::new(0);
+    let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(8);
+    let mut detector = Detector::new(Box::new(SkyNet::new(cfg, &mut rng)), Anchors::dac_sdc());
+    let mut opt = Sgd::new(
+        LrSchedule::Exponential { start: 5e-3, end: 1e-4, steps: 20 * 24 },
+        0.9,
+        1e-4,
+    );
+    Trainer::new(TrainConfig { epochs: 20, batch_size: 8, scales: vec![], seed: 3 })
+        .train(&mut detector, &train, &mut opt)?;
+    let float_iou = evaluate(&mut detector, &val)?;
+    println!("float32 validation IoU: {float_iou:.3}");
+
+    // 2. Quantize with the contest scheme (Table 7, scheme 1: FM9/W11).
+    let scheme = QuantScheme::new(11, 9);
+    let mode = apply_scheme(detector.backbone_mut(), scheme);
+    let quant_iou = evaluate_mode(&mut detector, &val, 16, mode)?;
+    println!("{scheme} validation IoU: {quant_iou:.3}");
+
+    // 3. Map the paper-scale network onto the Ultra96.
+    let desc = SkyNetConfig::new(Variant::C, Act::Relu6).descriptor(160, 320);
+    let est = estimate(&desc, &FpgaDevice::ultra96(), scheme, 4);
+    println!(
+        "Ultra96 mapping: {:.1} ms/frame ({:.1} FPS), {} DSP, {} BRAM18, {} LUT, feasible: {}",
+        est.latency_ms, est.fps, est.dsp, est.bram18, est.luts, est.feasible
+    );
+
+    // 4. Batch-and-tiling plan (Fig. 9).
+    let p = plan(&desc);
+    println!(
+        "tiling: {}/{} layers run in 4-image mode; buffer utilization {:.2} -> {:.2}; \
+         weight reuse {:.1}x",
+        p.merged_layers(),
+        p.merged.len(),
+        p.utilization_plain,
+        p.utilization_tiled,
+        p.weight_reuse
+    );
+
+    // 5. Contest scoring against the published FPGA field.
+    let power = PowerModel::ultra96().power_w(0.95);
+    let mut entries = table6_entries();
+    entries.push(Entry::new("ours (synthetic task)", quant_iou as f64, est.fps, power));
+    println!("\nDAC-SDC FPGA-track scoring (Eqs. 3-5):");
+    for s in score_field(&entries, Track::Fpga) {
+        println!(
+            "  {:26} IoU {:.3}  {:6.2} FPS  {:5.2} W  total {:.3}",
+            s.entry.name, s.entry.iou, s.entry.fps, s.entry.power_w, s.total_score
+        );
+    }
+    Ok(())
+}

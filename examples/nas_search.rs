@@ -1,0 +1,61 @@
+//! The bottom-up design flow end to end (Fig. 3): Bundle enumeration and
+//! Pareto selection, group-based PSO, feature addition.
+//!
+//! ```text
+//! cargo run --release --example nas_search
+//! ```
+
+use skynet::core::head::Anchors;
+use skynet::data::dacsdc::{DacSdc, DacSdcConfig};
+use skynet::nas::flow::{self, FlowConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Small frames keep each candidate's fast-training in CPU seconds.
+    let mut gcfg = DacSdcConfig::default().trainable();
+    gcfg.height = 24;
+    gcfg.width = 48;
+    gcfg.sizes.min_ratio = 0.02;
+    let mut gen = DacSdc::new(gcfg);
+    let (train, val) = gen.generate_split(96, 32);
+
+    let mut cfg = FlowConfig::default();
+    cfg.stage1.epochs = 3;
+    cfg.stage2.particles_per_group = 3;
+    cfg.stage2.iterations = 3;
+    cfg.stage2.base_epochs = 2;
+    cfg.stage2.depth = 5; // SkyNet chain depth, so Stage 3 can map it
+    cfg.stage2.pools = 3;
+    cfg.stage2.channel_range = (4, 32);
+    cfg.stage3.epochs = 4;
+    cfg.stage2_groups = 2;
+
+    println!("Stage 1: Bundle selection and evaluation");
+    let outcome = flow::run(&cfg, &train, &val, &Anchors::dac_sdc())?;
+    for e in &outcome.bundle_evals {
+        println!(
+            "  {:48} acc {:.3}  FPGA latency {:.1} ms  feasible {}",
+            e.bundle.describe(),
+            e.accuracy,
+            e.latency_ms,
+            e.feasible
+        );
+    }
+    println!("Pareto frontier ({} bundles):", outcome.frontier.len());
+    for e in &outcome.frontier {
+        println!("  {}", e.bundle.describe());
+    }
+
+    println!("\nStage 2: group-based PSO winner");
+    println!("  {}", outcome.winner);
+    println!("  fitness {:.3}", outcome.winner_fitness);
+
+    if !outcome.feature_trials.is_empty() {
+        println!("\nStage 3: feature addition (bypass + reorg, ReLU6)");
+        for t in &outcome.feature_trials {
+            println!("  SkyNet {} - {:6}  IoU {:.3}", t.variant, t.act.to_string(), t.accuracy);
+        }
+        let best = &outcome.feature_trials[0];
+        println!("\nselected design: SkyNet {} with {}", best.variant, best.act);
+    }
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! # skynet
+//!
+//! Facade crate for the SkyNet-rs workspace: a pure-Rust reproduction of
+//! *"SkyNet: a Hardware-Efficient Method for Object Detection and Tracking
+//! on Embedded Systems"* (Zhang et al., MLSYS 2020).
+//!
+//! Each subsystem lives in its own crate and is re-exported here:
+//!
+//! * [`tensor`] — NCHW tensors and conv/pool/reorg kernels (fwd + bwd)
+//! * [`nn`] — layers, graphs, SGD training
+//! * [`core`] — the SkyNet architecture, detection head, IoU, trainer
+//! * [`zoo`] — baseline backbones (ResNet, VGG, AlexNet, MobileNet)
+//! * [`data`] — synthetic DAC-SDC and GOT-style datasets
+//! * [`hw`] — quantization, FPGA/GPU models, DAC-SDC scoring, pipeline
+//! * [`nas`] — the bottom-up design flow (Bundles + group-based PSO)
+//! * [`track`] — Siamese trackers (SiamRPN++-style, SiamMask-style)
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use skynet_core as core;
+pub use skynet_data as data;
+pub use skynet_hw as hw;
+pub use skynet_nas as nas;
+pub use skynet_nn as nn;
+pub use skynet_tensor as tensor;
+pub use skynet_track as track;
+pub use skynet_zoo as zoo;

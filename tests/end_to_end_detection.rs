@@ -1,0 +1,62 @@
+//! Integration: synthetic data → SkyNet training → evaluation →
+//! quantization → hardware estimate, across five crates.
+
+use skynet::core::detector::Detector;
+use skynet::core::head::Anchors;
+use skynet::core::skynet::{SkyNet, SkyNetConfig, Variant};
+use skynet::core::trainer::{evaluate, evaluate_mode, TrainConfig, Trainer};
+use skynet::data::dacsdc::{DacSdc, DacSdcConfig};
+use skynet::hw::fpga::{estimate, FpgaDevice};
+use skynet::hw::quant::{apply_scheme, QuantScheme};
+use skynet::nn::{Act, LrSchedule, Sgd};
+use skynet::tensor::rng::SkyRng;
+
+fn quick_data(n_train: usize, n_val: usize) -> (Vec<skynet::core::Sample>, Vec<skynet::core::Sample>) {
+    let mut cfg = DacSdcConfig::default().trainable();
+    cfg.height = 32;
+    cfg.width = 64;
+    cfg.sizes.min_ratio = 0.02; // resolvable objects for the short budget
+    cfg.distractor_prob = 0.0;
+    let mut gen = DacSdc::new(cfg);
+    gen.generate_split(n_train, n_val)
+}
+
+#[test]
+fn training_improves_over_untrained_and_quantization_degrades_gracefully() {
+    let (train, val) = quick_data(64, 24);
+    let mut rng = SkyRng::new(1);
+    let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(8);
+    let mut detector = Detector::new(Box::new(SkyNet::new(cfg, &mut rng)), Anchors::dac_sdc());
+
+    let untrained = evaluate(&mut detector, &val).expect("eval");
+    let mut opt = Sgd::new(LrSchedule::Constant(5e-3), 0.9, 1e-4);
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: 15,
+        batch_size: 8,
+        scales: vec![],
+        seed: 2,
+    });
+    trainer.train(&mut detector, &train, &mut opt).expect("train");
+    let trained = evaluate(&mut detector, &val).expect("eval");
+    assert!(
+        trained > untrained + 0.05,
+        "training must help: {untrained:.3} -> {trained:.3}"
+    );
+
+    // Quantize with the contest scheme; accuracy should survive within a
+    // modest drop (Table 7's scheme-1 behaviour).
+    let mode = apply_scheme(detector.backbone_mut(), QuantScheme::new(11, 9));
+    let quant = evaluate_mode(&mut detector, &val, 16, mode).expect("eval");
+    assert!(
+        quant > trained - 0.1,
+        "9/11-bit quantization should be gentle: {trained:.3} -> {quant:.3}"
+    );
+}
+
+#[test]
+fn paper_scale_model_fits_the_contest_device() {
+    let desc = SkyNetConfig::new(Variant::C, Act::Relu6).descriptor(160, 320);
+    let est = estimate(&desc, &FpgaDevice::ultra96(), QuantScheme::new(11, 9), 4);
+    assert!(est.feasible, "{est:?}");
+    assert!(est.fps > 5.0 && est.fps < 100.0);
+}

@@ -1,0 +1,62 @@
+//! Integration: Siamese trackers over synthetic GOT sequences with both
+//! tracker variants and multiple backbones.
+
+use skynet::data::got::{GotConfig, GotGen};
+use skynet::nn::{LrSchedule, Sgd};
+use skynet::track::backbone::BackboneKind;
+use skynet::track::eval::evaluate;
+use skynet::track::siammask::SiamMask;
+use skynet::track::siamrpn::{train_on_sequences, SiamConfig, SiamRpn};
+
+fn sequences(n: usize, len: usize, seed: u64) -> Vec<skynet::data::got::TrackSequence> {
+    let mut cfg = GotConfig::default();
+    cfg.seq_len = len;
+    cfg.distractor_prob = 0.0;
+    cfg.seed = seed;
+    let mut gen = GotGen::new(cfg);
+    gen.generate(n)
+}
+
+#[test]
+fn siamrpn_all_backbones_track_without_panicking() {
+    let eval_seqs = sequences(2, 5, 1);
+    for kind in [BackboneKind::AlexNet, BackboneKind::ResNet50, BackboneKind::SkyNet] {
+        let mut tracker = SiamRpn::new(SiamConfig {
+            div: 32,
+            ..SiamConfig::new(kind)
+        });
+        let report = evaluate(&mut tracker, &eval_seqs).expect("evaluation");
+        assert_eq!(report.sequences, 2, "{}", kind.name());
+        assert!(report.fps > 0.0);
+    }
+}
+
+#[test]
+fn short_training_keeps_tracker_on_target() {
+    let train_seqs = sequences(6, 8, 2);
+    let eval_seqs = sequences(3, 8, 3);
+    let mut tracker = SiamRpn::new(SiamConfig {
+        div: 16,
+        ..SiamConfig::new(BackboneKind::SkyNet)
+    });
+    let mut opt = Sgd::new(LrSchedule::Constant(1e-3), 0.9, 1e-4);
+    for _ in 0..6 {
+        train_on_sequences(&mut tracker, &train_seqs, 1, &mut opt, 5).expect("train");
+    }
+    let report = evaluate(&mut tracker, &eval_seqs).expect("evaluation");
+    // Smoothly moving targets with a centered search window: even a short
+    // training run should keep meaningful overlap.
+    assert!(report.metrics.ao > 0.1, "AO {:.3}", report.metrics.ao);
+}
+
+#[test]
+fn siammask_refinement_produces_valid_boxes() {
+    let eval_seqs = sequences(2, 5, 4);
+    let mut tracker = SiamMask::new(SiamConfig {
+        div: 32,
+        ..SiamConfig::new(BackboneKind::SkyNet)
+    });
+    let report = evaluate(&mut tracker, &eval_seqs).expect("evaluation");
+    assert!(report.label.contains("SiamMask"));
+    assert!((0.0..=1.0).contains(&report.metrics.ao));
+}
