@@ -15,7 +15,11 @@ use skynet_tensor::{Shape, Tensor};
 
 fn random(shape: Shape, seed: u64) -> Tensor {
     let mut rng = SkyRng::new(seed);
-    Tensor::from_vec(shape, (0..shape.numel()).map(|_| rng.normal(0.0, 1.0)).collect()).unwrap()
+    Tensor::from_vec(
+        shape,
+        (0..shape.numel()).map(|_| rng.normal(0.0, 1.0)).collect(),
+    )
+    .unwrap()
 }
 
 fn bench_ops(c: &mut Criterion) {
@@ -42,9 +46,13 @@ fn bench_ops(c: &mut Criterion) {
 
     c.bench_function("reorg_x2_48ch_20x40", |b| b.iter(|| reorg(&x, 2).unwrap()));
 
-    c.bench_function("maxpool2x2_48ch_20x40", |b| b.iter(|| maxpool2d(&x, 2).unwrap()));
+    c.bench_function("maxpool2x2_48ch_20x40", |b| {
+        b.iter(|| maxpool2d(&x, 2).unwrap())
+    });
 
-    c.bench_function("fake_quantize_9bit_38k", |b| b.iter(|| fake_quantize(&x, 9)));
+    c.bench_function("fake_quantize_9bit_38k", |b| {
+        b.iter(|| fake_quantize(&x, 9))
+    });
 }
 
 criterion_group! {

@@ -71,7 +71,10 @@ fn ablate_search(budget: Budget) {
         "Ablation 1: group-based PSO vs random search (Eq. 1 fitness)",
         &[("method", 14), ("best fitness", 12)],
     );
-    table::row(&[("PSO".into(), 14), (table::f(pso_out.global_best.fitness, 3), 12)]);
+    table::row(&[
+        ("PSO".into(), 14),
+        (table::f(pso_out.global_best.fitness, 3), 12),
+    ]);
     table::row(&[("random".into(), 14), (table::f(best_random, 3), 12)]);
     println!("PSO winner: {}", pso_out.global_best.arch);
 }
@@ -84,7 +87,13 @@ fn ablate_ip_sharing() {
     let dedicated = estimate_dedicated(&desc, &FpgaDevice::ultra96(), scheme);
     table::header(
         "Ablation 2: IP-shared vs per-layer dedicated FPGA mapping",
-        &[("mapping", 10), ("ms/frame", 9), ("DSP", 6), ("BRAM18", 7), ("feasible", 8)],
+        &[
+            ("mapping", 10),
+            ("ms/frame", 9),
+            ("DSP", 6),
+            ("BRAM18", 7),
+            ("feasible", 8),
+        ],
     );
     for (name, e) in [("shared", shared), ("dedicated", dedicated)] {
         table::row(&[
@@ -102,7 +111,13 @@ fn ablate_activation_quantization(budget: Budget) {
     let (train, val) = data::detection_split(budget);
     table::header(
         "Ablation 3: activation x FM quantization (validation IoU)",
-        &[("activation", 10), ("float", 7), ("FM10", 7), ("FM8", 7), ("FM6", 7)],
+        &[
+            ("activation", 10),
+            ("float", 7),
+            ("FM10", 7),
+            ("FM8", 7),
+            ("FM6", 7),
+        ],
     );
     for act in [Act::Relu, Act::Relu6] {
         let mut rng = SkyRng::new(0xAC7);

@@ -19,7 +19,11 @@ use skynet_tensor::rng::SkyRng;
 use skynet_tensor::Tensor;
 use skynet_zoo::alexnet;
 
-fn accuracy(model: &mut Sequential, data: &[skynet_data::classif::ClassifSample], mode: Mode) -> f64 {
+fn accuracy(
+    model: &mut Sequential,
+    data: &[skynet_data::classif::ClassifSample],
+    mode: Mode,
+) -> f64 {
     let mut correct = 0usize;
     for chunk in data.chunks(16) {
         let images: Vec<Tensor> = chunk.iter().map(|s| s.image.clone()).collect();
@@ -47,7 +51,10 @@ fn main() {
     let (n_train, n_val, epochs) = budget.pick((64, 32, 2), (448, 224, 30));
     // 24×24 inputs: the shapes fill most of the frame, so the lower
     // resolution costs nothing and fits the CPU budget.
-    let mut gen = ClassifGen::new(ClassifConfig { size: 24, seed: 0xC1A55 });
+    let mut gen = ClassifGen::new(ClassifConfig {
+        size: 24,
+        seed: 0xC1A55,
+    });
     let train = gen.generate(n_train);
     let val = gen.generate(n_val);
 
@@ -55,7 +62,11 @@ fn main() {
     let mut model = alexnet::classifier(NUM_CLASSES, &mut rng);
     let steps = epochs * n_train.div_ceil(16);
     let mut opt = Sgd::new(
-        LrSchedule::Exponential { start: 2e-2, end: 1e-3, steps },
+        LrSchedule::Exponential {
+            start: 2e-2,
+            end: 1e-3,
+            steps,
+        },
         0.9,
         1e-4,
     );
@@ -105,7 +116,12 @@ fn main() {
 
     table::header(
         "Fig. 2(a): parameter quantization (FMs float)",
-        &[("W bits", 7), ("accuracy", 9), ("compression", 12), ("size MB", 9)],
+        &[
+            ("W bits", 7),
+            ("accuracy", 9),
+            ("compression", 12),
+            ("size MB", 9),
+        ],
     );
     for bits in [12u8, 10, 8, 6, 4] {
         restore(&mut model, &snapshot);
@@ -121,7 +137,12 @@ fn main() {
 
     table::header(
         "Fig. 2(a): feature-map quantization (weights float)",
-        &[("FM bits", 7), ("accuracy", 9), ("compression", 12), ("size MB", 9)],
+        &[
+            ("FM bits", 7),
+            ("accuracy", 9),
+            ("compression", 12),
+            ("size MB", 9),
+        ],
     );
     restore(&mut model, &snapshot);
     for bits in [12u8, 10, 8, 6, 4] {

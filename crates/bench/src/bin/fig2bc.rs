@@ -19,7 +19,14 @@ fn main() {
     let fm_bits = [12u8, 13, 14, 15, 16];
     table::header(
         "Fig. 2(b): BRAM-18Kb blocks vs resize factor",
-        &[("resize", 7), ("FM12", 6), ("FM13", 6), ("FM14", 6), ("FM15", 6), ("FM16", 6)],
+        &[
+            ("resize", 7),
+            ("FM12", 6),
+            ("FM13", 6),
+            ("FM14", 6),
+            ("FM15", 6),
+            ("FM16", 6),
+        ],
     );
     let base_cfg = SkyNetConfig::new(Variant::C, Act::Relu6);
     for &f in &factors {
@@ -40,7 +47,14 @@ fn main() {
     let w_bits = [16u8, 15, 14, 13, 12, 11, 10];
     table::header(
         "Fig. 2(c): DSP slices for 128 multipliers",
-        &[("weights", 8), ("FM12", 6), ("FM13", 6), ("FM14", 6), ("FM15", 6), ("FM16", 6)],
+        &[
+            ("weights", 8),
+            ("FM12", 6),
+            ("FM13", 6),
+            ("FM14", 6),
+            ("FM15", 6),
+            ("FM16", 6),
+        ],
     );
     for &wb in &w_bits {
         let mut cells = vec![(format!("W{wb}"), 8)];

@@ -31,12 +31,6 @@ fn main() {
     }
     let below = |t: f32| ratios.iter().filter(|&&r| r < t).count() as f32 / ratios.len() as f32;
     println!();
-    println!(
-        "P(size < 1%) = {:.1}%   (paper: 31%)",
-        below(0.01) * 100.0
-    );
-    println!(
-        "P(size < 9%) = {:.1}%   (paper: 91%)",
-        below(0.09) * 100.0
-    );
+    println!("P(size < 1%) = {:.1}%   (paper: 31%)", below(0.01) * 100.0);
+    println!("P(size < 9%) = {:.1}%   (paper: 91%)", below(0.09) * 100.0);
 }

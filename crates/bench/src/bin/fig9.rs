@@ -17,11 +17,26 @@ fn main() {
         "Fig. 9: batch-and-tiling plan for SkyNet on Ultra96",
         &[("metric", 34), ("value", 12)],
     );
-    table::row(&[("shared buffer (elements)".into(), 34), (format!("{}", p.buffer_elems), 12)]);
-    table::row(&[("layers merged (4-image mode)".into(), 34), (format!("{}/{}", p.merged_layers(), p.merged.len()), 12)]);
-    table::row(&[("buffer utilization, plain".into(), 34), (table::f(p.utilization_plain, 3), 12)]);
-    table::row(&[("buffer utilization, tiled".into(), 34), (table::f(p.utilization_tiled, 3), 12)]);
-    table::row(&[("avg images per weight load".into(), 34), (table::f(p.weight_reuse, 2), 12)]);
+    table::row(&[
+        ("shared buffer (elements)".into(), 34),
+        (format!("{}", p.buffer_elems), 12),
+    ]);
+    table::row(&[
+        ("layers merged (4-image mode)".into(), 34),
+        (format!("{}/{}", p.merged_layers(), p.merged.len()), 12),
+    ]);
+    table::row(&[
+        ("buffer utilization, plain".into(), 34),
+        (table::f(p.utilization_plain, 3), 12),
+    ]);
+    table::row(&[
+        ("buffer utilization, tiled".into(), 34),
+        (table::f(p.utilization_tiled, 3), 12),
+    ]);
+    table::row(&[
+        ("avg images per weight load".into(), 34),
+        (table::f(p.weight_reuse, 2), 12),
+    ]);
 
     // Throughput effect through the FPGA model: batch 1 vs batch 4.
     let scheme = QuantScheme::new(11, 9);

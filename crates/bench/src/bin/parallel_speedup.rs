@@ -1,0 +1,185 @@
+//! Serial-vs-parallel benchmark for the deterministic execution engine.
+//!
+//! The pool width (`SKYNET_THREADS`) is read once per process, so this
+//! binary re-executes itself as a child process per thread count, times
+//! data generation, one training epoch and batched evaluation in each
+//! child, and then checks the engine's core guarantee: the FNV-1a hash
+//! of the trained weight bits must be **identical** for every thread
+//! count. The report is archived under `bench_results/`.
+//!
+//! Usage: `cargo run --release -p skynet-bench --bin parallel_speedup`
+//! (optionally `SKYNET_SPEEDUP_THREADS=1,2,4,8` to pick the sweep).
+
+use skynet_bench::data::detection_split;
+use skynet_bench::Budget;
+use skynet_core::detector::Detector;
+use skynet_core::head::Anchors;
+use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
+use skynet_core::trainer::{evaluate, TrainConfig, Trainer};
+use skynet_nn::{Act, LrSchedule, Sgd};
+use skynet_tensor::{parallel, rng::SkyRng};
+use std::fmt::Write as _;
+use std::process::Command;
+use std::time::Instant;
+
+const CHILD_FLAG: &str = "SKYNET_SPEEDUP_CHILD";
+
+/// One child-process measurement.
+#[derive(Debug, Clone)]
+struct Measurement {
+    threads: usize,
+    gen_secs: f64,
+    epoch_secs: f64,
+    eval_ips: f64,
+    weight_hash: u64,
+}
+
+fn main() {
+    if std::env::var(CHILD_FLAG).is_ok() {
+        child();
+    } else {
+        parent();
+    }
+}
+
+/// Trains and evaluates under the current `SKYNET_THREADS` setting and
+/// prints machine-readable `key=value` lines for the parent.
+fn child() {
+    let t0 = Instant::now();
+    let (train, val) = detection_split(Budget::Fast);
+    let gen_secs = t0.elapsed().as_secs_f64();
+
+    let mut rng = SkyRng::new(42);
+    let cfg = SkyNetConfig::new(Variant::A, Act::Relu6).with_width_divisor(8);
+    let mut det = Detector::new(Box::new(SkyNet::new(cfg, &mut rng)), Anchors::dac_sdc());
+    let mut opt = Sgd::new(LrSchedule::Constant(5e-3), 0.9, 1e-4);
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: 1,
+        batch_size: 8,
+        scales: Vec::new(),
+        seed: 7,
+    });
+
+    let t1 = Instant::now();
+    trainer
+        .train(&mut det, &train, &mut opt)
+        .expect("training epoch");
+    let epoch_secs = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let iou = evaluate(&mut det, &val).expect("evaluation");
+    let eval_secs = t2.elapsed().as_secs_f64();
+
+    println!("threads={}", parallel::num_threads());
+    println!("gen_secs={gen_secs:.4}");
+    println!("epoch_secs={epoch_secs:.4}");
+    println!("eval_ips={:.2}", val.len() as f64 / eval_secs.max(1e-9));
+    println!("iou={iou:.6}");
+    println!("weight_hash={:#018x}", weight_hash(&mut det));
+}
+
+/// FNV-1a over the bit patterns of every trainable scalar — any
+/// cross-thread-count divergence, down to the last ulp, changes it.
+fn weight_hash(det: &mut Detector) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    det.backbone_mut().visit_params(&mut |p| {
+        for v in p.value.as_slice() {
+            for byte in v.to_bits().to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+    });
+    h
+}
+
+/// Runs the sweep, verifies bit-identical weights, prints the table and
+/// archives the report.
+fn parent() {
+    let sweep: Vec<usize> = std::env::var("SKYNET_SPEEDUP_THREADS")
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_else(|_| vec![1, 2, 4]);
+    let exe = std::env::current_exe().expect("own executable path");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut runs = Vec::new();
+    for &t in &sweep {
+        let out = Command::new(&exe)
+            .env(CHILD_FLAG, "1")
+            .env("SKYNET_THREADS", t.to_string())
+            .env("SKYNET_BENCH_BUDGET", "fast")
+            .output()
+            .expect("spawn child benchmark");
+        assert!(
+            out.status.success(),
+            "child (SKYNET_THREADS={t}) failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        runs.push(parse_child(&String::from_utf8_lossy(&out.stdout)));
+    }
+
+    let base = &runs[0];
+    for r in &runs[1..] {
+        assert_eq!(
+            r.weight_hash, base.weight_hash,
+            "weights diverged between {} and {} threads",
+            base.threads, r.threads
+        );
+    }
+
+    let mut report = String::new();
+    let _ = writeln!(report, "# Parallel engine: serial vs parallel\n");
+    let _ = writeln!(
+        report,
+        "Host cores: {host_cores}. One training epoch + batched eval of the\n\
+         width/8 SkyNet-A detector on the fast DAC-SDC split (48 train /\n\
+         16 val frames at 48×96), one child process per `SKYNET_THREADS`."
+    );
+    let _ = writeln!(
+        report,
+        "\n| threads | datagen (s) | epoch (s) | eval (img/s) | epoch speedup | weight hash |"
+    );
+    let _ = writeln!(report, "|---|---|---|---|---|---|");
+    for r in &runs {
+        let _ = writeln!(
+            report,
+            "| {} | {:.3} | {:.3} | {:.1} | {:.2}× | {:#018x} |",
+            r.threads,
+            r.gen_secs,
+            r.epoch_secs,
+            r.eval_ips,
+            base.epoch_secs / r.epoch_secs.max(1e-9),
+            r.weight_hash,
+        );
+    }
+    let _ = writeln!(
+        report,
+        "\nAll weight hashes are identical: training is bit-deterministic\n\
+         across thread counts. Speedups are relative to the 1-thread run\n\
+         on this host; with more threads than cores the extra workers\n\
+         time-share, so speedup saturates at the core count."
+    );
+
+    print!("{report}");
+    std::fs::create_dir_all("bench_results").expect("create bench_results/");
+    std::fs::write("bench_results/parallel_speedup.md", &report).expect("write report");
+    println!("\nreport written to bench_results/parallel_speedup.md");
+}
+
+fn parse_child(stdout: &str) -> Measurement {
+    let field = |key: &str| -> String {
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("child output missing `{key}=`:\n{stdout}"))
+            .to_string()
+    };
+    let hash = field("weight_hash");
+    Measurement {
+        threads: field("threads").parse().expect("threads"),
+        gen_secs: field("gen_secs").parse().expect("gen_secs"),
+        epoch_secs: field("epoch_secs").parse().expect("epoch_secs"),
+        eval_ips: field("eval_ips").parse().expect("eval_ips"),
+        weight_hash: u64::from_str_radix(hash.trim_start_matches("0x"), 16).expect("weight_hash"),
+    }
+}

@@ -11,19 +11,55 @@ use skynet_bench::table;
 fn main() {
     table::header(
         "Table 1: DAC-SDC winning entries (top-down flows)",
-        &[("track", 6), ("rank", 8), ("team", 14), ("reference DNN", 26), ("optimizations", 18)],
+        &[
+            ("track", 6),
+            ("rank", 8),
+            ("team", 14),
+            ("reference DNN", 26),
+            ("optimizations", 18),
+        ],
     );
     let rows = [
-        ("GPU", "'19 2nd", "Thinker", "ShuffleNet + RetinaNet", "1 2 3 9"),
+        (
+            "GPU",
+            "'19 2nd",
+            "Thinker",
+            "ShuffleNet + RetinaNet",
+            "1 2 3 9",
+        ),
         ("GPU", "'19 3rd", "DeepZS", "Tiny YOLO", "9"),
         ("GPU", "'18 1st", "ICT-CAS", "Tiny YOLO", "1 2 3 4"),
         ("GPU", "'18 2nd", "DeepZ", "Tiny YOLO", "9"),
         ("GPU", "'18 3rd", "SDU-Legend", "YOLOv2", "1 2 3 9"),
-        ("FPGA", "'19 2nd", "XJTU Tripler", "ShuffleNetV2 + YOLO", "2 3 5 6 8"),
-        ("FPGA", "'19 3rd", "SystemsETHZ", "SqueezeNet + YOLO", "1 2 3 7"),
+        (
+            "FPGA",
+            "'19 2nd",
+            "XJTU Tripler",
+            "ShuffleNetV2 + YOLO",
+            "2 3 5 6 8",
+        ),
+        (
+            "FPGA",
+            "'19 3rd",
+            "SystemsETHZ",
+            "SqueezeNet + YOLO",
+            "1 2 3 7",
+        ),
         ("FPGA", "'18 1st", "TGIIF", "SSD", "1 2 3 5 6"),
-        ("FPGA", "'18 2nd", "SystemsETHZ", "SqueezeNet + YOLO", "1 2 3 7"),
-        ("FPGA", "'18 3rd", "iSmart2", "MobileNet + YOLO", "1 2 3 5 7"),
+        (
+            "FPGA",
+            "'18 2nd",
+            "SystemsETHZ",
+            "SqueezeNet + YOLO",
+            "1 2 3 7",
+        ),
+        (
+            "FPGA",
+            "'18 3rd",
+            "iSmart2",
+            "MobileNet + YOLO",
+            "1 2 3 5 7",
+        ),
     ];
     for (track, rank, team, dnn, opts) in rows {
         table::row(&[
@@ -37,15 +73,47 @@ fn main() {
     println!();
     println!("optimization key → where this reproduction implements it:");
     for (id, name, module) in [
-        ("1", "input resizing", "skynet_tensor::ops::resize_bilinear (+ Fig. 2(b) sweep)"),
-        ("2", "network pruning", "subsumed by width scaling (SkyNetConfig::with_width_divisor)"),
-        ("3", "data quantization", "skynet_hw::quant + Mode::QuantEval (Tables 7, Fig. 2(a))"),
-        ("4", "TensorRT", "modeled by gpu::GpuDevice efficiency factors"),
-        ("5", "CPU-FPGA task partition", "skynet_hw::pipeline (Fig. 10)"),
-        ("6", "double-pumped DSP", "skynet_hw::fpga::dsp_per_mac packing rule (Fig. 2(c))"),
-        ("7", "fine-grained pipeline", "per-layer pipeline fill terms in fpga::estimate"),
+        (
+            "1",
+            "input resizing",
+            "skynet_tensor::ops::resize_bilinear (+ Fig. 2(b) sweep)",
+        ),
+        (
+            "2",
+            "network pruning",
+            "subsumed by width scaling (SkyNetConfig::with_width_divisor)",
+        ),
+        (
+            "3",
+            "data quantization",
+            "skynet_hw::quant + Mode::QuantEval (Tables 7, Fig. 2(a))",
+        ),
+        (
+            "4",
+            "TensorRT",
+            "modeled by gpu::GpuDevice efficiency factors",
+        ),
+        (
+            "5",
+            "CPU-FPGA task partition",
+            "skynet_hw::pipeline (Fig. 10)",
+        ),
+        (
+            "6",
+            "double-pumped DSP",
+            "skynet_hw::fpga::dsp_per_mac packing rule (Fig. 2(c))",
+        ),
+        (
+            "7",
+            "fine-grained pipeline",
+            "per-layer pipeline fill terms in fpga::estimate",
+        ),
         ("8", "clock gating", "energy::PowerModel idle/dynamic split"),
-        ("9", "multithreading", "skynet_hw::pipeline::run_pipelined (crossbeam threads)"),
+        (
+            "9",
+            "multithreading",
+            "skynet_hw::pipeline::run_pipelined (crossbeam threads)",
+        ),
     ] {
         println!("  {id} {name:24} -> {module}");
     }

@@ -16,11 +16,13 @@ use skynet_nn::{Act, Layer};
 use skynet_tensor::rng::SkyRng;
 use skynet_zoo::{resnet, vgg};
 
+type BackboneCtor = Box<dyn Fn(&mut SkyRng) -> Box<dyn Layer>>;
+
 fn main() {
     let budget = Budget::from_env();
     let (train, val) = data::detection_split(budget);
 
-    let rows: Vec<(&str, Box<dyn Fn(&mut SkyRng) -> Box<dyn Layer>>, usize, f64)> = vec![
+    let rows: Vec<(&str, BackboneCtor, usize, f64)> = vec![
         (
             "ResNet-18",
             Box::new(|rng: &mut SkyRng| {
@@ -57,8 +59,7 @@ fn main() {
         (
             "SkyNet",
             Box::new(|rng: &mut SkyRng| {
-                let cfg =
-                    SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(TRAIN_DIV);
+                let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(TRAIN_DIV);
                 Box::new(SkyNet::new(cfg, rng)) as Box<dyn Layer>
             }),
             SkyNetConfig::new(Variant::C, Act::Relu6)
@@ -103,6 +104,10 @@ fn main() {
         "shape check: SkyNet {:.3} vs best baseline {:.3} ({})",
         sky,
         best_baseline,
-        if sky > best_baseline { "SkyNet wins, as in the paper" } else { "MISMATCH vs paper" }
+        if sky > best_baseline {
+            "SkyNet wins, as in the paper"
+        } else {
+            "MISMATCH vs paper"
+        }
     );
 }

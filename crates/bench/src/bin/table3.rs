@@ -10,7 +10,9 @@ use skynet_nn::Act;
 
 fn layer_name(l: &LayerDesc) -> String {
     match *l {
-        LayerDesc::Conv { in_c, out_c, k, .. } if k == 1 => format!("PW-Conv1 ({in_c}->{out_c})"),
+        LayerDesc::Conv {
+            in_c, out_c, k: 1, ..
+        } => format!("PW-Conv1 ({in_c}->{out_c})"),
         LayerDesc::Conv { in_c, out_c, k, .. } => format!("Conv{k} ({in_c}->{out_c})"),
         LayerDesc::DwConv { c, k, .. } => format!("DW-Conv{k} ({c})"),
         LayerDesc::Pool { k, .. } => format!("{k}x{k} max-pool"),
@@ -47,7 +49,10 @@ fn main() {
                 (layer_name(&ls.layer), 24),
                 (format!("{}x{}x{}", ls.c_out, ls.h_out, ls.w_out), 14),
                 (format!("{}", ls.layer.params()), 9),
-                (format!("{:.1}", ls.layer.macs(ls.h_in, ls.w_in) as f64 / 1e6), 8),
+                (
+                    format!("{:.1}", ls.layer.macs(ls.h_in, ls.w_in) as f64 / 1e6),
+                    8,
+                ),
             ]);
         }
     }

@@ -65,10 +65,7 @@ fn main() {
             (format!("SkyNet {variant} - {act}"), 14),
             (table::f(*paper_mb, 2), 14),
             (table::f(*paper_iou, 3), 10),
-            (
-                table::f(paper_scale_params as f64 * 4.0 / 1048576.0, 2),
-                13,
-            ),
+            (table::f(paper_scale_params as f64 * 4.0 / 1048576.0, 2), 13),
             (table::f(iou as f64, 3), 10),
         ]);
         ours.push(((*variant, *act), iou));

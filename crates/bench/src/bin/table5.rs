@@ -26,8 +26,15 @@ fn main() {
     let (train, val) = data::detection_split(budget);
     let mut rng = SkyRng::new(5);
     let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(TRAIN_DIV);
-    let trained = train_detector(Box::new(SkyNet::new(cfg, &mut rng)), budget, &train, &val, false, 5)
-        .expect("training succeeds");
+    let trained = train_detector(
+        Box::new(SkyNet::new(cfg, &mut rng)),
+        budget,
+        &train,
+        &val,
+        false,
+        5,
+    )
+    .expect("training succeeds");
     // FPS: TX2 inference model at paper scale, multiplied by the measured
     // pipeline overlap factor (Fig. 10).
     let desc = SkyNetConfig::new(Variant::C, Act::Relu6).descriptor(160, 320);
@@ -39,12 +46,23 @@ fn main() {
 
     // --- Score the field. ---
     let mut entries = table5_entries();
-    entries.push(Entry::new("SkyNet (ours, synthetic)", trained.iou as f64, fps, power));
+    entries.push(Entry::new(
+        "SkyNet (ours, synthetic)",
+        trained.iou as f64,
+        fps,
+        power,
+    ));
     let scored = score_field(&entries, Track::Gpu);
 
     table::header(
         "Table 5: GPU track (paper totals recomputed with our Eqs. 3-5)",
-        &[("team", 26), ("IoU", 7), ("FPS", 8), ("Power W", 8), ("Total", 7)],
+        &[
+            ("team", 26),
+            ("IoU", 7),
+            ("FPS", 8),
+            ("Power W", 8),
+            ("Total", 7),
+        ],
     );
     for s in &scored {
         table::row(&[

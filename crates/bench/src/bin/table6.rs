@@ -23,14 +23,19 @@ fn main() {
     let (train, val) = data::detection_split(budget);
     let mut rng = SkyRng::new(6);
     let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(TRAIN_DIV);
-    let mut trained =
-        train_detector(Box::new(SkyNet::new(cfg, &mut rng)), budget, &train, &val, false, 6)
-            .expect("training succeeds");
+    let mut trained = train_detector(
+        Box::new(SkyNet::new(cfg, &mut rng)),
+        budget,
+        &train,
+        &val,
+        false,
+        6,
+    )
+    .expect("training succeeds");
     let scheme = QuantScheme::new(11, 9);
     let mode = apply_scheme(trained.detector.backbone_mut(), scheme);
     let float_iou = trained.iou;
-    let quant_iou =
-        evaluate_mode(&mut trained.detector, &val, 16, mode).expect("eval succeeds");
+    let quant_iou = evaluate_mode(&mut trained.detector, &val, 16, mode).expect("eval succeeds");
 
     // --- Ultra96 estimate with tiling batch 4. ---
     let desc = SkyNetConfig::new(Variant::C, Act::Relu6).descriptor(160, 320);
@@ -48,7 +53,13 @@ fn main() {
 
     table::header(
         "Table 6: FPGA track (paper totals recomputed with our Eqs. 3-5)",
-        &[("team", 26), ("IoU", 7), ("FPS", 8), ("Power W", 8), ("Total", 7)],
+        &[
+            ("team", 26),
+            ("IoU", 7),
+            ("FPS", 8),
+            ("Power W", 8),
+            ("Total", 7),
+        ],
     );
     for s in &scored {
         table::row(&[

@@ -21,9 +21,15 @@ fn main() {
     // Train the float model once.
     let mut rng = SkyRng::new(7);
     let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(TRAIN_DIV);
-    let trained =
-        train_detector(Box::new(SkyNet::new(cfg, &mut rng)), budget, &train, &val, false, 7)
-            .expect("training succeeds");
+    let trained = train_detector(
+        Box::new(SkyNet::new(cfg, &mut rng)),
+        budget,
+        &train,
+        &val,
+        false,
+        7,
+    )
+    .expect("training succeeds");
     let float_iou = trained.iou as f64;
     let mut detector = trained.detector;
 

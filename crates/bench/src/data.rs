@@ -20,8 +20,10 @@ pub fn detection_split(budget: Budget) -> (Vec<Sample>, Vec<Sample>) {
 /// Canonical synthetic GOT-10k-style splits for the tracking tables.
 pub fn tracking_split(budget: Budget) -> (Vec<TrackSequence>, Vec<TrackSequence>) {
     let (n_train, n_eval, len) = budget.pick((4, 2, 6), (24, 12, 16));
-    let mut cfg = GotConfig::default();
-    cfg.seq_len = len;
+    let cfg = GotConfig {
+        seq_len: len,
+        ..Default::default()
+    };
     let mut gen = GotGen::new(cfg);
     (gen.generate(n_train), gen.generate(n_eval))
 }

@@ -121,7 +121,11 @@ impl BundleSpec {
                     seq.push(Box::new(DwConv2d::new(cur, ConvGeometry::same3x3(), rng)));
                 }
                 Component::DwConv5 => {
-                    seq.push(Box::new(DwConv2d::new(cur, ConvGeometry::new(5, 1, 2), rng)));
+                    seq.push(Box::new(DwConv2d::new(
+                        cur,
+                        ConvGeometry::new(5, 1, 2),
+                        rng,
+                    )));
                 }
                 Component::PwConv1 => {
                     seq.push(Box::new(Conv2d::pointwise(cur, out_c, rng)));
@@ -157,15 +161,37 @@ impl BundleSpec {
         let mut cur = in_c;
         for &comp in &self.components {
             layers.push(match comp {
-                Component::DwConv3 => LayerDesc::DwConv { c: cur, k: 3, s: 1, p: 1 },
-                Component::DwConv5 => LayerDesc::DwConv { c: cur, k: 5, s: 1, p: 2 },
+                Component::DwConv3 => LayerDesc::DwConv {
+                    c: cur,
+                    k: 3,
+                    s: 1,
+                    p: 1,
+                },
+                Component::DwConv5 => LayerDesc::DwConv {
+                    c: cur,
+                    k: 5,
+                    s: 1,
+                    p: 2,
+                },
                 Component::PwConv1 => {
-                    let l = LayerDesc::Conv { in_c: cur, out_c, k: 1, s: 1, p: 0 };
+                    let l = LayerDesc::Conv {
+                        in_c: cur,
+                        out_c,
+                        k: 1,
+                        s: 1,
+                        p: 0,
+                    };
                     cur = out_c;
                     l
                 }
                 Component::Conv3 => {
-                    let l = LayerDesc::Conv { in_c: cur, out_c, k: 3, s: 1, p: 1 };
+                    let l = LayerDesc::Conv {
+                        in_c: cur,
+                        out_c,
+                        k: 3,
+                        s: 1,
+                        p: 1,
+                    };
                     cur = out_c;
                     l
                 }

@@ -238,7 +238,10 @@ impl NetDesc {
 
     /// Total MAC count for one forward pass.
     pub fn total_macs(&self) -> u64 {
-        self.walk().iter().map(|ls| ls.layer.macs(ls.h_in, ls.w_in)).sum()
+        self.walk()
+            .iter()
+            .map(|ls| ls.layer.macs(ls.h_in, ls.w_in))
+            .sum()
     }
 
     /// Peak feature-map size (in elements) across all layer outputs —
@@ -263,8 +266,19 @@ mod tests {
             8,
             16,
             vec![
-                LayerDesc::DwConv { c: 3, k: 3, s: 1, p: 1 },
-                LayerDesc::Conv { in_c: 3, out_c: 8, k: 1, s: 1, p: 0 },
+                LayerDesc::DwConv {
+                    c: 3,
+                    k: 3,
+                    s: 1,
+                    p: 1,
+                },
+                LayerDesc::Conv {
+                    in_c: 3,
+                    out_c: 8,
+                    k: 1,
+                    s: 1,
+                    p: 0,
+                },
                 LayerDesc::Bn { c: 8 },
                 LayerDesc::Act { c: 8 },
                 LayerDesc::Pool { c: 8, k: 2 },
@@ -284,9 +298,15 @@ mod tests {
         let d = tiny();
         let shapes = d.walk();
         assert_eq!(shapes.len(), 5);
-        assert_eq!((shapes[0].c_out, shapes[0].h_out, shapes[0].w_out), (3, 8, 16));
+        assert_eq!(
+            (shapes[0].c_out, shapes[0].h_out, shapes[0].w_out),
+            (3, 8, 16)
+        );
         assert_eq!((shapes[1].c_out, shapes[1].h_out), (8, 8));
-        assert_eq!((shapes[4].c_out, shapes[4].h_out, shapes[4].w_out), (8, 4, 8));
+        assert_eq!(
+            (shapes[4].c_out, shapes[4].h_out, shapes[4].w_out),
+            (8, 4, 8)
+        );
     }
 
     #[test]
@@ -318,10 +338,16 @@ mod tests {
         let shapes = d.walk();
         // Reorg sees the 8×8 map, produces 16×4×4 but does not advance
         // the main path.
-        assert_eq!((shapes[0].c_out, shapes[0].h_out, shapes[0].w_out), (16, 4, 4));
+        assert_eq!(
+            (shapes[0].c_out, shapes[0].h_out, shapes[0].w_out),
+            (16, 4, 4)
+        );
         assert_eq!((shapes[1].c_in, shapes[1].h_in), (4, 8));
         // After pool the main path is 4×4×4; concat adds 16 channels.
-        assert_eq!((shapes[2].c_out, shapes[2].h_out, shapes[2].w_out), (20, 4, 4));
+        assert_eq!(
+            (shapes[2].c_out, shapes[2].h_out, shapes[2].w_out),
+            (20, 4, 4)
+        );
     }
 
     #[test]

@@ -122,7 +122,10 @@ mod tests {
         let cfg = SkyNetConfig::new(Variant::A, Act::Relu6).with_width_divisor(16);
         let mut det = Detector::new(Box::new(SkyNet::new(cfg, &mut rng)), Anchors::dac_sdc());
         let x = Tensor::ones(Shape::new(2, 3, 16, 32));
-        let targets = [BBox::new(0.5, 0.5, 0.1, 0.1), BBox::new(0.2, 0.3, 0.05, 0.06)];
+        let targets = [
+            BBox::new(0.5, 0.5, 0.1, 0.1),
+            BBox::new(0.2, 0.3, 0.05, 0.06),
+        ];
         let loss = det.train_batch(&x, &targets).unwrap();
         assert!(loss.is_finite() && loss > 0.0);
     }

@@ -274,7 +274,7 @@ mod tests {
         let a = anchors();
         let s = Shape::new(1, 10, 4, 8);
         let mut pred = Tensor::full(s, -4.0); // low confidence everywhere
-        // Plant a confident detection at cell (1, 3), anchor 0, centered.
+                                              // Plant a confident detection at cell (1, 3), anchor 0, centered.
         *pred.at_mut(0, 4, 1, 3) = 8.0; // conf ≈ 1
         *pred.at_mut(0, 0, 1, 3) = 0.0; // σ = 0.5
         *pred.at_mut(0, 1, 1, 3) = 0.0;
@@ -296,7 +296,10 @@ mod tests {
         for (i, v) in pred.as_mut_slice().iter_mut().enumerate() {
             *v = ((i % 13) as f32 - 6.0) * 0.1;
         }
-        let targets = [BBox::new(0.3, 0.4, 0.08, 0.1), BBox::new(0.7, 0.6, 0.2, 0.24)];
+        let targets = [
+            BBox::new(0.3, 0.4, 0.08, 0.1),
+            BBox::new(0.7, 0.6, 0.2, 0.24),
+        ];
         let loss_fn = DetectionLoss::default();
         let (l0, g) = loss_fn.loss_and_grad(&pred, &targets, &a).unwrap();
         let mut stepped = pred.clone();
@@ -343,7 +346,7 @@ mod tests {
         let s = Shape::new(1, 10, 4, 8);
         let gt = BBox::new(0.3, 0.4, 0.08, 0.1);
         let mut pred = Tensor::full(s, -20.0); // all conf ≈ 0
-        // Fill the responsible cell with the exact targets.
+                                               // Fill the responsible cell with the exact targets.
         let (cx, cy) = (2usize, 1usize); // 0.3*8 = 2.4 → cell 2; 0.4*4 = 1.6 → cell 1
         let tx = 0.4f32;
         let ty = 0.6f32;

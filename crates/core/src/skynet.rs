@@ -128,7 +128,12 @@ impl SkyNetConfig {
                     c_bypass: bypass,
                 });
                 let cat = cur + bypass;
-                layers.push(LayerDesc::DwConv { c: cat, k: 3, s: 1, p: 1 });
+                layers.push(LayerDesc::DwConv {
+                    c: cat,
+                    k: 3,
+                    s: 1,
+                    p: 1,
+                });
                 layers.push(LayerDesc::Bn { c: cat });
                 layers.push(LayerDesc::Act { c: cat });
                 layers.push(LayerDesc::Conv {
@@ -138,8 +143,12 @@ impl SkyNetConfig {
                     s: 1,
                     p: 0,
                 });
-                layers.push(LayerDesc::Bn { c: self.bundle6_width });
-                layers.push(LayerDesc::Act { c: self.bundle6_width });
+                layers.push(LayerDesc::Bn {
+                    c: self.bundle6_width,
+                });
+                layers.push(LayerDesc::Act {
+                    c: self.bundle6_width,
+                });
                 layers.push(LayerDesc::Conv {
                     in_c: self.bundle6_width,
                     out_c: HEAD_CHANNELS,
@@ -355,9 +364,11 @@ mod tests {
     #[test]
     fn variant_ordering_by_size_matches_table4() {
         // Table 4: A (1.27 MB) < B (1.57 MB) < C (1.82 MB).
-        let p = |v| SkyNetConfig::new(v, Act::Relu6)
-            .descriptor(160, 320)
-            .total_params();
+        let p = |v| {
+            SkyNetConfig::new(v, Act::Relu6)
+                .descriptor(160, 320)
+                .total_params()
+        };
         let (a, b, c) = (p(Variant::A), p(Variant::B), p(Variant::C));
         assert!(a < b && b < c, "sizes {a} {b} {c}");
     }

@@ -9,7 +9,7 @@ use crate::detector::Detector;
 use crate::{BBox, Sample};
 use skynet_nn::Sgd;
 use skynet_tensor::ops::resize_bilinear;
-use skynet_tensor::{rng::SkyRng, Result, Tensor};
+use skynet_tensor::{parallel, rng::SkyRng, Result, Tensor};
 
 /// Trainer configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,18 +106,18 @@ fn gather_batch(
     idx: &[usize],
     scale: Option<(usize, usize)>,
 ) -> Result<(Tensor, Vec<BBox>)> {
-    let mut images = Vec::with_capacity(idx.len());
-    let mut targets = Vec::with_capacity(idx.len());
-    for &i in idx {
-        let img = match scale {
-            // Normalized box coordinates are resize-invariant, so only the
-            // image needs rescaling for multi-scale training.
-            Some((h, w)) => resize_bilinear(&samples[i].image, h, w)?,
-            None => samples[i].image.clone(),
-        };
-        images.push(img);
-        targets.push(samples[i].bbox);
-    }
+    // Per-sample resizes are independent, so they run on the parallel
+    // pool; collection is in index order, keeping the batch layout (and
+    // therefore training) identical for any thread count.
+    let images = parallel::par_iter_indexed(idx.len(), |j| match scale {
+        // Normalized box coordinates are resize-invariant, so only the
+        // image needs rescaling for multi-scale training.
+        Some((h, w)) => resize_bilinear(&samples[idx[j]].image, h, w),
+        None => Ok(samples[idx[j]].image.clone()),
+    })
+    .into_iter()
+    .collect::<Result<Vec<Tensor>>>()?;
+    let targets = idx.iter().map(|&i| samples[i].bbox).collect();
     Ok((Tensor::stack(&images)?, targets))
 }
 
@@ -136,11 +136,7 @@ pub fn evaluate(detector: &mut Detector, samples: &[Sample]) -> Result<f32> {
 /// # Errors
 ///
 /// Propagates tensor shape errors from the model.
-pub fn evaluate_batched(
-    detector: &mut Detector,
-    samples: &[Sample],
-    batch: usize,
-) -> Result<f32> {
+pub fn evaluate_batched(detector: &mut Detector, samples: &[Sample], batch: usize) -> Result<f32> {
     evaluate_mode(detector, samples, batch, skynet_nn::Mode::Eval)
 }
 
@@ -160,9 +156,13 @@ pub fn evaluate_mode(
     if samples.is_empty() {
         return Ok(0.0);
     }
+    // The model runs whole validation batches, and the conv/pool kernels
+    // underneath parallelize over the batch dimension; the IoU reduction
+    // stays on this thread in sample order, so the reported mean is
+    // bit-identical for any thread count.
     let mut total = 0.0f32;
     for chunk in samples.chunks(batch.max(1)) {
-        let images: Vec<Tensor> = chunk.iter().map(|s| s.image.clone()).collect();
+        let images = parallel::par_iter_indexed(chunk.len(), |j| chunk[j].image.clone());
         let batch_t = Tensor::stack(&images)?;
         let dets = detector.predict_mode(&batch_t, mode)?;
         for (det, sample) in dets.iter().zip(chunk) {

@@ -71,18 +71,21 @@ impl Augmenter {
         let b = self.rng.range(-self.cfg.brightness, self.cfg.brightness);
         let c = 1.0 + self.rng.range(-self.cfg.contrast, self.cfg.contrast);
         let jitter: [f32; 3] = [
-            self.rng.range(-self.cfg.color_jitter, self.cfg.color_jitter),
-            self.rng.range(-self.cfg.color_jitter, self.cfg.color_jitter),
-            self.rng.range(-self.cfg.color_jitter, self.cfg.color_jitter),
+            self.rng
+                .range(-self.cfg.color_jitter, self.cfg.color_jitter),
+            self.rng
+                .range(-self.cfg.color_jitter, self.cfg.color_jitter),
+            self.rng
+                .range(-self.cfg.color_jitter, self.cfg.color_jitter),
         ];
         let s = img.shape();
-        for ch in 0..s.c.min(3) {
+        for (ch, &jit) in jitter.iter().enumerate().take(s.c) {
             for y in 0..s.h {
                 for x in 0..s.w {
                     let noise = self.rng.range(-self.cfg.noise, self.cfg.noise);
                     let v = img.at(0, ch, y, x);
                     *img.at_mut(0, ch, y, x) =
-                        (((v - 0.5) * c + 0.5) + b + jitter[ch] + noise).clamp(0.0, 1.0);
+                        (((v - 0.5) * c + 0.5) + b + jit + noise).clamp(0.0, 1.0);
                 }
             }
         }
@@ -107,12 +110,7 @@ pub fn flip_horizontal(img: &Tensor) -> Tensor {
 /// Randomly crops up to `max_crop` of each edge — always keeping the whole
 /// ground-truth box — then resizes back to the original extent and maps
 /// the box into the crop frame.
-pub fn random_crop(
-    img: &Tensor,
-    bbox: &BBox,
-    max_crop: f32,
-    rng: &mut SkyRng,
-) -> (Tensor, BBox) {
+pub fn random_crop(img: &Tensor, bbox: &BBox, max_crop: f32, rng: &mut SkyRng) -> (Tensor, BBox) {
     let (bx1, by1, bx2, by2) = bbox.corners();
     // Crop window in normalized coordinates, clamped to contain the box.
     let left = rng.range(0.0, max_crop).min(bx1.max(0.0));
@@ -186,7 +184,10 @@ mod tests {
             let (img, nb) = random_crop(&s.image, &s.bbox, 0.2, &mut rng);
             assert_eq!(img.shape(), s.image.shape());
             let (x1, y1, x2, y2) = nb.corners();
-            assert!(x1 >= -0.05 && y1 >= -0.05 && x2 <= 1.05 && y2 <= 1.05, "{nb:?}");
+            assert!(
+                x1 >= -0.05 && y1 >= -0.05 && x2 <= 1.05 && y2 <= 1.05,
+                "{nb:?}"
+            );
             // Object must still be bright near the new center.
             let px = ((nb.cx * 32.0) as usize).min(31);
             let py = ((nb.cy * 16.0) as usize).min(15);

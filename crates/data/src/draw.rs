@@ -50,7 +50,7 @@ impl ShapeKind {
         match self {
             ShapeKind::Rect => dx.abs() <= 1.0 && dy.abs() <= 1.0,
             ShapeKind::Ellipse => dx * dx + dy * dy <= 1.0,
-            ShapeKind::Triangle => dy >= -1.0 && dy <= 1.0 && dx.abs() <= (1.0 + dy) / 2.0,
+            ShapeKind::Triangle => (-1.0..=1.0).contains(&dy) && dx.abs() <= (1.0 + dy) / 2.0,
             ShapeKind::Cross => dx.abs() <= 0.33 || dy.abs() <= 0.33,
             ShapeKind::Ring => {
                 let r = dx * dx + dy * dy;
@@ -101,16 +101,15 @@ pub fn draw_shape(
     let py1 = ((y1 * s.h as f32).floor().max(0.0)) as usize;
     let px2 = ((x2 * s.w as f32).ceil().min(s.w as f32)) as usize;
     let py2 = ((y2 * s.h as f32).ceil().min(s.h as f32)) as usize;
-    let subpixel =
-        ((x2 - x1) * s.w as f32) < 1.0 || ((y2 - y1) * s.h as f32) < 1.0;
+    let subpixel = ((x2 - x1) * s.w as f32) < 1.0 || ((y2 - y1) * s.h as f32) < 1.0;
     if px2 <= px1 || py2 <= py1 || subpixel {
         // Sub-pixel object: stamp the nearest pixel so tiny objects stay
         // visible (they are 31% of the DAC-SDC distribution).
         let px = ((bbox.cx * s.w as f32) as usize).min(s.w - 1);
         let py = ((bbox.cy * s.h as f32) as usize).min(s.h - 1);
-        for c in 0..3.min(s.c) {
+        for (c, &col) in color.iter().enumerate().take(s.c) {
             let v = img.at(0, c, py, px);
-            *img.at_mut(0, c, py, px) = v * (1.0 - alpha) + color[c] * alpha;
+            *img.at_mut(0, c, py, px) = v * (1.0 - alpha) + col * alpha;
         }
         return;
     }
@@ -125,9 +124,9 @@ pub fn draw_shape(
             if kind.contains(dx, dy) {
                 // Cheap procedural texture: sinusoidal shading.
                 let tex = 0.12 * ((dx * 4.0 + texture_phase).sin() * (dy * 4.0).cos());
-                for c in 0..3.min(s.c) {
+                for (c, &col) in color.iter().enumerate().take(s.c) {
                     let v = img.at(0, c, py, px);
-                    let target = (color[c] + tex).clamp(0.0, 1.0);
+                    let target = (col + tex).clamp(0.0, 1.0);
                     *img.at_mut(0, c, py, px) = v * (1.0 - alpha) + target * alpha;
                 }
             }
@@ -196,7 +195,14 @@ mod tests {
     fn subpixel_object_still_stamps_a_pixel() {
         let mut img = Tensor::zeros(Shape::new(1, 3, 16, 16));
         let bbox = BBox::new(0.5, 0.5, 0.001, 0.001);
-        draw_shape(&mut img, &bbox, ShapeKind::Ellipse, [0.0, 1.0, 0.0], 0.0, 1.0);
+        draw_shape(
+            &mut img,
+            &bbox,
+            ShapeKind::Ellipse,
+            [0.0, 1.0, 0.0],
+            0.0,
+            1.0,
+        );
         assert!(img.sum() > 0.0);
     }
 

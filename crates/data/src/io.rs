@@ -166,9 +166,11 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_everything() {
-        let mut cfg = DacSdcConfig::default();
-        cfg.height = 12;
-        cfg.width = 20;
+        let cfg = DacSdcConfig {
+            height: 12,
+            width: 20,
+            ..Default::default()
+        };
         let mut gen = DacSdc::new(cfg);
         let samples = gen.generate(5);
         let path = tmp("roundtrip");
@@ -196,9 +198,11 @@ mod tests {
 
     #[test]
     fn truncated_file_is_an_io_error() {
-        let mut cfg = DacSdcConfig::default();
-        cfg.height = 8;
-        cfg.width = 8;
+        let cfg = DacSdcConfig {
+            height: 8,
+            width: 8,
+            ..Default::default()
+        };
         let mut gen = DacSdc::new(cfg);
         let samples = gen.generate(2);
         let path = tmp("truncated");

@@ -84,7 +84,7 @@ impl FpgaDevice {
 /// (2·15+16+1 = 47 → 1 DSP each) and W14 (2·14+16+1 = 45 → packed), the
 /// 128 → 64 step the figure reports.
 pub fn dsp_per_mac(w_bits: u8, fm_bits: u8) -> f64 {
-    if 2 * w_bits as usize + fm_bits as usize + 1 <= 45 {
+    if 2 * w_bits as usize + (fm_bits as usize) < 45 {
         0.5
     } else {
         1.0
@@ -189,7 +189,12 @@ pub struct FpgaEstimate {
 /// Estimates latency, throughput and resources for `net` on `device`
 /// under `scheme`, processing `batch` frames per weight load (the Fig. 9
 /// tiling scheme sets `batch = 4`).
-pub fn estimate(net: &NetDesc, device: &FpgaDevice, scheme: QuantScheme, batch: usize) -> FpgaEstimate {
+pub fn estimate(
+    net: &NetDesc,
+    device: &FpgaDevice,
+    scheme: QuantScheme,
+    batch: usize,
+) -> FpgaEstimate {
     let pool = IpPool::fit(device, scheme);
     let batch = batch.max(1);
     let mut compute_cycles = 0f64;
@@ -210,7 +215,10 @@ pub fn estimate(net: &NetDesc, device: &FpgaDevice, scheme: QuantScheme, batch: 
         // invocations of the shared-IP schedule.
         let materializes = matches!(
             ls.layer,
-            LayerDesc::Conv { .. } | LayerDesc::DwConv { .. } | LayerDesc::Pool { .. } | LayerDesc::Reorg { .. }
+            LayerDesc::Conv { .. }
+                | LayerDesc::DwConv { .. }
+                | LayerDesc::Pool { .. }
+                | LayerDesc::Reorg { .. }
         );
         if materializes {
             let out_elems = (ls.c_out * ls.h_out * ls.w_out) as f64;
@@ -262,11 +270,7 @@ pub fn estimate(net: &NetDesc, device: &FpgaDevice, scheme: QuantScheme, batch: 
 /// balloons; this is why the paper shares IPs on resource-starved
 /// devices ("all DNN layers of the same type share the same hardware
 /// computational IP ... to save FPGA resources").
-pub fn estimate_dedicated(
-    net: &NetDesc,
-    device: &FpgaDevice,
-    scheme: QuantScheme,
-) -> FpgaEstimate {
+pub fn estimate_dedicated(net: &NetDesc, device: &FpgaDevice, scheme: QuantScheme) -> FpgaEstimate {
     let shapes = net.walk();
     let conv_layers = shapes
         .iter()
@@ -274,9 +278,10 @@ pub fn estimate_dedicated(
         .count()
         .max(1);
     let budget = device.dsp as f64 * 0.9;
-    let per_layer =
-        pow2_floor(((budget / dsp_per_mac(scheme.weight_bits, scheme.fm_bits)) / conv_layers as f64) as usize)
-            .max(1);
+    let per_layer = pow2_floor(
+        ((budget / dsp_per_mac(scheme.weight_bits, scheme.fm_bits)) / conv_layers as f64) as usize,
+    )
+    .max(1);
     let mut compute_cycles = 0f64;
     let mut fm_bytes = 0f64;
     for ls in &shapes {
@@ -290,9 +295,13 @@ pub fn estimate_dedicated(
         compute_cycles += 1024.0;
         if matches!(
             ls.layer,
-            LayerDesc::Conv { .. } | LayerDesc::DwConv { .. } | LayerDesc::Pool { .. } | LayerDesc::Reorg { .. }
+            LayerDesc::Conv { .. }
+                | LayerDesc::DwConv { .. }
+                | LayerDesc::Pool { .. }
+                | LayerDesc::Reorg { .. }
         ) {
-            fm_bytes += (ls.c_out * ls.h_out * ls.w_out) as f64 * scheme.fm_bits.min(16) as f64 / 8.0;
+            fm_bytes +=
+                (ls.c_out * ls.h_out * ls.w_out) as f64 * scheme.fm_bits.min(16) as f64 / 8.0;
         }
     }
     let compute_ms = compute_cycles / (device.freq_mhz * 1e6) * 1e3;
@@ -367,7 +376,10 @@ mod tests {
             est.compute_ms,
             est.memory_ms
         );
-        assert!(est.memory_ms > est.compute_ms, "SkyNet on Ultra96 is memory-bound");
+        assert!(
+            est.memory_ms > est.compute_ms,
+            "SkyNet on Ultra96 is memory-bound"
+        );
     }
 
     #[test]
@@ -393,7 +405,13 @@ mod tests {
         let mut layers = Vec::new();
         let mut in_c = 3;
         for _ in 0..50 {
-            layers.push(LayerDesc::Conv { in_c, out_c: 256, k: 3, s: 1, p: 1 });
+            layers.push(LayerDesc::Conv {
+                in_c,
+                out_c: 256,
+                k: 3,
+                s: 1,
+                p: 1,
+            });
             in_c = 256;
         }
         NetDesc::new(3, 40, 80, layers)

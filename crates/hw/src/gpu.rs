@@ -83,8 +83,7 @@ pub fn estimate(net: &NetDesc, device: &GpuDevice) -> GpuEstimate {
         };
         let t_compute = flops / (device.peak_gflops * 1e9 * eff) * 1e3;
         // Memory floor: inputs + outputs at 4 bytes.
-        let bytes =
-            4.0 * ((ls.c_in * ls.h_in * ls.w_in) + (ls.c_out * ls.h_out * ls.w_out)) as f64;
+        let bytes = 4.0 * ((ls.c_in * ls.h_in * ls.w_in) + (ls.c_out * ls.h_out * ls.w_out)) as f64;
         let t_mem = bytes / (device.bandwidth_gbps * 1e9) * 1e3;
         compute_ms += t_compute.max(t_mem);
         if is_kernel {

@@ -139,8 +139,19 @@ mod tests {
             let mut dw = Vec::new();
             let mut in_c = 3;
             for _ in 0..6 {
-                dw.push(LayerDesc::DwConv { c: in_c, k: 3, s: 1, p: 1 });
-                dw.push(LayerDesc::Conv { in_c, out_c: c, k: 1, s: 1, p: 0 });
+                dw.push(LayerDesc::DwConv {
+                    c: in_c,
+                    k: 3,
+                    s: 1,
+                    p: 1,
+                });
+                dw.push(LayerDesc::Conv {
+                    in_c,
+                    out_c: c,
+                    k: 1,
+                    s: 1,
+                    p: 0,
+                });
                 in_c = c;
             }
             candidates.push(NetDesc::new(3, 80, 160, dw));
@@ -148,7 +159,13 @@ mod tests {
             let mut dense = Vec::new();
             let mut in_c = 3;
             for _ in 0..3 {
-                dense.push(LayerDesc::Conv { in_c, out_c: c, k: 3, s: 1, p: 1 });
+                dense.push(LayerDesc::Conv {
+                    in_c,
+                    out_c: c,
+                    k: 3,
+                    s: 1,
+                    p: 1,
+                });
                 in_c = c;
             }
             candidates.push(NetDesc::new(3, 80, 160, dense));

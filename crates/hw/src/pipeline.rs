@@ -7,12 +7,12 @@
 //! and overlaps the three remaining stages with multithreading, reporting
 //! a 3.35× speedup on the TX2 and enabling 25.05 FPS on the Ultra96.
 //!
-//! This module is a **real** three-stage pipeline built on crossbeam's
-//! bounded channels: [`run_serial`] and [`run_pipelined`] execute the
-//! same stage closures over the same frames and are timed with
-//! `Instant`, so the reported speedup is measured, not modeled.
+//! This module is a **real** three-stage pipeline built on the standard
+//! library's bounded channels: [`run_serial`] and [`run_pipelined`]
+//! execute the same stage closures over the same frames and are timed
+//! with `Instant`, so the reported speedup is measured, not modeled.
 
-use crossbeam::channel::bounded;
+use std::sync::mpsc::sync_channel;
 use std::time::{Duration, Instant};
 
 /// The three pipeline stages as boxed closures over a frame payload `T`.
@@ -70,8 +70,8 @@ where
     V: Send,
 {
     let Stages { pre, infer, post } = stages;
-    let (tx_pre, rx_pre) = bounded::<T>(4);
-    let (tx_inf, rx_inf) = bounded::<U>(4);
+    let (tx_pre, rx_pre) = sync_channel::<T>(4);
+    let (tx_inf, rx_inf) = sync_channel::<U>(4);
     let start = Instant::now();
     let elapsed = std::thread::scope(|scope| {
         scope.spawn(move || {

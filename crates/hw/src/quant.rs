@@ -168,7 +168,10 @@ mod tests {
         let err = y_float.sub(&y_q).unwrap().max_abs();
         let scale = y_float.max_abs();
         assert!(err > 0.0, "quantization must perturb");
-        assert!(err < scale * 0.1, "9/11-bit error should be small: {err} vs {scale}");
+        assert!(
+            err < scale * 0.1,
+            "9/11-bit error should be small: {err} vs {scale}"
+        );
     }
 
     #[test]
@@ -177,9 +180,8 @@ mod tests {
         // 1 M params × 11 bits = 11 Mbit = 1.375 MB ÷ 1.048576.
         let mb = s.param_megabytes(1_000_000);
         assert!((mb - 11.0e6 / 8.0 / 1048576.0).abs() < 1e-9);
-        assert!((QuantScheme::float32().param_megabytes(1_000_000)
-            - 4.0e6 / 1048576.0)
-            .abs()
-            < 1e-9);
+        assert!(
+            (QuantScheme::float32().param_megabytes(1_000_000) - 4.0e6 / 1048576.0).abs() < 1e-9
+        );
     }
 }

@@ -183,9 +183,17 @@ mod tests {
         // land near the published 1.504 (GPU) and 1.526 (FPGA).
         let gpu = score_field(&table5_entries(), Track::Gpu);
         let sky_gpu = &gpu[0];
-        assert!((sky_gpu.total_score - 1.504).abs() < 0.1, "{}", sky_gpu.total_score);
+        assert!(
+            (sky_gpu.total_score - 1.504).abs() < 0.1,
+            "{}",
+            sky_gpu.total_score
+        );
         let fpga = score_field(&table6_entries(), Track::Fpga);
         let sky_fpga = &fpga[0];
-        assert!((sky_fpga.total_score - 1.526).abs() < 0.15, "{}", sky_fpga.total_score);
+        assert!(
+            (sky_fpga.total_score - 1.526).abs() < 0.15,
+            "{}",
+            sky_fpga.total_score
+        );
     }
 }

@@ -65,7 +65,7 @@ pub fn stitch4(images: &[Tensor]) -> Result<Tensor> {
 /// Returns [`TensorError::InvalidDimension`] for odd spatial extents.
 pub fn unstitch4(stitched: &Tensor) -> Result<Vec<Tensor>> {
     let s = stitched.shape();
-    if s.h % 2 != 0 || s.w % 2 != 0 {
+    if !s.h.is_multiple_of(2) || !s.w.is_multiple_of(2) {
         return Err(TensorError::InvalidDimension {
             op: "unstitch4",
             detail: format!("extents {}×{} not even", s.h, s.w),
@@ -141,8 +141,11 @@ pub fn plan(net: &NetDesc) -> TilingPlan {
     let buffer = layer_elems.iter().copied().max().unwrap_or(0);
     let merged: Vec<bool> = layer_elems.iter().map(|&e| e * 4 <= buffer).collect();
     let n = layer_elems.len().max(1) as f64;
-    let utilization_plain =
-        layer_elems.iter().map(|&e| e as f64 / buffer as f64).sum::<f64>() / n;
+    let utilization_plain = layer_elems
+        .iter()
+        .map(|&e| e as f64 / buffer as f64)
+        .sum::<f64>()
+        / n;
     let utilization_tiled = layer_elems
         .iter()
         .zip(&merged)

@@ -111,7 +111,13 @@ impl CandidateArch {
 
 impl std::fmt::Display for CandidateArch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} ×{} ch={:?} pools=", self.bundle.describe(), self.depth(), self.channels)?;
+        write!(
+            f,
+            "{} ×{} ch={:?} pools=",
+            self.bundle.describe(),
+            self.depth(),
+            self.channels
+        )?;
         for &p in &self.pool_after {
             write!(f, "{}", if p { "P" } else { "-" })?;
         }
@@ -166,10 +172,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn mismatched_dims_rejected() {
-        let _ = CandidateArch::new(
-            BundleSpec::skynet(Act::Relu6),
-            vec![8, 16],
-            vec![true],
-        );
+        let _ = CandidateArch::new(BundleSpec::skynet(Act::Relu6), vec![8, 16], vec![true]);
     }
 }

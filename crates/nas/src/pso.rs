@@ -65,12 +65,7 @@ impl Target {
         let desc = arch.descriptor_scaled(hw_scale, hw_in.0, hw_in.1);
         match *self {
             Target::Fpga { req_ms, beta } => {
-                let est = fpga::estimate(
-                    &desc,
-                    &FpgaDevice::ultra96(),
-                    QuantScheme::new(11, 9),
-                    4,
-                );
+                let est = fpga::estimate(&desc, &FpgaDevice::ultra96(), QuantScheme::new(11, 9), 4);
                 let over = (est.latency_ms - req_ms).max(0.0) / req_ms;
                 let infeasible = if est.feasible { 0.0 } else { 1.0 };
                 beta * (over + infeasible)
@@ -194,7 +189,8 @@ pub fn run(
         // Fast training + performance estimation for every particle.
         for group in population.iter_mut() {
             for p in group.iter_mut() {
-                let (acc, fit) = evaluate_particle(&p.arch, cfg, epochs, train, val, anchors, &mut rng)?;
+                let (acc, fit) =
+                    evaluate_particle(&p.arch, cfg, epochs, train, val, anchors, &mut rng)?;
                 p.accuracy = acc;
                 p.fitness = fit;
             }
@@ -358,7 +354,11 @@ mod tests {
         assert_eq!(outcome.group_best.len(), 2);
         assert!(outcome.global_best.fitness.is_finite());
         for w in outcome.history.windows(2) {
-            assert!(w[1] >= w[0], "history must be monotone: {:?}", outcome.history);
+            assert!(
+                w[1] >= w[0],
+                "history must be monotone: {:?}",
+                outcome.history
+            );
         }
     }
 
@@ -395,6 +395,9 @@ mod tests {
             .iter()
             .map(|t| t.penalty(&arch, cfg.hw_scale, cfg.hw_input))
             .sum();
-        assert!(p > 1.0, "penalty {p} should be large for impossible targets");
+        assert!(
+            p > 1.0,
+            "penalty {p} should be large for impossible targets"
+        );
     }
 }

@@ -219,10 +219,10 @@ mod tests {
             feasible: feas,
         };
         let evals = vec![
-            mk(0.7, 10.0, true),  // frontier
-            mk(0.6, 20.0, true),  // dominated by first
-            mk(0.8, 30.0, true),  // frontier (more accurate, slower)
-            mk(0.9, 5.0, false),  // infeasible
+            mk(0.7, 10.0, true), // frontier
+            mk(0.6, 20.0, true), // dominated by first
+            mk(0.8, 30.0, true), // frontier (more accurate, slower)
+            mk(0.9, 5.0, false), // infeasible
         ];
         let f = pareto_frontier(&evals);
         assert_eq!(f.len(), 2);

@@ -153,11 +153,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "5-Bundle chain")]
     fn wrong_depth_rejected() {
-        let w = CandidateArch::new(
-            BundleSpec::skynet(Act::Relu6),
-            vec![4, 8],
-            vec![true, true],
-        );
+        let w = CandidateArch::new(BundleSpec::skynet(Act::Relu6), vec![4, 8], vec![true, true]);
         let _ = to_skynet_config(&w, Variant::A, Act::Relu);
     }
 }

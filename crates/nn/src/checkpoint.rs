@@ -130,9 +130,7 @@ pub fn load_params(model: &mut dyn Layer, path: impl AsRef<Path>) -> Result<(), 
                 ));
             }
             None => {
-                mismatch = Some(format!(
-                    "checkpoint has {count} parameters, model has more"
-                ));
+                mismatch = Some(format!("checkpoint has {count} parameters, model has more"));
             }
         }
         idx += 1;

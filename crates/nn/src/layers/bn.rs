@@ -100,8 +100,7 @@ impl Layer for BatchNorm2d {
                     self.running_var[c] =
                         self.momentum * self.running_var[c] + (1.0 - self.momentum) * var[c];
                 }
-                let inv_std: Vec<f32> =
-                    var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+                let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
                 let mut x_hat = Tensor::zeros(s);
                 let mut y = Tensor::zeros(s);
                 for n in 0..s.n {
@@ -235,8 +234,8 @@ mod tests {
         }
         let y = bn.forward(&x, Mode::Eval).unwrap();
         let mean = channel_mean(&y);
-        for c in 0..2 {
-            assert!(mean[c].abs() < 0.05, "eval mean[{c}] = {}", mean[c]);
+        for (c, m) in mean.iter().enumerate().take(2) {
+            assert!(m.abs() < 0.05, "eval mean[{c}] = {m}");
         }
     }
 

@@ -184,11 +184,8 @@ mod tests {
         let mut conv = Conv2d::pointwise(3, 3, &mut rng);
         conv.visit_params(&mut |p| p.value.as_mut_slice().fill(0.0));
         let mut block = Residual::identity(Sequential::new(vec![Box::new(conv)]));
-        let x = Tensor::from_vec(
-            Shape::new(1, 3, 2, 2),
-            (0..12).map(|i| i as f32).collect(),
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec(Shape::new(1, 3, 2, 2), (0..12).map(|i| i as f32).collect()).unwrap();
         let y = block.forward(&x, Mode::Eval).unwrap();
         assert_eq!(y, x);
     }

@@ -91,23 +91,12 @@ impl Conv2d {
         }
         match &mut self.bias {
             Some(b) => {
-                for ((bv, &s), &sh) in b
-                    .value
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(scale)
-                    .zip(shift)
-                {
+                for ((bv, &s), &sh) in b.value.as_mut_slice().iter_mut().zip(scale).zip(shift) {
                     *bv = *bv * s + sh;
                 }
             }
             None => {
-                let mut bias = Param::new_no_decay(Tensor::zeros(Shape::new(
-                    1,
-                    1,
-                    1,
-                    self.out_c,
-                )));
+                let mut bias = Param::new_no_decay(Tensor::zeros(Shape::new(1, 1, 1, self.out_c)));
                 bias.value.as_mut_slice().copy_from_slice(shift);
                 self.bias = Some(bias);
             }

@@ -119,11 +119,7 @@ mod tests {
     #[test]
     fn maxpool_forward_backward() {
         let mut p = MaxPool2d::new(2);
-        let x = Tensor::from_vec(
-            Shape::new(1, 1, 2, 2),
-            vec![1.0, 9.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape::new(1, 1, 2, 2), vec![1.0, 9.0, 3.0, 4.0]).unwrap();
         let y = p.forward(&x, Mode::Train).unwrap();
         assert_eq!(y.as_slice(), &[9.0]);
         let g = p
@@ -135,11 +131,7 @@ mod tests {
     #[test]
     fn gap_averages_and_spreads() {
         let mut p = GlobalAvgPool::new();
-        let x = Tensor::from_vec(
-            Shape::new(1, 2, 1, 2),
-            vec![2.0, 4.0, 10.0, 20.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape::new(1, 2, 1, 2), vec![2.0, 4.0, 10.0, 20.0]).unwrap();
         let y = p.forward(&x, Mode::Train).unwrap();
         assert_eq!(y.as_slice(), &[3.0, 15.0]);
         let g = p

@@ -47,9 +47,11 @@ impl LrSchedule {
                     start * (end / start).powf(t)
                 }
             }
-            LrSchedule::Step { base, factor, every } => {
-                base * factor.powi((step / every.max(1)) as i32)
-            }
+            LrSchedule::Step {
+                base,
+                factor,
+                every,
+            } => base * factor.powi((step / every.max(1)) as i32),
         }
     }
 }
@@ -67,6 +69,10 @@ pub struct Sgd {
     step: usize,
     velocity: Vec<Vec<f32>>,
 }
+
+/// A parameter-traversal callback: invokes the inner closure once per
+/// trainable [`Param`], in a stable order (see [`Sgd::step_visit`]).
+pub type ParamVisitor<'a> = dyn FnMut(&mut dyn FnMut(&mut Param)) + 'a;
 
 impl Sgd {
     /// Creates an optimizer with the given schedule, momentum coefficient
@@ -125,7 +131,7 @@ impl Sgd {
     /// [`Layer`]: `visit` must invoke its callback once per parameter, in
     /// a stable order across calls. Gradients are cleared after the
     /// update.
-    pub fn step_visit(&mut self, visit: &mut dyn FnMut(&mut dyn FnMut(&mut Param))) {
+    pub fn step_visit(&mut self, visit: &mut ParamVisitor<'_>) {
         let lr = self.schedule.at(self.step);
         self.step += 1;
         let momentum = self.momentum;
@@ -248,7 +254,10 @@ mod tests {
             conv.visit_params(&mut |p| v = p.value.as_slice()[0]);
             v
         };
-        assert!(w2.is_finite() && (w2 - w1).abs() < 1e-6, "NaN grads are dropped");
+        assert!(
+            w2.is_finite() && (w2 - w1).abs() < 1e-6,
+            "NaN grads are dropped"
+        );
     }
 
     #[test]

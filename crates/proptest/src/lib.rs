@@ -1,0 +1,296 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access to crates.io, so this
+//! in-workspace crate provides the subset of the proptest API the test
+//! suites use: `proptest!`, `prop_assert!`/`prop_assert_eq!`,
+//! `ProptestConfig::with_cases`, range and tuple strategies, `prop_map`,
+//! and `proptest::collection::vec`.
+//!
+//! Semantics differ from upstream in two deliberate ways:
+//!
+//! * sampling is **deterministic** — the RNG is seeded from the test
+//!   function's name, so a failing case reproduces without a
+//!   `proptest-regressions` file;
+//! * there is **no shrinking** — the failing inputs are reported as-is.
+
+use std::ops::Range;
+
+/// Runner configuration: the number of cases sampled per property.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` sampled cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic SplitMix64 generator used to sample strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds from an arbitrary string (the test name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a, then one splitmix round to spread low-entropy names.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A sampleable value source — the proptest `Strategy` trait, minus
+/// shrinking.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced value through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit() as f32
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "empty integer range strategy");
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / a, B / b);
+tuple_strategy!(A / a, B / b, C / c);
+tuple_strategy!(A / a, B / b, C / c, D / d);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+/// Strategy that always returns a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing a `Vec` of `len` samples of `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, reporting the failing
+/// case instead of panicking mid-property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Declares deterministic property tests. Supports the upstream
+/// `proptest!` surface used in this workspace: an optional leading
+/// `#![proptest_config(..)]`, then `#[test]` functions whose arguments
+/// are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for case in 0..cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), String> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}",
+                            case + 1,
+                            cfg.cases,
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// One-stop import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let f = Strategy::sample(&(-2.0f32..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let u = Strategy::sample(&(4usize..64), &mut rng);
+            assert!((4..64).contains(&u));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let s = collection::vec(0.0f32..1.0, 16);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_compiles_and_runs(x in 0.0f32..1.0, n in 1usize..5) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert_eq!(n.min(4), n);
+        }
+    }
+}

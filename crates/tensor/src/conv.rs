@@ -8,7 +8,14 @@
 //! the data movement the paper's PW-Conv IP performs on the FPGA.
 
 use crate::matmul::{matmul_a_bt_acc, matmul_acc, matmul_at_b_acc};
+use crate::parallel::{par_chunks_mut, par_chunks_mut2};
 use crate::{Result, Shape, Tensor, TensorError};
+
+/// Output rows (out-channels) per parallel task when a convolution is
+/// split inside a single batch item. Fixed — never derived from the
+/// thread count — so the task decomposition, and therefore the result
+/// bits, are identical for every `SKYNET_THREADS`.
+const OC_BLOCK: usize = 16;
 
 /// Spatial geometry of a convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,7 +31,11 @@ pub struct ConvGeometry {
 impl ConvGeometry {
     /// Creates a geometry.
     pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
-        ConvGeometry { kernel, stride, pad }
+        ConvGeometry {
+            kernel,
+            stride,
+            pad,
+        }
     }
 
     /// Geometry of a 1×1 point-wise convolution.
@@ -38,8 +49,16 @@ impl ConvGeometry {
     }
 
     /// Output spatial extent for an input extent.
+    ///
+    /// Returns 0 for degenerate geometries — a zero-sized kernel, or a
+    /// kernel larger than the padded input — rather than pretending a
+    /// 1-element output exists.
     pub fn out_extent(&self, len: usize) -> usize {
-        (len + 2 * self.pad).saturating_sub(self.kernel) / self.stride + 1
+        let padded = len + 2 * self.pad;
+        if self.kernel == 0 || self.stride == 0 || padded < self.kernel {
+            return 0;
+        }
+        (padded - self.kernel) / self.stride + 1
     }
 
     /// Output shape for a given input shape and output channel count.
@@ -62,14 +81,7 @@ impl Default for ConvGeometry {
 /// Lowers one batch item to a `[in_c·k·k, out_h·out_w]` column matrix.
 ///
 /// `input` must be a single batch item's channel data (`c*h*w` values).
-pub fn im2col(
-    input: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    geo: ConvGeometry,
-    out: &mut [f32],
-) {
+pub fn im2col(input: &[f32], c: usize, h: usize, w: usize, geo: ConvGeometry, out: &mut [f32]) {
     let (k, s, p) = (geo.kernel, geo.stride, geo.pad);
     let oh = geo.out_extent(h);
     let ow = geo.out_extent(w);
@@ -108,14 +120,7 @@ pub fn im2col(
 
 /// Scatter-adds a column matrix back into an input-gradient buffer: the
 /// adjoint of [`im2col`].
-pub fn col2im_acc(
-    col: &[f32],
-    c: usize,
-    h: usize,
-    w: usize,
-    geo: ConvGeometry,
-    out: &mut [f32],
-) {
+pub fn col2im_acc(col: &[f32], c: usize, h: usize, w: usize, geo: ConvGeometry, out: &mut [f32]) {
     let (k, s, p) = (geo.kernel, geo.stride, geo.pad);
     let oh = geo.out_extent(h);
     let ow = geo.out_extent(w);
@@ -158,6 +163,21 @@ fn check_weight(input: Shape, weight: Shape, geo: ConvGeometry) -> Result<()> {
             got: weight.to_string(),
         });
     }
+    check_geometry(input, geo, "conv2d")
+}
+
+/// Rejects geometries whose output would be empty (kernel or stride of
+/// zero, or a kernel exceeding the padded input).
+pub(crate) fn check_geometry(input: Shape, geo: ConvGeometry, op: &'static str) -> Result<()> {
+    if geo.out_extent(input.h) == 0 || geo.out_extent(input.w) == 0 {
+        return Err(TensorError::InvalidDimension {
+            op,
+            detail: format!(
+                "degenerate geometry: kernel {}, stride {}, pad {} over {}×{} input yields an empty output",
+                geo.kernel, geo.stride, geo.pad, input.h, input.w
+            ),
+        });
+    }
     Ok(())
 }
 
@@ -194,26 +214,64 @@ pub fn conv2d(
     let kk = ishape.c * geo.kernel * geo.kernel;
     let mut out = Tensor::zeros(oshape);
     let pointwise = geo.kernel == 1 && geo.stride == 1 && geo.pad == 0;
-    let mut col = if pointwise { Vec::new() } else { vec![0.0f32; kk * l] };
-    for n in 0..ishape.n {
-        let in_item = &input.as_slice()[n * ishape.item_numel()..(n + 1) * ishape.item_numel()];
-        let out_item =
-            &mut out.as_mut_slice()[n * oshape.item_numel()..(n + 1) * oshape.item_numel()];
-        if pointwise {
-            matmul_acc(weight.as_slice(), in_item, out_item, out_c, kk, l);
+
+    // Multi-item batches parallelize over batch items; a single item
+    // parallelizes over fixed-size out-channel blocks. Both
+    // decompositions compute each output element with identical
+    // floating-point operations, so results are bit-identical across
+    // thread counts and across the two layouts.
+    if ishape.n > 1 {
+        let mut col_all = if pointwise {
+            Vec::new()
         } else {
-            im2col(in_item, ishape.c, ishape.h, ishape.w, geo, &mut col);
-            matmul_acc(weight.as_slice(), &col, out_item, out_c, kk, l);
+            vec![0.0f32; ishape.n * kk * l]
+        };
+        if !pointwise {
+            par_chunks_mut(&mut col_all, kk * l, |n, col| {
+                let in_item =
+                    &input.as_slice()[n * ishape.item_numel()..(n + 1) * ishape.item_numel()];
+                im2col(in_item, ishape.c, ishape.h, ishape.w, geo, col);
+            });
         }
-        if let Some(b) = bias {
-            for (oc, &bv) in b.iter().enumerate() {
-                for v in &mut out_item[oc * l..(oc + 1) * l] {
-                    *v += bv;
-                }
+        par_chunks_mut(out.as_mut_slice(), oshape.item_numel(), |n, out_item| {
+            let rhs = if pointwise {
+                &input.as_slice()[n * ishape.item_numel()..(n + 1) * ishape.item_numel()]
+            } else {
+                &col_all[n * kk * l..(n + 1) * kk * l]
+            };
+            matmul_acc(weight.as_slice(), rhs, out_item, out_c, kk, l);
+            add_bias(out_item, bias, l);
+        });
+    } else {
+        let in_item = input.as_slice();
+        let col;
+        let rhs: &[f32] = if pointwise {
+            in_item
+        } else {
+            let mut buf = vec![0.0f32; kk * l];
+            im2col(in_item, ishape.c, ishape.h, ishape.w, geo, &mut buf);
+            col = buf;
+            &col
+        };
+        par_chunks_mut(out.as_mut_slice(), OC_BLOCK * l, |block, out_rows| {
+            let oc0 = block * OC_BLOCK;
+            let rows = out_rows.len() / l;
+            matmul_acc(&weight.as_slice()[oc0 * kk..], rhs, out_rows, rows, kk, l);
+            add_bias(out_rows, bias.map(|b| &b[oc0..oc0 + rows]), l);
+        });
+    }
+    Ok(out)
+}
+
+/// Adds one bias value per `l`-element output row.
+fn add_bias(out_rows: &mut [f32], bias: Option<&[f32]>, l: usize) {
+    if let Some(b) = bias {
+        for (row, &bv) in out_rows.chunks_mut(l).zip(b) {
+            for v in row {
+                *v += bv;
             }
         }
     }
-    Ok(out)
 }
 
 /// Gradients produced by [`conv2d_backward`].
@@ -257,31 +315,50 @@ pub fn conv2d_backward(
     let mut gw = Tensor::zeros(wshape);
     let mut gb = vec![0.0f32; out_c];
     let pointwise = geo.kernel == 1 && geo.stride == 1 && geo.pad == 0;
-    let mut col = if pointwise { Vec::new() } else { vec![0.0f32; kk * l] };
-    let mut gcol = vec![0.0f32; kk * l];
-    for n in 0..ishape.n {
-        let in_item = &input.as_slice()[n * ishape.item_numel()..(n + 1) * ishape.item_numel()];
-        let go_item =
-            &grad_out.as_slice()[n * oshape.item_numel()..(n + 1) * oshape.item_numel()];
-        // Bias gradient: sum over spatial positions.
-        for oc in 0..out_c {
-            gb[oc] += go_item[oc * l..(oc + 1) * l].iter().sum::<f32>();
+
+    // Batch items are independent: each task computes its item's input
+    // gradient in place plus a private `[grad_w | grad_b]` partial.
+    // The partials are then folded in item order on the calling thread,
+    // which keeps the reduction deterministic for any thread count.
+    let wlen = wshape.numel();
+    let stripe = wlen + out_c;
+    let mut partials = vec![0.0f32; ishape.n * stripe];
+    par_chunks_mut2(
+        gi.as_mut_slice(),
+        ishape.item_numel(),
+        &mut partials,
+        stripe,
+        |n, gi_item, partial| {
+            let (pgw, pgb) = partial.split_at_mut(wlen);
+            let in_item = &input.as_slice()[n * ishape.item_numel()..(n + 1) * ishape.item_numel()];
+            let go_item =
+                &grad_out.as_slice()[n * oshape.item_numel()..(n + 1) * oshape.item_numel()];
+            // Bias gradient: sum over spatial positions.
+            for (oc, pb) in pgb.iter_mut().enumerate() {
+                *pb = go_item[oc * l..(oc + 1) * l].iter().sum::<f32>();
+            }
+            if pointwise {
+                // grad_w += go (out_c×L) · inᵀ (L×in_c)
+                matmul_a_bt_acc(go_item, in_item, pgw, out_c, l, kk);
+                // grad_in += wᵀ (in_c×out_c) · go (out_c×L)
+                matmul_at_b_acc(weight.as_slice(), go_item, gi_item, kk, out_c, l);
+            } else {
+                let mut col = vec![0.0f32; kk * l];
+                im2col(in_item, ishape.c, ishape.h, ishape.w, geo, &mut col);
+                matmul_a_bt_acc(go_item, &col, pgw, out_c, l, kk);
+                let mut gcol = vec![0.0f32; kk * l];
+                matmul_at_b_acc(weight.as_slice(), go_item, &mut gcol, kk, out_c, l);
+                col2im_acc(&gcol, ishape.c, ishape.h, ishape.w, geo, gi_item);
+            }
+        },
+    );
+    for partial in partials.chunks(stripe) {
+        let (pgw, pgb) = partial.split_at(wlen);
+        for (g, &p) in gw.as_mut_slice().iter_mut().zip(pgw) {
+            *g += p;
         }
-        if pointwise {
-            // grad_w += go (out_c×L) · inᵀ (L×in_c)
-            matmul_a_bt_acc(go_item, in_item, gw.as_mut_slice(), out_c, l, kk);
-            // grad_in += wᵀ (in_c×out_c) · go (out_c×L)
-            let gi_item =
-                &mut gi.as_mut_slice()[n * ishape.item_numel()..(n + 1) * ishape.item_numel()];
-            matmul_at_b_acc(weight.as_slice(), go_item, gi_item, kk, out_c, l);
-        } else {
-            im2col(in_item, ishape.c, ishape.h, ishape.w, geo, &mut col);
-            matmul_a_bt_acc(go_item, &col, gw.as_mut_slice(), out_c, l, kk);
-            gcol.fill(0.0);
-            matmul_at_b_acc(weight.as_slice(), go_item, &mut gcol, kk, out_c, l);
-            let gi_item =
-                &mut gi.as_mut_slice()[n * ishape.item_numel()..(n + 1) * ishape.item_numel()];
-            col2im_acc(&gcol, ishape.c, ishape.h, ishape.w, geo, gi_item);
+        for (g, &p) in gb.iter_mut().zip(pgb) {
+            *g += p;
         }
     }
     Ok(ConvGrads {
@@ -381,6 +458,29 @@ mod tests {
         let x = Tensor::zeros(Shape::new(1, 3, 4, 4));
         let w = Tensor::zeros(Shape::new(2, 4, 3, 3)); // in_c mismatch
         assert!(conv2d(&x, &w, None, ConvGeometry::same3x3()).is_err());
+    }
+
+    /// Regression: `out_extent` used to report 1 output position when the
+    /// kernel exceeded the padded input (`saturating_sub` then `+ 1`).
+    #[test]
+    fn degenerate_geometry_is_zero_extent_and_rejected() {
+        // 7×7 kernel over an unpadded 4-wide input: no valid placement.
+        let geo = ConvGeometry::new(7, 1, 0);
+        assert_eq!(geo.out_extent(4), 0);
+        assert_eq!(geo.out_extent(6), 0);
+        assert_eq!(geo.out_extent(7), 1);
+        // Zero kernel / stride never place.
+        assert_eq!(ConvGeometry::new(0, 1, 0).out_extent(5), 0);
+        assert_eq!(ConvGeometry::new(3, 0, 1).out_extent(5), 0);
+
+        let x = Tensor::zeros(Shape::new(1, 2, 4, 4));
+        let w = Tensor::zeros(Shape::new(3, 2, 7, 7));
+        let err = conv2d(&x, &w, None, geo).unwrap_err();
+        assert!(
+            matches!(err, TensorError::InvalidDimension { .. }),
+            "want InvalidDimension, got {err:?}"
+        );
+        assert!(conv2d_backward(&x, &w, &Tensor::zeros(Shape::new(1, 3, 1, 1)), geo).is_err());
     }
 
     /// Finite-difference check of the full backward pass.

@@ -6,7 +6,8 @@
 //! exploit, and direct loops match the line-buffer dataflow of the paper's
 //! DW-Conv FPGA IP.
 
-use crate::conv::ConvGeometry;
+use crate::conv::{check_geometry, ConvGeometry};
+use crate::parallel::{par_chunks_mut, par_chunks_mut2};
 use crate::{Result, Shape, Tensor, TensorError};
 
 fn check(input: Shape, weight: Shape, geo: ConvGeometry) -> Result<()> {
@@ -17,7 +18,7 @@ fn check(input: Shape, weight: Shape, geo: ConvGeometry) -> Result<()> {
             got: weight.to_string(),
         });
     }
-    Ok(())
+    check_geometry(input, geo, "dwconv2d")
 }
 
 /// Depth-wise convolution.
@@ -49,38 +50,36 @@ pub fn dwconv2d(
     let mut out = Tensor::zeros(os);
     let (k, s, p) = (geo.kernel, geo.stride, geo.pad);
     let kk = k * k;
-    for n in 0..is.n {
-        for c in 0..is.c {
-            let filt = &weight.as_slice()[c * kk..(c + 1) * kk];
-            let bv = bias.map(|b| b[c]).unwrap_or(0.0);
-            let chan_in = &input.as_slice()
-                [(n * is.c + c) * is.plane()..(n * is.c + c + 1) * is.plane()];
-            let chan_out = &mut out.as_mut_slice()
-                [(n * os.c + c) * os.plane()..(n * os.c + c + 1) * os.plane()];
-            for oy in 0..os.h {
-                let iy0 = (oy * s) as isize - p as isize;
-                for ox in 0..os.w {
-                    let ix0 = (ox * s) as isize - p as isize;
-                    let mut acc = bv;
-                    for ky in 0..k {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= is.h as isize {
-                            continue;
-                        }
-                        let row = iy as usize * is.w;
-                        let frow = ky * k;
-                        for kx in 0..k {
-                            let ix = ix0 + kx as isize;
-                            if ix >= 0 && ix < is.w as isize {
-                                acc += chan_in[row + ix as usize] * filt[frow + kx];
-                            }
+    // Every (item, channel) plane is independent: one parallel task per
+    // output plane, each reading only its own input plane and filter.
+    par_chunks_mut(out.as_mut_slice(), os.plane(), |plane, chan_out| {
+        let c = plane % is.c;
+        let filt = &weight.as_slice()[c * kk..(c + 1) * kk];
+        let bv = bias.map(|b| b[c]).unwrap_or(0.0);
+        let chan_in = &input.as_slice()[plane * is.plane()..(plane + 1) * is.plane()];
+        for oy in 0..os.h {
+            let iy0 = (oy * s) as isize - p as isize;
+            for ox in 0..os.w {
+                let ix0 = (ox * s) as isize - p as isize;
+                let mut acc = bv;
+                for ky in 0..k {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= is.h as isize {
+                        continue;
+                    }
+                    let row = iy as usize * is.w;
+                    let frow = ky * k;
+                    for kx in 0..k {
+                        let ix = ix0 + kx as isize;
+                        if ix >= 0 && ix < is.w as isize {
+                            acc += chan_in[row + ix as usize] * filt[frow + kx];
                         }
                     }
-                    chan_out[oy * os.w + ox] = acc;
                 }
+                chan_out[oy * os.w + ox] = acc;
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -122,53 +121,62 @@ pub fn dwconv2d_backward(
     let mut gi = Tensor::zeros(is);
     let mut gw = Tensor::zeros(weight.shape());
     let mut gb = vec![0.0f32; is.c];
-    for n in 0..is.n {
-        for c in 0..is.c {
+    // One task per (item, channel) plane: the input-gradient plane is
+    // written in place and the filter/bias contribution goes to a private
+    // `[grad_w | grad_b]` stripe, folded afterwards in ascending item
+    // order per channel — the same order the serial loop accumulated in.
+    let stripe = kk + 1;
+    let mut partials = vec![0.0f32; is.n * is.c * stripe];
+    par_chunks_mut2(
+        gi.as_mut_slice(),
+        is.plane(),
+        &mut partials,
+        stripe,
+        |plane, gi_c, partial| {
+            let c = plane % is.c;
             let filt = &weight.as_slice()[c * kk..(c + 1) * kk];
-            let chan_in = &input.as_slice()
-                [(n * is.c + c) * is.plane()..(n * is.c + c + 1) * is.plane()];
-            let go = &grad_out.as_slice()
-                [(n * os.c + c) * os.plane()..(n * os.c + c + 1) * os.plane()];
-            // Accumulate into temporary per-channel buffers to keep the
-            // borrow checker happy and the inner loop tight.
-            let gw_c: &mut [f32] = {
-                let base = c * kk;
-                // SAFETY-free: split via index math on the same mutable slice.
-                &mut gw.as_mut_slice()[base..base + kk]
-            };
-            let mut gb_c = 0.0f32;
-            {
-                let gi_c = &mut gi.as_mut_slice()
-                    [(n * is.c + c) * is.plane()..(n * is.c + c + 1) * is.plane()];
-                for oy in 0..os.h {
-                    let iy0 = (oy * s) as isize - p as isize;
-                    for ox in 0..os.w {
-                        let ix0 = (ox * s) as isize - p as isize;
-                        let g = go[oy * os.w + ox];
-                        if g == 0.0 {
+            let chan_in = &input.as_slice()[plane * is.plane()..(plane + 1) * is.plane()];
+            let go = &grad_out.as_slice()[plane * os.plane()..(plane + 1) * os.plane()];
+            let (gw_c, gb_c) = partial.split_at_mut(kk);
+            for oy in 0..os.h {
+                let iy0 = (oy * s) as isize - p as isize;
+                for ox in 0..os.w {
+                    let ix0 = (ox * s) as isize - p as isize;
+                    let g = go[oy * os.w + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    gb_c[0] += g;
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= is.h as isize {
                             continue;
                         }
-                        gb_c += g;
-                        for ky in 0..k {
-                            let iy = iy0 + ky as isize;
-                            if iy < 0 || iy >= is.h as isize {
-                                continue;
-                            }
-                            let row = iy as usize * is.w;
-                            let frow = ky * k;
-                            for kx in 0..k {
-                                let ix = ix0 + kx as isize;
-                                if ix >= 0 && ix < is.w as isize {
-                                    let ii = row + ix as usize;
-                                    gw_c[frow + kx] += g * chan_in[ii];
-                                    gi_c[ii] += g * filt[frow + kx];
-                                }
+                        let row = iy as usize * is.w;
+                        let frow = ky * k;
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            if ix >= 0 && ix < is.w as isize {
+                                let ii = row + ix as usize;
+                                gw_c[frow + kx] += g * chan_in[ii];
+                                gi_c[ii] += g * filt[frow + kx];
                             }
                         }
                     }
                 }
             }
-            gb[c] += gb_c;
+        },
+    );
+    for n in 0..is.n {
+        for c in 0..is.c {
+            let partial = &partials[(n * is.c + c) * stripe..(n * is.c + c + 1) * stripe];
+            for (g, &pv) in gw.as_mut_slice()[c * kk..(c + 1) * kk]
+                .iter_mut()
+                .zip(partial)
+            {
+                *g += pv;
+            }
+            gb[c] += partial[kk];
         }
     }
     Ok(DwConvGrads {

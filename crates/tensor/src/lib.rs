@@ -42,6 +42,7 @@ pub mod conv;
 pub mod dwconv;
 pub mod matmul;
 pub mod ops;
+pub mod parallel;
 pub mod pool;
 pub mod reorg;
 pub mod rng;

@@ -6,12 +6,21 @@
 //! train the scaled-down models used throughout the evaluation, and it has
 //! no unsafe code.
 
+use crate::parallel::par_chunks_mut;
+
 /// Tile edge used for cache blocking. 64 f32 = 256 B per row tile, which
 /// keeps three tiles comfortably inside L1 for the sizes we use.
 const BLOCK: usize = 64;
 
 /// Computes `c += a * b` where `a` is `m×k`, `b` is `k×n` and `c` is `m×n`,
 /// all dense row-major.
+///
+/// Output rows are distributed over the [`parallel`](crate::parallel)
+/// pool in fixed `BLOCK`-row stripes; each element's dot product is
+/// computed identically regardless of the stripe split or thread count,
+/// so results stay bit-identical. When called from inside another
+/// parallel region (e.g. a per-batch-item convolution task) the stripes
+/// run inline.
 ///
 /// # Panics
 ///
@@ -20,6 +29,17 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
     assert!(a.len() >= m * k, "lhs too short: {} < {}", a.len(), m * k);
     assert!(b.len() >= k * n, "rhs too short: {} < {}", b.len(), k * n);
     assert!(c.len() >= m * n, "out too short: {} < {}", c.len(), m * n);
+    if m * n == 0 {
+        return;
+    }
+    par_chunks_mut(&mut c[..m * n], BLOCK * n, |stripe, c_rows| {
+        let i0 = stripe * BLOCK;
+        matmul_acc_rows(&a[i0 * k..], b, c_rows, c_rows.len() / n, k, n);
+    });
+}
+
+/// Serial row-stripe body of [`matmul_acc`].
+fn matmul_acc_rows(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     for i0 in (0..m).step_by(BLOCK) {
         let i1 = (i0 + BLOCK).min(m);
         for p0 in (0..k).step_by(BLOCK) {
@@ -91,17 +111,24 @@ pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     assert!(a.len() >= m * k, "lhs too short");
     assert!(b.len() >= n * k, "rhs too short");
     assert!(c.len() >= m * n, "out too short");
-    for i in 0..m {
-        let arow = &a[i * k..i * k + k];
-        for j in 0..n {
-            let brow = &b[j * k..j * k + k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            c[i * n + j] += acc;
-        }
+    if m * n == 0 {
+        return;
     }
+    par_chunks_mut(&mut c[..m * n], BLOCK * n, |stripe, c_rows| {
+        let base = stripe * BLOCK;
+        for (ri, crow) in c_rows.chunks_mut(n).enumerate() {
+            let i = base + ri;
+            let arow = &a[i * k..i * k + k];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = &b[j * k..j * k + k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *cv += acc;
+            }
+        }
+    });
 }
 
 #[cfg(test)]

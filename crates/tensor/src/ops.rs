@@ -34,11 +34,7 @@ pub fn relu6_backward(input: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
     mask_backward(input, grad_out, |v| v > 0.0 && v < 6.0)
 }
 
-fn mask_backward(
-    input: &Tensor,
-    grad_out: &Tensor,
-    pass: impl Fn(f32) -> bool,
-) -> Result<Tensor> {
+fn mask_backward(input: &Tensor, grad_out: &Tensor, pass: impl Fn(f32) -> bool) -> Result<Tensor> {
     if input.shape() != grad_out.shape() {
         return Err(TensorError::ShapeMismatch {
             op: "activation backward",
@@ -121,9 +117,9 @@ pub fn channel_mean(x: &Tensor) -> Vec<f32> {
     let mut mean = vec![0.0f32; s.c];
     let plane = s.plane();
     for n in 0..s.n {
-        for c in 0..s.c {
+        for (c, m) in mean.iter_mut().enumerate() {
             let base = (n * s.c + c) * plane;
-            mean[c] += x.as_slice()[base..base + plane].iter().sum::<f32>();
+            *m += x.as_slice()[base..base + plane].iter().sum::<f32>();
         }
     }
     let denom = (s.n * plane) as f32;
@@ -176,8 +172,16 @@ pub fn resize_bilinear(x: &Tensor, new_h: usize, new_w: usize) -> Result<Tensor>
         return Ok(x.clone());
     }
     let mut out = Tensor::zeros(os);
-    let sy = if new_h > 1 { (s.h - 1) as f32 / (new_h - 1) as f32 } else { 0.0 };
-    let sx = if new_w > 1 { (s.w - 1) as f32 / (new_w - 1) as f32 } else { 0.0 };
+    let sy = if new_h > 1 {
+        (s.h - 1) as f32 / (new_h - 1) as f32
+    } else {
+        0.0
+    };
+    let sx = if new_w > 1 {
+        (s.w - 1) as f32 / (new_w - 1) as f32
+    } else {
+        0.0
+    };
     for n in 0..s.n {
         for c in 0..s.c {
             let base = (n * s.c + c) * s.plane();
@@ -260,22 +264,14 @@ mod tests {
 
     #[test]
     fn relu_and_relu6_clip_correctly() {
-        let x = Tensor::from_vec(
-            Shape::new(1, 1, 1, 5),
-            vec![-2.0, 0.0, 3.0, 6.0, 9.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape::new(1, 1, 1, 5), vec![-2.0, 0.0, 3.0, 6.0, 9.0]).unwrap();
         assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 3.0, 6.0, 9.0]);
         assert_eq!(relu6(&x).as_slice(), &[0.0, 0.0, 3.0, 6.0, 6.0]);
     }
 
     #[test]
     fn activation_gradients_mask_correctly() {
-        let x = Tensor::from_vec(
-            Shape::new(1, 1, 1, 5),
-            vec![-2.0, 0.5, 3.0, 6.5, 9.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape::new(1, 1, 1, 5), vec![-2.0, 0.5, 3.0, 6.5, 9.0]).unwrap();
         let g = Tensor::ones(x.shape());
         assert_eq!(
             relu_backward(&x, &g).unwrap().as_slice(),
@@ -289,8 +285,8 @@ mod tests {
 
     #[test]
     fn concat_then_split_roundtrips() {
-        let a = Tensor::from_vec(Shape::new(2, 1, 2, 2), (0..8).map(|i| i as f32).collect())
-            .unwrap();
+        let a =
+            Tensor::from_vec(Shape::new(2, 1, 2, 2), (0..8).map(|i| i as f32).collect()).unwrap();
         let b = Tensor::from_vec(
             Shape::new(2, 2, 2, 2),
             (0..16).map(|i| 100.0 + i as f32).collect(),
@@ -329,11 +325,7 @@ mod tests {
 
     #[test]
     fn resize_identity_and_downscale() {
-        let x = Tensor::from_vec(
-            Shape::new(1, 1, 2, 2),
-            vec![0.0, 1.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape::new(1, 1, 2, 2), vec![0.0, 1.0, 2.0, 3.0]).unwrap();
         assert_eq!(resize_bilinear(&x, 2, 2).unwrap(), x);
         let up = resize_bilinear(&x, 3, 3).unwrap();
         // Center of a bilinear upsample of [0..3] is the average.
@@ -344,11 +336,8 @@ mod tests {
 
     #[test]
     fn softmax_rows_sum_to_one() {
-        let logits = Tensor::from_vec(
-            Shape::new(2, 3, 1, 1),
-            vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0],
-        )
-        .unwrap();
+        let logits =
+            Tensor::from_vec(Shape::new(2, 3, 1, 1), vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
         let p = softmax_rows(&logits);
         for n in 0..2 {
             let s: f32 = p.as_slice()[n * 3..(n + 1) * 3].iter().sum();
@@ -358,8 +347,7 @@ mod tests {
 
     #[test]
     fn cross_entropy_gradient_is_softmax_minus_onehot() {
-        let logits =
-            Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![0.0, 0.0, 0.0]).unwrap();
+        let logits = Tensor::from_vec(Shape::new(1, 3, 1, 1), vec![0.0, 0.0, 0.0]).unwrap();
         let (loss, grad) = cross_entropy(&logits, &[1]);
         assert!((loss - (3.0f32).ln()).abs() < 1e-5);
         let g = grad.as_slice();
@@ -399,8 +387,7 @@ mod quant_tests {
     #[test]
     fn quantization_error_shrinks_with_bits() {
         let s = Shape::new(1, 1, 1, 101);
-        let x = Tensor::from_vec(s, (0..101).map(|i| (i as f32 * 0.37).sin()).collect())
-            .unwrap();
+        let x = Tensor::from_vec(s, (0..101).map(|i| (i as f32 * 0.37).sin()).collect()).unwrap();
         let mut last_err = f32::MAX;
         for bits in [4u8, 6, 8, 10, 12] {
             let q = fake_quantize(&x, bits);

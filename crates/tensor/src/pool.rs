@@ -4,6 +4,7 @@
 //! pass records the flat index of each window's winner so the backward pass
 //! can route gradients without recomputing the comparison.
 
+use crate::parallel::{par_chunks_mut, par_chunks_mut2};
 use crate::{Result, Shape, Tensor, TensorError};
 
 /// Result of [`maxpool2d`]: the pooled map plus the winner indices needed
@@ -32,7 +33,7 @@ pub fn maxpool2d(input: &Tensor, k: usize) -> Result<PoolOutput> {
         });
     }
     let is = input.shape();
-    if is.h % k != 0 || is.w % k != 0 {
+    if !is.h.is_multiple_of(k) || !is.w.is_multiple_of(k) {
         return Err(TensorError::InvalidDimension {
             op: "maxpool2d",
             detail: format!("spatial extents {}×{} not divisible by {k}", is.h, is.w),
@@ -42,11 +43,22 @@ pub fn maxpool2d(input: &Tensor, k: usize) -> Result<PoolOutput> {
     let mut out = Tensor::zeros(os);
     let mut argmax = vec![0u32; os.numel()];
     let src = input.as_slice();
-    let dst = out.as_mut_slice();
-    let mut oi = 0usize;
-    for n in 0..is.n {
-        for c in 0..is.c {
-            let base = (n * is.c + c) * is.plane();
+    if os.plane() == 0 {
+        return Ok(PoolOutput {
+            output: out,
+            argmax,
+        });
+    }
+    // Each (item, channel) plane pools independently; argmax indices stay
+    // global (into the full input buffer), as in the serial kernel.
+    par_chunks_mut2(
+        out.as_mut_slice(),
+        os.plane(),
+        &mut argmax,
+        os.plane(),
+        |plane, dst, am| {
+            let base = plane * is.plane();
+            let mut oi = 0usize;
             for oy in 0..os.h {
                 for ox in 0..os.w {
                     let mut best = f32::NEG_INFINITY;
@@ -62,12 +74,12 @@ pub fn maxpool2d(input: &Tensor, k: usize) -> Result<PoolOutput> {
                         }
                     }
                     dst[oi] = best;
-                    argmax[oi] = best_idx as u32;
+                    am[oi] = best_idx as u32;
                     oi += 1;
                 }
             }
-        }
-    }
+        },
+    );
     Ok(PoolOutput {
         output: out,
         argmax,
@@ -81,11 +93,7 @@ pub fn maxpool2d(input: &Tensor, k: usize) -> Result<PoolOutput> {
 ///
 /// Returns [`TensorError::ShapeMismatch`] when `grad_out`'s element count
 /// differs from the recorded argmax length.
-pub fn maxpool2d_backward(
-    input_shape: Shape,
-    argmax: &[u32],
-    grad_out: &Tensor,
-) -> Result<Tensor> {
+pub fn maxpool2d_backward(input_shape: Shape, argmax: &[u32], grad_out: &Tensor) -> Result<Tensor> {
     if grad_out.shape().numel() != argmax.len() {
         return Err(TensorError::ShapeMismatch {
             op: "maxpool2d_backward",
@@ -94,9 +102,25 @@ pub fn maxpool2d_backward(
         });
     }
     let mut gi = Tensor::zeros(input_shape);
-    let dst = gi.as_mut_slice();
-    for (&idx, &g) in argmax.iter().zip(grad_out.as_slice()) {
-        dst[idx as usize] += g;
+    let planes = input_shape.n * input_shape.c;
+    let go = grad_out.as_slice();
+    if planes > 0 && argmax.len().is_multiple_of(planes) && input_shape.plane() > 0 {
+        // Argmax indices produced by `maxpool2d` always point inside
+        // their own (item, channel) plane, so the scatter decomposes
+        // into independent per-plane tasks.
+        let out_plane = argmax.len() / planes;
+        par_chunks_mut(gi.as_mut_slice(), input_shape.plane(), |plane, gi_plane| {
+            let ibase = plane * input_shape.plane();
+            let obase = plane * out_plane;
+            for oi in obase..obase + out_plane {
+                gi_plane[argmax[oi] as usize - ibase] += go[oi];
+            }
+        });
+    } else {
+        let dst = gi.as_mut_slice();
+        for (&idx, &g) in argmax.iter().zip(go) {
+            dst[idx as usize] += g;
+        }
     }
     Ok(gi)
 }
@@ -134,11 +158,7 @@ mod tests {
 
     #[test]
     fn backward_routes_to_winner() {
-        let x = Tensor::from_vec(
-            Shape::new(1, 1, 2, 2),
-            vec![1.0, 4.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape::new(1, 1, 2, 2), vec![1.0, 4.0, 2.0, 3.0]).unwrap();
         let p = maxpool2d(&x, 2).unwrap();
         let go = Tensor::from_vec(Shape::new(1, 1, 1, 1), vec![2.5]).unwrap();
         let gi = maxpool2d_backward(x.shape(), &p.argmax, &go).unwrap();

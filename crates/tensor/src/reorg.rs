@@ -24,13 +24,21 @@ pub fn reorg_out_shape(input: Shape, s: usize) -> Result<Shape> {
             detail: "block size must be positive".into(),
         });
     }
-    if input.h % s != 0 || input.w % s != 0 {
+    if !input.h.is_multiple_of(s) || !input.w.is_multiple_of(s) {
         return Err(TensorError::InvalidDimension {
             op: "reorg",
-            detail: format!("spatial extents {}×{} not divisible by {s}", input.h, input.w),
+            detail: format!(
+                "spatial extents {}×{} not divisible by {s}",
+                input.h, input.w
+            ),
         });
     }
-    Ok(Shape::new(input.n, input.c * s * s, input.h / s, input.w / s))
+    Ok(Shape::new(
+        input.n,
+        input.c * s * s,
+        input.h / s,
+        input.w / s,
+    ))
 }
 
 /// Space-to-depth reordering with block size `s`.

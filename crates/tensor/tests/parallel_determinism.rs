@@ -1,0 +1,142 @@
+//! Property tests of the parallel engine's determinism contract:
+//! every kernel must produce **bit-identical** results on the worker
+//! pool and under [`parallel::serial`] (the forced single-thread path,
+//! i.e. `SKYNET_THREADS=1`), for arbitrary shapes, strides and pads —
+//! and repeat runs on the pool must be bit-stable too.
+
+use proptest::prelude::*;
+use skynet_tensor::conv::{conv2d, conv2d_backward, ConvGeometry};
+use skynet_tensor::dwconv::{dwconv2d, dwconv2d_backward};
+use skynet_tensor::matmul::matmul_acc;
+use skynet_tensor::parallel;
+use skynet_tensor::pool::{maxpool2d, maxpool2d_backward};
+use skynet_tensor::rng::SkyRng;
+use skynet_tensor::{Shape, Tensor};
+
+fn random_tensor(shape: Shape, rng: &mut SkyRng) -> Tensor {
+    let data = (0..shape.numel()).map(|_| rng.range(-2.0, 2.0)).collect();
+    Tensor::from_vec(shape, data).expect("length matches")
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn vec_bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// conv2d forward + backward: pool == forced-serial, bit for bit,
+    /// across random batch/channel/spatial extents and geometries.
+    #[test]
+    fn conv_pool_matches_serial_bitwise(
+        seed in 0u64..1_000_000,
+        n in 1usize..4,
+        in_c in 1usize..4,
+        out_c in 1usize..34, // crosses the 16-channel stripe boundary
+        hw in 3usize..11,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let geo = ConvGeometry::new(kernel, stride, pad);
+        if geo.out_extent(hw) == 0 {
+            return Ok(()); // degenerate geometry: rejected, nothing to compare
+        }
+        let mut rng = SkyRng::new(seed);
+        let x = random_tensor(Shape::new(n, in_c, hw, hw), &mut rng);
+        let w = random_tensor(Shape::new(out_c, in_c, kernel, kernel), &mut rng);
+        let b: Vec<f32> = (0..out_c).map(|_| rng.range(-1.0, 1.0)).collect();
+
+        let y_par = conv2d(&x, &w, Some(&b), geo).unwrap();
+        let y_ser = parallel::serial(|| conv2d(&x, &w, Some(&b), geo)).unwrap();
+        prop_assert_eq!(bits(&y_par), bits(&y_ser));
+        // Repeat run on the pool: bit-stable.
+        prop_assert_eq!(bits(&conv2d(&x, &w, Some(&b), geo).unwrap()), bits(&y_par));
+
+        let go = random_tensor(y_par.shape(), &mut rng);
+        let g_par = conv2d_backward(&x, &w, &go, geo).unwrap();
+        let g_ser = parallel::serial(|| conv2d_backward(&x, &w, &go, geo)).unwrap();
+        prop_assert_eq!(bits(&g_par.input), bits(&g_ser.input));
+        prop_assert_eq!(bits(&g_par.weight), bits(&g_ser.weight));
+        prop_assert_eq!(vec_bits(&g_par.bias), vec_bits(&g_ser.bias));
+    }
+
+    /// dwconv2d forward + backward: pool == forced-serial, bit for bit.
+    #[test]
+    fn dwconv_pool_matches_serial_bitwise(
+        seed in 0u64..1_000_000,
+        n in 1usize..4,
+        c in 1usize..6,
+        hw in 3usize..11,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let geo = ConvGeometry::new(kernel, stride, pad);
+        if geo.out_extent(hw) == 0 {
+            return Ok(());
+        }
+        let mut rng = SkyRng::new(seed);
+        let x = random_tensor(Shape::new(n, c, hw, hw), &mut rng);
+        let w = random_tensor(Shape::new(c, 1, kernel, kernel), &mut rng);
+        let b: Vec<f32> = (0..c).map(|_| rng.range(-1.0, 1.0)).collect();
+
+        let y_par = dwconv2d(&x, &w, Some(&b), geo).unwrap();
+        let y_ser = parallel::serial(|| dwconv2d(&x, &w, Some(&b), geo)).unwrap();
+        prop_assert_eq!(bits(&y_par), bits(&y_ser));
+
+        let go = random_tensor(y_par.shape(), &mut rng);
+        let g_par = dwconv2d_backward(&x, &w, &go, geo).unwrap();
+        let g_ser = parallel::serial(|| dwconv2d_backward(&x, &w, &go, geo)).unwrap();
+        prop_assert_eq!(bits(&g_par.input), bits(&g_ser.input));
+        prop_assert_eq!(bits(&g_par.weight), bits(&g_ser.weight));
+        prop_assert_eq!(vec_bits(&g_par.bias), vec_bits(&g_ser.bias));
+    }
+
+    /// maxpool2d forward + backward: pool == forced-serial, bit for bit,
+    /// including the recorded argmax indices.
+    #[test]
+    fn maxpool_pool_matches_serial_bitwise(
+        seed in 0u64..1_000_000,
+        n in 1usize..4,
+        c in 1usize..5,
+        half in 1usize..6,
+    ) {
+        let mut rng = SkyRng::new(seed);
+        let x = random_tensor(Shape::new(n, c, half * 2, half * 2), &mut rng);
+
+        let p_par = maxpool2d(&x, 2).unwrap();
+        let p_ser = parallel::serial(|| maxpool2d(&x, 2)).unwrap();
+        prop_assert_eq!(bits(&p_par.output), bits(&p_ser.output));
+        prop_assert_eq!(&p_par.argmax, &p_ser.argmax);
+
+        let go = random_tensor(p_par.output.shape(), &mut rng);
+        let g_par = maxpool2d_backward(x.shape(), &p_par.argmax, &go).unwrap();
+        let g_ser =
+            parallel::serial(|| maxpool2d_backward(x.shape(), &p_par.argmax, &go)).unwrap();
+        prop_assert_eq!(bits(&g_par), bits(&g_ser));
+    }
+
+    /// matmul row-striping: pool == forced-serial, bit for bit, for
+    /// extents straddling the stripe width.
+    #[test]
+    fn matmul_pool_matches_serial_bitwise(
+        seed in 0u64..1_000_000,
+        m in 1usize..130, // crosses the 64-row stripe boundary
+        k in 1usize..20,
+        n in 1usize..20,
+    ) {
+        let mut rng = SkyRng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.range(-2.0, 2.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.range(-2.0, 2.0)).collect();
+        let mut c_par = vec![0.0f32; m * n];
+        let mut c_ser = vec![0.0f32; m * n];
+        matmul_acc(&a, &b, &mut c_par, m, k, n);
+        parallel::serial(|| matmul_acc(&a, &b, &mut c_ser, m, k, n));
+        prop_assert_eq!(vec_bits(&c_par), vec_bits(&c_ser));
+    }
+}

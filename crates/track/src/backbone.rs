@@ -55,8 +55,7 @@ impl BackboneKind {
             BackboneKind::AlexNet => alexnet::features(div, rng),
             BackboneKind::ResNet50 => resnet::features(resnet::ResNetDepth::R50, div, rng),
             BackboneKind::SkyNet => {
-                let cfg =
-                    SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(div.max(1));
+                let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(div.max(1));
                 skynet::features(&cfg, rng)
             }
         }
@@ -91,7 +90,11 @@ mod tests {
 
     #[test]
     fn all_backbones_produce_stride8_features() {
-        for kind in [BackboneKind::AlexNet, BackboneKind::ResNet50, BackboneKind::SkyNet] {
+        for kind in [
+            BackboneKind::AlexNet,
+            BackboneKind::ResNet50,
+            BackboneKind::SkyNet,
+        ] {
             let mut rng = SkyRng::new(1);
             let (mut net, c) = kind.build(16, &mut rng);
             let x = Tensor::zeros(Shape::new(1, 3, 32, 32));

@@ -115,8 +115,12 @@ mod tests {
 
     #[test]
     fn aggregate_means_over_sequences() {
-        let a = SequenceOverlaps { ious: vec![1.0, 1.0] };
-        let b = SequenceOverlaps { ious: vec![0.0, 0.0] };
+        let a = SequenceOverlaps {
+            ious: vec![1.0, 1.0],
+        };
+        let b = SequenceOverlaps {
+            ious: vec![0.0, 0.0],
+        };
         let m = aggregate(&[a, b]);
         assert!((m.ao - 0.5).abs() < 1e-6);
         assert!((m.sr50 - 0.5).abs() < 1e-6);

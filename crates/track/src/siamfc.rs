@@ -103,7 +103,15 @@ impl SiamFc {
         self.backbone.param_count()
     }
 
-    fn features(&mut self, frame: &Tensor, cx: f32, cy: f32, half: f32, px: usize, mode: Mode) -> Result<Tensor> {
+    fn features(
+        &mut self,
+        frame: &Tensor,
+        cx: f32,
+        cy: f32,
+        half: f32,
+        px: usize,
+        mode: Mode,
+    ) -> Result<Tensor> {
         let patch = crop_patch(frame, cx, cy, half, px);
         self.backbone.forward(&patch, mode)
     }
@@ -140,17 +148,26 @@ impl SiamFc {
     ) -> Result<f32> {
         let half_z = self.cfg.context * box_z.w.max(box_z.h);
         let half_x = half_z * self.cfg.search_px as f32 / self.cfg.exemplar_px as f32;
-        let feat_z = self.features(frame_z, box_z.cx, box_z.cy, half_z, self.cfg.exemplar_px, Mode::Eval)?;
-        let feat_x = self.features(frame_x, box_z.cx, box_z.cy, half_x, self.cfg.search_px, Mode::Train)?;
+        let feat_z = self.features(
+            frame_z,
+            box_z.cx,
+            box_z.cy,
+            half_z,
+            self.cfg.exemplar_px,
+            Mode::Eval,
+        )?;
+        let feat_x = self.features(
+            frame_x,
+            box_z.cx,
+            box_z.cy,
+            half_x,
+            self.cfg.search_px,
+            Mode::Train,
+        )?;
         let resp = Self::response(&feat_x, &feat_z, self.cfg.response_gain)?;
         let rs = resp.shape();
-        let (ty, tx) = displacement_to_cell(
-            box_x.cx - box_z.cx,
-            box_x.cy - box_z.cy,
-            half_x,
-            rs.h,
-            rs.w,
-        );
+        let (ty, tx) =
+            displacement_to_cell(box_x.cx - box_z.cx, box_x.cy - box_z.cy, half_x, rs.h, rs.w);
         let mut loss = 0.0f32;
         let mut g_sum = Tensor::zeros(rs);
         for y in 0..rs.h {
@@ -190,8 +207,14 @@ impl SiamFc {
     /// Propagates tensor shape errors.
     pub fn init(&mut self, frame: &Tensor, bbox: &BBox) -> Result<()> {
         let half_z = self.cfg.context * bbox.w.max(bbox.h);
-        let feat_z =
-            self.features(frame, bbox.cx, bbox.cy, half_z, self.cfg.exemplar_px, Mode::Eval)?;
+        let feat_z = self.features(
+            frame,
+            bbox.cx,
+            bbox.cy,
+            half_z,
+            self.cfg.exemplar_px,
+            Mode::Eval,
+        )?;
         self.state = Some(FcState {
             feat_z,
             center: (bbox.cx, bbox.cy),
@@ -213,7 +236,14 @@ impl SiamFc {
         let state = self.state.clone().expect("init before update");
         let gamma = self.cfg.window_influence;
         let scales = [1.0 / self.cfg.scale_step, 1.0, self.cfg.scale_step];
-        let mut best = (0usize, 0usize, 1.0f32, f32::MIN, 0.3f32, Shape::new(1, 1, 1, 1));
+        let mut best = (
+            0usize,
+            0usize,
+            1.0f32,
+            f32::MIN,
+            0.3f32,
+            Shape::new(1, 1, 1, 1),
+        );
         for (si, &scale) in scales.iter().enumerate() {
             let half_z = self.cfg.context * (state.size.0 * scale).max(state.size.1 * scale);
             let half_x = half_z * self.cfg.search_px as f32 / self.cfg.exemplar_px as f32;
@@ -323,10 +353,7 @@ mod tests {
         // The one-hot target conflicts with neighbouring cells that also
         // contain the object (the box spans ~a cell), which lower-bounds
         // the loss; require a clear but modest decrease.
-        assert!(
-            last < first.unwrap() * 0.96,
-            "loss {first:?} -> {last}"
-        );
+        assert!(last < first.unwrap() * 0.96, "loss {first:?} -> {last}");
     }
 
     #[test]

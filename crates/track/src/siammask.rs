@@ -75,19 +75,14 @@ impl SiamMask {
         let cfg = *self.rpn.config();
         let half_z = cfg.context * box_z.w.max(box_z.h);
         let half_x = half_z * cfg.search_px as f32 / cfg.exemplar_px as f32;
-        let patch = skynet_data::got::crop_patch(
-            frame_x,
-            box_z.cx,
-            box_z.cy,
-            half_x,
-            cfg.search_px,
-        );
+        let patch =
+            skynet_data::got::crop_patch(frame_x, box_z.cx, box_z.cy, half_x, cfg.search_px);
         let feat_x = self.rpn_backbone_forward(&patch)?;
         let mask = self.mask_head.forward(&feat_x, Mode::Train)?;
         // Pool the per-position logits into one grid by averaging.
         let ms = mask.shape();
         let plane = ms.plane() as f32;
-        let mut avg = vec![0.0f32; MASK_GRID * MASK_GRID];
+        let mut avg = [0.0f32; MASK_GRID * MASK_GRID];
         for (g, a) in avg.iter_mut().enumerate() {
             for y in 0..ms.h {
                 for x in 0..ms.w {
@@ -240,12 +235,8 @@ pub fn train_on_sequences(
             }
             let i = rng.below(seq.len() - 1);
             let j = (i + 1 + rng.below((seq.len() - i - 1).min(4))).min(seq.len() - 1);
-            total += tracker.train_pair(
-                &seq.frames[i],
-                &seq.boxes[i],
-                &seq.frames[j],
-                &seq.boxes[j],
-            )?;
+            total +=
+                tracker.train_pair(&seq.frames[i], &seq.boxes[i], &seq.frames[j], &seq.boxes[j])?;
             opt.step_visit(&mut |f| tracker.visit_params(f));
             count += 1;
         }

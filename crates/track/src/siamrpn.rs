@@ -140,7 +140,15 @@ impl SiamRpn {
         self.reg_head.visit_params(f);
     }
 
-    fn extract(&mut self, frame: &Tensor, cx: f32, cy: f32, half: f32, px: usize, mode: Mode) -> Result<Tensor> {
+    fn extract(
+        &mut self,
+        frame: &Tensor,
+        cx: f32,
+        cy: f32,
+        half: f32,
+        px: usize,
+        mode: Mode,
+    ) -> Result<Tensor> {
         let patch = crop_patch(frame, cx, cy, half, px);
         self.backbone.forward(&patch, mode)
     }
@@ -305,7 +313,14 @@ impl SiamRpn {
     /// Propagates tensor shape errors.
     pub fn init(&mut self, frame: &Tensor, bbox: &BBox) -> Result<()> {
         let half_z = self.cfg.context * bbox.w.max(bbox.h);
-        let feat_z = self.extract(frame, bbox.cx, bbox.cy, half_z, self.cfg.exemplar_px, Mode::Eval)?;
+        let feat_z = self.extract(
+            frame,
+            bbox.cx,
+            bbox.cy,
+            half_z,
+            self.cfg.exemplar_px,
+            Mode::Eval,
+        )?;
         self.state = Some(TrackState {
             feat_z,
             center: (bbox.cx, bbox.cy),
@@ -393,7 +408,13 @@ impl SiamRpn {
         // instead of poisoning the tracker state (f32::clamp panics on
         // NaN bounds-free inputs).
         let damp = self.cfg.scale_damping;
-        let sanitize = |v: f32| if v.is_finite() { (v * damp).clamp(-0.08, 0.08) } else { 0.0 };
+        let sanitize = |v: f32| {
+            if v.is_finite() {
+                (v * damp).clamp(-0.08, 0.08)
+            } else {
+                0.0
+            }
+        };
         let sw = sanitize(reg.at(0, 0, peak.0, peak.1)).exp();
         let sh = sanitize(reg.at(0, 1, peak.0, peak.1)).exp();
         let w = (state.size.0 * sw).clamp(0.02, 0.9);
@@ -409,7 +430,12 @@ impl SiamRpn {
 
 impl std::fmt::Debug for SiamRpn {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SiamRPN({}, C={})", self.cfg.backbone.name(), self.feat_c)
+        write!(
+            f,
+            "SiamRPN({}, C={})",
+            self.cfg.backbone.name(),
+            self.feat_c
+        )
     }
 }
 
@@ -427,13 +453,7 @@ pub fn hann2(y: usize, x: usize, gh: usize, gw: usize) -> f32 {
 }
 
 /// Maps a normalized frame displacement to a response-grid cell.
-pub fn displacement_to_cell(
-    dx: f32,
-    dy: f32,
-    half_x: f32,
-    gh: usize,
-    gw: usize,
-) -> (usize, usize) {
+pub fn displacement_to_cell(dx: f32, dy: f32, half_x: f32, gh: usize, gw: usize) -> (usize, usize) {
     let fx = (dx / (2.0 * half_x) + 0.5).clamp(0.0, 1.0 - 1e-6);
     let fy = (dy / (2.0 * half_x) + 0.5).clamp(0.0, 1.0 - 1e-6);
     ((fy * gh as f32) as usize, (fx * gw as f32) as usize)

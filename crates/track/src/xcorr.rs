@@ -62,11 +62,7 @@ pub struct XcorrGrads {
 ///
 /// Returns a [`TensorError`] when `grad_out` doesn't match the forward
 /// output shape.
-pub fn xcorr_backward(
-    search: &Tensor,
-    exemplar: &Tensor,
-    grad_out: &Tensor,
-) -> Result<XcorrGrads> {
+pub fn xcorr_backward(search: &Tensor, exemplar: &Tensor, grad_out: &Tensor) -> Result<XcorrGrads> {
     let (sx, sz) = (search.shape(), exemplar.shape());
     check(sx, sz)?;
     let weight = exemplar.reshape(Shape::new(sz.c, 1, sz.h, sz.w))?;
@@ -84,8 +80,11 @@ mod tests {
 
     fn random(shape: Shape, seed: u64) -> Tensor {
         let mut rng = SkyRng::new(seed);
-        Tensor::from_vec(shape, (0..shape.numel()).map(|_| rng.normal(0.0, 1.0)).collect())
-            .unwrap()
+        Tensor::from_vec(
+            shape,
+            (0..shape.numel()).map(|_| rng.normal(0.0, 1.0)).collect(),
+        )
+        .unwrap()
     }
 
     #[test]

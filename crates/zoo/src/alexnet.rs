@@ -10,9 +10,7 @@
 //!   backbone).
 
 use skynet_core::desc::{LayerDesc, NetDesc};
-use skynet_nn::{
-    Act, Activation, Conv2d, Dropout, GlobalAvgPool, Linear, MaxPool2d, Sequential,
-};
+use skynet_nn::{Act, Activation, Conv2d, Dropout, GlobalAvgPool, Linear, MaxPool2d, Sequential};
 use skynet_tensor::{conv::ConvGeometry, rng::SkyRng};
 
 /// Paper-scale AlexNet descriptor **including** the fully-connected
@@ -25,26 +23,74 @@ pub fn descriptor() -> NetDesc {
         227,
         227,
         vec![
-            LayerDesc::Conv { in_c: 3, out_c: 96, k: 11, s: 4, p: 0 },
+            LayerDesc::Conv {
+                in_c: 3,
+                out_c: 96,
+                k: 11,
+                s: 4,
+                p: 0,
+            },
             LayerDesc::Act { c: 96 },
             LayerDesc::Pool { c: 96, k: 2 },
-            LayerDesc::Conv { in_c: 96, out_c: 256, k: 5, s: 1, p: 2 },
+            LayerDesc::Conv {
+                in_c: 96,
+                out_c: 256,
+                k: 5,
+                s: 1,
+                p: 2,
+            },
             LayerDesc::Act { c: 256 },
             LayerDesc::Pool { c: 256, k: 2 },
-            LayerDesc::Conv { in_c: 256, out_c: 384, k: 3, s: 1, p: 1 },
+            LayerDesc::Conv {
+                in_c: 256,
+                out_c: 384,
+                k: 3,
+                s: 1,
+                p: 1,
+            },
             LayerDesc::Act { c: 384 },
-            LayerDesc::Conv { in_c: 384, out_c: 384, k: 3, s: 1, p: 1 },
+            LayerDesc::Conv {
+                in_c: 384,
+                out_c: 384,
+                k: 3,
+                s: 1,
+                p: 1,
+            },
             LayerDesc::Act { c: 384 },
-            LayerDesc::Conv { in_c: 384, out_c: 256, k: 3, s: 1, p: 1 },
+            LayerDesc::Conv {
+                in_c: 384,
+                out_c: 256,
+                k: 3,
+                s: 1,
+                p: 1,
+            },
             LayerDesc::Act { c: 256 },
             LayerDesc::Pool { c: 256, k: 2 },
             // FC 9216→4096, 4096→4096, 4096→1000 as full-extent convs
             // (input here is 6×6 after the pools at 227²).
-            LayerDesc::Conv { in_c: 256, out_c: 4096, k: 6, s: 1, p: 0 },
+            LayerDesc::Conv {
+                in_c: 256,
+                out_c: 4096,
+                k: 6,
+                s: 1,
+                p: 0,
+            },
             LayerDesc::Act { c: 4096 },
-            LayerDesc::Conv { in_c: 4096, out_c: 4096, k: 1, s: 1, p: 0 },
+            LayerDesc::Conv {
+                in_c: 4096,
+                out_c: 4096,
+                k: 1,
+                s: 1,
+                p: 0,
+            },
             LayerDesc::Act { c: 4096 },
-            LayerDesc::Conv { in_c: 4096, out_c: 1000, k: 1, s: 1, p: 0 },
+            LayerDesc::Conv {
+                in_c: 4096,
+                out_c: 1000,
+                k: 1,
+                s: 1,
+                p: 0,
+            },
         ],
     )
 }
@@ -58,17 +104,42 @@ pub fn classifier(classes: usize, rng: &mut SkyRng) -> Sequential {
     let mut seq = Sequential::empty();
     let widths = [24usize, 48, 96, 96, 64];
     // Conv stack.
-    seq.push(Box::new(Conv2d::new(3, widths[0], ConvGeometry::same3x3(), rng)));
+    seq.push(Box::new(Conv2d::new(
+        3,
+        widths[0],
+        ConvGeometry::same3x3(),
+        rng,
+    )));
     seq.push(Box::new(Activation::new(Act::Relu)));
     seq.push(Box::new(MaxPool2d::new(2)));
-    seq.push(Box::new(Conv2d::new(widths[0], widths[1], ConvGeometry::same3x3(), rng)));
+    seq.push(Box::new(Conv2d::new(
+        widths[0],
+        widths[1],
+        ConvGeometry::same3x3(),
+        rng,
+    )));
     seq.push(Box::new(Activation::new(Act::Relu)));
     seq.push(Box::new(MaxPool2d::new(2)));
-    seq.push(Box::new(Conv2d::new(widths[1], widths[2], ConvGeometry::same3x3(), rng)));
+    seq.push(Box::new(Conv2d::new(
+        widths[1],
+        widths[2],
+        ConvGeometry::same3x3(),
+        rng,
+    )));
     seq.push(Box::new(Activation::new(Act::Relu)));
-    seq.push(Box::new(Conv2d::new(widths[2], widths[3], ConvGeometry::same3x3(), rng)));
+    seq.push(Box::new(Conv2d::new(
+        widths[2],
+        widths[3],
+        ConvGeometry::same3x3(),
+        rng,
+    )));
     seq.push(Box::new(Activation::new(Act::Relu)));
-    seq.push(Box::new(Conv2d::new(widths[3], widths[4], ConvGeometry::same3x3(), rng)));
+    seq.push(Box::new(Conv2d::new(
+        widths[3],
+        widths[4],
+        ConvGeometry::same3x3(),
+        rng,
+    )));
     seq.push(Box::new(Activation::new(Act::Relu)));
     seq.push(Box::new(GlobalAvgPool::new()));
     // FC block.
@@ -89,18 +160,43 @@ pub fn features(div: usize, rng: &mut SkyRng) -> (Sequential, usize) {
         .map(|w| (w / div).max(4))
         .collect();
     let mut seq = Sequential::empty();
-    seq.push(Box::new(Conv2d::new(3, widths[0], ConvGeometry::same3x3(), rng)));
+    seq.push(Box::new(Conv2d::new(
+        3,
+        widths[0],
+        ConvGeometry::same3x3(),
+        rng,
+    )));
     seq.push(Box::new(Activation::new(Act::Relu)));
     seq.push(Box::new(MaxPool2d::new(2)));
-    seq.push(Box::new(Conv2d::new(widths[0], widths[1], ConvGeometry::same3x3(), rng)));
+    seq.push(Box::new(Conv2d::new(
+        widths[0],
+        widths[1],
+        ConvGeometry::same3x3(),
+        rng,
+    )));
     seq.push(Box::new(Activation::new(Act::Relu)));
     seq.push(Box::new(MaxPool2d::new(2)));
-    seq.push(Box::new(Conv2d::new(widths[1], widths[2], ConvGeometry::same3x3(), rng)));
+    seq.push(Box::new(Conv2d::new(
+        widths[1],
+        widths[2],
+        ConvGeometry::same3x3(),
+        rng,
+    )));
     seq.push(Box::new(Activation::new(Act::Relu)));
-    seq.push(Box::new(Conv2d::new(widths[2], widths[3], ConvGeometry::same3x3(), rng)));
+    seq.push(Box::new(Conv2d::new(
+        widths[2],
+        widths[3],
+        ConvGeometry::same3x3(),
+        rng,
+    )));
     seq.push(Box::new(Activation::new(Act::Relu)));
     seq.push(Box::new(MaxPool2d::new(2)));
-    seq.push(Box::new(Conv2d::new(widths[3], widths[4], ConvGeometry::same3x3(), rng)));
+    seq.push(Box::new(Conv2d::new(
+        widths[3],
+        widths[4],
+        ConvGeometry::same3x3(),
+        rng,
+    )));
     seq.push(Box::new(Activation::new(Act::Relu)));
     let out = widths[4];
     (seq, out)

@@ -13,29 +13,39 @@ use skynet_nn::{Act, Activation, BatchNorm2d, Conv2d, DwConv2d, Sequential};
 use skynet_tensor::{conv::ConvGeometry, rng::SkyRng};
 
 /// (output channels, stride) plan of the stride-8 prefix of MobileNet-V1.
-pub const PLAN: [(usize, usize); 6] = [
-    (64, 1),
-    (128, 2),
-    (128, 1),
-    (256, 2),
-    (256, 1),
-    (512, 1),
-];
+pub const PLAN: [(usize, usize); 6] = [(64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 1)];
 
 /// Paper-scale descriptor of the stride-8 prefix (stem + PLAN).
 pub fn descriptor(in_h: usize, in_w: usize) -> NetDesc {
     let mut layers = vec![
-        LayerDesc::Conv { in_c: 3, out_c: 32, k: 3, s: 2, p: 1 },
+        LayerDesc::Conv {
+            in_c: 3,
+            out_c: 32,
+            k: 3,
+            s: 2,
+            p: 1,
+        },
         LayerDesc::Bn { c: 32 },
         LayerDesc::Act { c: 32 },
     ];
     let mut in_c = 32usize;
     for (out_c, s) in PLAN {
         layers.extend([
-            LayerDesc::DwConv { c: in_c, k: 3, s, p: 1 },
+            LayerDesc::DwConv {
+                c: in_c,
+                k: 3,
+                s,
+                p: 1,
+            },
             LayerDesc::Bn { c: in_c },
             LayerDesc::Act { c: in_c },
-            LayerDesc::Conv { in_c, out_c, k: 1, s: 1, p: 0 },
+            LayerDesc::Conv {
+                in_c,
+                out_c,
+                k: 1,
+                s: 1,
+                p: 0,
+            },
             LayerDesc::Bn { c: out_c },
             LayerDesc::Act { c: out_c },
         ]);
@@ -60,7 +70,11 @@ pub fn features(div: usize, rng: &mut SkyRng) -> (Sequential, usize) {
     let mut in_c = stem;
     for (out_c, s) in PLAN {
         let out_c = (out_c / div).max(4);
-        seq.push(Box::new(DwConv2d::new(in_c, ConvGeometry::new(3, s, 1), rng)));
+        seq.push(Box::new(DwConv2d::new(
+            in_c,
+            ConvGeometry::new(3, s, 1),
+            rng,
+        )));
         seq.push(Box::new(BatchNorm2d::new(in_c)));
         seq.push(Box::new(Activation::new(Act::Relu)));
         seq.push(Box::new(Conv2d::pointwise(in_c, out_c, rng)));

@@ -7,9 +7,7 @@
 
 use skynet_core::desc::{LayerDesc, NetDesc};
 use skynet_core::skynet::HEAD_CHANNELS;
-use skynet_nn::{
-    Act, Activation, BatchNorm2d, Conv2d, Layer, Residual, Sequential,
-};
+use skynet_nn::{Act, Activation, BatchNorm2d, Conv2d, Layer, Residual, Sequential};
 use skynet_tensor::{conv::ConvGeometry, rng::SkyRng};
 
 /// Which ResNet depth to build.
@@ -53,7 +51,13 @@ pub fn descriptor(depth: ResNetDepth, in_h: usize, in_w: usize) -> NetDesc {
     let mut layers = vec![
         // Stem: 7×7/2 conv, BN, ReLU, 3×3/2 max pool (approximated as 2×2
         // for the non-overlapping pool model; parameter count unaffected).
-        LayerDesc::Conv { in_c: 3, out_c: 64, k: 7, s: 2, p: 3 },
+        LayerDesc::Conv {
+            in_c: 3,
+            out_c: 64,
+            k: 7,
+            s: 2,
+            p: 3,
+        },
         LayerDesc::Bn { c: 64 },
         LayerDesc::Act { c: 64 },
         LayerDesc::Pool { c: 64, k: 2 },
@@ -67,28 +71,64 @@ pub fn descriptor(depth: ResNetDepth, in_h: usize, in_w: usize) -> NetDesc {
             let out_c = w * expansion;
             if depth.bottleneck() {
                 layers.extend([
-                    LayerDesc::Conv { in_c, out_c: w, k: 1, s: 1, p: 0 },
+                    LayerDesc::Conv {
+                        in_c,
+                        out_c: w,
+                        k: 1,
+                        s: 1,
+                        p: 0,
+                    },
                     LayerDesc::Bn { c: w },
                     LayerDesc::Act { c: w },
-                    LayerDesc::Conv { in_c: w, out_c: w, k: 3, s: stride, p: 1 },
+                    LayerDesc::Conv {
+                        in_c: w,
+                        out_c: w,
+                        k: 3,
+                        s: stride,
+                        p: 1,
+                    },
                     LayerDesc::Bn { c: w },
                     LayerDesc::Act { c: w },
-                    LayerDesc::Conv { in_c: w, out_c, k: 1, s: 1, p: 0 },
+                    LayerDesc::Conv {
+                        in_c: w,
+                        out_c,
+                        k: 1,
+                        s: 1,
+                        p: 0,
+                    },
                     LayerDesc::Bn { c: out_c },
                 ]);
             } else {
                 layers.extend([
-                    LayerDesc::Conv { in_c, out_c, k: 3, s: stride, p: 1 },
+                    LayerDesc::Conv {
+                        in_c,
+                        out_c,
+                        k: 3,
+                        s: stride,
+                        p: 1,
+                    },
                     LayerDesc::Bn { c: out_c },
                     LayerDesc::Act { c: out_c },
-                    LayerDesc::Conv { in_c: out_c, out_c, k: 3, s: 1, p: 1 },
+                    LayerDesc::Conv {
+                        in_c: out_c,
+                        out_c,
+                        k: 3,
+                        s: 1,
+                        p: 1,
+                    },
                     LayerDesc::Bn { c: out_c },
                 ]);
             }
             if b == 0 && (stride != 1 || in_c != out_c) {
                 // Projection shortcut.
                 layers.extend([
-                    LayerDesc::Conv { in_c, out_c, k: 1, s: stride, p: 0 },
+                    LayerDesc::Conv {
+                        in_c,
+                        out_c,
+                        k: 1,
+                        s: stride,
+                        p: 0,
+                    },
                     LayerDesc::Bn { c: out_c },
                 ]);
             }

@@ -21,7 +21,13 @@ pub fn descriptor(in_h: usize, in_w: usize) -> NetDesc {
     let mut in_c = 3usize;
     for stage in VGG16_PLAN {
         for &w in stage.iter() {
-            layers.push(LayerDesc::Conv { in_c, out_c: w, k: 3, s: 1, p: 1 });
+            layers.push(LayerDesc::Conv {
+                in_c,
+                out_c: w,
+                k: 3,
+                s: 1,
+                p: 1,
+            });
             layers.push(LayerDesc::Act { c: w });
             in_c = w;
         }

@@ -29,12 +29,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(8);
     let mut detector = Detector::new(Box::new(SkyNet::new(cfg, &mut rng)), Anchors::dac_sdc());
     let mut opt = Sgd::new(
-        LrSchedule::Exponential { start: 5e-3, end: 1e-4, steps: 20 * 24 },
+        LrSchedule::Exponential {
+            start: 5e-3,
+            end: 1e-4,
+            steps: 20 * 24,
+        },
         0.9,
         1e-4,
     );
-    Trainer::new(TrainConfig { epochs: 20, batch_size: 8, scales: vec![], seed: 3 })
-        .train(&mut detector, &train, &mut opt)?;
+    Trainer::new(TrainConfig {
+        epochs: 20,
+        batch_size: 8,
+        scales: vec![],
+        seed: 3,
+    })
+    .train(&mut detector, &train, &mut opt)?;
     let float_iou = evaluate(&mut detector, &val)?;
     println!("float32 validation IoU: {float_iou:.3}");
 
@@ -67,7 +76,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. Contest scoring against the published FPGA field.
     let power = PowerModel::ultra96().power_w(0.95);
     let mut entries = table6_entries();
-    entries.push(Entry::new("ours (synthetic task)", quant_iou as f64, est.fps, power));
+    entries.push(Entry::new(
+        "ours (synthetic task)",
+        quant_iou as f64,
+        est.fps,
+        power,
+    ));
     println!("\nDAC-SDC FPGA-track scoring (Eqs. 3-5):");
     for s in score_field(&entries, Track::Fpga) {
         println!(

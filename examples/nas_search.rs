@@ -52,10 +52,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if !outcome.feature_trials.is_empty() {
         println!("\nStage 3: feature addition (bypass + reorg, ReLU6)");
         for t in &outcome.feature_trials {
-            println!("  SkyNet {} - {:6}  IoU {:.3}", t.variant, t.act.to_string(), t.accuracy);
+            println!(
+                "  SkyNet {} - {:6}  IoU {:.3}",
+                t.variant,
+                t.act.to_string(),
+                t.accuracy
+            );
         }
         let best = &outcome.feature_trials[0];
-        println!("\nselected design: SkyNet {} with {}", best.variant, best.act);
+        println!(
+            "\nselected design: SkyNet {} with {}",
+            best.variant, best.act
+        );
     }
     Ok(())
 }

@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.width = 96;
     let mut gen = DacSdc::new(cfg);
     let (train, val) = gen.generate_split(128, 32);
-    println!("generated {} training / {} validation frames", train.len(), val.len());
+    println!(
+        "generated {} training / {} validation frames",
+        train.len(),
+        val.len()
+    );
 
     // 2. SkyNet model C (Table 3) at 1/8 width for CPU training.
     let mut rng = SkyRng::new(0);
@@ -31,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Train for a handful of epochs (the paper's SGD recipe, scaled).
     let mut opt = Sgd::new(
-        LrSchedule::Exponential { start: 5e-3, end: 1e-4, steps: 15 * 16 },
+        LrSchedule::Exponential {
+            start: 5e-3,
+            end: 1e-4,
+            steps: 15 * 16,
+        },
         0.9,
         1e-4,
     );

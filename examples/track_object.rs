@@ -12,8 +12,10 @@ use skynet::track::eval::{evaluate, Tracker};
 use skynet::track::siamrpn::{train_on_sequences, SiamConfig, SiamRpn};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut cfg = GotConfig::default();
-    cfg.seq_len = 16;
+    let cfg = GotConfig {
+        seq_len: 16,
+        ..Default::default()
+    };
     let mut gen = GotGen::new(cfg);
     let train_seqs = gen.generate(16);
     let eval_seqs = gen.generate(6);

@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .flat_map(|s| [s.clone(), aug.apply(s)])
         .collect();
-    println!("{} training samples after augmentation, {} validation", train.len(), val.len());
+    println!(
+        "{} training samples after augmentation, {} validation",
+        train.len(),
+        val.len()
+    );
 
     let mut rng = SkyRng::new(0);
     let net_cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(8);
@@ -40,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let steps = epochs * train.len().div_ceil(8);
     let mut opt = Sgd::new(
-        LrSchedule::Exponential { start: 5e-3, end: 1e-4, steps },
+        LrSchedule::Exponential {
+            start: 5e-3,
+            end: 1e-4,
+            steps,
+        },
         0.9,
         1e-4,
     );
@@ -53,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let stats = trainer.train(&mut detector, &train, &mut opt)?;
     for s in stats.iter().step_by(stats.len().div_ceil(10).max(1)) {
-        println!("epoch {:>3}: loss {:.3} (lr {:.2e})", s.epoch, s.mean_loss, s.lr);
+        println!(
+            "epoch {:>3}: loss {:.3} (lr {:.2e})",
+            s.epoch, s.mean_loss, s.lr
+        );
     }
 
     let iou = evaluate(&mut detector, &val)?;

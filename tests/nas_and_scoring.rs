@@ -56,12 +56,27 @@ fn bottom_up_flow_selects_a_feasible_winner() {
 #[test]
 fn hardware_models_feed_contest_scoring() {
     let desc = SkyNetConfig::new(Variant::C, Act::Relu6).descriptor(160, 320);
-    let fpga_est = fpga::estimate(&desc, &fpga::FpgaDevice::ultra96(), QuantScheme::new(11, 9), 4);
+    let fpga_est = fpga::estimate(
+        &desc,
+        &fpga::FpgaDevice::ultra96(),
+        QuantScheme::new(11, 9),
+        4,
+    );
     let gpu_est = gpu::estimate(&desc, &gpu::GpuDevice::tx2());
 
     let entries = vec![
-        Entry::new("fpga-entry", 0.70, fpga_est.fps, PowerModel::ultra96().power_w(0.9)),
-        Entry::new("gpu-entry", 0.70, gpu_est.fps, PowerModel::tx2().power_w(0.9)),
+        Entry::new(
+            "fpga-entry",
+            0.70,
+            fpga_est.fps,
+            PowerModel::ultra96().power_w(0.9),
+        ),
+        Entry::new(
+            "gpu-entry",
+            0.70,
+            gpu_est.fps,
+            PowerModel::tx2().power_w(0.9),
+        ),
     ];
     let scored = score_field(&entries, Track::Fpga);
     assert_eq!(scored.len(), 2);

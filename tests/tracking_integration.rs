@@ -9,10 +9,12 @@ use skynet::track::siammask::SiamMask;
 use skynet::track::siamrpn::{train_on_sequences, SiamConfig, SiamRpn};
 
 fn sequences(n: usize, len: usize, seed: u64) -> Vec<skynet::data::got::TrackSequence> {
-    let mut cfg = GotConfig::default();
-    cfg.seq_len = len;
-    cfg.distractor_prob = 0.0;
-    cfg.seed = seed;
+    let cfg = GotConfig {
+        seq_len: len,
+        distractor_prob: 0.0,
+        seed,
+        ..Default::default()
+    };
     let mut gen = GotGen::new(cfg);
     gen.generate(n)
 }
@@ -20,7 +22,11 @@ fn sequences(n: usize, len: usize, seed: u64) -> Vec<skynet::data::got::TrackSeq
 #[test]
 fn siamrpn_all_backbones_track_without_panicking() {
     let eval_seqs = sequences(2, 5, 1);
-    for kind in [BackboneKind::AlexNet, BackboneKind::ResNet50, BackboneKind::SkyNet] {
+    for kind in [
+        BackboneKind::AlexNet,
+        BackboneKind::ResNet50,
+        BackboneKind::SkyNet,
+    ] {
         let mut tracker = SiamRpn::new(SiamConfig {
             div: 32,
             ..SiamConfig::new(kind)
