@@ -32,7 +32,7 @@ fn bench_pipeline(c: &mut Criterion) {
             b.iter(|| run_serial(frames, &stages(pre, infer, post)))
         });
         c.bench_function(&format!("pipelined_{name}"), |b| {
-            b.iter(|| run_pipelined(frames, stages(pre, infer, post)))
+            b.iter(|| run_pipelined(frames, stages(pre, infer, post)).expect("pipelined run"))
         });
     }
 }

@@ -1,0 +1,151 @@
+//! Fault-tolerance demonstration: the supervised three-stage pipeline
+//! under a seeded schedule of injected panics, stage errors and stalls
+//! (the ISSUE acceptance scenario — permanent faults across ≥5% of
+//! frames), compared across degradation policies.
+//!
+//! `CoastLastGood` must keep the output stream complete — one detection
+//! per input frame, degraded frames re-emitting the previous good
+//! output, tracker-style — while `DropFrame` shows what the same faults
+//! cost without coasting. The report is archived under `bench_results/`.
+//!
+//! Usage: `cargo run --release -p skynet-bench --bin fault_tolerance`
+//! (optionally `SKYNET_FAULT_SEED=n` to replay a different schedule).
+
+use skynet_bench::table;
+use skynet_hw::fault::{silence_injected_panics, FaultPlan, FaultRates};
+use skynet_hw::pipeline::{run_supervised, DegradePolicy, FrameCtx, SupStages, SupervisorConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+const FRAMES: usize = 80;
+
+/// Identity stages over frame indices, standing in for the real
+/// pre/infer/post bodies — the supervisor and fault paths are identical.
+fn stages() -> SupStages<usize, usize, usize> {
+    SupStages {
+        pre: Box::new(|ctx: &FrameCtx| Ok(ctx.frame)),
+        infer: Box::new(|_, i| Ok(i)),
+        post: Box::new(|_, i| Ok(i)),
+    }
+}
+
+fn main() {
+    silence_injected_panics();
+    let seed: u64 = std::env::var("SKYNET_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(11);
+    let rates = FaultRates {
+        panic: 0.04,
+        error: 0.04,
+        stall: 0.02,
+        stall_for: Duration::from_millis(20),
+        persist_attempts: u32::MAX, // permanent — retries cannot save them
+    };
+    let plan = FaultPlan::scheduled(seed, FRAMES, &rates);
+    let faulted = plan.faulted_frames(FRAMES);
+    assert!(
+        faulted * 20 >= FRAMES,
+        "schedule must fault >=5% of frames (got {faulted}/{FRAMES}); pick another seed"
+    );
+    let plan = Arc::new(plan);
+
+    let cfg = |policy| SupervisorConfig {
+        max_retries: 1,
+        backoff: Duration::from_micros(100),
+        deadline: Some(Duration::from_millis(5)),
+        policy,
+        channel_depth: 4,
+    };
+    let coast = run_supervised(
+        FRAMES,
+        stages().with_faults(plan.clone()),
+        &cfg(DegradePolicy::CoastLastGood),
+    );
+    let drop = run_supervised(
+        FRAMES,
+        stages().with_faults(plan.clone()),
+        &cfg(DegradePolicy::DropFrame),
+    );
+
+    assert_eq!(
+        coast.outputs.len(),
+        FRAMES,
+        "CoastLastGood must emit every frame"
+    );
+    let cc = coast.report.counters;
+    let dc = drop.report.counters;
+    assert_eq!(cc.processed + cc.degraded + cc.dropped, FRAMES);
+    assert_eq!(dc.processed + dc.dropped, FRAMES);
+
+    table::header(
+        "Supervised pipeline under injected faults (panic+error+stall)",
+        &[
+            ("policy", 14),
+            ("emitted", 8),
+            ("clean", 7),
+            ("degraded", 9),
+            ("dropped", 8),
+            ("retries", 8),
+        ],
+    );
+    for (name, run) in [("CoastLastGood", &coast), ("DropFrame", &drop)] {
+        let c = run.report.counters;
+        table::row(&[
+            (name.into(), 14),
+            (run.outputs.len().to_string(), 8),
+            (c.processed.to_string(), 7),
+            (c.degraded.to_string(), 9),
+            (c.dropped.to_string(), 8),
+            (c.retried.to_string(), 8),
+        ]);
+    }
+    println!();
+    println!(
+        "schedule: seed {seed}, {} faults over {faulted}/{FRAMES} frames ({:.0}% coverage)",
+        plan.len(),
+        100.0 * faulted as f64 / FRAMES as f64
+    );
+
+    let mut report = String::new();
+    let _ = writeln!(report, "# Fault tolerance: degrade, don't die\n");
+    let _ = writeln!(
+        report,
+        "{FRAMES} frames through the supervised three-stage pipeline with a\n\
+         deterministic fault schedule (seed {seed}): permanent panics, stage\n\
+         errors and 20 ms stalls on {faulted}/{FRAMES} frames ({} faulted\n\
+         stage-coordinates), 1 retry, 5 ms deadline.",
+        plan.len()
+    );
+    let _ = writeln!(
+        report,
+        "\n| policy | emitted | clean | degraded | dropped | retries |"
+    );
+    let _ = writeln!(report, "|---|---|---|---|---|---|");
+    for (name, run) in [("CoastLastGood", &coast), ("DropFrame", &drop)] {
+        let c = run.report.counters;
+        let _ = writeln!(
+            report,
+            "| {name} | {} | {} | {} | {} | {} |",
+            run.outputs.len(),
+            c.processed,
+            c.degraded,
+            c.dropped,
+            c.retried
+        );
+    }
+    let _ = writeln!(
+        report,
+        "\n`CoastLastGood` keeps the detection stream complete by re-emitting\n\
+         the previous frame's output for every unrecoverable frame — the\n\
+         single-object-tracking degradation of the paper's contest setting —\n\
+         while `DropFrame` loses those frames outright. Both runs replay\n\
+         bit-identically from the seed."
+    );
+
+    print!("{report}");
+    std::fs::create_dir_all("bench_results").expect("create bench_results/");
+    std::fs::write("bench_results/fault_tolerance.md", &report).expect("write report");
+    println!("\nreport written to bench_results/fault_tolerance.md");
+}

@@ -43,7 +43,8 @@ fn main() {
     // Serial baseline: per-frame fetch + all four steps in sequence.
     let serial = run_serial(frames, &stages(FETCH_US + PRE_US));
     // Pipelined system: batched fetch merged into the pre thread.
-    let pipelined = run_pipelined(frames, stages(FETCH_BATCHED_US + PRE_US));
+    let pipelined =
+        run_pipelined(frames, stages(FETCH_BATCHED_US + PRE_US)).expect("pipelined run");
 
     table::header(
         "Fig. 10: serial vs task-partitioned pipeline (measured, real threads)",
@@ -68,7 +69,7 @@ fn main() {
 
     // Overlap-only ablation (no fetch batching): the three-stage pipeline
     // alone is bounded by the slowest stage.
-    let overlap_only = run_pipelined(frames, stages(FETCH_US + PRE_US));
+    let overlap_only = run_pipelined(frames, stages(FETCH_US + PRE_US)).expect("overlap-only run");
     println!(
         "overlap without batched fetch: {:.2}x (bound by the {} ms fetch+pre stage)",
         overlap_only.fps / serial.fps,

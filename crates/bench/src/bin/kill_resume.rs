@@ -1,0 +1,177 @@
+//! Kill-and-resume demonstration for `Trainer::train_resumable`.
+//!
+//! The crash is real: this binary re-executes itself as child processes
+//! (the same pattern as `parallel_speedup`). One child trains the full
+//! run uninterrupted and reports its weight hash; a second child trains
+//! half the epochs against a shared checkpoint path and then
+//! `abort()`s — an actual SIGABRT, no staged teardown; a third child
+//! resumes from the survivor checkpoint and finishes the run. The parent
+//! verifies the killed+resumed weights hash bit-identically to the
+//! uninterrupted run and archives the report under `bench_results/`.
+//!
+//! Usage: `cargo run --release -p skynet-bench --bin kill_resume`
+
+use skynet_bench::data::detection_split;
+use skynet_bench::Budget;
+use skynet_core::checkpoint;
+use skynet_core::detector::Detector;
+use skynet_core::head::Anchors;
+use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
+use skynet_core::trainer::{TrainConfig, Trainer};
+use skynet_nn::{Act, LrSchedule, Sgd};
+use skynet_tensor::rng::SkyRng;
+use std::fmt::Write as _;
+use std::process::Command;
+
+const CHILD_FLAG: &str = "SKYNET_RESUME_CHILD";
+const CKPT_FLAG: &str = "SKYNET_RESUME_CKPT";
+const FULL_EPOCHS: usize = 4;
+const KILL_AFTER: usize = 2;
+
+fn main() {
+    match std::env::var(CHILD_FLAG).as_deref() {
+        Ok("full") => child(FULL_EPOCHS, false),
+        Ok("die") => child(KILL_AFTER, true),
+        Ok("resume") => child(FULL_EPOCHS, false),
+        _ => parent(),
+    }
+}
+
+fn detector() -> Detector {
+    let mut rng = SkyRng::new(42);
+    let cfg = SkyNetConfig::new(Variant::A, Act::Relu6).with_width_divisor(8);
+    Detector::new(Box::new(SkyNet::new(cfg, &mut rng)), Anchors::dac_sdc())
+}
+
+/// Trains `epochs` epochs against the checkpoint path from the
+/// environment, then either reports the weight hash or dies abruptly.
+fn child(epochs: usize, die: bool) {
+    let ckpt = std::env::var(CKPT_FLAG).expect("checkpoint path env var");
+    let (train, _) = detection_split(Budget::Fast);
+    let mut det = detector();
+    let mut opt = Sgd::new(LrSchedule::Constant(5e-3), 0.9, 1e-4);
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs,
+        batch_size: 8,
+        scales: Vec::new(),
+        seed: 7,
+    });
+    let stats = trainer
+        .train_resumable(&mut det, &train, &mut opt, &ckpt)
+        .expect("resumable training");
+    if die {
+        // Simulate a hard crash immediately after the last finished
+        // epoch's checkpoint hit disk. No destructors, no flushing.
+        std::process::abort();
+    }
+    println!("epochs_run={}", stats.len());
+    println!(
+        "weight_hash={:#018x}",
+        checkpoint::weight_hash(det.backbone_mut())
+    );
+}
+
+fn run_child(exe: &std::path::Path, mode: &str, ckpt: &std::path::Path) -> std::process::Output {
+    Command::new(exe)
+        .env(CHILD_FLAG, mode)
+        .env(CKPT_FLAG, ckpt)
+        .env("SKYNET_BENCH_BUDGET", "fast")
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {mode} child: {e}"))
+}
+
+fn field(stdout: &str, key: &str) -> String {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("child output missing `{key}=`:\n{stdout}"))
+        .to_string()
+}
+
+fn parent() {
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut ckpt_full = std::env::temp_dir();
+    ckpt_full.push(format!("skynet-kill-resume-full-{}", std::process::id()));
+    let mut ckpt_killed = std::env::temp_dir();
+    ckpt_killed.push(format!("skynet-kill-resume-killed-{}", std::process::id()));
+    std::fs::remove_file(&ckpt_full).ok();
+    std::fs::remove_file(&ckpt_killed).ok();
+
+    // Reference: the uninterrupted run.
+    let full = run_child(&exe, "full", &ckpt_full);
+    assert!(
+        full.status.success(),
+        "full child failed:\n{}",
+        String::from_utf8_lossy(&full.stderr)
+    );
+    let full_out = String::from_utf8_lossy(&full.stdout).to_string();
+    let full_hash = field(&full_out, "weight_hash");
+
+    // The victim: trains half the epochs, checkpoints, and aborts.
+    let die = run_child(&exe, "die", &ckpt_killed);
+    assert!(
+        !die.status.success(),
+        "die child was supposed to crash but exited cleanly"
+    );
+    assert!(
+        ckpt_killed.exists(),
+        "the killed run must leave its checkpoint behind"
+    );
+
+    // The survivor: resumes from the checkpoint and finishes.
+    let resume = run_child(&exe, "resume", &ckpt_killed);
+    assert!(
+        resume.status.success(),
+        "resume child failed:\n{}",
+        String::from_utf8_lossy(&resume.stderr)
+    );
+    let resume_out = String::from_utf8_lossy(&resume.stdout).to_string();
+    let resume_hash = field(&resume_out, "weight_hash");
+    let resumed_epochs: usize = field(&resume_out, "epochs_run")
+        .parse()
+        .expect("epochs_run");
+
+    assert_eq!(
+        full_hash, resume_hash,
+        "killed+resumed weights diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        resumed_epochs,
+        FULL_EPOCHS - KILL_AFTER,
+        "resume must only run the missing epochs"
+    );
+
+    let mut report = String::new();
+    let _ = writeln!(report, "# Kill-and-resume: bit-identical recovery\n");
+    let _ = writeln!(
+        report,
+        "Width/8 SkyNet-A detector, {FULL_EPOCHS} epochs on the fast DAC-SDC\n\
+         split. One child process per run; the killed run `abort()`s after\n\
+         epoch {KILL_AFTER}'s checkpoint."
+    );
+    let _ = writeln!(report, "\n| run | epochs run | weight hash |");
+    let _ = writeln!(report, "|---|---|---|");
+    let _ = writeln!(report, "| uninterrupted | {FULL_EPOCHS} | {full_hash} |");
+    let _ = writeln!(
+        report,
+        "| killed after {KILL_AFTER} (SIGABRT) | {KILL_AFTER} | — |"
+    );
+    let _ = writeln!(
+        report,
+        "| resumed from checkpoint | {resumed_epochs} | {resume_hash} |"
+    );
+    let _ = writeln!(
+        report,
+        "\nThe resumed run's hash equals the uninterrupted run's: the\n\
+         checkpoint captures weights, momentum, LR-schedule position, RNG\n\
+         state and the shuffle permutation, so recovery is exact to the\n\
+         last bit."
+    );
+
+    print!("{report}");
+    std::fs::create_dir_all("bench_results").expect("create bench_results/");
+    std::fs::write("bench_results/kill_resume.md", &report).expect("write report");
+    println!("\nreport written to bench_results/kill_resume.md");
+    std::fs::remove_file(&ckpt_full).ok();
+    std::fs::remove_file(&ckpt_killed).ok();
+}

@@ -12,6 +12,7 @@
 
 use skynet_bench::data::detection_split;
 use skynet_bench::Budget;
+use skynet_core::checkpoint;
 use skynet_core::detector::Detector;
 use skynet_core::head::Anchors;
 use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
@@ -75,22 +76,10 @@ fn child() {
     println!("epoch_secs={epoch_secs:.4}");
     println!("eval_ips={:.2}", val.len() as f64 / eval_secs.max(1e-9));
     println!("iou={iou:.6}");
-    println!("weight_hash={:#018x}", weight_hash(&mut det));
-}
-
-/// FNV-1a over the bit patterns of every trainable scalar — any
-/// cross-thread-count divergence, down to the last ulp, changes it.
-fn weight_hash(det: &mut Detector) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    det.backbone_mut().visit_params(&mut |p| {
-        for v in p.value.as_slice() {
-            for byte in v.to_bits().to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(0x100000001b3);
-            }
-        }
-    });
-    h
+    println!(
+        "weight_hash={:#018x}",
+        checkpoint::weight_hash(det.backbone_mut())
+    );
 }
 
 /// Runs the sweep, verifies bit-identical weights, prints the table and

@@ -40,7 +40,8 @@ fn main() {
     let desc = SkyNetConfig::new(Variant::C, Act::Relu6).descriptor(160, 320);
     let infer = estimate(&desc, &GpuDevice::tx2());
     let infer_us = (infer.latency_ms * 1e3) as u64;
-    let pipe = measure_synthetic(budget.pick(30, 200), 5_500, infer_us, 4_000);
+    let pipe =
+        measure_synthetic(budget.pick(30, 200), 5_500, infer_us, 4_000).expect("pipeline run");
     let fps = pipe.pipelined.fps;
     let power = PowerModel::tx2().power_w(0.95);
 

@@ -1,0 +1,466 @@
+//! Versioned, CRC-protected, atomically-written training checkpoints.
+//!
+//! A training run on an embedded board (or a pre-emptible cloud node) can
+//! die at any instant; a checkpoint written after every epoch lets
+//! [`Trainer::train_resumable`](crate::trainer::Trainer::train_resumable)
+//! continue a killed run **bit-identically** — the resumed run's weights
+//! are indistinguishable from an uninterrupted one. To make that
+//! guarantee, a checkpoint captures every piece of training state:
+//!
+//! * the backbone weights (flat `f32` blobs in `visit_params` order),
+//! * the SGD momentum buffers and schedule position ([`SgdState`]),
+//! * the trainer RNG ([`RngState`]) — shuffles and multi-scale draws
+//!   continue exactly where they stopped,
+//! * the current shuffle permutation (it evolves cumulatively across
+//!   epochs, so it cannot be re-derived from the RNG alone), and
+//! * the number of completed epochs.
+//!
+//! ## On-disk layout (little-endian)
+//!
+//! ```text
+//! magic "SKYT" | version u32
+//! epochs_done u32 | sgd_step u64
+//! rng: 4×u64 state words | spare flag u8 | spare f32
+//! order: count u32 | count × u32
+//! params:   count u32 | per blob: len u32 + len × f32
+//! velocity: count u32 | per blob: len u32 + len × f32
+//! crc32 u32   (CRC-32 of every preceding byte)
+//! ```
+//!
+//! Writes go to `<path>.tmp` and are fsynced before an atomic rename, so
+//! a kill mid-write leaves the previous checkpoint intact; a bit-flip in
+//! storage trips the CRC and surfaces as [`ResumeError::Corrupt`] rather
+//! than silently corrupting a resumed run.
+
+use skynet_nn::Layer;
+use skynet_nn::SgdState;
+use skynet_tensor::crc32::crc32;
+use skynet_tensor::rng::RngState;
+use skynet_tensor::TensorError;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SKYT";
+const VERSION: u32 = 1;
+
+/// Everything needed to resume a training run bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Number of fully completed epochs.
+    pub epochs_done: u32,
+    /// Optimizer state: LR-schedule position + momentum buffers.
+    pub sgd: SgdState,
+    /// Trainer RNG state at the epoch boundary.
+    pub rng: RngState,
+    /// The shuffle permutation (sample indices) at the epoch boundary.
+    pub order: Vec<u32>,
+    /// Backbone parameters, one flat blob per tensor in visit order.
+    pub params: Vec<Vec<f32>>,
+}
+
+/// Errors produced by checkpoint I/O and resumable training.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Not a SkyNet training checkpoint, or an unsupported version.
+    BadHeader(String),
+    /// CRC mismatch or a structurally impossible payload — the file was
+    /// truncated or bit-flipped after it was written.
+    Corrupt(String),
+    /// The checkpoint's parameter inventory does not match the model.
+    ModelMismatch(String),
+    /// A tensor shape error propagated from the model.
+    Tensor(TensorError),
+    /// Training produced a non-finite loss; the model, optimizer and RNG
+    /// were rolled back to the last checkpoint before returning.
+    NonFiniteLoss {
+        /// Epoch in which the guard tripped.
+        epoch: usize,
+        /// The offending loss value (`inf` or `NaN`).
+        loss: f32,
+    },
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            ResumeError::BadHeader(d) => write!(f, "bad checkpoint header: {d}"),
+            ResumeError::Corrupt(d) => write!(f, "corrupt checkpoint: {d}"),
+            ResumeError::ModelMismatch(d) => write!(f, "checkpoint/model mismatch: {d}"),
+            ResumeError::Tensor(e) => write!(f, "tensor error during training: {e}"),
+            ResumeError::NonFiniteLoss { epoch, loss } => write!(
+                f,
+                "non-finite loss {loss} in epoch {epoch}; state rolled back to last checkpoint"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResumeError::Io(e) => Some(e),
+            ResumeError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ResumeError {
+    fn from(e: io::Error) -> Self {
+        ResumeError::Io(e)
+    }
+}
+
+impl From<TensorError> for ResumeError {
+    fn from(e: TensorError) -> Self {
+        ResumeError::Tensor(e)
+    }
+}
+
+impl From<skynet_nn::CheckpointError> for ResumeError {
+    fn from(e: skynet_nn::CheckpointError) -> Self {
+        match e {
+            skynet_nn::CheckpointError::Io(e) => ResumeError::Io(e),
+            skynet_nn::CheckpointError::BadHeader(d) => ResumeError::BadHeader(d),
+            skynet_nn::CheckpointError::ModelMismatch(d) => ResumeError::ModelMismatch(d),
+        }
+    }
+}
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_blobs(buf: &mut Vec<u8>, blobs: &[Vec<f32>]) {
+    push_u32(buf, blobs.len() as u32);
+    for blob in blobs {
+        push_u32(buf, blob.len() as u32);
+        for &v in blob {
+            push_f32(buf, v);
+        }
+    }
+}
+
+/// Bounds-checked little-endian cursor over the decoded payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ResumeError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ResumeError::Corrupt(format!(
+                "payload overrun at byte {} (+{n} of {})",
+                self.pos,
+                self.bytes.len()
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, ResumeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ResumeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32, ResumeError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn blobs(&mut self) -> Result<Vec<Vec<f32>>, ResumeError> {
+        let count = self.u32()? as usize;
+        // Every blob costs at least its 4-byte length field.
+        if count * 4 > self.remaining() {
+            return Err(ResumeError::Corrupt(format!(
+                "blob count {count} exceeds remaining payload"
+            )));
+        }
+        let mut blobs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = self.u32()? as usize;
+            if len * 4 > self.remaining() {
+                return Err(ResumeError::Corrupt(format!(
+                    "blob length {len} exceeds remaining payload"
+                )));
+            }
+            let raw = self.take(len * 4)?;
+            blobs.push(
+                raw.chunks_exact(4)
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect(),
+            );
+        }
+        Ok(blobs)
+    }
+}
+
+/// Serializes `ckpt` and writes it to `path` atomically: the payload and
+/// its CRC-32 trailer go to `<path>.tmp`, which is fsynced and then
+/// renamed over `path`. A crash at any point leaves either the old
+/// checkpoint or the new one — never a torn file.
+///
+/// # Errors
+///
+/// Returns [`ResumeError::Io`] on filesystem failures.
+pub fn save(ckpt: &TrainCheckpoint, path: impl AsRef<Path>) -> Result<(), ResumeError> {
+    let path = path.as_ref();
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    push_u32(&mut buf, VERSION);
+    push_u32(&mut buf, ckpt.epochs_done);
+    push_u64(&mut buf, ckpt.sgd.step as u64);
+    for w in ckpt.rng.s {
+        push_u64(&mut buf, w);
+    }
+    buf.push(ckpt.rng.gauss_spare.is_some() as u8);
+    push_f32(&mut buf, ckpt.rng.gauss_spare.unwrap_or(0.0));
+    push_u32(&mut buf, ckpt.order.len() as u32);
+    for &i in &ckpt.order {
+        push_u32(&mut buf, i);
+    }
+    push_blobs(&mut buf, &ckpt.params);
+    push_blobs(&mut buf, &ckpt.sgd.velocity);
+    let digest = crc32(&buf);
+    push_u32(&mut buf, digest);
+
+    let tmp = path.with_extension("ckpt.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&buf)?;
+        // Make the rename durable: data must hit the disk before the new
+        // name does, or a power cut could promote an empty file.
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and validates a checkpoint written by [`save`].
+///
+/// # Errors
+///
+/// [`ResumeError::BadHeader`] for foreign files or unknown versions,
+/// [`ResumeError::Corrupt`] for truncated or bit-flipped files (CRC
+/// mismatch), [`ResumeError::Io`] for filesystem failures.
+pub fn load(path: impl AsRef<Path>) -> Result<TrainCheckpoint, ResumeError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 8 || &bytes[..4] != MAGIC {
+        return Err(ResumeError::BadHeader("wrong magic bytes".into()));
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != VERSION {
+        return Err(ResumeError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
+    }
+    if bytes.len() < 12 {
+        return Err(ResumeError::Corrupt("file shorter than its trailer".into()));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(ResumeError::Corrupt(format!(
+            "crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+
+    let mut cur = Cursor {
+        bytes: payload,
+        pos: 8, // past magic + version
+    };
+    let epochs_done = cur.u32()?;
+    let step = cur.u64()? as usize;
+    let mut s = [0u64; 4];
+    for w in &mut s {
+        *w = cur.u64()?;
+    }
+    let has_spare = cur.take(1)?[0] != 0;
+    let spare = cur.f32()?;
+    let order_len = cur.u32()? as usize;
+    if order_len * 4 > cur.remaining() {
+        return Err(ResumeError::Corrupt(format!(
+            "order length {order_len} exceeds remaining payload"
+        )));
+    }
+    let mut order = Vec::with_capacity(order_len);
+    for _ in 0..order_len {
+        order.push(cur.u32()?);
+    }
+    let params = cur.blobs()?;
+    let velocity = cur.blobs()?;
+    if cur.remaining() != 0 {
+        return Err(ResumeError::Corrupt(format!(
+            "{} trailing bytes after payload",
+            cur.remaining()
+        )));
+    }
+    Ok(TrainCheckpoint {
+        epochs_done,
+        sgd: SgdState { step, velocity },
+        rng: RngState {
+            s,
+            gauss_spare: has_spare.then_some(spare),
+        },
+        order,
+        params,
+    })
+}
+
+/// FNV-1a over the bit patterns of every trainable scalar of `model`.
+///
+/// Any divergence between two training runs — down to the last ulp —
+/// changes the hash, so equality is the workspace's standard witness for
+/// "these runs produced identical weights" (used by the kill-and-resume
+/// CI check and the parallel-determinism sweep).
+pub fn weight_hash(model: &mut dyn Layer) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    model.visit_params(&mut |p| {
+        for v in p.value.as_slice() {
+            for byte in v.to_bits().to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+    });
+    h
+}
+
+/// Hasher over raw blob snapshots (the same digest as [`weight_hash`]
+/// computed from [`skynet_nn::collect_params`] output).
+pub fn blob_hash(blobs: &[Vec<f32>]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for blob in blobs {
+        for v in blob {
+            for byte in v.to_bits().to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("skynet-train-ckpt-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn sample_ckpt() -> TrainCheckpoint {
+        TrainCheckpoint {
+            epochs_done: 3,
+            sgd: SgdState {
+                step: 120,
+                velocity: vec![vec![0.25, -1.5], vec![3.0]],
+            },
+            rng: RngState {
+                s: [1, u64::MAX, 0xDEADBEEF, 42],
+                gauss_spare: Some(-0.75),
+            },
+            order: vec![4, 0, 2, 1, 3],
+            params: vec![vec![0.5, 1.5], vec![-2.0]],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ck = sample_ckpt();
+        let path = tmp("roundtrip");
+        save(&ck, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded, ck);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn no_spare_roundtrips() {
+        let mut ck = sample_ckpt();
+        ck.rng.gauss_spare = None;
+        let path = tmp("nospare");
+        save(&ck, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), ck);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bit_flip_is_corrupt() {
+        let ck = sample_ckpt();
+        let path = tmp("flip");
+        save(&ck, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(ResumeError::Corrupt(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncation_is_corrupt() {
+        let ck = sample_ckpt();
+        let path = tmp("trunc");
+        save(&ck, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        assert!(matches!(load(&path), Err(ResumeError::Corrupt(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn foreign_file_is_rejected() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"whatever this is, it is not a checkpoint").unwrap();
+        assert!(matches!(load(&path), Err(ResumeError::BadHeader(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_file() {
+        let ck = sample_ckpt();
+        let path = tmp("notmp");
+        save(&ck, &path).unwrap();
+        assert!(!path.with_extension("ckpt.tmp").exists());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn blob_hash_matches_weight_hash_semantics() {
+        let blobs = vec![vec![1.0f32, -0.0, 3.5], vec![f32::MIN_POSITIVE]];
+        let a = blob_hash(&blobs);
+        let mut flipped = blobs.clone();
+        flipped[1][0] = f32::MIN_POSITIVE * 2.0;
+        assert_ne!(a, blob_hash(&flipped));
+        assert_eq!(a, blob_hash(&blobs.clone()));
+    }
+}

@@ -10,6 +10,10 @@
 //! * [`SkyNet`](skynet::SkyNet) with feature-map bypass + reordering and
 //!   a two-anchor, classification-free YOLO head (§5.1–5.2),
 //! * the detection loss and box decoder ([`head`]),
+//! * fault-tolerant training: CRC-protected, atomically-written
+//!   [`checkpoint`]s and
+//!   [`Trainer::train_resumable`](trainer::Trainer::train_resumable) for
+//!   bit-identical kill-and-resume,
 //! * a [`Detector`](detector::Detector) wrapper that pairs any backbone
 //!   with the head geometry, and
 //! * a [`Trainer`](trainer::Trainer) with multi-scale training plus a
@@ -36,6 +40,7 @@
 
 pub mod bbox;
 pub mod bundle;
+pub mod checkpoint;
 pub mod desc;
 pub mod detector;
 pub mod head;

@@ -5,11 +5,13 @@
 //! (the input is bilinearly resized to a randomly chosen scale each
 //! batch), and mean-IoU validation (Eq. 2 without the energy term).
 
+use crate::checkpoint::{self, ResumeError, TrainCheckpoint};
 use crate::detector::Detector;
 use crate::{BBox, Sample};
-use skynet_nn::Sgd;
+use skynet_nn::{apply_params, collect_params, Sgd, SgdState};
 use skynet_tensor::ops::resize_bilinear;
 use skynet_tensor::{parallel, rng::SkyRng, Result, Tensor};
+use std::path::Path;
 
 /// Trainer configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +100,151 @@ impl Trainer {
             });
         }
         Ok(stats)
+    }
+
+    /// Fault-tolerant variant of [`Trainer::train`]: a checkpoint is
+    /// written atomically to `ckpt_path` after every epoch (and once
+    /// before the first), and an existing checkpoint at that path is
+    /// resumed from instead of starting over.
+    ///
+    /// Because the checkpoint captures the weights, the SGD momentum and
+    /// schedule position, the trainer RNG and the evolving shuffle
+    /// permutation, a run that is killed at any point and then re-invoked
+    /// with the same configuration produces weights **bit-identical** to
+    /// an uninterrupted run (see `kill_resume` in `skynet-bench` and the
+    /// CI job that asserts the weight hashes match).
+    ///
+    /// A non-finite batch loss does not corrupt the model: the weights,
+    /// optimizer and RNG are rolled back to the last checkpoint and
+    /// [`ResumeError::NonFiniteLoss`] is returned.
+    ///
+    /// Returns the statistics of the epochs run by *this* invocation
+    /// (empty when the checkpoint already covers `cfg.epochs`).
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError::Corrupt`]/[`ResumeError::BadHeader`] when the
+    /// existing checkpoint fails validation, [`ResumeError::ModelMismatch`]
+    /// when it belongs to a different architecture, [`ResumeError::Io`] on
+    /// filesystem failures, [`ResumeError::Tensor`] for shape errors, and
+    /// [`ResumeError::NonFiniteLoss`] when the divergence guard trips.
+    pub fn train_resumable(
+        &mut self,
+        detector: &mut Detector,
+        samples: &[Sample],
+        opt: &mut Sgd,
+        ckpt_path: impl AsRef<Path>,
+    ) -> std::result::Result<Vec<EpochStats>, ResumeError> {
+        let path = ckpt_path.as_ref();
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let start_epoch = if path.exists() {
+            let ck = checkpoint::load(path)?;
+            self.restore(detector, opt, &mut order, &ck, samples.len())?;
+            ck.epochs_done as usize
+        } else {
+            // Seed the rollback target so the non-finite-loss guard always
+            // has a known-good state to return to.
+            checkpoint::save(&self.snapshot(0, detector, opt, &order), path)?;
+            0
+        };
+        let mut stats = Vec::new();
+        for epoch in start_epoch..self.cfg.epochs {
+            self.rng.shuffle(&mut order);
+            let mut total = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(self.cfg.batch_size) {
+                let scale = if self.cfg.scales.is_empty() {
+                    None
+                } else {
+                    Some(self.cfg.scales[self.rng.below(self.cfg.scales.len())])
+                };
+                let (images, targets) = gather_batch(samples, chunk, scale)?;
+                let loss = detector.train_batch(&images, &targets)?;
+                if !loss.is_finite() {
+                    // Divergence guard: the weights already absorbed the
+                    // updates that led here, and the gradients of this
+                    // batch are garbage. Roll everything back to the last
+                    // epoch boundary instead of checkpointing a corpse.
+                    let ck = checkpoint::load(path)?;
+                    self.restore(detector, opt, &mut order, &ck, samples.len())?;
+                    return Err(ResumeError::NonFiniteLoss { epoch, loss });
+                }
+                opt.step(detector.backbone_mut());
+                total += loss;
+                batches += 1;
+            }
+            checkpoint::save(
+                &self.snapshot(epoch as u32 + 1, detector, opt, &order),
+                path,
+            )?;
+            stats.push(EpochStats {
+                epoch,
+                mean_loss: total / batches.max(1) as f32,
+                lr: opt.current_lr(),
+            });
+        }
+        Ok(stats)
+    }
+
+    /// Captures the complete training state at an epoch boundary.
+    fn snapshot(
+        &self,
+        epochs_done: u32,
+        detector: &mut Detector,
+        opt: &Sgd,
+        order: &[usize],
+    ) -> TrainCheckpoint {
+        TrainCheckpoint {
+            epochs_done,
+            sgd: opt.export_state(),
+            rng: self.rng.state(),
+            order: order.iter().map(|&i| i as u32).collect(),
+            params: collect_params(detector.backbone_mut()),
+        }
+    }
+
+    /// Applies a loaded checkpoint to the detector, optimizer, RNG and
+    /// shuffle order, validating it against the model and dataset.
+    fn restore(
+        &mut self,
+        detector: &mut Detector,
+        opt: &mut Sgd,
+        order: &mut Vec<usize>,
+        ck: &TrainCheckpoint,
+        n_samples: usize,
+    ) -> std::result::Result<(), ResumeError> {
+        apply_params(detector.backbone_mut(), &ck.params)?;
+        if !ck.sgd.velocity.is_empty() {
+            if ck.sgd.velocity.len() != ck.params.len() {
+                return Err(ResumeError::ModelMismatch(format!(
+                    "checkpoint has {} momentum buffers for {} parameters",
+                    ck.sgd.velocity.len(),
+                    ck.params.len()
+                )));
+            }
+            for (i, (v, p)) in ck.sgd.velocity.iter().zip(&ck.params).enumerate() {
+                if v.len() != p.len() {
+                    return Err(ResumeError::ModelMismatch(format!(
+                        "momentum buffer {i} has {} values for a {}-value parameter",
+                        v.len(),
+                        p.len()
+                    )));
+                }
+            }
+        }
+        if ck.order.len() != n_samples || ck.order.iter().any(|&i| i as usize >= n_samples) {
+            return Err(ResumeError::ModelMismatch(format!(
+                "checkpoint shuffle order covers {} samples, dataset has {n_samples}",
+                ck.order.len()
+            )));
+        }
+        opt.import_state(SgdState {
+            step: ck.sgd.step,
+            velocity: ck.sgd.velocity.clone(),
+        });
+        self.rng = SkyRng::from_state(ck.rng);
+        *order = ck.order.iter().map(|&i| i as usize).collect();
+        Ok(())
     }
 }
 

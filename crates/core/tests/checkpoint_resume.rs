@@ -1,0 +1,293 @@
+//! Recovery-path coverage for the training checkpoint format and
+//! `Trainer::train_resumable`: property tests over random checkpoint
+//! contents (roundtrip, truncation, bit-flips) and end-to-end
+//! kill-and-resume equivalence.
+
+use proptest::prelude::*;
+use skynet_core::checkpoint::{self, ResumeError, TrainCheckpoint};
+use skynet_core::detector::Detector;
+use skynet_core::head::Anchors;
+use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
+use skynet_core::trainer::{TrainConfig, Trainer};
+use skynet_core::{BBox, Sample};
+use skynet_nn::{Act, LrSchedule, Sgd, SgdState};
+use skynet_tensor::rng::{RngState, SkyRng};
+use skynet_tensor::{Shape, Tensor};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "skynet-resume-{name}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    p
+}
+
+/// Builds a checkpoint with shapes and values derived from a few sampled
+/// scalars (the stand-in proptest crate samples flat values, so the
+/// structure is expanded here deterministically).
+fn build_ckpt(n_params: usize, max_len: usize, seed: u64) -> TrainCheckpoint {
+    let mut rng = SkyRng::new(seed);
+    let lens: Vec<usize> = (0..n_params).map(|_| 1 + rng.below(max_len)).collect();
+    let params: Vec<Vec<f32>> = lens
+        .iter()
+        .map(|&l| (0..l).map(|_| rng.range(-4.0, 4.0)).collect())
+        .collect();
+    let velocity: Vec<Vec<f32>> = lens
+        .iter()
+        .map(|&l| (0..l).map(|_| rng.range(-1.0, 1.0)).collect())
+        .collect();
+    let n_order = 1 + rng.below(64);
+    let mut order: Vec<u32> = (0..n_order as u32).collect();
+    let mut order_usize: Vec<usize> = order.iter().map(|&i| i as usize).collect();
+    rng.shuffle(&mut order_usize);
+    order = order_usize.iter().map(|&i| i as u32).collect();
+    TrainCheckpoint {
+        epochs_done: rng.below(1000) as u32,
+        sgd: SgdState {
+            step: rng.below(100_000),
+            velocity,
+        },
+        rng: RngState {
+            s: [
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.next_u64(),
+                rng.next_u64(),
+            ],
+            gauss_spare: rng.chance(0.5).then(|| rng.range(-2.0, 2.0)),
+        },
+        order,
+        params,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn roundtrip_random_shapes(n in 1usize..12, max_len in 1usize..80, seed in 0u64..u64::MAX) {
+        let ck = build_ckpt(n, max_len, seed);
+        let path = tmp("prop-roundtrip");
+        checkpoint::save(&ck, &path).expect("save");
+        let loaded = checkpoint::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(loaded, ck);
+    }
+
+    #[test]
+    fn truncated_files_are_rejected(n in 1usize..8, max_len in 1usize..40, seed in 0u64..u64::MAX, cut in 0.0f64..1.0) {
+        let ck = build_ckpt(n, max_len, seed);
+        let path = tmp("prop-trunc");
+        checkpoint::save(&ck, &path).expect("save");
+        let bytes = std::fs::read(&path).unwrap();
+        // Keep at least one byte off the end, down to an empty file.
+        let keep = ((bytes.len() - 1) as f64 * cut) as usize;
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+        let res = checkpoint::load(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(res.is_err(), "truncation to {} of {} bytes accepted", keep, bytes.len());
+    }
+
+    #[test]
+    fn bit_flips_are_rejected(n in 1usize..8, max_len in 1usize..40, seed in 0u64..u64::MAX, pos in 0.0f64..1.0, bit in 0u32..8) {
+        let ck = build_ckpt(n, max_len, seed);
+        let path = tmp("prop-flip");
+        checkpoint::save(&ck, &path).expect("save");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = ((bytes.len() - 1) as f64 * pos) as usize;
+        bytes[idx] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+        let res = checkpoint::load(&path);
+        std::fs::remove_file(&path).ok();
+        // Any single-bit corruption must surface as an error — magic/version
+        // flips as BadHeader, everything else via the CRC.
+        prop_assert!(res.is_err(), "bit flip at byte {} bit {} accepted", idx, bit);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end resume equivalence
+// ---------------------------------------------------------------------------
+
+/// A dataset the width/16 detector trains on quickly.
+fn toy_samples(n: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = SkyRng::new(seed);
+    (0..n)
+        .map(|_| {
+            let (h, w) = (16usize, 32usize);
+            let cx = rng.range(0.2, 0.8);
+            let cy = rng.range(0.3, 0.7);
+            let mut img = Tensor::zeros(Shape::new(1, 3, h, w));
+            for y in 0..h {
+                for x in 0..w {
+                    let fx = (x as f32 + 0.5) / w as f32;
+                    let fy = (y as f32 + 0.5) / h as f32;
+                    if (fx - cx).abs() < 0.1 && (fy - cy).abs() < 0.175 {
+                        for c in 0..3 {
+                            *img.at_mut(0, c, y, x) = 1.0;
+                        }
+                    }
+                }
+            }
+            Sample::new(img, BBox::new(cx, cy, 0.2, 0.35), 0)
+        })
+        .collect()
+}
+
+fn fresh_detector() -> Detector {
+    let mut rng = SkyRng::new(77);
+    let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(16);
+    Detector::new(Box::new(SkyNet::new(cfg, &mut rng)), Anchors::dac_sdc())
+}
+
+fn trainer(epochs: usize) -> Trainer {
+    Trainer::new(TrainConfig {
+        epochs,
+        batch_size: 4,
+        scales: vec![(16, 32), (24, 48)],
+        seed: 5,
+    })
+}
+
+fn opt() -> Sgd {
+    Sgd::new(LrSchedule::Constant(2e-3), 0.9, 1e-4)
+}
+
+#[test]
+fn resumed_run_is_bit_identical_to_uninterrupted() {
+    let samples = toy_samples(12, 3);
+
+    // Uninterrupted reference: 4 epochs straight through.
+    let path_a = tmp("uninterrupted");
+    std::fs::remove_file(&path_a).ok();
+    let mut det_a = fresh_detector();
+    let mut opt_a = opt();
+    let stats_a = trainer(4)
+        .train_resumable(&mut det_a, &samples, &mut opt_a, &path_a)
+        .expect("uninterrupted run");
+    assert_eq!(stats_a.len(), 4);
+
+    // "Killed" run: first invocation stops after 2 epochs (as if the
+    // process died right after the epoch-2 checkpoint), second invocation
+    // resumes from the checkpoint with a fresh detector/optimizer/trainer.
+    let path_b = tmp("resumed");
+    std::fs::remove_file(&path_b).ok();
+    let mut det_b1 = fresh_detector();
+    let mut opt_b1 = opt();
+    let stats_b1 = trainer(2)
+        .train_resumable(&mut det_b1, &samples, &mut opt_b1, &path_b)
+        .expect("first half");
+    assert_eq!(stats_b1.len(), 2);
+    drop(det_b1); // the dead process's memory is gone
+
+    let mut det_b2 = fresh_detector();
+    let mut opt_b2 = opt();
+    let stats_b2 = trainer(4)
+        .train_resumable(&mut det_b2, &samples, &mut opt_b2, &path_b)
+        .expect("resumed half");
+    assert_eq!(stats_b2.len(), 2, "resume must only run the missing epochs");
+
+    assert_eq!(
+        checkpoint::weight_hash(det_a.backbone_mut()),
+        checkpoint::weight_hash(det_b2.backbone_mut()),
+        "resumed weights diverged from the uninterrupted run"
+    );
+    // Per-epoch statistics line up too.
+    for (a, b) in stats_a[2..].iter().zip(&stats_b2) {
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits());
+    }
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+}
+
+#[test]
+fn fully_trained_checkpoint_resumes_as_noop() {
+    let samples = toy_samples(8, 4);
+    let path = tmp("noop");
+    std::fs::remove_file(&path).ok();
+    let mut det = fresh_detector();
+    let mut o = opt();
+    trainer(2)
+        .train_resumable(&mut det, &samples, &mut o, &path)
+        .expect("train");
+    let before = checkpoint::weight_hash(det.backbone_mut());
+    let again = trainer(2)
+        .train_resumable(&mut det, &samples, &mut o, &path)
+        .expect("noop resume");
+    assert!(again.is_empty());
+    assert_eq!(before, checkpoint::weight_hash(det.backbone_mut()));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn nonfinite_loss_rolls_back_to_last_checkpoint() {
+    let samples = toy_samples(8, 5);
+    let path = tmp("nanguard");
+    std::fs::remove_file(&path).ok();
+    let mut det = fresh_detector();
+    let initial_hash = checkpoint::weight_hash(det.backbone_mut());
+    // An absurd learning rate blows the weights up to inf within an epoch.
+    let mut o = Sgd::new(LrSchedule::Constant(1e30), 0.9, 0.0);
+    let err = trainer(3)
+        .train_resumable(&mut det, &samples, &mut o, &path)
+        .expect_err("divergence must trip the guard");
+    match err {
+        ResumeError::NonFiniteLoss { loss, .. } => assert!(!loss.is_finite()),
+        other => panic!("expected NonFiniteLoss, got {other}"),
+    }
+    assert_eq!(
+        initial_hash,
+        checkpoint::weight_hash(det.backbone_mut()),
+        "weights must be rolled back to the pre-training checkpoint"
+    );
+    assert_eq!(o.steps_taken(), 0, "optimizer must be rolled back too");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn checkpoint_from_wrong_architecture_is_rejected() {
+    let samples = toy_samples(6, 6);
+    let path = tmp("wrongarch");
+    std::fs::remove_file(&path).ok();
+    let mut det = fresh_detector();
+    let mut o = opt();
+    trainer(1)
+        .train_resumable(&mut det, &samples, &mut o, &path)
+        .expect("train");
+    // A structurally different backbone must refuse the checkpoint.
+    let mut rng = SkyRng::new(1);
+    let cfg = SkyNetConfig::new(Variant::A, Act::Relu6).with_width_divisor(8);
+    let mut other = Detector::new(Box::new(SkyNet::new(cfg, &mut rng)), Anchors::dac_sdc());
+    let mut o2 = opt();
+    let err = trainer(2)
+        .train_resumable(&mut other, &samples, &mut o2, &path)
+        .expect_err("architecture mismatch");
+    assert!(matches!(err, ResumeError::ModelMismatch(_)), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected_on_resume() {
+    let samples = toy_samples(6, 7);
+    let path = tmp("corruptresume");
+    std::fs::remove_file(&path).ok();
+    let mut det = fresh_detector();
+    let mut o = opt();
+    trainer(1)
+        .train_resumable(&mut det, &samples, &mut o, &path)
+        .expect("train");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 3;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+    let mut det2 = fresh_detector();
+    let mut o2 = opt();
+    let err = trainer(2)
+        .train_resumable(&mut det2, &samples, &mut o2, &path)
+        .expect_err("corrupt checkpoint");
+    assert!(matches!(err, ResumeError::Corrupt(_)), "{err}");
+    std::fs::remove_file(&path).ok();
+}

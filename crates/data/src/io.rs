@@ -8,9 +8,16 @@
 //! magic "SKYD" | version u32 | sample count u32
 //! per sample: category u32 | cx f32 | cy f32 | w f32 | h f32
 //!             | c u32 | h u32 | w u32 | h*w*c f32 pixels
+//! v2 only:    crc32 u32 of every preceding byte
 //! ```
+//!
+//! Version 2 appends a CRC-32 trailer (the same helper the training
+//! checkpoint format uses) so a silent bit-flip in storage surfaces as
+//! [`DatasetIoError::Corrupt`] instead of silently feeding garbage
+//! tensors into training. Version-1 files (no trailer) still load.
 
 use skynet_core::{BBox, Sample};
+use skynet_tensor::crc32::Crc32;
 use skynet_tensor::{Shape, Tensor};
 use std::fmt;
 use std::fs::File;
@@ -18,7 +25,9 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"SKYD";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Smallest possible serialized sample: 8 header words plus one pixel.
+const MIN_SAMPLE_BYTES: u64 = 9 * 4;
 
 /// Errors produced by dataset I/O.
 #[derive(Debug)]
@@ -56,6 +65,38 @@ impl From<io::Error> for DatasetIoError {
     }
 }
 
+/// Pass-through writer that folds every byte into a CRC-32 digest.
+struct CrcWriter<W: Write> {
+    inner: W,
+    crc: Crc32,
+}
+
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Pass-through reader that folds every byte into a CRC-32 digest.
+struct CrcReader<R: Read> {
+    inner: R,
+    crc: Crc32,
+}
+
+impl<R: Read> Read for CrcReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
 fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
@@ -82,7 +123,10 @@ fn read_f32(r: &mut impl Read) -> io::Result<f32> {
 ///
 /// Returns [`DatasetIoError::Io`] on filesystem failures.
 pub fn save_samples(samples: &[Sample], path: impl AsRef<Path>) -> Result<(), DatasetIoError> {
-    let mut w = BufWriter::new(File::create(path)?);
+    let mut w = CrcWriter {
+        inner: BufWriter::new(File::create(path)?),
+        crc: Crc32::new(),
+    };
     w.write_all(MAGIC)?;
     write_u32(&mut w, VERSION)?;
     write_u32(&mut w, samples.len() as u32)?;
@@ -100,31 +144,52 @@ pub fn save_samples(samples: &[Sample], path: impl AsRef<Path>) -> Result<(), Da
             write_f32(&mut w, v)?;
         }
     }
-    w.flush()?;
+    // The trailer itself is written to the inner sink so it is not folded
+    // into the digest it stores.
+    let digest = w.crc.finalize();
+    write_u32(&mut w.inner, digest)?;
+    w.inner.flush()?;
     Ok(())
 }
 
-/// Reads samples written by [`save_samples`].
+/// Reads samples written by [`save_samples`], including version-1 files
+/// (which carry no CRC trailer and therefore skip the integrity check).
 ///
 /// # Errors
 ///
-/// Returns [`DatasetIoError::BadHeader`] for foreign files and
-/// [`DatasetIoError::Corrupt`] for impossible geometry.
+/// Returns [`DatasetIoError::BadHeader`] for foreign files,
+/// [`DatasetIoError::Corrupt`] for impossible geometry, a sample count
+/// that cannot fit in the file, or (v2) a CRC mismatch.
 pub fn load_samples(path: impl AsRef<Path>) -> Result<Vec<Sample>, DatasetIoError> {
-    let mut r = BufReader::new(File::open(path)?);
+    let path = path.as_ref();
+    let file_len = std::fs::metadata(path)?.len();
+    let mut r = CrcReader {
+        inner: BufReader::new(File::open(path)?),
+        crc: Crc32::new(),
+    };
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(DatasetIoError::BadHeader("wrong magic bytes".into()));
     }
     let version = read_u32(&mut r)?;
-    if version != VERSION {
+    if !(1..=VERSION).contains(&version) {
         return Err(DatasetIoError::BadHeader(format!(
             "unsupported version {version}"
         )));
     }
     let count = read_u32(&mut r)? as usize;
-    let mut samples = Vec::with_capacity(count);
+    // The count field is untrusted: a corrupt 0xFFFFFFFF must not trigger
+    // a multi-gigabyte pre-allocation. Bound it by what the file could
+    // physically hold, then cap the initial capacity regardless.
+    let header_and_trailer = 12 + if version >= 2 { 4 } else { 0 };
+    let payload_len = file_len.saturating_sub(header_and_trailer);
+    if count as u64 > payload_len / MIN_SAMPLE_BYTES {
+        return Err(DatasetIoError::Corrupt(format!(
+            "sample count {count} cannot fit in a {file_len}-byte file"
+        )));
+    }
+    let mut samples = Vec::with_capacity(count.min(4096));
     for _ in 0..count {
         let category = read_u32(&mut r)?;
         let bbox = BBox::new(
@@ -149,6 +214,17 @@ pub fn load_samples(path: impl AsRef<Path>) -> Result<Vec<Sample>, DatasetIoErro
         let image = Tensor::from_vec(Shape::new(1, c, h, w), data)
             .map_err(|e| DatasetIoError::Corrupt(e.to_string()))?;
         samples.push(Sample::new(image, bbox, category));
+    }
+    if version >= 2 {
+        let computed = r.crc.finalize();
+        let mut trailer = [0u8; 4];
+        r.inner.read_exact(&mut trailer)?;
+        let stored = u32::from_le_bytes(trailer);
+        if stored != computed {
+            return Err(DatasetIoError::Corrupt(format!(
+                "crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            )));
+        }
     }
     Ok(samples)
 }
@@ -218,6 +294,84 @@ mod tests {
         let path = tmp("empty");
         save_samples(&[], &path).unwrap();
         assert!(load_samples(&path).unwrap().is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bit_flip_is_detected_by_crc() {
+        let cfg = DacSdcConfig {
+            height: 8,
+            width: 8,
+            ..Default::default()
+        };
+        let mut gen = DacSdc::new(cfg);
+        let samples = gen.generate(3);
+        let path = tmp("bitflip");
+        save_samples(&samples, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit in the middle of the pixel payload: the geometry
+        // stays plausible, only the CRC can catch it.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_samples(&path),
+            Err(DatasetIoError::Corrupt(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn absurd_count_is_rejected_before_allocation() {
+        let path = tmp("hugecount");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&0xFFFF_FFFFu32.to_le_bytes()); // corrupt count
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_samples(&path),
+            Err(DatasetIoError::Corrupt(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v1_files_without_trailer_still_load() {
+        let cfg = DacSdcConfig {
+            height: 8,
+            width: 8,
+            ..Default::default()
+        };
+        let mut gen = DacSdc::new(cfg);
+        let samples = gen.generate(2);
+        let path = tmp("v1compat");
+        save_samples(&samples, &path).unwrap();
+        // Rewrite as v1: patch the version field and strip the trailer.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        bytes.truncate(bytes.len() - 4);
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = load_samples(&path).unwrap();
+        assert_eq!(loaded.len(), samples.len());
+        for (a, b) in loaded.iter().zip(&samples) {
+            assert_eq!(a.image, b.image);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let path = tmp("future");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_samples(&path),
+            Err(DatasetIoError::BadHeader(_))
+        ));
         std::fs::remove_file(path).ok();
     }
 }

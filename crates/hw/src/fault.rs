@@ -1,0 +1,382 @@
+//! Deterministic fault injection for the supervised pipeline.
+//!
+//! Recovery code that is only exercised by real hardware flaking is
+//! untested code. This module makes every failure mode of
+//! [`run_supervised`](crate::pipeline::run_supervised) reproducible on
+//! demand: a [`FaultPlan`] is a seed- and frame-index-keyed schedule of
+//! panics, stage errors and stalls that can be armed onto any
+//! [`SupStages`] with [`SupStages::with_faults`]. Because the schedule is
+//! a pure function of `(seed, stage, frame)`, a failing CI run replays
+//! bit-for-bit from its seed — no Heisenbugs.
+//!
+//! ```
+//! use skynet_hw::fault::{FaultKind, FaultPlan, FaultRates};
+//! use skynet_hw::pipeline::{run_supervised, FrameCtx, SupervisorConfig, SupStages};
+//! use std::sync::Arc;
+//!
+//! let plan = Arc::new(FaultPlan::scheduled(7, 100, &FaultRates::default()));
+//! let stages: SupStages<usize, usize, usize> = SupStages {
+//!     pre: Box::new(|ctx: &FrameCtx| Ok(ctx.frame)),
+//!     infer: Box::new(|_, i| Ok(i)),
+//!     post: Box::new(|_, i| Ok(i)),
+//! }
+//! .with_faults(plan);
+//! let run = run_supervised(100, stages, &SupervisorConfig::default());
+//! assert_eq!(run.outputs.len(), 100); // CoastLastGood keeps streaming
+//! ```
+
+use crate::pipeline::{FrameCtx, StageError, StageId, SupStages};
+use skynet_tensor::rng::SkyRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::Once;
+use std::time::Duration;
+
+/// Panic payload used by injected [`FaultKind::Panic`] faults, so test
+/// harnesses can tell deliberate panics from real bugs (see
+/// [`silence_injected_panics`]).
+#[derive(Debug)]
+pub struct InjectedFault {
+    /// Stage the fault fired in.
+    pub stage: StageId,
+    /// Frame the fault fired on.
+    pub frame: usize,
+}
+
+/// The kinds of faults the harness can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The stage panics (caught by the supervisor's unwind guard).
+    Panic,
+    /// The stage returns a [`StageError`].
+    Error,
+    /// The stage stalls for the given duration before succeeding. With a
+    /// supervisor deadline shorter than the stall this trips the
+    /// watchdog; without one it only slows the stream down.
+    Stall(Duration),
+}
+
+/// One scheduled fault at a `(stage, frame)` coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// What happens.
+    pub kind: FaultKind,
+    /// The fault fires while `attempt < persist_attempts`; later retries
+    /// succeed. `u32::MAX` makes it permanent, which exhausts the retry
+    /// budget and exercises the degradation policy.
+    pub persist_attempts: u32,
+}
+
+impl Fault {
+    /// A fault that fires once (the first attempt) and then recovers —
+    /// the transient-hiccup case a single retry absorbs.
+    pub fn transient(kind: FaultKind) -> Self {
+        Fault {
+            kind,
+            persist_attempts: 1,
+        }
+    }
+
+    /// A fault that fires on every attempt — retries cannot save the
+    /// frame, so the degradation policy must.
+    pub fn permanent(kind: FaultKind) -> Self {
+        Fault {
+            kind,
+            persist_attempts: u32::MAX,
+        }
+    }
+}
+
+/// Per-kind probabilities for [`FaultPlan::scheduled`]. Each `(stage,
+/// frame)` coordinate draws once; the probabilities partition the unit
+/// interval, so they must sum to at most 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability of an injected panic.
+    pub panic: f32,
+    /// Probability of an injected stage error.
+    pub error: f32,
+    /// Probability of an injected stall.
+    pub stall: f32,
+    /// Stall duration.
+    pub stall_for: Duration,
+    /// Persistence of every scheduled fault (see
+    /// [`Fault::persist_attempts`]).
+    pub persist_attempts: u32,
+}
+
+impl Default for FaultRates {
+    /// ~6% of `(stage, frame)` coordinates faulted: 2.5% panics, 2.5%
+    /// errors, 1% stalls of 50 ms, each transient (recovered by one
+    /// retry).
+    fn default() -> Self {
+        FaultRates {
+            panic: 0.025,
+            error: 0.025,
+            stall: 0.01,
+            stall_for: Duration::from_millis(50),
+            persist_attempts: 1,
+        }
+    }
+}
+
+/// A deterministic fault schedule over `(stage, frame)` coordinates.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: HashMap<(StageId, usize), Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds one fault at a coordinate (builder style).
+    pub fn inject(mut self, stage: StageId, frame: usize, fault: Fault) -> Self {
+        self.faults.insert((stage, frame), fault);
+        self
+    }
+
+    /// Builds a randomized-but-deterministic schedule: every `(stage,
+    /// frame)` coordinate of a `frames`-long run draws its fate from an
+    /// RNG derived *only* from `(seed, stage, frame)`, so the same seed
+    /// always yields the same schedule regardless of how the plan is
+    /// iterated or sharded.
+    pub fn scheduled(seed: u64, frames: usize, rates: &FaultRates) -> Self {
+        let mut faults = HashMap::new();
+        for frame in 0..frames {
+            for stage in [StageId::Pre, StageId::Infer, StageId::Post] {
+                let tag = match stage {
+                    StageId::Pre => 1u64,
+                    StageId::Infer => 2,
+                    StageId::Post => 3,
+                };
+                let mut rng = SkyRng::new(
+                    seed ^ (frame as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (tag << 56),
+                );
+                let draw = rng.uniform();
+                let kind = if draw < rates.panic {
+                    Some(FaultKind::Panic)
+                } else if draw < rates.panic + rates.error {
+                    Some(FaultKind::Error)
+                } else if draw < rates.panic + rates.error + rates.stall {
+                    Some(FaultKind::Stall(rates.stall_for))
+                } else {
+                    None
+                };
+                if let Some(kind) = kind {
+                    faults.insert(
+                        (stage, frame),
+                        Fault {
+                            kind,
+                            persist_attempts: rates.persist_attempts,
+                        },
+                    );
+                }
+            }
+        }
+        FaultPlan { faults }
+    }
+
+    /// The fault scheduled at a coordinate, if any.
+    pub fn fault_at(&self, stage: StageId, frame: usize) -> Option<Fault> {
+        self.faults.get(&(stage, frame)).copied()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of distinct frames with at least one fault in `0..frames`.
+    pub fn faulted_frames(&self, frames: usize) -> usize {
+        (0..frames)
+            .filter(|&f| {
+                [StageId::Pre, StageId::Infer, StageId::Post]
+                    .iter()
+                    .any(|&s| self.faults.contains_key(&(s, f)))
+            })
+            .count()
+    }
+
+    /// Executes whatever is scheduled for this attempt: panics, returns a
+    /// stage error, or stalls. Returns `Ok(())` when nothing fires — the
+    /// wrapped stage then runs normally.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`StageError`] for [`FaultKind::Error`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (with an [`InjectedFault`] payload) for
+    /// [`FaultKind::Panic`] — by design; the supervisor's unwind guard
+    /// catches it.
+    pub fn apply(&self, stage: StageId, ctx: &FrameCtx) -> Result<(), StageError> {
+        let Some(fault) = self.fault_at(stage, ctx.frame) else {
+            return Ok(());
+        };
+        if ctx.attempt >= fault.persist_attempts {
+            return Ok(());
+        }
+        match fault.kind {
+            FaultKind::Panic => std::panic::panic_any(InjectedFault {
+                stage,
+                frame: ctx.frame,
+            }),
+            FaultKind::Error => Err(StageError::new(format!(
+                "injected error at {stage} stage, frame {}",
+                ctx.frame
+            ))),
+            FaultKind::Stall(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+        }
+    }
+}
+
+impl<T, U, V> SupStages<T, U, V>
+where
+    T: 'static,
+    U: 'static,
+    V: 'static,
+{
+    /// Arms a fault plan onto these stages: before each stage body runs,
+    /// the plan gets a chance to panic, error or stall that attempt.
+    pub fn with_faults(self, plan: Arc<FaultPlan>) -> Self {
+        let SupStages { pre, infer, post } = self;
+        let (p1, p2, p3) = (plan.clone(), plan.clone(), plan);
+        SupStages {
+            pre: Box::new(move |ctx: &FrameCtx| {
+                p1.apply(StageId::Pre, ctx)?;
+                pre(ctx)
+            }),
+            infer: Box::new(move |ctx: &FrameCtx, t: T| {
+                p2.apply(StageId::Infer, ctx)?;
+                infer(ctx, t)
+            }),
+            post: Box::new(move |ctx: &FrameCtx, u: U| {
+                p3.apply(StageId::Post, ctx)?;
+                post(ctx, u)
+            }),
+        }
+    }
+}
+
+/// Installs (once per process) a panic hook that stays silent for
+/// [`InjectedFault`] payloads and delegates everything else to the
+/// previous hook. Injected panics are expected and caught by the
+/// supervisor; without this, a fault-heavy test run floods stderr with
+/// scary-but-intentional backtrace headers.
+pub fn silence_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedFault>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduled_plan_is_deterministic() {
+        let rates = FaultRates::default();
+        let a = FaultPlan::scheduled(99, 500, &rates);
+        let b = FaultPlan::scheduled(99, 500, &rates);
+        for frame in 0..500 {
+            for stage in [StageId::Pre, StageId::Infer, StageId::Post] {
+                assert_eq!(a.fault_at(stage, frame), b.fault_at(stage, frame));
+            }
+        }
+        let c = FaultPlan::scheduled(100, 500, &rates);
+        assert_ne!(a.len(), 0);
+        // Different seeds produce different schedules (overwhelmingly).
+        assert!(
+            (0..500).any(|f| a.fault_at(StageId::Pre, f) != c.fault_at(StageId::Pre, f))
+                || a.len() != c.len()
+        );
+    }
+
+    #[test]
+    fn scheduled_rates_are_plausible() {
+        let rates = FaultRates {
+            panic: 0.05,
+            error: 0.05,
+            stall: 0.05,
+            stall_for: Duration::from_millis(1),
+            persist_attempts: 1,
+        };
+        let plan = FaultPlan::scheduled(3, 2000, &rates);
+        // 15% of 6000 coordinates = 900 expected; accept a wide band.
+        assert!(
+            (600..1200).contains(&plan.len()),
+            "scheduled {} faults",
+            plan.len()
+        );
+    }
+
+    #[test]
+    fn transient_fault_clears_after_persistence() {
+        let plan = FaultPlan::new().inject(StageId::Infer, 4, Fault::transient(FaultKind::Error));
+        let hit = plan.apply(
+            StageId::Infer,
+            &FrameCtx {
+                frame: 4,
+                attempt: 0,
+            },
+        );
+        assert!(hit.is_err());
+        let retry = plan.apply(
+            StageId::Infer,
+            &FrameCtx {
+                frame: 4,
+                attempt: 1,
+            },
+        );
+        assert!(retry.is_ok());
+        // Other coordinates unaffected.
+        assert!(plan
+            .apply(
+                StageId::Pre,
+                &FrameCtx {
+                    frame: 4,
+                    attempt: 0
+                }
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn injected_panic_carries_marker_payload() {
+        silence_injected_panics();
+        let plan = FaultPlan::new().inject(StageId::Post, 0, Fault::permanent(FaultKind::Panic));
+        let caught = std::panic::catch_unwind(|| {
+            let _ = plan.apply(
+                StageId::Post,
+                &FrameCtx {
+                    frame: 0,
+                    attempt: 3,
+                },
+            );
+        })
+        .expect_err("must panic");
+        let fault = caught
+            .downcast_ref::<InjectedFault>()
+            .expect("payload is InjectedFault");
+        assert_eq!(fault.stage, StageId::Post);
+        assert_eq!(fault.frame, 0);
+    }
+}

@@ -16,7 +16,13 @@
 //! * [`lut`] — the look-up-table latency approximation the paper argues
 //!   against (§2.2), for head-to-head comparison,
 //! * [`pipeline`] — the task-partitioned three-stage pipeline of Fig. 10,
-//!   implemented with real threads and measured for the §6.3 speedup.
+//!   implemented with real threads and measured for the §6.3 speedup,
+//!   plus a supervised, fault-tolerant variant (deadline watchdog,
+//!   bounded retries, degrade-don't-die policies) for unattended
+//!   deployment,
+//! * [`fault`] — a deterministic fault-injection harness (seeded,
+//!   frame-index-keyed schedules of panics, errors and stalls) that makes
+//!   every recovery path of the supervised pipeline testable.
 //!
 //! Device constants come from the paper (§6.4: Ultra96 = 144 GOPS @
 //! 200 MHz, TX2 = 665 GFLOPS @ 1300 MHz) and public datasheets; each
@@ -25,6 +31,7 @@
 #![deny(missing_docs)]
 
 pub mod energy;
+pub mod fault;
 pub mod fpga;
 pub mod gpu;
 pub mod lut;

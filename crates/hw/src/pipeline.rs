@@ -7,11 +7,25 @@
 //! and overlaps the three remaining stages with multithreading, reporting
 //! a 3.35× speedup on the TX2 and enabling 25.05 FPS on the Ultra96.
 //!
-//! This module is a **real** three-stage pipeline built on the standard
-//! library's bounded channels: [`run_serial`] and [`run_pipelined`]
-//! execute the same stage closures over the same frames and are timed
-//! with `Instant`, so the reported speedup is measured, not modeled.
+//! This module provides **two** executions of that three-stage design:
+//!
+//! * [`run_serial`] / [`run_pipelined`] — the measured Fig. 10
+//!   comparison, built on the standard library's bounded channels. A
+//!   stage panic or a dropped frame is reported as a [`PipelineError`]
+//!   instead of aborting the process.
+//! * [`run_supervised`] — the fault-tolerant variant for unattended
+//!   deployment: stages return `Result`, every attempt is guarded
+//!   against panics, a per-frame deadline watchdog flags stalls, failed
+//!   attempts are retried a bounded number of times with deterministic
+//!   backoff, and frames whose retries are exhausted are handled by a
+//!   configurable [`DegradePolicy`] — dropped, or *coasted* by
+//!   re-emitting the last good output, exactly as a single-object
+//!   tracker coasts through occlusion on a continuous video stream.
+//!
+//! The supervised path pairs with [`crate::fault`], a deterministic
+//! fault-injection harness, so every recovery branch is testable.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::sync_channel;
 use std::time::{Duration, Instant};
 
@@ -28,23 +42,128 @@ pub struct Stages<T, U, V> {
     pub post: Box<dyn Fn(U) -> V + Send>,
 }
 
+/// Identifies a pipeline stage in errors, fault schedules and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageId {
+    /// Fetch + pre-processing.
+    Pre,
+    /// DNN inference.
+    Infer,
+    /// Post-processing.
+    Post,
+}
+
+impl std::fmt::Display for StageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageId::Pre => write!(f, "pre"),
+            StageId::Infer => write!(f, "infer"),
+            StageId::Post => write!(f, "post"),
+        }
+    }
+}
+
+/// Error raised by a fallible stage ([`SupStages`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageError {
+    /// Human-readable failure description.
+    pub reason: String,
+}
+
+impl StageError {
+    /// Creates a stage error from any displayable reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        StageError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for StageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stage failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for StageError {}
+
+/// A failed pipeline run (legacy `run_pipelined` schedule).
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A stage thread panicked; the run was abandoned cleanly.
+    StagePanicked(StageId),
+    /// The sink observed fewer frames than were submitted.
+    FramesDropped {
+        /// Frames submitted to the pipeline.
+        expected: usize,
+        /// Frames that reached the sink.
+        emitted: usize,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::StagePanicked(s) => write!(f, "pipeline {s} stage panicked"),
+            PipelineError::FramesDropped { expected, emitted } => {
+                write!(f, "pipeline dropped frames: {emitted}/{expected} emitted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Per-frame outcome counters of a pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameCounters {
+    /// Frames that completed every stage cleanly (possibly after retries).
+    pub processed: usize,
+    /// Frames that exhausted retries and were handled by
+    /// [`DegradePolicy::CoastLastGood`] (the previous output re-emitted).
+    pub degraded: usize,
+    /// Frames that produced no output: failures under
+    /// [`DegradePolicy::DropFrame`], or coast failures with no previous
+    /// good output to re-emit.
+    pub dropped: usize,
+    /// Total retry attempts across all stages and frames (each retry is
+    /// counted, whether or not it eventually succeeded).
+    pub retried: usize,
+}
+
 /// Outcome of a pipeline run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunReport {
-    /// Frames processed.
+    /// Frames emitted by the sink (equals the submitted count unless a
+    /// degradation policy dropped some).
     pub frames: usize,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Throughput in frames per second.
     pub fps: f64,
+    /// Per-frame outcome counters. For the non-supervised schedules every
+    /// frame is `processed`.
+    pub counters: FrameCounters,
 }
 
 impl RunReport {
     fn new(frames: usize, elapsed: Duration) -> Self {
+        RunReport::with_counters(
+            frames,
+            elapsed,
+            FrameCounters {
+                processed: frames,
+                ..FrameCounters::default()
+            },
+        )
+    }
+
+    fn with_counters(frames: usize, elapsed: Duration, counters: FrameCounters) -> Self {
         RunReport {
             frames,
             elapsed,
             fps: frames as f64 / elapsed.as_secs_f64().max(1e-9),
+            counters,
         }
     }
 }
@@ -63,7 +182,18 @@ pub fn run_serial<T, U, V>(frames: usize, stages: &Stages<T, U, V>) -> RunReport
 
 /// Executes the stages as a three-thread pipeline with bounded channels
 /// (depth 4), overlapping pre-processing, inference and post-processing.
-pub fn run_pipelined<T, U, V>(frames: usize, stages: Stages<T, U, V>) -> RunReport
+///
+/// # Errors
+///
+/// Returns [`PipelineError::StagePanicked`] when a stage panics (the
+/// remaining stages wind down via closed channels) and
+/// [`PipelineError::FramesDropped`] if the sink observed fewer frames
+/// than were submitted. The process is never aborted; the Fig. 10 bench
+/// binaries report a failed run instead of dying.
+pub fn run_pipelined<T, U, V>(
+    frames: usize,
+    stages: Stages<T, U, V>,
+) -> Result<RunReport, PipelineError>
 where
     T: Send,
     U: Send,
@@ -73,15 +203,15 @@ where
     let (tx_pre, rx_pre) = sync_channel::<T>(4);
     let (tx_inf, rx_inf) = sync_channel::<U>(4);
     let start = Instant::now();
-    let elapsed = std::thread::scope(|scope| {
-        scope.spawn(move || {
+    let (elapsed, joins) = std::thread::scope(|scope| {
+        let h_pre = scope.spawn(move || {
             for i in 0..frames {
                 if tx_pre.send(pre(i)).is_err() {
                     return;
                 }
             }
         });
-        scope.spawn(move || {
+        let h_inf = scope.spawn(move || {
             for t in rx_pre {
                 if tx_inf.send(infer(t)).is_err() {
                     return;
@@ -96,11 +226,27 @@ where
             }
             n
         });
-        let done = sink.join().expect("post stage panicked");
-        assert_eq!(done, frames, "pipeline dropped frames");
-        start.elapsed()
+        let done = sink.join();
+        let elapsed = start.elapsed();
+        // Upstream workers have necessarily finished (their send targets
+        // are gone), so these joins do not wait.
+        (elapsed, (h_pre.join(), h_inf.join(), done))
     });
-    RunReport::new(frames, elapsed)
+    let (pre_join, inf_join, done) = joins;
+    if pre_join.is_err() {
+        return Err(PipelineError::StagePanicked(StageId::Pre));
+    }
+    if inf_join.is_err() {
+        return Err(PipelineError::StagePanicked(StageId::Infer));
+    }
+    let emitted = done.map_err(|_| PipelineError::StagePanicked(StageId::Post))?;
+    if emitted != frames {
+        return Err(PipelineError::FramesDropped {
+            expected: frames,
+            emitted,
+        });
+    }
+    Ok(RunReport::new(frames, elapsed))
 }
 
 /// Serial-vs-pipelined comparison (the §6.3 experiment).
@@ -125,7 +271,16 @@ pub struct SpeedupReport {
 /// stage is a wait on an external resource. This also keeps the
 /// measurement meaningful on single-core CI machines, where compute-bound
 /// spins cannot physically overlap.
-pub fn measure_synthetic(frames: usize, pre_us: u64, infer_us: u64, post_us: u64) -> SpeedupReport {
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] from the pipelined schedule.
+pub fn measure_synthetic(
+    frames: usize,
+    pre_us: u64,
+    infer_us: u64,
+    post_us: u64,
+) -> Result<SpeedupReport, PipelineError> {
     let mk = || Stages {
         pre: Box::new(move |i: usize| {
             wait_us(pre_us);
@@ -141,11 +296,262 @@ pub fn measure_synthetic(frames: usize, pre_us: u64, infer_us: u64, post_us: u64
         }),
     };
     let serial = run_serial(frames, &mk());
-    let pipelined = run_pipelined(frames, mk());
-    SpeedupReport {
+    let pipelined = run_pipelined(frames, mk())?;
+    Ok(SpeedupReport {
         serial,
         pipelined,
         speedup: pipelined.fps / serial.fps,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Supervised, fault-tolerant execution
+// ---------------------------------------------------------------------------
+
+/// Per-attempt context handed to fallible stages: which frame is being
+/// processed and which attempt this is (0 = first try). Fault-injection
+/// schedules key on both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameCtx {
+    /// Frame index in `0..frames`.
+    pub frame: usize,
+    /// Attempt number for this stage on this frame (0-based).
+    pub attempt: u32,
+}
+
+/// A fallible source stage: produces the frame payload from the context.
+pub type SourceStage<T> = Box<dyn Fn(&FrameCtx) -> Result<T, StageError> + Send>;
+
+/// A fallible transform stage: consumes the upstream payload.
+pub type TransformStage<I, O> = Box<dyn Fn(&FrameCtx, I) -> Result<O, StageError> + Send>;
+
+/// Fallible pipeline stages for the supervised schedule.
+///
+/// Unlike [`Stages`], each closure receives the [`FrameCtx`] and returns
+/// a `Result`; the supervisor retries failures, so inputs are passed by
+/// value and re-cloned per attempt (`T`/`U` must be `Clone`).
+pub struct SupStages<T, U, V> {
+    /// Pre-processing: fetch + resize + normalize.
+    pub pre: SourceStage<T>,
+    /// DNN inference.
+    pub infer: TransformStage<T, U>,
+    /// Post-processing: decode + buffer.
+    pub post: TransformStage<U, V>,
+}
+
+impl<T, U, V> SupStages<T, U, V>
+where
+    T: 'static,
+    U: 'static,
+    V: 'static,
+{
+    /// Lifts infallible [`Stages`] into the supervised signature.
+    pub fn from_stages(stages: Stages<T, U, V>) -> Self {
+        let Stages { pre, infer, post } = stages;
+        SupStages {
+            pre: Box::new(move |ctx: &FrameCtx| Ok(pre(ctx.frame))),
+            infer: Box::new(move |_: &FrameCtx, t: T| Ok(infer(t))),
+            post: Box::new(move |_: &FrameCtx, u: U| Ok(post(u))),
+        }
+    }
+}
+
+/// What the supervisor does with a frame whose stage retries are
+/// exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradePolicy {
+    /// Omit the frame from the output stream.
+    DropFrame,
+    /// Re-emit the last successfully processed output — the
+    /// single-object-tracking degradation of both SkyNet papers: on a
+    /// continuous video stream the best guess for a lost frame is the
+    /// previous detection. Falls back to dropping when no good output
+    /// exists yet.
+    #[default]
+    CoastLastGood,
+}
+
+/// Supervisor tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Extra attempts per stage per frame after the first (0 = no retry).
+    pub max_retries: u32,
+    /// Base backoff slept before retry `n` (1-based): `backoff · 2^(n-1)`.
+    /// Deterministic — no jitter — so recovery timelines are reproducible.
+    pub backoff: Duration,
+    /// Per-stage, per-attempt wall-clock budget. An attempt whose stage
+    /// call outlives the deadline is treated as failed even though it
+    /// eventually returned (the result is discarded). `None` disables the
+    /// watchdog. Note this is detection, not preemption: a blocked stage
+    /// thread cannot be killed, only outwaited and its frame degraded.
+    pub deadline: Option<Duration>,
+    /// Failure handling once retries are exhausted.
+    pub policy: DegradePolicy,
+    /// Bounded-channel depth between stages.
+    pub channel_depth: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+            deadline: None,
+            policy: DegradePolicy::CoastLastGood,
+            channel_depth: 4,
+        }
+    }
+}
+
+/// Outcome of a supervised run: the report plus the emitted outputs in
+/// frame order.
+#[derive(Debug, Clone)]
+pub struct SupervisedRun<V> {
+    /// Timing and per-frame outcome counters.
+    pub report: RunReport,
+    /// Emitted outputs, in frame order. Under
+    /// [`DegradePolicy::CoastLastGood`] this has one entry per input
+    /// frame (unless an early frame failed before any good output);
+    /// under [`DegradePolicy::DropFrame`] failed frames are absent.
+    pub outputs: Vec<V>,
+}
+
+/// Message passed down the supervised pipeline. A frame that has already
+/// failed upstream flows through as `Err(())` so ordering and counters
+/// stay exact.
+struct Flow<P> {
+    payload: Result<P, ()>,
+    /// Retry attempts accumulated by upstream stages for this frame.
+    retried: u32,
+}
+
+/// Runs one stage with panic isolation, the deadline watchdog and
+/// bounded deterministic-backoff retry. Returns the output (or `Err` when
+/// every attempt failed) and the number of retries consumed.
+fn supervise_stage<I: Clone, O>(
+    stage: impl Fn(&FrameCtx, I) -> Result<O, StageError>,
+    frame: usize,
+    input: &I,
+    cfg: &SupervisorConfig,
+) -> (Result<O, ()>, u32) {
+    let mut retries = 0u32;
+    for attempt in 0..=cfg.max_retries {
+        if attempt > 0 {
+            retries += 1;
+            let factor = 1u32 << (attempt - 1).min(16);
+            std::thread::sleep(cfg.backoff.saturating_mul(factor));
+        }
+        let ctx = FrameCtx { frame, attempt };
+        let started = Instant::now();
+        // The closure is re-entered per attempt; AssertUnwindSafe is
+        // sound because a failed attempt's partial state is confined to
+        // the cloned input, which is discarded.
+        let outcome = catch_unwind(AssertUnwindSafe(|| stage(&ctx, input.clone())));
+        match outcome {
+            Ok(Ok(out)) => {
+                if cfg.deadline.is_some_and(|d| started.elapsed() > d) {
+                    continue; // watchdog: too late, discard and retry
+                }
+                return (Ok(out), retries);
+            }
+            Ok(Err(_)) | Err(_) => continue,
+        }
+    }
+    (Err(()), retries)
+}
+
+/// Executes fallible stages under supervision: three worker threads with
+/// bounded channels, per-attempt panic isolation, deadline watchdog,
+/// bounded retries with deterministic backoff, and degradation instead of
+/// abortion. The run always completes — there is no error return; frames
+/// that could not be processed are accounted in
+/// [`RunReport::counters`] and handled per [`SupervisorConfig::policy`].
+pub fn run_supervised<T, U, V>(
+    frames: usize,
+    stages: SupStages<T, U, V>,
+    cfg: &SupervisorConfig,
+) -> SupervisedRun<V>
+where
+    T: Send + Clone,
+    U: Send + Clone,
+    V: Send + Clone,
+{
+    let SupStages { pre, infer, post } = stages;
+    let (tx_pre, rx_pre) = sync_channel::<Flow<T>>(cfg.channel_depth.max(1));
+    let (tx_inf, rx_inf) = sync_channel::<Flow<U>>(cfg.channel_depth.max(1));
+    let start = Instant::now();
+    let (outputs, counters, elapsed) = std::thread::scope(|scope| {
+        let pre_cfg = *cfg;
+        scope.spawn(move || {
+            for i in 0..frames {
+                let (payload, retried) = supervise_stage(|ctx, (): ()| pre(ctx), i, &(), &pre_cfg);
+                if tx_pre.send(Flow { payload, retried }).is_err() {
+                    return;
+                }
+            }
+        });
+        let inf_cfg = *cfg;
+        scope.spawn(move || {
+            for (i, msg) in rx_pre.into_iter().enumerate() {
+                let flow = match msg.payload {
+                    Ok(t) => {
+                        let (payload, retried) = supervise_stage(&infer, i, &t, &inf_cfg);
+                        Flow {
+                            payload,
+                            retried: msg.retried + retried,
+                        }
+                    }
+                    Err(()) => Flow {
+                        payload: Err(()),
+                        retried: msg.retried,
+                    },
+                };
+                if tx_inf.send(flow).is_err() {
+                    return;
+                }
+            }
+        });
+        let sink_cfg = *cfg;
+        let sink = scope.spawn(move || {
+            let mut outputs: Vec<V> = Vec::with_capacity(frames);
+            let mut counters = FrameCounters::default();
+            let mut last_good: Option<V> = None;
+            for (i, msg) in rx_inf.into_iter().enumerate() {
+                counters.retried += msg.retried as usize;
+                let result = match msg.payload {
+                    Ok(u) => {
+                        let (out, retried) = supervise_stage(&post, i, &u, &sink_cfg);
+                        counters.retried += retried as usize;
+                        out
+                    }
+                    Err(()) => Err(()),
+                };
+                match result {
+                    Ok(v) => {
+                        counters.processed += 1;
+                        last_good = Some(v.clone());
+                        outputs.push(v);
+                    }
+                    Err(()) => match (sink_cfg.policy, &last_good) {
+                        (DegradePolicy::CoastLastGood, Some(good)) => {
+                            counters.degraded += 1;
+                            outputs.push(good.clone());
+                        }
+                        (DegradePolicy::CoastLastGood, None) | (DegradePolicy::DropFrame, _) => {
+                            counters.dropped += 1;
+                        }
+                    },
+                }
+            }
+            (outputs, counters)
+        });
+        let (outputs, counters) = sink.join().expect("supervised sink cannot panic");
+        (outputs, counters, start.elapsed())
+    });
+    let emitted = outputs.len();
+    SupervisedRun {
+        report: RunReport::with_counters(emitted, elapsed, counters),
+        outputs,
     }
 }
 
@@ -174,7 +580,7 @@ mod tests {
         // Three equal 300 µs stages: serial = 900 µs/frame, pipelined →
         // ~300 µs/frame. Accept ≥ 1.8× under CI noise (the bench binary
         // reports the precise figure).
-        let report = measure_synthetic(60, 300, 300, 300);
+        let report = measure_synthetic(60, 300, 300, 300).unwrap();
         assert!(
             report.speedup > 1.8,
             "speedup {} (serial {:.1} fps, pipelined {:.1} fps)",
@@ -186,7 +592,7 @@ mod tests {
 
     #[test]
     fn pipelined_bounded_by_slowest_stage() {
-        let report = measure_synthetic(40, 100, 500, 100);
+        let report = measure_synthetic(40, 100, 500, 100).unwrap();
         // Pipe rate ≤ 1/500 µs with some slack.
         assert!(report.pipelined.fps <= 1e6 / 500.0 * 1.25);
         // And serial is slower than the pipe.
@@ -205,8 +611,9 @@ mod tests {
                 i
             }),
         };
-        let report = run_pipelined(25, stages);
+        let report = run_pipelined(25, stages).unwrap();
         assert_eq!(report.frames, 25);
+        assert_eq!(report.counters.processed, 25);
         assert_eq!(counted.load(std::sync::atomic::Ordering::SeqCst), 25);
     }
 
@@ -220,5 +627,129 @@ mod tests {
         let r = run_serial(10, &stages);
         assert_eq!(r.frames, 10);
         assert!(r.fps > 0.0);
+    }
+
+    fn identity_sup() -> SupStages<usize, usize, usize> {
+        SupStages {
+            pre: Box::new(|ctx: &FrameCtx| Ok(ctx.frame)),
+            infer: Box::new(|_, i| Ok(i)),
+            post: Box::new(|_, i| Ok(i)),
+        }
+    }
+
+    #[test]
+    fn supervised_clean_run_processes_everything_in_order() {
+        let run = run_supervised(30, identity_sup(), &SupervisorConfig::default());
+        assert_eq!(run.outputs, (0..30).collect::<Vec<_>>());
+        assert_eq!(run.report.counters.processed, 30);
+        assert_eq!(run.report.counters.degraded, 0);
+        assert_eq!(run.report.counters.dropped, 0);
+        assert_eq!(run.report.counters.retried, 0);
+    }
+
+    #[test]
+    fn supervised_retry_recovers_transient_error() {
+        // Infer fails on its first attempt for frame 5 only.
+        let mut stages = identity_sup();
+        stages.infer = Box::new(|ctx: &FrameCtx, i: usize| {
+            if ctx.frame == 5 && ctx.attempt == 0 {
+                Err(StageError::new("transient"))
+            } else {
+                Ok(i)
+            }
+        });
+        let cfg = SupervisorConfig {
+            backoff: Duration::ZERO,
+            ..SupervisorConfig::default()
+        };
+        let run = run_supervised(10, stages, &cfg);
+        assert_eq!(run.outputs, (0..10).collect::<Vec<_>>());
+        assert_eq!(run.report.counters.processed, 10);
+        assert_eq!(run.report.counters.retried, 1);
+    }
+
+    #[test]
+    fn supervised_coasts_on_permanent_failure() {
+        let mut stages = identity_sup();
+        stages.post = Box::new(|ctx: &FrameCtx, i: usize| {
+            if ctx.frame == 3 {
+                Err(StageError::new("permanent"))
+            } else {
+                Ok(i)
+            }
+        });
+        let cfg = SupervisorConfig {
+            max_retries: 1,
+            backoff: Duration::ZERO,
+            ..SupervisorConfig::default()
+        };
+        let run = run_supervised(6, stages, &cfg);
+        // Frame 3 re-emits frame 2's output.
+        assert_eq!(run.outputs, vec![0, 1, 2, 2, 4, 5]);
+        assert_eq!(run.report.counters.processed, 5);
+        assert_eq!(run.report.counters.degraded, 1);
+        assert_eq!(run.report.counters.retried, 1);
+    }
+
+    #[test]
+    fn supervised_drop_policy_omits_failed_frames() {
+        let mut stages = identity_sup();
+        stages.pre = Box::new(|ctx: &FrameCtx| {
+            if ctx.frame.is_multiple_of(2) {
+                Err(StageError::new("permanent"))
+            } else {
+                Ok(ctx.frame)
+            }
+        });
+        let cfg = SupervisorConfig {
+            max_retries: 0,
+            backoff: Duration::ZERO,
+            policy: DegradePolicy::DropFrame,
+            ..SupervisorConfig::default()
+        };
+        let run = run_supervised(8, stages, &cfg);
+        assert_eq!(run.outputs, vec![1, 3, 5, 7]);
+        assert_eq!(run.report.counters.dropped, 4);
+        assert_eq!(run.report.counters.processed, 4);
+    }
+
+    #[test]
+    fn supervised_deadline_flags_stalls() {
+        let mut stages = identity_sup();
+        stages.infer = Box::new(|ctx: &FrameCtx, i: usize| {
+            if ctx.frame == 2 && ctx.attempt == 0 {
+                wait_us(100_000); // 100 ms stall, way past the deadline
+            }
+            Ok(i)
+        });
+        let cfg = SupervisorConfig {
+            max_retries: 1,
+            backoff: Duration::ZERO,
+            deadline: Some(Duration::from_millis(20)),
+            ..SupervisorConfig::default()
+        };
+        let run = run_supervised(5, stages, &cfg);
+        // The stalled attempt is discarded; the retry succeeds.
+        assert_eq!(run.outputs, (0..5).collect::<Vec<_>>());
+        assert_eq!(run.report.counters.processed, 5);
+        assert_eq!(run.report.counters.retried, 1);
+    }
+
+    #[test]
+    fn legacy_pipeline_reports_stage_panic_as_error() {
+        let stages: Stages<usize, usize, usize> = Stages {
+            pre: Box::new(|i| i),
+            infer: Box::new(|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            }),
+            post: Box::new(|i| i),
+        };
+        match run_pipelined(10, stages) {
+            Err(PipelineError::StagePanicked(StageId::Infer)) => {}
+            other => panic!("expected infer panic error, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,248 @@
+//! End-to-end recovery-path coverage for the supervised pipeline under
+//! the deterministic fault-injection harness: every fault kind
+//! (panic / error / stall) against both degradation policies, transient
+//! retry recovery, and the ISSUE acceptance scenario — a scheduled mix of
+//! persistent faults across ≥5% of frames with `CoastLastGood` still
+//! emitting every frame and accounting each one exactly.
+
+use skynet_hw::fault::{
+    silence_injected_panics, Fault, FaultKind, FaultPlan, FaultRates, InjectedFault,
+};
+use skynet_hw::pipeline::{
+    run_pipelined, run_supervised, DegradePolicy, FrameCtx, PipelineError, StageId, Stages,
+    SupStages, SupervisorConfig,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identity stages over frame indices: output `i` for frame `i`, so frame
+/// provenance is visible in the emitted stream.
+fn identity() -> SupStages<usize, usize, usize> {
+    SupStages {
+        pre: Box::new(|ctx: &FrameCtx| Ok(ctx.frame)),
+        infer: Box::new(|_, i| Ok(i)),
+        post: Box::new(|_, i| Ok(i)),
+    }
+}
+
+fn fast_cfg(policy: DegradePolicy) -> SupervisorConfig {
+    SupervisorConfig {
+        max_retries: 2,
+        backoff: Duration::ZERO,
+        deadline: None,
+        policy,
+        channel_depth: 4,
+    }
+}
+
+/// A permanent fault of each kind on a distinct frame ≥ 1, in a distinct
+/// stage, so coasting has a previous good output to re-emit.
+fn one_of_each_permanent() -> FaultPlan {
+    FaultPlan::new()
+        .inject(StageId::Pre, 2, Fault::permanent(FaultKind::Panic))
+        .inject(StageId::Infer, 5, Fault::permanent(FaultKind::Error))
+        .inject(
+            StageId::Post,
+            8,
+            Fault::permanent(FaultKind::Stall(Duration::from_millis(30))),
+        )
+}
+
+#[test]
+fn coast_emits_every_frame_under_each_fault_kind() {
+    silence_injected_panics();
+    let frames = 12;
+    for (name, fault, needs_deadline) in [
+        ("panic", Fault::permanent(FaultKind::Panic), false),
+        ("error", Fault::permanent(FaultKind::Error), false),
+        (
+            "stall",
+            Fault::permanent(FaultKind::Stall(Duration::from_millis(30))),
+            true,
+        ),
+    ] {
+        let plan = Arc::new(FaultPlan::new().inject(StageId::Infer, 4, fault));
+        let mut cfg = fast_cfg(DegradePolicy::CoastLastGood);
+        if needs_deadline {
+            // A stall only becomes a *failure* once the watchdog deadline
+            // is shorter than the stall.
+            cfg.deadline = Some(Duration::from_millis(5));
+        }
+        let run = run_supervised(frames, identity().with_faults(plan), &cfg);
+        assert_eq!(
+            run.outputs.len(),
+            frames,
+            "{name}: CoastLastGood must emit exactly one output per frame"
+        );
+        // Frame 4 coasts on frame 3's output; everything else is intact.
+        let mut expect: Vec<usize> = (0..frames).collect();
+        expect[4] = 3;
+        assert_eq!(run.outputs, expect, "{name}");
+        assert_eq!(run.report.counters.degraded, 1, "{name}");
+        assert_eq!(run.report.counters.processed, frames - 1, "{name}");
+        assert_eq!(run.report.counters.dropped, 0, "{name}");
+        // All retries were burned on the permanently faulted frame.
+        assert_eq!(run.report.counters.retried, 2, "{name}");
+    }
+}
+
+#[test]
+fn drop_policy_omits_failed_frames_under_each_fault_kind() {
+    silence_injected_panics();
+    let frames = 12;
+    let plan = Arc::new(one_of_each_permanent());
+    let mut cfg = fast_cfg(DegradePolicy::DropFrame);
+    cfg.deadline = Some(Duration::from_millis(5)); // makes the stall count as failure
+    let run = run_supervised(frames, identity().with_faults(plan), &cfg);
+    let expect: Vec<usize> = (0..frames).filter(|i| ![2, 5, 8].contains(i)).collect();
+    assert_eq!(run.outputs, expect);
+    assert_eq!(run.report.counters.dropped, 3);
+    assert_eq!(run.report.counters.degraded, 0);
+    assert_eq!(run.report.counters.processed, frames - 3);
+}
+
+#[test]
+fn transient_faults_are_absorbed_by_retries() {
+    silence_injected_panics();
+    let frames = 10;
+    let plan = Arc::new(
+        FaultPlan::new()
+            .inject(StageId::Pre, 1, Fault::transient(FaultKind::Panic))
+            .inject(StageId::Infer, 3, Fault::transient(FaultKind::Error))
+            .inject(
+                StageId::Post,
+                6,
+                // Fires on the first two attempts; third succeeds.
+                Fault {
+                    kind: FaultKind::Error,
+                    persist_attempts: 2,
+                },
+            ),
+    );
+    let run = run_supervised(
+        frames,
+        identity().with_faults(plan),
+        &fast_cfg(DegradePolicy::CoastLastGood),
+    );
+    // Every frame recovers: no degradation, no drops, and the retry
+    // counter records each failed attempt (1 + 1 + 2).
+    assert_eq!(run.outputs, (0..frames).collect::<Vec<_>>());
+    assert_eq!(run.report.counters.processed, frames);
+    assert_eq!(run.report.counters.degraded, 0);
+    assert_eq!(run.report.counters.dropped, 0);
+    assert_eq!(run.report.counters.retried, 4);
+}
+
+#[test]
+fn coast_with_no_prior_good_output_drops_instead() {
+    silence_injected_panics();
+    let plan =
+        Arc::new(FaultPlan::new().inject(StageId::Pre, 0, Fault::permanent(FaultKind::Error)));
+    let run = run_supervised(
+        4,
+        identity().with_faults(plan),
+        &fast_cfg(DegradePolicy::CoastLastGood),
+    );
+    // Frame 0 has nothing to coast on.
+    assert_eq!(run.outputs, vec![1, 2, 3]);
+    assert_eq!(run.report.counters.dropped, 1);
+    assert_eq!(run.report.counters.degraded, 0);
+}
+
+/// The ISSUE acceptance scenario: a seeded schedule mixing persistent
+/// panics, errors and stalls across at least 5% of frames. The supervised
+/// pipeline must complete all frames under `CoastLastGood` with counters
+/// that account for every frame exactly.
+#[test]
+fn scheduled_mixed_faults_complete_all_frames_with_exact_accounting() {
+    silence_injected_panics();
+    let frames = 120;
+    let rates = FaultRates {
+        panic: 0.04,
+        error: 0.04,
+        stall: 0.02,
+        stall_for: Duration::from_millis(20),
+        persist_attempts: u32::MAX, // permanent: retries cannot save these
+    };
+    // Pick a seed whose schedule leaves frame 0 clean (so coasting always
+    // has a seed output) and faults ≥ 5% of frames; seed 11 does.
+    let plan = FaultPlan::scheduled(11, frames, &rates);
+    let faulted = plan.faulted_frames(frames);
+    assert!(
+        faulted * 20 >= frames,
+        "schedule must cover ≥5% of frames, got {faulted}/{frames}"
+    );
+    assert!(
+        plan.fault_at(StageId::Pre, 0).is_none()
+            && plan.fault_at(StageId::Infer, 0).is_none()
+            && plan.fault_at(StageId::Post, 0).is_none(),
+        "seed must leave frame 0 clean for this scenario"
+    );
+    let cfg = SupervisorConfig {
+        max_retries: 1,
+        backoff: Duration::ZERO,
+        deadline: Some(Duration::from_millis(5)),
+        policy: DegradePolicy::CoastLastGood,
+        channel_depth: 4,
+    };
+    let run = run_supervised(frames, identity().with_faults(Arc::new(plan)), &cfg);
+    let c = run.report.counters;
+    assert_eq!(
+        run.outputs.len(),
+        frames,
+        "all frames must be emitted: {c:?}"
+    );
+    assert_eq!(c.degraded, faulted, "every faulted frame degrades: {c:?}");
+    assert_eq!(c.processed, frames - faulted, "{c:?}");
+    assert_eq!(c.dropped, 0, "{c:?}");
+    assert_eq!(c.processed + c.degraded + c.dropped, frames, "{c:?}");
+    // Degraded frames re-emit the most recent good output, which is
+    // always a smaller-or-equal frame index; clean frames emit their own.
+    for (i, &out) in run.outputs.iter().enumerate() {
+        assert!(out <= i, "frame {i} emitted future output {out}");
+    }
+}
+
+#[test]
+fn scheduled_runs_replay_identically_from_the_seed() {
+    silence_injected_panics();
+    let frames = 60;
+    let rates = FaultRates {
+        stall: 0.0, // keep the replay fast; panics and errors suffice
+        ..FaultRates::default()
+    };
+    let mk = || {
+        let plan = Arc::new(FaultPlan::scheduled(21, frames, &rates));
+        run_supervised(
+            frames,
+            identity().with_faults(plan),
+            &fast_cfg(DegradePolicy::CoastLastGood),
+        )
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.report.counters, b.report.counters);
+}
+
+#[test]
+fn legacy_pipeline_surfaces_injected_panic_as_error() {
+    silence_injected_panics();
+    let stages: Stages<usize, usize, usize> = Stages {
+        pre: Box::new(|i| i),
+        infer: Box::new(|i| {
+            if i == 7 {
+                std::panic::panic_any(InjectedFault {
+                    stage: StageId::Infer,
+                    frame: i,
+                });
+            }
+            i
+        }),
+        post: Box::new(|i| i),
+    };
+    match run_pipelined(20, stages) {
+        Err(PipelineError::StagePanicked(StageId::Infer)) => {}
+        other => panic!("expected StagePanicked(Infer), got {other:?}"),
+    }
+}

@@ -51,14 +51,68 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
+/// Snapshots every parameter tensor of `model` as a flat `f32` blob, in
+/// [`Layer::visit_params`] order. The building block shared by
+/// [`save_params`] and the training checkpoint in `skynet-core`.
+pub fn collect_params(model: &mut dyn Layer) -> Vec<Vec<f32>> {
+    let mut blobs: Vec<Vec<f32>> = Vec::new();
+    model.visit_params(&mut |p| blobs.push(p.value.as_slice().to_vec()));
+    blobs
+}
+
+/// Writes `blobs` (as produced by [`collect_params`] on a structurally
+/// identical model) back into `model`'s parameters.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::ModelMismatch`] when the blob inventory
+/// (count or per-parameter length) disagrees with the model.
+pub fn apply_params(model: &mut dyn Layer, blobs: &[Vec<f32>]) -> Result<(), CheckpointError> {
+    let mut idx = 0usize;
+    let mut mismatch: Option<String> = None;
+    model.visit_params(&mut |p| {
+        if mismatch.is_some() {
+            return;
+        }
+        match blobs.get(idx) {
+            Some(blob) if blob.len() == p.numel() => {
+                p.value.as_mut_slice().copy_from_slice(blob);
+            }
+            Some(blob) => {
+                mismatch = Some(format!(
+                    "parameter {idx}: checkpoint has {} values, model expects {}",
+                    blob.len(),
+                    p.numel()
+                ));
+            }
+            None => {
+                mismatch = Some(format!(
+                    "checkpoint has {} parameters, model has more",
+                    blobs.len()
+                ));
+            }
+        }
+        idx += 1;
+    });
+    if let Some(detail) = mismatch {
+        return Err(CheckpointError::ModelMismatch(detail));
+    }
+    if idx != blobs.len() {
+        return Err(CheckpointError::ModelMismatch(format!(
+            "checkpoint has {} parameters, model consumed {idx}",
+            blobs.len()
+        )));
+    }
+    Ok(())
+}
+
 /// Serializes every parameter of `model` to `path`.
 ///
 /// # Errors
 ///
 /// Returns [`CheckpointError::Io`] on filesystem failures.
 pub fn save_params(model: &mut dyn Layer, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    let mut blobs: Vec<Vec<f32>> = Vec::new();
-    model.visit_params(&mut |p| blobs.push(p.value.as_slice().to_vec()));
+    let blobs = collect_params(model);
     let mut file = File::create(path)?;
     file.write_all(MAGIC)?;
     file.write_all(&VERSION.to_le_bytes())?;
@@ -112,38 +166,7 @@ pub fn load_params(model: &mut dyn Layer, path: impl AsRef<Path>) -> Result<(), 
                 .collect(),
         );
     }
-    let mut idx = 0usize;
-    let mut mismatch: Option<String> = None;
-    model.visit_params(&mut |p| {
-        if mismatch.is_some() {
-            return;
-        }
-        match blobs.get(idx) {
-            Some(blob) if blob.len() == p.numel() => {
-                p.value.as_mut_slice().copy_from_slice(blob);
-            }
-            Some(blob) => {
-                mismatch = Some(format!(
-                    "parameter {idx}: checkpoint has {} values, model expects {}",
-                    blob.len(),
-                    p.numel()
-                ));
-            }
-            None => {
-                mismatch = Some(format!("checkpoint has {count} parameters, model has more"));
-            }
-        }
-        idx += 1;
-    });
-    if let Some(detail) = mismatch {
-        return Err(CheckpointError::ModelMismatch(detail));
-    }
-    if idx != count {
-        return Err(CheckpointError::ModelMismatch(format!(
-            "checkpoint has {count} parameters, model consumed {idx}"
-        )));
-    }
-    Ok(())
+    apply_params(model, &blobs)
 }
 
 #[cfg(test)]

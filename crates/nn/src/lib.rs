@@ -49,7 +49,7 @@ mod layers {
     pub mod reorg;
 }
 
-pub use checkpoint::{load_params, save_params, CheckpointError};
+pub use checkpoint::{apply_params, collect_params, load_params, save_params, CheckpointError};
 pub use init::{he_normal, xavier_uniform};
 pub use layer::{Layer, Mode};
 pub use layers::act::{Act, Activation};
@@ -61,5 +61,5 @@ pub use layers::dwconv::DwConv2d;
 pub use layers::linear::Linear;
 pub use layers::pool::{GlobalAvgPool, MaxPool2d};
 pub use layers::reorg::Reorg;
-pub use optim::{LrSchedule, Sgd};
+pub use optim::{LrSchedule, Sgd, SgdState};
 pub use param::Param;

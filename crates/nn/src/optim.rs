@@ -74,6 +74,19 @@ pub struct Sgd {
 /// trainable [`Param`], in a stable order (see [`Sgd::step_visit`]).
 pub type ParamVisitor<'a> = dyn FnMut(&mut dyn FnMut(&mut Param)) + 'a;
 
+/// A serializable snapshot of an [`Sgd`] optimizer: the schedule position
+/// and the momentum buffers. Together with the model parameters and the
+/// trainer RNG this is everything a training checkpoint needs to resume a
+/// run bit-identically (the schedule, momentum coefficient and weight
+/// decay are configuration, recreated by the caller).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SgdState {
+    /// Number of update steps taken (the LR-schedule position).
+    pub step: usize,
+    /// Momentum buffer per parameter, in visit order.
+    pub velocity: Vec<Vec<f32>>,
+}
+
 impl Sgd {
     /// Creates an optimizer with the given schedule, momentum coefficient
     /// and weight decay.
@@ -114,6 +127,23 @@ impl Sgd {
     /// Number of update steps taken so far.
     pub fn steps_taken(&self) -> usize {
         self.step
+    }
+
+    /// Snapshots the optimizer state (schedule position + momentum
+    /// buffers) for checkpointing.
+    pub fn export_state(&self) -> SgdState {
+        SgdState {
+            step: self.step,
+            velocity: self.velocity.clone(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`Sgd::export_state`]. The caller is
+    /// responsible for pairing it with the matching model parameters;
+    /// [`Sgd::step_visit`] re-checks buffer sizes on the next update.
+    pub fn import_state(&mut self, state: SgdState) {
+        self.step = state.step;
+        self.velocity = state.velocity;
     }
 
     /// Learning rate that the *next* [`Sgd::step`] call will use.

@@ -1,0 +1,133 @@
+//! Streaming CRC-32 (IEEE 802.3 / zlib polynomial).
+//!
+//! Both on-disk formats in this workspace — the SKYD dataset container
+//! (`skynet_data::io`) and the training checkpoint
+//! (`skynet_core::checkpoint`) — append a CRC-32 trailer so that silent
+//! bit-flips in storage surface as a typed corruption error instead of
+//! garbage tensors or diverged training. The helper lives here, in the
+//! base crate of the workspace, so every format shares one
+//! implementation.
+//!
+//! This is the reflected CRC-32 with polynomial `0xEDB88320` (the one
+//! used by zlib, PNG and Ethernet), table-driven, one byte per step.
+//!
+//! ```
+//! use skynet_tensor::crc32::{crc32, Crc32};
+//!
+//! // Well-known check value for the ASCII bytes "123456789".
+//! assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+//!
+//! // Streaming over chunks gives the same digest.
+//! let mut h = Crc32::new();
+//! h.update(b"1234");
+//! h.update(b"56789");
+//! assert_eq!(h.finalize(), 0xCBF4_3926);
+//! ```
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 hasher.
+///
+/// Feed bytes with [`Crc32::update`] as they are written or read, then
+/// compare [`Crc32::finalize`] against the stored trailer.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Returns the digest of everything absorbed so far. The hasher can
+    /// keep absorbing afterwards; `finalize` does not consume it.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_values() {
+        // Standard CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let whole = crc32(&data);
+        let mut h = Crc32::new();
+        for chunk in data.chunks(37) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), whole);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let mut data = vec![0u8; 512];
+        let clean = crc32(&data);
+        for byte in [0usize, 100, 511] {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), clean, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -39,6 +39,7 @@ mod shape;
 mod tensor;
 
 pub mod conv;
+pub mod crc32;
 pub mod dwconv;
 pub mod matmul;
 pub mod ops;
