@@ -1,0 +1,164 @@
+//! Per-op profile of a standard SkyNet forward pass.
+//!
+//! Runs the model-C backbone (width ÷8, 160×320 input) with telemetry
+//! enabled and reports where the time goes, three ways:
+//!
+//! 1. a **per-op self-time table** measured with all parallel regions
+//!    forced serial (`parallel::serial`), so spans nest exactly and the
+//!    self times partition wall time — the run fails if the table covers
+//!    less than 90 % of wall time;
+//! 2. the **metrics snapshot** (call counts, FLOPs → effective GFLOP/s);
+//! 3. a **Chrome `trace_event` JSON** captured from a pooled run
+//!    (`bench_results/profile_trace.json`) — open it in
+//!    <https://ui.perfetto.dev> or `chrome://tracing` to see per-thread
+//!    occupancy.
+//!
+//! The report is archived at `bench_results/profile.md`. Use
+//! `SKYNET_BENCH_BUDGET=fast` for a smoke pass (CI).
+
+use skynet_bench::Budget;
+use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
+use skynet_nn::{Act, Layer, Mode};
+use skynet_tensor::{parallel, rng::SkyRng, telemetry, Shape, Tensor};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    // Telemetry on via the builder API (env vars also work; the bin must
+    // not depend on the caller remembering to set them).
+    telemetry::Builder::new().metrics(true).trace(true).apply();
+    let budget = Budget::from_env();
+    let iters = budget.pick(5, 40);
+    let trace_iters = budget.pick(2, 5);
+    let shape = Shape::new(1, 3, 160, 320);
+
+    let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(8);
+    let mut rng = SkyRng::new(42);
+    let mut net = SkyNet::new(cfg, &mut rng);
+    let x = Tensor::from_vec(
+        shape,
+        (0..shape.numel())
+            .map(|i| ((i % 251) as f32 / 251.0) - 0.5)
+            .collect(),
+    )
+    .expect("input tensor");
+
+    // Warm up (first-touch allocations, pool spawn), then discard the
+    // telemetry it produced.
+    for _ in 0..2 {
+        net.forward(&x, Mode::Eval).expect("warmup forward");
+    }
+    telemetry::drain_spans();
+    telemetry::reset_metrics();
+
+    // Phase 1 — serial measurement. With every parallel region inlined,
+    // all spans land on one thread and nest exactly, so per-op self
+    // times partition the wall clock.
+    let t0 = Instant::now();
+    parallel::serial(|| {
+        for _ in 0..iters {
+            net.forward(&x, Mode::Eval).expect("profiled forward");
+        }
+    });
+    let wall = t0.elapsed();
+    let spans = telemetry::drain_spans();
+    let stats = telemetry::aggregate(&spans);
+    let snap = telemetry::snapshot();
+
+    let wall_ns = wall.as_nanos() as u64;
+    let covered_ns: u64 = stats.iter().map(|s| s.self_ns).sum();
+    let coverage = covered_ns as f64 / wall_ns as f64;
+
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "| op | calls | total ms | self ms | self % of wall |"
+    );
+    let _ = writeln!(table, "|---|---:|---:|---:|---:|");
+    for s in &stats {
+        let _ = writeln!(
+            table,
+            "| {} | {} | {:.3} | {:.3} | {:.1} % |",
+            s.name,
+            s.calls,
+            s.total_ns as f64 / 1e6,
+            s.self_ns as f64 / 1e6,
+            100.0 * s.self_ns as f64 / wall_ns as f64,
+        );
+    }
+    let _ = writeln!(
+        table,
+        "| **total** | | | {:.3} | {:.1} % |",
+        covered_ns as f64 / 1e6,
+        100.0 * coverage
+    );
+
+    let total_flops: u64 = snap
+        .counters
+        .iter()
+        .filter(|(n, _)| n.ends_with("_flops"))
+        .map(|&(_, v)| v)
+        .sum();
+    let gflops = total_flops as f64 / wall.as_secs_f64() / 1e9;
+
+    // Phase 2 — pooled run for the Chrome trace: same forward, default
+    // pool, so the exported timeline shows work spread over the workers.
+    let t1 = Instant::now();
+    for _ in 0..trace_iters {
+        net.forward(&x, Mode::Eval).expect("traced forward");
+    }
+    let pooled = t1.elapsed();
+    let trace_spans = telemetry::drain_spans();
+    let trace_json = telemetry::chrome_trace_json(&trace_spans);
+    std::fs::create_dir_all("bench_results").expect("bench_results dir");
+    std::fs::write("bench_results/profile_trace.json", &trace_json).expect("write trace");
+
+    let mut report = String::new();
+    let _ = writeln!(report, "# Per-op forward-pass profile\n");
+    let _ = writeln!(
+        report,
+        "Model C (width ÷8), input {shape}, {iters} serial iterations \
+         (pool size {} for the pooled trace capture).\n",
+        parallel::num_threads()
+    );
+    let _ = writeln!(
+        report,
+        "Serial wall time: {:.1} ms total, {:.2} ms/iter; effective {gflops:.2} GFLOP/s.\n",
+        wall.as_secs_f64() * 1e3,
+        wall.as_secs_f64() * 1e3 / iters as f64,
+    );
+    let _ = writeln!(report, "{table}");
+    let _ = writeln!(
+        report,
+        "\nPooled run ({trace_iters} iterations): {:.2} ms/iter — per-thread timeline in \
+         `bench_results/profile_trace.json` ({} spans; open in <https://ui.perfetto.dev>).\n",
+        pooled.as_secs_f64() * 1e3 / trace_iters as f64,
+        trace_spans.len()
+    );
+    let _ = writeln!(report, "## Metrics snapshot (serial phase)\n");
+    let _ = writeln!(report, "```");
+    for (name, v) in &snap.counters {
+        if !name.starts_with("pool.") {
+            let _ = writeln!(report, "{name} = {v}");
+        }
+    }
+    let _ = writeln!(report, "```");
+    std::fs::write("bench_results/profile.md", &report).expect("write report");
+
+    print!("{report}");
+
+    assert!(
+        trace_json.starts_with('{') && trace_json.contains("\"traceEvents\":["),
+        "trace JSON malformed"
+    );
+    assert!(
+        coverage >= 0.90,
+        "per-op table covers only {:.1} % of wall time (need >= 90 %)",
+        100.0 * coverage
+    );
+    println!(
+        "profile OK: {:.1} % of wall time attributed across {} ops",
+        100.0 * coverage,
+        stats.len()
+    );
+}

@@ -17,7 +17,7 @@ use crate::bundle::BundleSpec;
 use crate::desc::{LayerDesc, NetDesc};
 use skynet_nn::{Act, Conv2d, Layer, MaxPool2d, Mode, Param, Reorg, Sequential};
 use skynet_tensor::ops::{concat_channels, split_channels};
-use skynet_tensor::{rng::SkyRng, Result, Tensor};
+use skynet_tensor::{rng::SkyRng, telemetry, Result, Tensor};
 
 /// Which SkyNet configuration to build (Table 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -265,32 +265,61 @@ pub fn features_descriptor(cfg: &SkyNetConfig, in_h: usize, in_w: usize) -> NetD
     NetDesc::new(3, in_h, in_w, layers)
 }
 
+/// Per-layer span names, indexable by bundle/pool position so the guard
+/// gets a `&'static str` without allocating.
+const BUNDLE_SPANS: [&str; 5] = [
+    "skynet.bundle1",
+    "skynet.bundle2",
+    "skynet.bundle3",
+    "skynet.bundle4",
+    "skynet.bundle5",
+];
+const POOL_SPANS: [&str; 3] = ["skynet.pool1", "skynet.pool2", "skynet.pool3"];
+
 impl Layer for SkyNet {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        let _whole = telemetry::span("skynet.forward");
         // Bundles 1–3 with pooling after each.
         let mut cur = x.clone();
         let mut bypass = None;
         for i in 0..3 {
-            cur = self.bundles[i].forward(&cur, mode)?;
+            {
+                let _s = telemetry::span(BUNDLE_SPANS[i]);
+                cur = self.bundles[i].forward(&cur, mode)?;
+            }
             if i == 2 && self.cfg.variant != Variant::A {
+                let _s = telemetry::span("skynet.reorg");
                 bypass = Some(self.reorg.forward(&cur, mode)?);
             }
+            let _s = telemetry::span(POOL_SPANS[i]);
             cur = self.pools[i].forward(&cur, mode)?;
         }
         // Bundles 4–5.
-        cur = self.bundles[3].forward(&cur, mode)?;
-        cur = self.bundles[4].forward(&cur, mode)?;
+        {
+            let _s = telemetry::span(BUNDLE_SPANS[3]);
+            cur = self.bundles[3].forward(&cur, mode)?;
+        }
+        {
+            let _s = telemetry::span(BUNDLE_SPANS[4]);
+            cur = self.bundles[4].forward(&cur, mode)?;
+        }
         // Optional bypass merge + Bundle 6.
         if let Some(b6) = &mut self.bundle6 {
             let by = bypass.expect("bypass exists for variants B/C");
             self.split_at = Some(cur.shape().c);
-            let cat = concat_channels(&cur, &by)?;
+            let cat = {
+                let _s = telemetry::span("skynet.concat");
+                concat_channels(&cur, &by)?
+            };
+            let _s = telemetry::span("skynet.bundle6");
             cur = b6.forward(&cat, mode)?;
         }
+        let _s = telemetry::span("skynet.head");
         self.head.forward(&cur, mode)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let _whole = telemetry::span("skynet.backward");
         let mut g = self.head.backward(grad_out)?;
         let mut g_bypass = None;
         if let Some(b6) = &mut self.bundle6 {

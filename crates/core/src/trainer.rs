@@ -10,7 +10,7 @@ use crate::detector::Detector;
 use crate::{BBox, Sample};
 use skynet_nn::{apply_params, collect_params, Sgd, SgdState};
 use skynet_tensor::ops::resize_bilinear;
-use skynet_tensor::{parallel, rng::SkyRng, Result, Tensor};
+use skynet_tensor::{parallel, rng::SkyRng, telemetry, Result, Tensor};
 use std::path::Path;
 
 /// Trainer configuration.
@@ -78,10 +78,12 @@ impl Trainer {
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let mut stats = Vec::with_capacity(self.cfg.epochs);
         for epoch in 0..self.cfg.epochs {
+            let _epoch_span = telemetry::span("train.epoch");
             self.rng.shuffle(&mut order);
             let mut total = 0.0f32;
             let mut batches = 0usize;
             for chunk in order.chunks(self.cfg.batch_size) {
+                let _batch_span = telemetry::span("train.batch");
                 let scale = if self.cfg.scales.is_empty() {
                     None
                 } else {
@@ -89,13 +91,17 @@ impl Trainer {
                 };
                 let (images, targets) = gather_batch(samples, chunk, scale)?;
                 let loss = detector.train_batch(&images, &targets)?;
+                record_batch_telemetry(detector, opt, loss);
                 opt.step(detector.backbone_mut());
                 total += loss;
                 batches += 1;
             }
+            let mean_loss = total / batches.max(1) as f32;
+            telemetry::record_call("train.epochs", 1);
+            telemetry::record_gauge("train.mean_loss", mean_loss as f64);
             stats.push(EpochStats {
                 epoch,
-                mean_loss: total / batches.max(1) as f32,
+                mean_loss,
                 lr: opt.current_lr(),
             });
         }
@@ -149,10 +155,12 @@ impl Trainer {
         };
         let mut stats = Vec::new();
         for epoch in start_epoch..self.cfg.epochs {
+            let _epoch_span = telemetry::span("train.epoch");
             self.rng.shuffle(&mut order);
             let mut total = 0.0f32;
             let mut batches = 0usize;
             for chunk in order.chunks(self.cfg.batch_size) {
+                let _batch_span = telemetry::span("train.batch");
                 let scale = if self.cfg.scales.is_empty() {
                     None
                 } else {
@@ -169,17 +177,24 @@ impl Trainer {
                     self.restore(detector, opt, &mut order, &ck, samples.len())?;
                     return Err(ResumeError::NonFiniteLoss { epoch, loss });
                 }
+                record_batch_telemetry(detector, opt, loss);
                 opt.step(detector.backbone_mut());
                 total += loss;
                 batches += 1;
             }
-            checkpoint::save(
-                &self.snapshot(epoch as u32 + 1, detector, opt, &order),
-                path,
-            )?;
+            {
+                let _ckpt_span = telemetry::span("train.checkpoint");
+                checkpoint::save(
+                    &self.snapshot(epoch as u32 + 1, detector, opt, &order),
+                    path,
+                )?;
+            }
+            let mean_loss = total / batches.max(1) as f32;
+            telemetry::record_call("train.epochs", 1);
+            telemetry::record_gauge("train.mean_loss", mean_loss as f64);
             stats.push(EpochStats {
                 epoch,
-                mean_loss: total / batches.max(1) as f32,
+                mean_loss,
                 lr: opt.current_lr(),
             });
         }
@@ -248,11 +263,32 @@ impl Trainer {
     }
 }
 
+/// Publishes per-batch training metrics. The loss and learning rate are
+/// plain gauge writes; the gradient norm costs a full parameter walk, so
+/// all of it is gated on [`telemetry::metrics_enabled`]. Called *before*
+/// `opt.step` so the gradients are still the ones the loss produced.
+fn record_batch_telemetry(detector: &mut Detector, opt: &Sgd, loss: f32) {
+    if !telemetry::metrics_enabled() {
+        return;
+    }
+    telemetry::counter("train.batches").inc();
+    telemetry::gauge("train.loss").set(loss as f64);
+    telemetry::gauge("train.lr").set(opt.current_lr() as f64);
+    let mut sq = 0.0f64;
+    detector.backbone_mut().visit_params(&mut |p| {
+        for &g in p.grad.as_slice() {
+            sq += (g as f64) * (g as f64);
+        }
+    });
+    telemetry::gauge("train.grad_norm").set(sq.sqrt());
+}
+
 fn gather_batch(
     samples: &[Sample],
     idx: &[usize],
     scale: Option<(usize, usize)>,
 ) -> Result<(Tensor, Vec<BBox>)> {
+    let _span = telemetry::span("train.gather");
     // Per-sample resizes are independent, so they run on the parallel
     // pool; collection is in index order, keeping the batch layout (and
     // therefore training) identical for any thread count.

@@ -1,0 +1,88 @@
+//! Training-loop telemetry determinism: for a fixed-seed toy run the
+//! `train.*` metric family (batch/epoch counters, loss / learning-rate /
+//! gradient-norm gauges) must be bit-identical whether the tensor
+//! kernels execute on the worker pool or fully inline, because the
+//! computation itself is bit-deterministic. Scheduling metrics
+//! (`pool.*`) are excluded — see OBSERVABILITY.md.
+
+use skynet_core::detector::Detector;
+use skynet_core::head::Anchors;
+use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
+use skynet_core::trainer::{TrainConfig, Trainer};
+use skynet_core::{BBox, Sample};
+use skynet_nn::{Act, LrSchedule, Sgd};
+use skynet_tensor::rng::SkyRng;
+use skynet_tensor::{parallel, telemetry, Shape, Tensor};
+
+fn toy_samples(n: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = SkyRng::new(seed);
+    (0..n)
+        .map(|_| {
+            let (h, w) = (16usize, 32usize);
+            let cx = rng.range(0.2, 0.8);
+            let cy = rng.range(0.3, 0.7);
+            let mut img = Tensor::zeros(Shape::new(1, 3, h, w));
+            for y in 0..h {
+                for x in 0..w {
+                    let fx = (x as f32 + 0.5) / w as f32;
+                    let fy = (y as f32 + 0.5) / h as f32;
+                    if (fx - cx).abs() < 0.1 && (fy - cy).abs() < 0.175 {
+                        for c in 0..3 {
+                            *img.at_mut(0, c, y, x) = 1.0;
+                        }
+                    }
+                }
+            }
+            Sample::new(img, BBox::new(cx, cy, 0.2, 0.35), 0)
+        })
+        .collect()
+}
+
+fn run_training() {
+    let mut rng = SkyRng::new(77);
+    let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(16);
+    let mut det = Detector::new(Box::new(SkyNet::new(cfg, &mut rng)), Anchors::dac_sdc());
+    let mut opt = Sgd::new(LrSchedule::Constant(2e-3), 0.9, 1e-4);
+    let samples = toy_samples(8, 3);
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: 2,
+        batch_size: 4,
+        scales: Vec::new(),
+        seed: 5,
+    });
+    trainer
+        .train(&mut det, &samples, &mut opt)
+        .expect("toy training run");
+}
+
+#[test]
+fn train_metrics_identical_serial_vs_pooled() {
+    telemetry::Builder::new().metrics(true).trace(false).apply();
+
+    telemetry::reset_metrics();
+    run_training(); // default pool
+    let pooled = telemetry::snapshot().retain(|n| n.starts_with("train."));
+
+    telemetry::reset_metrics();
+    parallel::serial(run_training); // forced inline (SKYNET_THREADS=1)
+    let serial = telemetry::snapshot().retain(|n| n.starts_with("train."));
+
+    assert_eq!(pooled.counter("train.epochs"), Some(2));
+    assert_eq!(pooled.counter("train.batches"), Some(4));
+    let grad_norm = pooled.gauge("train.grad_norm").expect("grad-norm gauge");
+    assert!(grad_norm.is_finite() && grad_norm > 0.0);
+    assert_eq!(
+        pooled.gauge("train.lr"),
+        Some(2e-3f32 as f64),
+        "lr gauge mirrors the schedule"
+    );
+
+    // Bit-exact across thread counts: gauges compare as f64 bits via the
+    // snapshot's PartialEq on identical values.
+    assert_eq!(pooled, serial, "train.* telemetry diverged across pools");
+
+    telemetry::Builder::new()
+        .metrics(false)
+        .trace(false)
+        .apply();
+}

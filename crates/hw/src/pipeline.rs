@@ -25,6 +25,7 @@
 //! The supervised path pairs with [`crate::fault`], a deterministic
 //! fault-injection harness, so every recovery branch is testable.
 
+use skynet_tensor::telemetry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::sync_channel;
 use std::time::{Duration, Instant};
@@ -425,15 +426,32 @@ struct Flow<P> {
     retried: u32,
 }
 
+/// Telemetry identifiers per stage — static so span guards and latency
+/// histograms never allocate on the frame path.
+fn stage_telemetry(stage: StageId) -> (&'static str, &'static str) {
+    match stage {
+        StageId::Pre => ("pipeline.pre", "pipeline.pre.ms"),
+        StageId::Infer => ("pipeline.infer", "pipeline.infer.ms"),
+        StageId::Post => ("pipeline.post", "pipeline.post.ms"),
+    }
+}
+
 /// Runs one stage with panic isolation, the deadline watchdog and
 /// bounded deterministic-backoff retry. Returns the output (or `Err` when
 /// every attempt failed) and the number of retries consumed.
+///
+/// Every attempt is traced as a `pipeline.<stage>` span and its latency
+/// recorded into the `pipeline.<stage>.ms` histogram, so a Perfetto view
+/// of a supervised run shows stage occupancy per thread, retries
+/// included.
 fn supervise_stage<I: Clone, O>(
     stage: impl Fn(&FrameCtx, I) -> Result<O, StageError>,
+    stage_id: StageId,
     frame: usize,
     input: &I,
     cfg: &SupervisorConfig,
 ) -> (Result<O, ()>, u32) {
+    let (span_name, hist_name) = stage_telemetry(stage_id);
     let mut retries = 0u32;
     for attempt in 0..=cfg.max_retries {
         if attempt > 0 {
@@ -442,11 +460,17 @@ fn supervise_stage<I: Clone, O>(
             std::thread::sleep(cfg.backoff.saturating_mul(factor));
         }
         let ctx = FrameCtx { frame, attempt };
+        let span = telemetry::span(span_name);
         let started = Instant::now();
         // The closure is re-entered per attempt; AssertUnwindSafe is
         // sound because a failed attempt's partial state is confined to
         // the cloned input, which is discarded.
         let outcome = catch_unwind(AssertUnwindSafe(|| stage(&ctx, input.clone())));
+        drop(span);
+        if telemetry::metrics_enabled() {
+            telemetry::histogram(hist_name, &telemetry::MS_BOUNDS)
+                .record(started.elapsed().as_secs_f64() * 1e3);
+        }
         match outcome {
             Ok(Ok(out)) => {
                 if cfg.deadline.is_some_and(|d| started.elapsed() > d) {
@@ -479,23 +503,36 @@ where
     let SupStages { pre, infer, post } = stages;
     let (tx_pre, rx_pre) = sync_channel::<Flow<T>>(cfg.channel_depth.max(1));
     let (tx_inf, rx_inf) = sync_channel::<Flow<U>>(cfg.channel_depth.max(1));
+    // Queue-depth gauges: std's bounded channels expose no length, so the
+    // producer increments on send and the consumer decrements on receive.
+    // The `&'static` registry handles move freely into the stage threads.
+    let depth_pre = telemetry::gauge("pipeline.queue.pre_infer.depth");
+    let depth_inf = telemetry::gauge("pipeline.queue.infer_post.depth");
     let start = Instant::now();
     let (outputs, counters, elapsed) = std::thread::scope(|scope| {
         let pre_cfg = *cfg;
         scope.spawn(move || {
             for i in 0..frames {
-                let (payload, retried) = supervise_stage(|ctx, (): ()| pre(ctx), i, &(), &pre_cfg);
+                let (payload, retried) =
+                    supervise_stage(|ctx, (): ()| pre(ctx), StageId::Pre, i, &(), &pre_cfg);
                 if tx_pre.send(Flow { payload, retried }).is_err() {
                     return;
+                }
+                if telemetry::metrics_enabled() {
+                    depth_pre.add(1.0);
                 }
             }
         });
         let inf_cfg = *cfg;
         scope.spawn(move || {
             for (i, msg) in rx_pre.into_iter().enumerate() {
+                if telemetry::metrics_enabled() {
+                    depth_pre.add(-1.0);
+                }
                 let flow = match msg.payload {
                     Ok(t) => {
-                        let (payload, retried) = supervise_stage(&infer, i, &t, &inf_cfg);
+                        let (payload, retried) =
+                            supervise_stage(&infer, StageId::Infer, i, &t, &inf_cfg);
                         Flow {
                             payload,
                             retried: msg.retried + retried,
@@ -509,6 +546,9 @@ where
                 if tx_inf.send(flow).is_err() {
                     return;
                 }
+                if telemetry::metrics_enabled() {
+                    depth_inf.add(1.0);
+                }
             }
         });
         let sink_cfg = *cfg;
@@ -517,10 +557,14 @@ where
             let mut counters = FrameCounters::default();
             let mut last_good: Option<V> = None;
             for (i, msg) in rx_inf.into_iter().enumerate() {
+                if telemetry::metrics_enabled() {
+                    depth_inf.add(-1.0);
+                }
                 counters.retried += msg.retried as usize;
                 let result = match msg.payload {
                     Ok(u) => {
-                        let (out, retried) = supervise_stage(&post, i, &u, &sink_cfg);
+                        let (out, retried) =
+                            supervise_stage(&post, StageId::Post, i, &u, &sink_cfg);
                         counters.retried += retried as usize;
                         out
                     }
@@ -549,6 +593,15 @@ where
         (outputs, counters, start.elapsed())
     });
     let emitted = outputs.len();
+    // Fold the run's frame counters into the process-wide registry so a
+    // long-lived deployment accumulates totals across runs; the same
+    // values are returned in `RunReport::counters` for this run alone.
+    if telemetry::metrics_enabled() {
+        telemetry::counter("pipeline.frames.processed").add(counters.processed as u64);
+        telemetry::counter("pipeline.frames.degraded").add(counters.degraded as u64);
+        telemetry::counter("pipeline.frames.dropped").add(counters.dropped as u64);
+        telemetry::counter("pipeline.frames.retried").add(counters.retried as u64);
+    }
     SupervisedRun {
         report: RunReport::with_counters(emitted, elapsed, counters),
         outputs,

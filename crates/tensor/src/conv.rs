@@ -9,6 +9,7 @@
 
 use crate::matmul::{matmul_a_bt_acc, matmul_acc, matmul_at_b_acc};
 use crate::parallel::{par_chunks_mut, par_chunks_mut2};
+use crate::telemetry;
 use crate::{Result, Shape, Tensor, TensorError};
 
 /// Output rows (out-channels) per parallel task when a convolution is
@@ -214,6 +215,21 @@ pub fn conv2d(
     let kk = ishape.c * geo.kernel * geo.kernel;
     let mut out = Tensor::zeros(oshape);
     let pointwise = geo.kernel == 1 && geo.stride == 1 && geo.pad == 0;
+    let _span = telemetry::span(if pointwise {
+        "tensor.pw_fwd"
+    } else {
+        "tensor.conv_fwd"
+    });
+    if telemetry::metrics_enabled() {
+        let flops = 2 * (oshape.n * out_c * kk * l) as u64;
+        if pointwise {
+            telemetry::counter("tensor.pw.fwd_calls").inc();
+            telemetry::counter("tensor.pw.fwd_flops").add(flops);
+        } else {
+            telemetry::counter("tensor.conv.fwd_calls").inc();
+            telemetry::counter("tensor.conv.fwd_flops").add(flops);
+        }
+    }
 
     // Multi-item batches parallelize over batch items; a single item
     // parallelizes over fixed-size out-channel blocks. Both
@@ -315,6 +331,22 @@ pub fn conv2d_backward(
     let mut gw = Tensor::zeros(wshape);
     let mut gb = vec![0.0f32; out_c];
     let pointwise = geo.kernel == 1 && geo.stride == 1 && geo.pad == 0;
+    let _span = telemetry::span(if pointwise {
+        "tensor.pw_bwd"
+    } else {
+        "tensor.conv_bwd"
+    });
+    if telemetry::metrics_enabled() {
+        // Input-grad + weight-grad matmuls: ~2× the forward MACs.
+        let flops = 4 * (ishape.n * out_c * kk * l) as u64;
+        if pointwise {
+            telemetry::counter("tensor.pw.bwd_calls").inc();
+            telemetry::counter("tensor.pw.bwd_flops").add(flops);
+        } else {
+            telemetry::counter("tensor.conv.bwd_calls").inc();
+            telemetry::counter("tensor.conv.bwd_flops").add(flops);
+        }
+    }
 
     // Batch items are independent: each task computes its item's input
     // gradient in place plus a private `[grad_w | grad_b]` partial.

@@ -8,6 +8,7 @@
 
 use crate::conv::{check_geometry, ConvGeometry};
 use crate::parallel::{par_chunks_mut, par_chunks_mut2};
+use crate::telemetry;
 use crate::{Result, Shape, Tensor, TensorError};
 
 fn check(input: Shape, weight: Shape, geo: ConvGeometry) -> Result<()> {
@@ -50,6 +51,11 @@ pub fn dwconv2d(
     let mut out = Tensor::zeros(os);
     let (k, s, p) = (geo.kernel, geo.stride, geo.pad);
     let kk = k * k;
+    let _span = telemetry::span("tensor.dwconv_fwd");
+    if telemetry::metrics_enabled() {
+        telemetry::counter("tensor.dwconv.fwd_calls").inc();
+        telemetry::counter("tensor.dwconv.fwd_flops").add(2 * (os.numel() * kk) as u64);
+    }
     // Every (item, channel) plane is independent: one parallel task per
     // output plane, each reading only its own input plane and filter.
     par_chunks_mut(out.as_mut_slice(), os.plane(), |plane, chan_out| {
@@ -121,6 +127,11 @@ pub fn dwconv2d_backward(
     let mut gi = Tensor::zeros(is);
     let mut gw = Tensor::zeros(weight.shape());
     let mut gb = vec![0.0f32; is.c];
+    let _span = telemetry::span("tensor.dwconv_bwd");
+    if telemetry::metrics_enabled() {
+        telemetry::counter("tensor.dwconv.bwd_calls").inc();
+        telemetry::counter("tensor.dwconv.bwd_flops").add(4 * (os.numel() * kk) as u64);
+    }
     // One task per (item, channel) plane: the input-gradient plane is
     // written in place and the filter/bias contribution goes to a private
     // `[grad_w | grad_b]` stripe, folded afterwards in ascending item

@@ -20,6 +20,13 @@
 //! memory behaviour predictable, which is the property the paper's
 //! hardware-aware flow cares about.
 //!
+//! Two infrastructure modules back the kernels: [`parallel`], the
+//! deterministic batch-parallel execution engine (bit-identical results
+//! for any `SKYNET_THREADS`), and [`telemetry`], the process-wide
+//! metrics registry + scoped-span tracer that every hot kernel reports
+//! into when `SKYNET_METRICS`/`SKYNET_TRACE` are set (see
+//! `OBSERVABILITY.md` at the repo root).
+//!
 //! ## Example
 //!
 //! ```
@@ -47,6 +54,7 @@ pub mod parallel;
 pub mod pool;
 pub mod reorg;
 pub mod rng;
+pub mod telemetry;
 
 pub use error::TensorError;
 pub use shape::Shape;

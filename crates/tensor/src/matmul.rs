@@ -7,6 +7,7 @@
 //! no unsafe code.
 
 use crate::parallel::par_chunks_mut;
+use crate::telemetry;
 
 /// Tile edge used for cache blocking. 64 f32 = 256 B per row tile, which
 /// keeps three tiles comfortably inside L1 for the sizes we use.
@@ -31,6 +32,11 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
     assert!(c.len() >= m * n, "out too short: {} < {}", c.len(), m * n);
     if m * n == 0 {
         return;
+    }
+    let _span = telemetry::span("tensor.matmul");
+    if telemetry::metrics_enabled() {
+        telemetry::counter("tensor.matmul.calls").inc();
+        telemetry::counter("tensor.matmul.flops").add(2 * (m * k * n) as u64);
     }
     par_chunks_mut(&mut c[..m * n], BLOCK * n, |stripe, c_rows| {
         let i0 = stripe * BLOCK;
@@ -86,6 +92,11 @@ pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     assert!(a.len() >= k * m, "lhs too short");
     assert!(b.len() >= k * n, "rhs too short");
     assert!(c.len() >= m * n, "out too short");
+    let _span = telemetry::span("tensor.matmul_at_b");
+    if telemetry::metrics_enabled() {
+        telemetry::counter("tensor.matmul.calls").inc();
+        telemetry::counter("tensor.matmul.flops").add(2 * (m * k * n) as u64);
+    }
     for p in 0..k {
         let arow = &a[p * m..p * m + m];
         let brow = &b[p * n..p * n + n];
@@ -113,6 +124,11 @@ pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     assert!(c.len() >= m * n, "out too short");
     if m * n == 0 {
         return;
+    }
+    let _span = telemetry::span("tensor.matmul_a_bt");
+    if telemetry::metrics_enabled() {
+        telemetry::counter("tensor.matmul.calls").inc();
+        telemetry::counter("tensor.matmul.flops").add(2 * (m * k * n) as u64);
     }
     par_chunks_mut(&mut c[..m * n], BLOCK * n, |stripe, c_rows| {
         let base = stripe * BLOCK;

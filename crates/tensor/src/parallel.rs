@@ -25,6 +25,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+use crate::telemetry;
+
 /// A published batch of tasks: an erased `Fn(usize)` plus progress
 /// counters. The closure pointer is lifetime-erased; soundness comes
 /// from [`run_indexed`] blocking until `done == total` before returning,
@@ -117,13 +119,19 @@ fn ensure_workers(p: &'static Pool) {
         for i in 1..p.threads {
             std::thread::Builder::new()
                 .name(format!("skynet-par-{i}"))
-                .spawn(move || worker_loop(p))
+                .spawn(move || worker_loop(p, i))
                 .expect("spawn pool worker");
         }
     });
 }
 
-fn worker_loop(p: &'static Pool) {
+fn worker_loop(p: &'static Pool, ordinal: usize) {
+    // Scheduling metrics (`pool.*`) observe the nondeterministic part of
+    // the engine: which thread ran how many tasks, and how long each
+    // worker sat idle. They are intentionally excluded from the
+    // determinism guarantee — see the telemetry module docs.
+    let tasks_c = telemetry::counter(&format!("pool.thread.{ordinal}.tasks"));
+    let idle_c = telemetry::counter(&format!("pool.thread.{ordinal}.idle_ns"));
     let mut guard = p.queue.lock().expect("pool queue");
     loop {
         if let Some(job) = guard.first().cloned() {
@@ -137,7 +145,14 @@ fn worker_loop(p: &'static Pool) {
             }
             drop(guard);
             run_task(&job, i);
+            if telemetry::metrics_enabled() {
+                tasks_c.inc();
+            }
             guard = p.queue.lock().expect("pool queue");
+        } else if telemetry::metrics_enabled() {
+            let parked = std::time::Instant::now();
+            guard = p.wake.wait(guard).expect("pool queue");
+            idle_c.add(parked.elapsed().as_nanos() as u64);
         } else {
             guard = p.wake.wait(guard).expect("pool queue");
         }
@@ -194,6 +209,10 @@ pub fn run_indexed<F: Fn(usize) + Sync>(tasks: usize, f: F) {
         return;
     }
     ensure_workers(p);
+    if telemetry::metrics_enabled() {
+        telemetry::counter("pool.jobs").inc();
+        telemetry::counter("pool.tasks").add(tasks as u64);
+    }
     // SAFETY: pure lifetime erasure of a wide reference; the `Job` docs
     // explain why the borrow outlives every dereference.
     let erased: &'static (dyn Fn(usize) + Sync) = unsafe {

@@ -5,6 +5,7 @@
 //! can route gradients without recomputing the comparison.
 
 use crate::parallel::{par_chunks_mut, par_chunks_mut2};
+use crate::telemetry;
 use crate::{Result, Shape, Tensor, TensorError};
 
 /// Result of [`maxpool2d`]: the pooled map plus the winner indices needed
@@ -43,6 +44,8 @@ pub fn maxpool2d(input: &Tensor, k: usize) -> Result<PoolOutput> {
     let mut out = Tensor::zeros(os);
     let mut argmax = vec![0u32; os.numel()];
     let src = input.as_slice();
+    let _span = telemetry::span("tensor.pool_fwd");
+    telemetry::record_call("tensor.pool.fwd_calls", 1);
     if os.plane() == 0 {
         return Ok(PoolOutput {
             output: out,
@@ -104,6 +107,8 @@ pub fn maxpool2d_backward(input_shape: Shape, argmax: &[u32], grad_out: &Tensor)
     let mut gi = Tensor::zeros(input_shape);
     let planes = input_shape.n * input_shape.c;
     let go = grad_out.as_slice();
+    let _span = telemetry::span("tensor.pool_bwd");
+    telemetry::record_call("tensor.pool.bwd_calls", 1);
     if planes > 0 && argmax.len().is_multiple_of(planes) && input_shape.plane() > 0 {
         // Argmax indices produced by `maxpool2d` always point inside
         // their own (item, channel) plane, so the scatter decomposes

@@ -1,0 +1,160 @@
+//! Determinism contract of the telemetry layer.
+//!
+//! The metrics a workload emits about *deterministic quantities* (call
+//! counts, FLOP totals, histograms of computed values) must be
+//! bit-identical whether the kernels run on the worker pool or fully
+//! inline (`parallel::serial`, equivalent to `SKYNET_THREADS=1`).
+//! Scheduling metrics (`pool.*`) and wall-clock histograms are
+//! explicitly outside that guarantee and are filtered out with
+//! [`telemetry::Snapshot::retain`] before comparison.
+//!
+//! The telemetry registry and enable flags are process-global, so every
+//! test here serialises on one mutex.
+
+use skynet_tensor::conv::{conv2d, conv2d_backward, ConvGeometry};
+use skynet_tensor::dwconv::{dwconv2d, dwconv2d_backward};
+use skynet_tensor::pool::{maxpool2d, maxpool2d_backward};
+use skynet_tensor::rng::SkyRng;
+use skynet_tensor::{parallel, telemetry, Shape, Tensor};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn rand_tensor(shape: Shape, rng: &mut SkyRng) -> Tensor {
+    let data = (0..shape.numel()).map(|_| rng.range(-1.0, 1.0)).collect();
+    Tensor::from_vec(shape, data).expect("rand tensor")
+}
+
+/// Fixed-seed workload exercising every instrumented kernel, plus a
+/// histogram fed with computed (deterministic) output values.
+fn workload() {
+    let mut rng = SkyRng::new(7);
+    let x = rand_tensor(Shape::new(2, 8, 16, 16), &mut rng);
+
+    // Dense 3x3 conv, forward + backward.
+    let geo = ConvGeometry::new(3, 1, 1);
+    let w = rand_tensor(Shape::new(12, 8, 3, 3), &mut rng);
+    let y = conv2d(&x, &w, None, geo).expect("conv fwd");
+    conv2d_backward(&x, &w, &y, geo).expect("conv bwd");
+
+    // Pointwise 1x1 conv.
+    let wp = rand_tensor(Shape::new(16, 8, 1, 1), &mut rng);
+    conv2d(&x, &wp, None, ConvGeometry::new(1, 1, 0)).expect("pw fwd");
+
+    // Depthwise conv, forward + backward.
+    let wd = rand_tensor(Shape::new(8, 1, 3, 3), &mut rng);
+    let dgeo = ConvGeometry::new(3, 1, 1);
+    let yd = dwconv2d(&x, &wd, None, dgeo).expect("dw fwd");
+    dwconv2d_backward(&x, &wd, &yd, dgeo).expect("dw bwd");
+
+    // Max-pool, forward + backward.
+    let p = maxpool2d(&x, 2).expect("pool fwd");
+    maxpool2d_backward(x.shape(), &p.argmax, &p.output).expect("pool bwd");
+
+    // Histogram over computed values: deterministic outputs must yield
+    // bit-identical bucket counts and sums regardless of thread count.
+    if telemetry::metrics_enabled() {
+        let h = telemetry::histogram("test.conv.values", &[-0.5, 0.0, 0.5, 1.0]);
+        for &v in y.as_slice().iter().take(512) {
+            h.record(f64::from(v));
+        }
+    }
+}
+
+fn deterministic_families(s: telemetry::Snapshot) -> telemetry::Snapshot {
+    s.retain(|name| name.starts_with("tensor.") || name.starts_with("test."))
+}
+
+#[test]
+fn metrics_identical_serial_vs_pooled() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::Builder::new().metrics(true).trace(false).apply();
+
+    telemetry::reset_metrics();
+    workload(); // default pool
+    let pooled = deterministic_families(telemetry::snapshot());
+
+    telemetry::reset_metrics();
+    parallel::serial(workload); // forced inline, as SKYNET_THREADS=1
+    let serial = deterministic_families(telemetry::snapshot());
+
+    assert!(
+        !pooled.counters.is_empty(),
+        "workload registered no tensor.* counters"
+    );
+    assert!(
+        pooled
+            .histograms
+            .iter()
+            .any(|h| h.name == "test.conv.values"),
+        "value histogram missing"
+    );
+    assert_eq!(pooled, serial, "deterministic metric families diverged");
+
+    telemetry::Builder::new()
+        .metrics(false)
+        .trace(false)
+        .apply();
+}
+
+#[test]
+fn spans_preserve_completion_order_within_thread() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::Builder::new().metrics(false).trace(true).apply();
+    telemetry::drain_spans();
+
+    workload();
+    let spans = telemetry::drain_spans();
+    assert!(!spans.is_empty(), "trace produced no spans");
+
+    // Group by thread; within a thread the seq field must record strictly
+    // increasing completion order, and completion times must be monotone
+    // when replayed in that order.
+    let mut threads: Vec<u32> = spans.iter().map(|s| s.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for t in threads {
+        let mut per: Vec<_> = spans.iter().filter(|s| s.thread == t).collect();
+        per.sort_by_key(|s| s.seq);
+        for pair in per.windows(2) {
+            assert!(
+                pair[0].seq < pair[1].seq,
+                "duplicate seq {} on thread {t}",
+                pair[0].seq
+            );
+            assert!(
+                pair[0].end_ns() <= pair[1].end_ns(),
+                "span {} (seq {}) completed after {} (seq {}) but was recorded first",
+                pair[0].name,
+                pair[0].seq,
+                pair[1].name,
+                pair[1].seq
+            );
+        }
+    }
+
+    telemetry::Builder::new()
+        .metrics(false)
+        .trace(false)
+        .apply();
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::Builder::new()
+        .metrics(false)
+        .trace(false)
+        .apply();
+    telemetry::reset_metrics();
+    telemetry::drain_spans();
+
+    workload();
+
+    let snap = deterministic_families(telemetry::snapshot());
+    // Counter handles may exist from earlier runs, but nothing new is
+    // recorded and no spans are buffered.
+    assert!(snap.counters.iter().all(|&(_, v)| v == 0));
+    assert!(snap.histograms.iter().all(|h| h.count == 0));
+    assert!(telemetry::drain_spans().is_empty());
+}
