@@ -1,0 +1,231 @@
+//! Micro-benchmark of the specialized depth-wise kernels against the
+//! generic bounds-checked reference (`dwconv::reference`).
+//!
+//! Covers every DW-Conv3 shape the model-C (÷8) backbone instantiates on
+//! a 160×320 input, plus stride-2 and border-heavy geometries where the
+//! interior fast path covers the least area. For each case the bin:
+//!
+//! 1. verifies the specialized forward **and** backward are bit-identical
+//!    to the reference (hard assertion — speed never buys accuracy), and
+//! 2. times both (best-of-`reps`, all parallel regions forced serial so
+//!    the numbers are scheduling-free) and reports the speedup.
+//!
+//! The report is archived at `bench_results/kernel_bench.md`. The run
+//! fails if the aggregate forward speedup over the backbone shapes drops
+//! below the budget's floor. `SKYNET_BENCH_BUDGET=fast` for CI.
+
+use skynet_bench::Budget;
+use skynet_tensor::conv::ConvGeometry;
+use skynet_tensor::dwconv::{dwconv2d, dwconv2d_backward, reference};
+use skynet_tensor::rng::SkyRng;
+use skynet_tensor::{parallel, Shape, Tensor};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Case {
+    label: &'static str,
+    shape: Shape,
+    geo: ConvGeometry,
+    /// Counts toward the aggregate-speedup gate (backbone shapes only —
+    /// the border-heavy cases exist to watch the worst case, not to
+    /// dilute the gate).
+    gated: bool,
+}
+
+fn cases() -> Vec<Case> {
+    let g1 = ConvGeometry::new(3, 1, 1);
+    let g2 = ConvGeometry::new(3, 2, 1);
+    vec![
+        // Model C ÷8 DW-Conv3 sites, 160×320 input.
+        Case {
+            label: "bundle1 3@160x320",
+            shape: Shape::new(1, 3, 160, 320),
+            geo: g1,
+            gated: true,
+        },
+        Case {
+            label: "bundle2 6@80x160",
+            shape: Shape::new(1, 6, 80, 160),
+            geo: g1,
+            gated: true,
+        },
+        Case {
+            label: "bundle3 12@40x80",
+            shape: Shape::new(1, 12, 40, 80),
+            geo: g1,
+            gated: true,
+        },
+        Case {
+            label: "bundle4 24@20x40",
+            shape: Shape::new(1, 24, 20, 40),
+            geo: g1,
+            gated: true,
+        },
+        Case {
+            label: "bundle5 48@20x40",
+            shape: Shape::new(1, 48, 20, 40),
+            geo: g1,
+            gated: true,
+        },
+        Case {
+            label: "bundle6 160@20x40",
+            shape: Shape::new(1, 160, 20, 40),
+            geo: g1,
+            gated: true,
+        },
+        // Stride-2 (pooling-replacement geometry).
+        Case {
+            label: "stride2 12@40x80",
+            shape: Shape::new(1, 12, 40, 80),
+            geo: g2,
+            gated: false,
+        },
+        Case {
+            label: "stride2 48@20x40",
+            shape: Shape::new(1, 48, 20, 40),
+            geo: g2,
+            gated: false,
+        },
+        // Border-heavy: tiny planes and fat padding — mostly border path.
+        Case {
+            label: "border 16@7x9 p2",
+            shape: Shape::new(2, 16, 7, 9),
+            geo: ConvGeometry::new(3, 1, 2),
+            gated: false,
+        },
+        Case {
+            label: "border 8@5x5 k5p2",
+            shape: Shape::new(2, 8, 5, 5),
+            geo: ConvGeometry::new(5, 1, 2),
+            gated: false,
+        },
+    ]
+}
+
+fn random_tensor(shape: Shape, rng: &mut SkyRng) -> Tensor {
+    let data = (0..shape.numel()).map(|_| rng.range(-2.0, 2.0)).collect();
+    Tensor::from_vec(shape, data).expect("length matches")
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Best-of-`reps` serial wall time of `f`, in seconds.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+    }
+    best
+}
+
+fn main() {
+    let budget = Budget::from_env();
+    let reps = budget.pick(3, 10);
+    // Aggregate forward floor over the backbone shapes. The full floor is
+    // conservative against the >= 2x seen on the dev machine; the fast
+    // floor only guards against the fast path being wired out entirely.
+    let floor = budget.pick(1.05, 1.5);
+
+    let mut rng = SkyRng::new(0xBE7C);
+    let mut report = String::new();
+    let _ = writeln!(report, "# DW-Conv kernel micro-benchmark\n");
+    let _ = writeln!(
+        report,
+        "Specialized interior/border kernels vs the generic bounds-checked \
+         reference, best of {reps} serial runs per case. Equality is asserted \
+         bitwise on every output before timing is trusted.\n"
+    );
+    let _ = writeln!(
+        report,
+        "| case | geo | ref fwd ms | spec fwd ms | fwd speedup | ref bwd ms | spec bwd ms | bwd speedup |"
+    );
+    let _ = writeln!(report, "|---|---|---:|---:|---:|---:|---:|---:|");
+
+    let mut gated_ref = 0.0f64;
+    let mut gated_spec = 0.0f64;
+    for case in cases() {
+        let c = case.shape.c;
+        let geo = case.geo;
+        let x = random_tensor(case.shape, &mut rng);
+        let w = random_tensor(Shape::new(c, 1, geo.kernel, geo.kernel), &mut rng);
+        let b: Vec<f32> = (0..c).map(|_| rng.range(-1.0, 1.0)).collect();
+        let os = geo.out_shape(case.shape, c);
+        let go = random_tensor(os, &mut rng);
+
+        // Correctness gate: bitwise equality, forward and backward.
+        let y_spec = dwconv2d(&x, &w, Some(&b), geo).expect("spec fwd");
+        let y_ref = reference::dwconv2d_ref(&x, &w, Some(&b), geo).expect("ref fwd");
+        assert_eq!(
+            bits(&y_spec),
+            bits(&y_ref),
+            "{}: fwd bits diverged",
+            case.label
+        );
+        let g_spec = dwconv2d_backward(&x, &w, &go, geo).expect("spec bwd");
+        let g_ref = reference::dwconv2d_backward_ref(&x, &w, &go, geo).expect("ref bwd");
+        assert_eq!(
+            bits(&g_spec.input),
+            bits(&g_ref.input),
+            "{}: gi diverged",
+            case.label
+        );
+        assert_eq!(
+            bits(&g_spec.weight),
+            bits(&g_ref.weight),
+            "{}: gw diverged",
+            case.label
+        );
+        assert_eq!(g_spec.bias, g_ref.bias, "{}: gb diverged", case.label);
+
+        let (rf, sf, rb, sb) = parallel::serial(|| {
+            let rf = time_best(reps, || {
+                reference::dwconv2d_ref(&x, &w, Some(&b), geo).unwrap()
+            });
+            let sf = time_best(reps, || dwconv2d(&x, &w, Some(&b), geo).unwrap());
+            let rb = time_best(reps, || {
+                reference::dwconv2d_backward_ref(&x, &w, &go, geo).unwrap()
+            });
+            let sb = time_best(reps, || dwconv2d_backward(&x, &w, &go, geo).unwrap());
+            (rf, sf, rb, sb)
+        });
+        if case.gated {
+            gated_ref += rf;
+            gated_spec += sf;
+        }
+        let _ = writeln!(
+            report,
+            "| {} | k{} s{} p{} | {:.3} | {:.3} | {:.2}x | {:.3} | {:.3} | {:.2}x |",
+            case.label,
+            geo.kernel,
+            geo.stride,
+            geo.pad,
+            rf * 1e3,
+            sf * 1e3,
+            rf / sf,
+            rb * 1e3,
+            sb * 1e3,
+            rb / sb,
+        );
+    }
+
+    let agg = gated_ref / gated_spec;
+    let _ = writeln!(
+        report,
+        "\nAggregate forward speedup over the backbone shapes: **{agg:.2}x** \
+         (floor {floor:.2}x under this budget).\n"
+    );
+    std::fs::create_dir_all("bench_results").expect("bench_results dir");
+    std::fs::write("bench_results/kernel_bench.md", &report).expect("write report");
+    print!("{report}");
+
+    assert!(
+        agg >= floor,
+        "aggregate forward speedup {agg:.2}x below the {floor:.2}x floor"
+    );
+    println!("kernel_bench OK: {agg:.2}x aggregate forward speedup");
+}

@@ -275,6 +275,14 @@ const BUNDLE_SPANS: [&str; 5] = [
     "skynet.bundle5",
 ];
 const POOL_SPANS: [&str; 3] = ["skynet.pool1", "skynet.pool2", "skynet.pool3"];
+const BUNDLE_BWD_SPANS: [&str; 5] = [
+    "skynet.bundle1.bwd",
+    "skynet.bundle2.bwd",
+    "skynet.bundle3.bwd",
+    "skynet.bundle4.bwd",
+    "skynet.bundle5.bwd",
+];
+const POOL_BWD_SPANS: [&str; 3] = ["skynet.pool1.bwd", "skynet.pool2.bwd", "skynet.pool3.bwd"];
 
 impl Layer for SkyNet {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
@@ -320,28 +328,42 @@ impl Layer for SkyNet {
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let _whole = telemetry::span("skynet.backward");
-        let mut g = self.head.backward(grad_out)?;
+        let mut g = {
+            let _s = telemetry::span("skynet.head.bwd");
+            self.head.backward(grad_out)?
+        };
         let mut g_bypass = None;
         if let Some(b6) = &mut self.bundle6 {
-            let g_cat = b6.backward(&g)?;
+            let g_cat = {
+                let _s = telemetry::span("skynet.bundle6.bwd");
+                b6.backward(&g)?
+            };
             let split = self
                 .split_at
                 .take()
                 .expect("forward must run before backward");
+            let _s = telemetry::span("skynet.split.bwd");
             let (g_main, g_by) = split_channels(&g_cat, split)?;
             g = g_main;
             g_bypass = Some(g_by);
         }
-        g = self.bundles[4].backward(&g)?;
-        g = self.bundles[3].backward(&g)?;
+        for i in [4, 3] {
+            let _s = telemetry::span(BUNDLE_BWD_SPANS[i]);
+            g = self.bundles[i].backward(&g)?;
+        }
         for i in (0..3).rev() {
-            g = self.pools[i].backward(&g)?;
+            {
+                let _s = telemetry::span(POOL_BWD_SPANS[i]);
+                g = self.pools[i].backward(&g)?;
+            }
             if i == 2 {
                 if let Some(g_by) = g_bypass.take() {
+                    let _s = telemetry::span("skynet.reorg.bwd");
                     let g_reorg = self.reorg.backward(&g_by)?;
                     g = g.add(&g_reorg)?;
                 }
             }
+            let _s = telemetry::span(BUNDLE_BWD_SPANS[i]);
             g = self.bundles[i].backward(&g)?;
         }
         Ok(g)

@@ -9,8 +9,8 @@ use crate::checkpoint::{self, ResumeError, TrainCheckpoint};
 use crate::detector::Detector;
 use crate::{BBox, Sample};
 use skynet_nn::{apply_params, collect_params, Sgd, SgdState};
-use skynet_tensor::ops::resize_bilinear;
-use skynet_tensor::{parallel, rng::SkyRng, telemetry, Result, Tensor};
+use skynet_tensor::ops::{resize_bilinear, resize_bilinear_into};
+use skynet_tensor::{parallel, rng::SkyRng, telemetry, Result, Shape, Tensor, TensorError};
 use std::path::Path;
 
 /// Trainer configuration.
@@ -289,18 +289,56 @@ fn gather_batch(
     scale: Option<(usize, usize)>,
 ) -> Result<(Tensor, Vec<BBox>)> {
     let _span = telemetry::span("train.gather");
-    // Per-sample resizes are independent, so they run on the parallel
-    // pool; collection is in index order, keeping the batch layout (and
-    // therefore training) identical for any thread count.
+    let targets: Vec<BBox> = idx.iter().map(|&i| samples[i].bbox).collect();
+    let first = match idx.first() {
+        Some(&i) => samples[i].image.shape(),
+        None => {
+            return Err(TensorError::InvalidDimension {
+                op: "Tensor::stack",
+                detail: "cannot stack zero tensors".into(),
+            })
+        }
+    };
+    // The hot path fills one preallocated batch tensor in place — no
+    // per-sample clones, no Vec-of-tensors, no stack copy. It requires
+    // every image to be batch-1 with matching extents; anything else
+    // (not produced by the dataset generator) takes the general
+    // clone-and-stack path below.
+    let uniform = idx.iter().all(|&i| {
+        let s = samples[i].image.shape();
+        s.n == 1 && s.c == first.c && (scale.is_some() || (s.h, s.w) == (first.h, first.w))
+    });
+    if uniform {
+        let (h, w) = scale.unwrap_or((first.h, first.w));
+        if h == 0 || w == 0 {
+            return Err(TensorError::InvalidDimension {
+                op: "resize_bilinear",
+                detail: "target extents must be positive".into(),
+            });
+        }
+        let mut batch = Tensor::zeros(Shape::new(idx.len(), first.c, h, w));
+        let item_numel = first.c * h * w;
+        // One parallel task per slot; each copies or resizes directly
+        // into its own chunk, so the batch layout (and therefore
+        // training) is identical for any thread count. Normalized box
+        // coordinates are resize-invariant, so only the image needs
+        // rescaling for multi-scale training.
+        parallel::par_chunks_mut(batch.as_mut_slice(), item_numel, |j, slot| {
+            let img = &samples[idx[j]].image;
+            if scale.is_some() && (img.shape().h, img.shape().w) != (h, w) {
+                resize_bilinear_into(img, h, w, slot).expect("shapes prevalidated");
+            } else {
+                slot.copy_from_slice(img.as_slice());
+            }
+        });
+        return Ok((batch, targets));
+    }
     let images = parallel::par_iter_indexed(idx.len(), |j| match scale {
-        // Normalized box coordinates are resize-invariant, so only the
-        // image needs rescaling for multi-scale training.
         Some((h, w)) => resize_bilinear(&samples[idx[j]].image, h, w),
         None => Ok(samples[idx[j]].image.clone()),
     })
     .into_iter()
     .collect::<Result<Vec<Tensor>>>()?;
-    let targets = idx.iter().map(|&i| samples[i].bbox).collect();
     Ok((Tensor::stack(&images)?, targets))
 }
 

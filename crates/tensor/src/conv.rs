@@ -9,7 +9,7 @@
 
 use crate::matmul::{matmul_a_bt_acc, matmul_acc, matmul_at_b_acc};
 use crate::parallel::{par_chunks_mut, par_chunks_mut2};
-use crate::telemetry;
+use crate::{scratch, telemetry};
 use crate::{Result, Shape, Tensor, TensorError};
 
 /// Output rows (out-channels) per parallel task when a convolution is
@@ -237,23 +237,22 @@ pub fn conv2d(
     // floating-point operations, so results are bit-identical across
     // thread counts and across the two layouts.
     if ishape.n > 1 {
-        let mut col_all = if pointwise {
-            Vec::new()
-        } else {
-            vec![0.0f32; ishape.n * kk * l]
-        };
-        if !pointwise {
-            par_chunks_mut(&mut col_all, kk * l, |n, col| {
+        // im2col fully overwrites its output, so a plain (non-zeroed)
+        // arena checkout is safe.
+        let mut col_all =
+            (!pointwise).then(|| scratch::checkout("tensor.conv_fwd", ishape.n * kk * l));
+        if let Some(col_all) = col_all.as_deref_mut() {
+            par_chunks_mut(col_all, kk * l, |n, col| {
                 let in_item =
                     &input.as_slice()[n * ishape.item_numel()..(n + 1) * ishape.item_numel()];
                 im2col(in_item, ishape.c, ishape.h, ishape.w, geo, col);
             });
         }
         par_chunks_mut(out.as_mut_slice(), oshape.item_numel(), |n, out_item| {
-            let rhs = if pointwise {
-                &input.as_slice()[n * ishape.item_numel()..(n + 1) * ishape.item_numel()]
-            } else {
+            let rhs = if let Some(col_all) = col_all.as_deref() {
                 &col_all[n * kk * l..(n + 1) * kk * l]
+            } else {
+                &input.as_slice()[n * ishape.item_numel()..(n + 1) * ishape.item_numel()]
             };
             matmul_acc(weight.as_slice(), rhs, out_item, out_c, kk, l);
             add_bias(out_item, bias, l);
@@ -264,7 +263,7 @@ pub fn conv2d(
         let rhs: &[f32] = if pointwise {
             in_item
         } else {
-            let mut buf = vec![0.0f32; kk * l];
+            let mut buf = scratch::checkout("tensor.conv_fwd", kk * l);
             im2col(in_item, ishape.c, ishape.h, ishape.w, geo, &mut buf);
             col = buf;
             &col
@@ -354,7 +353,7 @@ pub fn conv2d_backward(
     // which keeps the reduction deterministic for any thread count.
     let wlen = wshape.numel();
     let stripe = wlen + out_c;
-    let mut partials = vec![0.0f32; ishape.n * stripe];
+    let mut partials = scratch::checkout_zeroed("tensor.conv_bwd", ishape.n * stripe);
     par_chunks_mut2(
         gi.as_mut_slice(),
         ishape.item_numel(),
@@ -375,10 +374,12 @@ pub fn conv2d_backward(
                 // grad_in += wᵀ (in_c×out_c) · go (out_c×L)
                 matmul_at_b_acc(weight.as_slice(), go_item, gi_item, kk, out_c, l);
             } else {
-                let mut col = vec![0.0f32; kk * l];
+                // `col` is fully written by im2col; `gcol` is accumulated
+                // into by matmul_at_b_acc, so it must come back zeroed.
+                let mut col = scratch::checkout("tensor.conv_bwd", kk * l);
                 im2col(in_item, ishape.c, ishape.h, ishape.w, geo, &mut col);
                 matmul_a_bt_acc(go_item, &col, pgw, out_c, l, kk);
-                let mut gcol = vec![0.0f32; kk * l];
+                let mut gcol = scratch::checkout_zeroed("tensor.conv_bwd", kk * l);
                 matmul_at_b_acc(weight.as_slice(), go_item, &mut gcol, kk, out_c, l);
                 col2im_acc(&gcol, ishape.c, ishape.h, ishape.w, geo, gi_item);
             }

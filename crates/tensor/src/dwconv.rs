@@ -5,10 +5,29 @@
 //! im2col: with one filter per channel there is no matrix structure to
 //! exploit, and direct loops match the line-buffer dataflow of the paper's
 //! DW-Conv FPGA IP.
+//!
+//! ## Interior/border split
+//!
+//! The profiler showed the original per-pixel bounds-checked loop eating
+//! two thirds of forward wall time, almost all of it on taps that can
+//! never fall outside the input. Each output plane is therefore split
+//! into a **branch-free interior** — every tap in bounds by
+//! construction, with the `k = 3` case fully unrolled for strides 1 and
+//! 2 (the only geometries SkyNet instantiates) — and a thin **border**
+//! handled by the original generic code.
+//!
+//! The split is *per row*, never a separate interior pass: the backward
+//! kernel scatter-accumulates into shared gradient buffers, so output
+//! pixels must be visited in the same raster order as the
+//! [`reference`] kernels, and within each pixel the taps in the same
+//! `(ky, kx)` order, for the results to stay **bit-identical** (f32
+//! addition does not commute). The `kernel_equivalence` proptests assert
+//! that equivalence over random shapes, strides and pads, pooled and
+//! forced-serial.
 
 use crate::conv::{check_geometry, ConvGeometry};
 use crate::parallel::{par_chunks_mut, par_chunks_mut2};
-use crate::telemetry;
+use crate::{scratch, telemetry};
 use crate::{Result, Shape, Tensor, TensorError};
 
 fn check(input: Shape, weight: Shape, geo: ConvGeometry) -> Result<()> {
@@ -22,14 +41,168 @@ fn check(input: Shape, weight: Shape, geo: ConvGeometry) -> Result<()> {
     check_geometry(input, geo, "dwconv2d")
 }
 
+/// Output positions along one axis whose receptive field lies fully
+/// inside the input: the half-open interior range `lo..hi` (possibly
+/// empty). Positions outside it need per-tap bounds checks.
+fn interior_range(out: usize, inp: usize, k: usize, s: usize, p: usize) -> (usize, usize) {
+    if inp + p < k || k == 0 || s == 0 {
+        return (0, 0);
+    }
+    let lo = p.div_ceil(s).min(out);
+    let hi = ((inp + p - k) / s + 1).min(out);
+    (lo.min(hi), hi)
+}
+
+/// One interior output row of a fully unrolled 3×3 depth-wise filter.
+/// `r0..r2` are the three input rows, already offset so output `j` reads
+/// columns `j*S .. j*S+2`. The nine taps accumulate in `(ky, kx)` order —
+/// the exact f32 addition sequence of the reference kernel.
+#[inline]
+fn dw3_fwd_row<const S: usize>(
+    out: &mut [f32],
+    r0: &[f32],
+    r1: &[f32],
+    r2: &[f32],
+    f: &[f32],
+    bv: f32,
+) {
+    let (f00, f01, f02) = (f[0], f[1], f[2]);
+    let (f10, f11, f12) = (f[3], f[4], f[5]);
+    let (f20, f21, f22) = (f[6], f[7], f[8]);
+    for (j, o) in out.iter_mut().enumerate() {
+        let x = j * S;
+        *o = bv
+            + r0[x] * f00
+            + r0[x + 1] * f01
+            + r0[x + 2] * f02
+            + r1[x] * f10
+            + r1[x + 1] * f11
+            + r1[x + 2] * f12
+            + r2[x] * f20
+            + r2[x + 1] * f21
+            + r2[x + 2] * f22;
+    }
+}
+
+/// Border path: the original generic per-pixel loop over an `ox` range.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn dw_fwd_border(
+    out_row: &mut [f32],
+    chan_in: &[f32],
+    filt: &[f32],
+    bv: f32,
+    oy: usize,
+    ox_range: std::ops::Range<usize>,
+    is: Shape,
+    k: usize,
+    s: usize,
+    p: usize,
+) {
+    let iy0 = (oy * s) as isize - p as isize;
+    for ox in ox_range {
+        let ix0 = (ox * s) as isize - p as isize;
+        let mut acc = bv;
+        for ky in 0..k {
+            let iy = iy0 + ky as isize;
+            if iy < 0 || iy >= is.h as isize {
+                continue;
+            }
+            let row = iy as usize * is.w;
+            let frow = ky * k;
+            for kx in 0..k {
+                let ix = ix0 + kx as isize;
+                if ix >= 0 && ix < is.w as isize {
+                    acc += chan_in[row + ix as usize] * filt[frow + kx];
+                }
+            }
+        }
+        out_row[ox] = acc;
+    }
+}
+
+/// Forward pass over one `(item, channel)` plane with the
+/// interior/border split.
+#[allow(clippy::too_many_arguments)]
+fn dw_plane_fwd(
+    chan_out: &mut [f32],
+    chan_in: &[f32],
+    filt: &[f32],
+    bv: f32,
+    is: Shape,
+    os: Shape,
+    k: usize,
+    s: usize,
+    p: usize,
+) {
+    let (y_lo, y_hi) = interior_range(os.h, is.h, k, s, p);
+    let (x_lo, x_hi) = interior_range(os.w, is.w, k, s, p);
+    for oy in 0..os.h {
+        let out_row = &mut chan_out[oy * os.w..(oy + 1) * os.w];
+        if oy < y_lo || oy >= y_hi || x_lo >= x_hi {
+            dw_fwd_border(out_row, chan_in, filt, bv, oy, 0..os.w, is, k, s, p);
+            continue;
+        }
+        dw_fwd_border(out_row, chan_in, filt, bv, oy, 0..x_lo, is, k, s, p);
+        let iy0 = oy * s - p;
+        let ix0 = x_lo * s - p;
+        let span = (x_hi - 1 - x_lo) * s + k;
+        let interior = &mut out_row[x_lo..x_hi];
+        if k == 3 {
+            let r0 = &chan_in[iy0 * is.w + ix0..iy0 * is.w + ix0 + span];
+            let r1 = &chan_in[(iy0 + 1) * is.w + ix0..(iy0 + 1) * is.w + ix0 + span];
+            let r2 = &chan_in[(iy0 + 2) * is.w + ix0..(iy0 + 2) * is.w + ix0 + span];
+            match s {
+                1 => dw3_fwd_row::<1>(interior, r0, r1, r2, filt, bv),
+                2 => dw3_fwd_row::<2>(interior, r0, r1, r2, filt, bv),
+                _ => {
+                    for (j, o) in interior.iter_mut().enumerate() {
+                        let x = j * s;
+                        *o = bv
+                            + r0[x] * filt[0]
+                            + r0[x + 1] * filt[1]
+                            + r0[x + 2] * filt[2]
+                            + r1[x] * filt[3]
+                            + r1[x + 1] * filt[4]
+                            + r1[x + 2] * filt[5]
+                            + r2[x] * filt[6]
+                            + r2[x + 1] * filt[7]
+                            + r2[x + 2] * filt[8];
+                    }
+                }
+            }
+        } else {
+            // Generic kernel edge, still branch-free: every tap is in
+            // bounds, so the `(ky, kx)` loops carry no checks.
+            for (j, o) in interior.iter_mut().enumerate() {
+                let x0 = ix0 + j * s;
+                let mut acc = bv;
+                for ky in 0..k {
+                    let row = &chan_in[(iy0 + ky) * is.w + x0..(iy0 + ky) * is.w + x0 + k];
+                    let frow = &filt[ky * k..ky * k + k];
+                    for (&iv, &fv) in row.iter().zip(frow) {
+                        acc += iv * fv;
+                    }
+                }
+                *o = acc;
+            }
+        }
+        dw_fwd_border(out_row, chan_in, filt, bv, oy, x_hi..os.w, is, k, s, p);
+    }
+}
+
 /// Depth-wise convolution.
 ///
 /// `weight` has shape `[c, 1, k, k]`; `bias`, when given, has `c` entries.
 ///
+/// Results are bit-identical to [`reference::dwconv2d_ref`] for every
+/// shape and geometry (the interior fast path replays the reference's
+/// exact f32 operation sequence).
+///
 /// # Errors
 ///
-/// Returns a [`TensorError`] when the weight shape disagrees with the input
-/// channel count or geometry, or when the bias length is wrong.
+/// Returns a [`TensorError`] when the weight shape disagrees with the
+/// input channel count or geometry, or when the bias length is wrong.
 pub fn dwconv2d(
     input: &Tensor,
     weight: &Tensor,
@@ -63,28 +236,7 @@ pub fn dwconv2d(
         let filt = &weight.as_slice()[c * kk..(c + 1) * kk];
         let bv = bias.map(|b| b[c]).unwrap_or(0.0);
         let chan_in = &input.as_slice()[plane * is.plane()..(plane + 1) * is.plane()];
-        for oy in 0..os.h {
-            let iy0 = (oy * s) as isize - p as isize;
-            for ox in 0..os.w {
-                let ix0 = (ox * s) as isize - p as isize;
-                let mut acc = bv;
-                for ky in 0..k {
-                    let iy = iy0 + ky as isize;
-                    if iy < 0 || iy >= is.h as isize {
-                        continue;
-                    }
-                    let row = iy as usize * is.w;
-                    let frow = ky * k;
-                    for kx in 0..k {
-                        let ix = ix0 + kx as isize;
-                        if ix >= 0 && ix < is.w as isize {
-                            acc += chan_in[row + ix as usize] * filt[frow + kx];
-                        }
-                    }
-                }
-                chan_out[oy * os.w + ox] = acc;
-            }
-        }
+        dw_plane_fwd(chan_out, chan_in, filt, bv, is, os, k, s, p);
     });
     Ok(out)
 }
@@ -100,7 +252,179 @@ pub struct DwConvGrads {
     pub bias: Vec<f32>,
 }
 
-/// Backward pass of [`dwconv2d`].
+/// Border path of the backward pass: the original generic per-pixel
+/// scatter over an `ox` range.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn dw_bwd_border(
+    gi_c: &mut [f32],
+    gw_c: &mut [f32],
+    gb: &mut f32,
+    go_row: &[f32],
+    chan_in: &[f32],
+    filt: &[f32],
+    oy: usize,
+    ox_range: std::ops::Range<usize>,
+    is: Shape,
+    k: usize,
+    s: usize,
+    p: usize,
+) {
+    let iy0 = (oy * s) as isize - p as isize;
+    for ox in ox_range {
+        let ix0 = (ox * s) as isize - p as isize;
+        let g = go_row[ox];
+        if g == 0.0 {
+            continue;
+        }
+        *gb += g;
+        for ky in 0..k {
+            let iy = iy0 + ky as isize;
+            if iy < 0 || iy >= is.h as isize {
+                continue;
+            }
+            let row = iy as usize * is.w;
+            let frow = ky * k;
+            for kx in 0..k {
+                let ix = ix0 + kx as isize;
+                if ix >= 0 && ix < is.w as isize {
+                    let ii = row + ix as usize;
+                    gw_c[frow + kx] += g * chan_in[ii];
+                    gi_c[ii] += g * filt[frow + kx];
+                }
+            }
+        }
+    }
+}
+
+/// Backward pass over one plane. The interior fast path visits pixels in
+/// the same raster order and taps in the same `(ky, kx)` order as the
+/// border/reference code, so every accumulator (`gi`, `gw`, `gb`) sees
+/// the identical f32 addition sequence.
+#[allow(clippy::too_many_arguments)]
+fn dw_plane_bwd(
+    gi_c: &mut [f32],
+    gw_c: &mut [f32],
+    gb: &mut f32,
+    go: &[f32],
+    chan_in: &[f32],
+    filt: &[f32],
+    is: Shape,
+    os: Shape,
+    k: usize,
+    s: usize,
+    p: usize,
+) {
+    let (y_lo, y_hi) = interior_range(os.h, is.h, k, s, p);
+    let (x_lo, x_hi) = interior_range(os.w, is.w, k, s, p);
+    let unroll3 = k == 3;
+    for oy in 0..os.h {
+        let go_row = &go[oy * os.w..(oy + 1) * os.w];
+        if oy < y_lo || oy >= y_hi || x_lo >= x_hi {
+            dw_bwd_border(
+                gi_c,
+                gw_c,
+                gb,
+                go_row,
+                chan_in,
+                filt,
+                oy,
+                0..os.w,
+                is,
+                k,
+                s,
+                p,
+            );
+            continue;
+        }
+        dw_bwd_border(
+            gi_c,
+            gw_c,
+            gb,
+            go_row,
+            chan_in,
+            filt,
+            oy,
+            0..x_lo,
+            is,
+            k,
+            s,
+            p,
+        );
+        let iy0 = oy * s - p;
+        if unroll3 {
+            // Three disjoint gradient rows, borrowed mutably at once so
+            // the nine scatter targets resolve without re-slicing.
+            let (f00, f01, f02) = (filt[0], filt[1], filt[2]);
+            let (f10, f11, f12) = (filt[3], filt[4], filt[5]);
+            let (f20, f21, f22) = (filt[6], filt[7], filt[8]);
+            let (g0, rest) = gi_c[iy0 * is.w..].split_at_mut(is.w);
+            let (g1, rest) = rest.split_at_mut(is.w);
+            let g2 = &mut rest[..is.w];
+            let r0 = &chan_in[iy0 * is.w..(iy0 + 1) * is.w];
+            let r1 = &chan_in[(iy0 + 1) * is.w..(iy0 + 2) * is.w];
+            let r2 = &chan_in[(iy0 + 2) * is.w..(iy0 + 3) * is.w];
+            for (i, &g) in go_row[x_lo..x_hi].iter().enumerate() {
+                if g == 0.0 {
+                    continue;
+                }
+                *gb += g;
+                let x = (x_lo + i) * s - p;
+                gw_c[0] += g * r0[x];
+                g0[x] += g * f00;
+                gw_c[1] += g * r0[x + 1];
+                g0[x + 1] += g * f01;
+                gw_c[2] += g * r0[x + 2];
+                g0[x + 2] += g * f02;
+                gw_c[3] += g * r1[x];
+                g1[x] += g * f10;
+                gw_c[4] += g * r1[x + 1];
+                g1[x + 1] += g * f11;
+                gw_c[5] += g * r1[x + 2];
+                g1[x + 2] += g * f12;
+                gw_c[6] += g * r2[x];
+                g2[x] += g * f20;
+                gw_c[7] += g * r2[x + 1];
+                g2[x + 1] += g * f21;
+                gw_c[8] += g * r2[x + 2];
+                g2[x + 2] += g * f22;
+            }
+        } else {
+            for (i, &g) in go_row[x_lo..x_hi].iter().enumerate() {
+                if g == 0.0 {
+                    continue;
+                }
+                *gb += g;
+                let x0 = (x_lo + i) * s - p;
+                for ky in 0..k {
+                    let base = (iy0 + ky) * is.w + x0;
+                    let frow = ky * k;
+                    for kx in 0..k {
+                        gw_c[frow + kx] += g * chan_in[base + kx];
+                        gi_c[base + kx] += g * filt[frow + kx];
+                    }
+                }
+            }
+        }
+        dw_bwd_border(
+            gi_c,
+            gw_c,
+            gb,
+            go_row,
+            chan_in,
+            filt,
+            oy,
+            x_hi..os.w,
+            is,
+            k,
+            s,
+            p,
+        );
+    }
+}
+
+/// Backward pass of [`dwconv2d`]. Bit-identical to
+/// [`reference::dwconv2d_backward_ref`].
 ///
 /// # Errors
 ///
@@ -137,7 +461,7 @@ pub fn dwconv2d_backward(
     // `[grad_w | grad_b]` stripe, folded afterwards in ascending item
     // order per channel — the same order the serial loop accumulated in.
     let stripe = kk + 1;
-    let mut partials = vec![0.0f32; is.n * is.c * stripe];
+    let mut partials = scratch::checkout_zeroed("tensor.dwconv_bwd", is.n * is.c * stripe);
     par_chunks_mut2(
         gi.as_mut_slice(),
         is.plane(),
@@ -149,33 +473,7 @@ pub fn dwconv2d_backward(
             let chan_in = &input.as_slice()[plane * is.plane()..(plane + 1) * is.plane()];
             let go = &grad_out.as_slice()[plane * os.plane()..(plane + 1) * os.plane()];
             let (gw_c, gb_c) = partial.split_at_mut(kk);
-            for oy in 0..os.h {
-                let iy0 = (oy * s) as isize - p as isize;
-                for ox in 0..os.w {
-                    let ix0 = (ox * s) as isize - p as isize;
-                    let g = go[oy * os.w + ox];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    gb_c[0] += g;
-                    for ky in 0..k {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= is.h as isize {
-                            continue;
-                        }
-                        let row = iy as usize * is.w;
-                        let frow = ky * k;
-                        for kx in 0..k {
-                            let ix = ix0 + kx as isize;
-                            if ix >= 0 && ix < is.w as isize {
-                                let ii = row + ix as usize;
-                                gw_c[frow + kx] += g * chan_in[ii];
-                                gi_c[ii] += g * filt[frow + kx];
-                            }
-                        }
-                    }
-                }
-            }
+            dw_plane_bwd(gi_c, gw_c, &mut gb_c[0], go, chan_in, filt, is, os, k, s, p);
         },
     );
     for n in 0..is.n {
@@ -195,6 +493,164 @@ pub fn dwconv2d_backward(
         weight: gw,
         bias: gb,
     })
+}
+
+pub mod reference {
+    //! Specification kernels: the original fully bounds-checked loops,
+    //! kept verbatim (minus telemetry) as the ground truth the
+    //! specialized kernels must match **bit for bit**. Used by the
+    //! `kernel_equivalence` proptests and the `kernel_bench` baseline;
+    //! they share the production parallel decomposition so pooled runs
+    //! compare like for like.
+
+    use super::{check, DwConvGrads};
+    use crate::conv::ConvGeometry;
+    use crate::parallel::{par_chunks_mut, par_chunks_mut2};
+    use crate::{Result, Tensor, TensorError};
+
+    /// Generic depth-wise convolution (per-pixel bounds checks).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`super::dwconv2d`].
+    pub fn dwconv2d_ref(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&[f32]>,
+        geo: ConvGeometry,
+    ) -> Result<Tensor> {
+        let is = input.shape();
+        check(is, weight.shape(), geo)?;
+        if let Some(b) = bias {
+            if b.len() != is.c {
+                return Err(TensorError::ShapeMismatch {
+                    op: "dwconv2d bias",
+                    expected: format!("{} entries", is.c),
+                    got: format!("{} entries", b.len()),
+                });
+            }
+        }
+        let os = geo.out_shape(is, is.c);
+        let mut out = Tensor::zeros(os);
+        let (k, s, p) = (geo.kernel, geo.stride, geo.pad);
+        let kk = k * k;
+        par_chunks_mut(out.as_mut_slice(), os.plane(), |plane, chan_out| {
+            let c = plane % is.c;
+            let filt = &weight.as_slice()[c * kk..(c + 1) * kk];
+            let bv = bias.map(|b| b[c]).unwrap_or(0.0);
+            let chan_in = &input.as_slice()[plane * is.plane()..(plane + 1) * is.plane()];
+            for oy in 0..os.h {
+                let iy0 = (oy * s) as isize - p as isize;
+                for ox in 0..os.w {
+                    let ix0 = (ox * s) as isize - p as isize;
+                    let mut acc = bv;
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= is.h as isize {
+                            continue;
+                        }
+                        let row = iy as usize * is.w;
+                        let frow = ky * k;
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            if ix >= 0 && ix < is.w as isize {
+                                acc += chan_in[row + ix as usize] * filt[frow + kx];
+                            }
+                        }
+                    }
+                    chan_out[oy * os.w + ox] = acc;
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    /// Generic backward pass (per-pixel bounds checks).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`super::dwconv2d_backward`].
+    pub fn dwconv2d_backward_ref(
+        input: &Tensor,
+        weight: &Tensor,
+        grad_out: &Tensor,
+        geo: ConvGeometry,
+    ) -> Result<DwConvGrads> {
+        let is = input.shape();
+        check(is, weight.shape(), geo)?;
+        let os = geo.out_shape(is, is.c);
+        if grad_out.shape() != os {
+            return Err(TensorError::ShapeMismatch {
+                op: "dwconv2d_backward",
+                expected: os.to_string(),
+                got: grad_out.shape().to_string(),
+            });
+        }
+        let (k, s, p) = (geo.kernel, geo.stride, geo.pad);
+        let kk = k * k;
+        let mut gi = Tensor::zeros(is);
+        let mut gw = Tensor::zeros(weight.shape());
+        let mut gb = vec![0.0f32; is.c];
+        let stripe = kk + 1;
+        let mut partials = vec![0.0f32; is.n * is.c * stripe];
+        par_chunks_mut2(
+            gi.as_mut_slice(),
+            is.plane(),
+            &mut partials,
+            stripe,
+            |plane, gi_c, partial| {
+                let c = plane % is.c;
+                let filt = &weight.as_slice()[c * kk..(c + 1) * kk];
+                let chan_in = &input.as_slice()[plane * is.plane()..(plane + 1) * is.plane()];
+                let go = &grad_out.as_slice()[plane * os.plane()..(plane + 1) * os.plane()];
+                let (gw_c, gb_c) = partial.split_at_mut(kk);
+                for oy in 0..os.h {
+                    let iy0 = (oy * s) as isize - p as isize;
+                    for ox in 0..os.w {
+                        let ix0 = (ox * s) as isize - p as isize;
+                        let g = go[oy * os.w + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb_c[0] += g;
+                        for ky in 0..k {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= is.h as isize {
+                                continue;
+                            }
+                            let row = iy as usize * is.w;
+                            let frow = ky * k;
+                            for kx in 0..k {
+                                let ix = ix0 + kx as isize;
+                                if ix >= 0 && ix < is.w as isize {
+                                    let ii = row + ix as usize;
+                                    gw_c[frow + kx] += g * chan_in[ii];
+                                    gi_c[ii] += g * filt[frow + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+        );
+        for n in 0..is.n {
+            for c in 0..is.c {
+                let partial = &partials[(n * is.c + c) * stripe..(n * is.c + c + 1) * stripe];
+                for (g, &pv) in gw.as_mut_slice()[c * kk..(c + 1) * kk]
+                    .iter_mut()
+                    .zip(partial)
+                {
+                    *g += pv;
+                }
+                gb[c] += partial[kk];
+            }
+        }
+        Ok(DwConvGrads {
+            input: gi,
+            weight: gw,
+            bias: gb,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +674,23 @@ mod tests {
             }
         }
         dense
+    }
+
+    #[test]
+    fn interior_range_cases() {
+        // 3x3 stride 1 pad 1 over width 8: out 8, interior 1..7.
+        assert_eq!(interior_range(8, 8, 3, 1, 1), (1, 7));
+        // No padding: every position is interior.
+        assert_eq!(interior_range(6, 8, 3, 1, 0), (0, 6));
+        // Stride 2 pad 1 over width 7: out 4; ox=0 touches ix -1, ox=3
+        // touches ix 7 (out of range): interior 1..3.
+        assert_eq!(interior_range(4, 7, 3, 2, 1), (1, 3));
+        // Kernel wider than input: empty interior.
+        let (lo, hi) = interior_range(1, 2, 3, 1, 1);
+        assert!(lo >= hi, "interior must be empty, got {lo}..{hi}");
+        assert_eq!(interior_range(2, 1, 3, 1, 1), (0, 0));
+        // 1x1 kernel, no pad: all interior.
+        assert_eq!(interior_range(5, 5, 1, 1, 0), (0, 5));
     }
 
     #[test]
@@ -247,6 +720,38 @@ mod tests {
         assert_eq!(got.shape(), want.shape());
         for (a, e) in got.as_slice().iter().zip(want.as_slice()) {
             assert!((a - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn specialized_is_bit_identical_to_reference() {
+        // The proptest suite covers random geometries; this pins the two
+        // SkyNet geometries (3x3 s1 p1, 3x3 s2 p1) plus a pad-heavy one.
+        for (s, p, h, w) in [(1, 1, 9, 12), (2, 1, 9, 12), (1, 2, 5, 5)] {
+            let geo = ConvGeometry::new(3, s, p);
+            let c = 3;
+            let x = filled(Shape::new(2, c, h, w), |i| ((i % 17) as f32 - 8.0) * 0.13);
+            let wt = filled(Shape::new(c, 1, 3, 3), |i| ((i % 5) as f32 - 2.0) * 0.4);
+            let b: Vec<f32> = (0..c).map(|i| i as f32 * 0.3 - 0.2).collect();
+            let got = dwconv2d(&x, &wt, Some(&b), geo).unwrap();
+            let want = reference::dwconv2d_ref(&x, &wt, Some(&b), geo).unwrap();
+            assert_eq!(
+                got.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                want.as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "fwd bits diverged at s={s} p={p}"
+            );
+            let go = filled(got.shape(), |i| ((i % 7) as f32 - 3.0) * 0.21);
+            let ga = dwconv2d_backward(&x, &wt, &go, geo).unwrap();
+            let gr = reference::dwconv2d_backward_ref(&x, &wt, &go, geo).unwrap();
+            assert_eq!(ga.input, gr.input, "grad_in diverged at s={s} p={p}");
+            assert_eq!(ga.weight, gr.weight, "grad_w diverged at s={s} p={p}");
+            assert_eq!(ga.bias, gr.bias, "grad_b diverged at s={s} p={p}");
         }
     }
 

@@ -20,12 +20,15 @@
 //! memory behaviour predictable, which is the property the paper's
 //! hardware-aware flow cares about.
 //!
-//! Two infrastructure modules back the kernels: [`parallel`], the
+//! Four infrastructure modules back the kernels: [`parallel`], the
 //! deterministic batch-parallel execution engine (bit-identical results
-//! for any `SKYNET_THREADS`), and [`telemetry`], the process-wide
+//! for any `SKYNET_THREADS`); [`telemetry`], the process-wide
 //! metrics registry + scoped-span tracer that every hot kernel reports
-//! into when `SKYNET_METRICS`/`SKYNET_TRACE` are set (see
-//! `OBSERVABILITY.md` at the repo root).
+//! into when `SKYNET_METRICS`/`SKYNET_TRACE` are set; [`scratch`], the
+//! thread-local scratch arena that keeps kernel temporaries off the
+//! allocator in steady state; and [`alloc`], the global-allocator tap
+//! behind `SKYNET_ALLOC_STATS` that proves it (see `OBSERVABILITY.md`
+//! at the repo root).
 //!
 //! ## Example
 //!
@@ -45,6 +48,7 @@ mod error;
 mod shape;
 mod tensor;
 
+pub mod alloc;
 pub mod conv;
 pub mod crc32;
 pub mod dwconv;
@@ -54,6 +58,7 @@ pub mod parallel;
 pub mod pool;
 pub mod reorg;
 pub mod rng;
+pub mod scratch;
 pub mod telemetry;
 
 pub use error::TensorError;

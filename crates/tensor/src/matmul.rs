@@ -7,11 +7,16 @@
 //! no unsafe code.
 
 use crate::parallel::par_chunks_mut;
-use crate::telemetry;
+use crate::{scratch, telemetry};
 
 /// Tile edge used for cache blocking. 64 f32 = 256 B per row tile, which
 /// keeps three tiles comfortably inside L1 for the sizes we use.
 const BLOCK: usize = 64;
+
+/// Minimum i-block height before a `b` tile is packed into scratch. A
+/// packed tile is read `i1 - i0` times; under this the copy outweighs
+/// the stride savings.
+const PACK_MIN_ROWS: usize = 8;
 
 /// Computes `c += a * b` where `a` is `m×k`, `b` is `k×n` and `c` is `m×n`,
 /// all dense row-major.
@@ -45,13 +50,33 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
 }
 
 /// Serial row-stripe body of [`matmul_acc`].
+///
+/// When an i-block is tall enough to amortize the copy, the current
+/// `b` tile is packed contiguously into a scratch-arena buffer before
+/// the multiply: the packed tile is read once per output row instead of
+/// striding through `b` with an `n`-element row pitch. The packed path
+/// reads the **same values in the same order** as the direct path, so
+/// results are bit-identical either way.
 fn matmul_acc_rows(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let mut tile: Option<scratch::ScratchBuf> = None;
     for i0 in (0..m).step_by(BLOCK) {
         let i1 = (i0 + BLOCK).min(m);
+        // Packing pays off only when the tile is reused across enough
+        // rows and `b`'s rows are actually strided (several j-blocks).
+        let pack = i1 - i0 >= PACK_MIN_ROWS && n > BLOCK;
         for p0 in (0..k).step_by(BLOCK) {
             let p1 = (p0 + BLOCK).min(k);
             for j0 in (0..n).step_by(BLOCK) {
                 let j1 = (j0 + BLOCK).min(n);
+                let tw = j1 - j0;
+                if pack {
+                    let buf = tile
+                        .get_or_insert_with(|| scratch::checkout("tensor.matmul", BLOCK * BLOCK));
+                    for (dst, p) in buf.chunks_mut(tw).zip(p0..p1) {
+                        dst[..tw].copy_from_slice(&b[p * n + j0..p * n + j1]);
+                    }
+                }
+                let tslice: Option<&[f32]> = if pack { tile.as_deref() } else { None };
                 for i in i0..i1 {
                     let arow = &a[i * k..i * k + k];
                     let crow = &mut c[i * n + j0..i * n + j1];
@@ -60,7 +85,11 @@ fn matmul_acc_rows(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
                         if av == 0.0 {
                             continue;
                         }
-                        let brow = &b[p * n + j0..p * n + j1];
+                        let brow = if let Some(t) = tslice {
+                            &t[(p - p0) * tw..(p - p0) * tw + tw]
+                        } else {
+                            &b[p * n + j0..p * n + j1]
+                        };
                         for (cv, &bv) in crow.iter_mut().zip(brow) {
                             *cv += av * bv;
                         }

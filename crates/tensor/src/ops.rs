@@ -172,6 +172,43 @@ pub fn resize_bilinear(x: &Tensor, new_h: usize, new_w: usize) -> Result<Tensor>
         return Ok(x.clone());
     }
     let mut out = Tensor::zeros(os);
+    resize_bilinear_into(x, new_h, new_w, out.as_mut_slice())?;
+    Ok(out)
+}
+
+/// [`resize_bilinear`] writing into a caller-provided buffer of
+/// `x.numel() / (h·w) · new_h · new_w` floats — the allocation-free form
+/// the trainer's batch gather uses to fill one slot of a preallocated
+/// batch tensor. The identity case degenerates to a copy; the resampling
+/// arithmetic is element-for-element the one in [`resize_bilinear`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] when a target extent is zero
+/// or `out` has the wrong length.
+pub fn resize_bilinear_into(x: &Tensor, new_h: usize, new_w: usize, out: &mut [f32]) -> Result<()> {
+    if new_h == 0 || new_w == 0 {
+        return Err(TensorError::InvalidDimension {
+            op: "resize_bilinear",
+            detail: "target extents must be positive".into(),
+        });
+    }
+    let s = x.shape();
+    let os = s.with_hw(new_h, new_w);
+    if out.len() != os.numel() {
+        return Err(TensorError::InvalidDimension {
+            op: "resize_bilinear",
+            detail: format!(
+                "output buffer holds {} floats, need {}",
+                out.len(),
+                os.numel()
+            ),
+        });
+    }
+    if (new_h, new_w) == (s.h, s.w) {
+        out.copy_from_slice(x.as_slice());
+        return Ok(());
+    }
     let sy = if new_h > 1 {
         (s.h - 1) as f32 / (new_h - 1) as f32
     } else {
@@ -201,12 +238,12 @@ pub fn resize_bilinear(x: &Tensor, new_h: usize, new_w: usize) -> Result<Tensor>
                         + src[y0 * s.w + x1] * (1.0 - wy) * wx
                         + src[y1 * s.w + x0] * wy * (1.0 - wx)
                         + src[y1 * s.w + x1] * wy * wx;
-                    out.as_mut_slice()[obase + oy * os.w + ox] = v;
+                    out[obase + oy * os.w + ox] = v;
                 }
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Row-wise softmax over an `N×K` logits matrix stored as `Shape(n, k, 1, 1)`.

@@ -20,6 +20,12 @@
 //! handed out through a single atomic cursor, so the engine has no
 //! per-thread deques and no randomized victim selection — nothing whose
 //! scheduling could be observed through floating-point results.
+//!
+//! Because workers are persistent, each one also owns a long-lived
+//! [`scratch`](crate::scratch) arena through that module's
+//! `thread_local!`: kernel temporaries checked out inside a task are
+//! returned to the worker's own arena and reused by the next task that
+//! lands on the same thread, with no cross-thread contention.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};

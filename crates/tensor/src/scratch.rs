@@ -1,0 +1,226 @@
+//! Thread-local scratch arena: reusable `f32` buffers for kernel hot loops.
+//!
+//! The convolution kernels lower feature maps into temporary column /
+//! packing / partial-sum buffers whose sizes repeat exactly from call to
+//! call (a network's shapes are fixed). Allocating those with `vec!` on
+//! every call puts the allocator on the hot path — and, as Kwon et al.
+//! observe for this class of workload, memory traffic rather than FLOPs
+//! is what dominates. This module keeps the buffers alive instead:
+//!
+//! * every thread owns one arena (a plain `thread_local!`, so each
+//!   [`parallel`](crate::parallel) pool worker gets its own — checkouts
+//!   never contend);
+//! * buffers are **size-classed** to the next power of two, so a checkout
+//!   of any recurring size is a pop from a per-class free list;
+//! * a checked-out buffer is returned to its arena when the
+//!   [`ScratchBuf`] guard drops, ready for the next call.
+//!
+//! In steady state a training iteration therefore performs **zero heap
+//! allocations from these call sites** — the `profile` bench bin asserts
+//! exactly that via the miss counters below.
+//!
+//! ## Telemetry
+//!
+//! When metrics are enabled, every checkout tallies per-op counters:
+//! `scratch.<op>.bytes_alloc` (bytes newly allocated because the arena
+//! missed) and `scratch.<op>.arena_reuse` (checkouts served from the free
+//! list), plus the global `scratch.miss_bytes`. Misses depend on which
+//! thread ran which task, so the `scratch.*` family is — like `pool.*` —
+//! outside the telemetry determinism guarantee.
+//!
+//! ## Contents contract
+//!
+//! [`checkout`] returns a buffer with **unspecified contents** (stale
+//! data from a previous use); callers must fully overwrite it before
+//! reading, which is what `im2col`-style producers do. Accumulating
+//! consumers use [`checkout_zeroed`].
+
+use crate::telemetry;
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Smallest size class, in `f32` elements. Requests below this round up.
+const MIN_CLASS: usize = 256;
+
+/// Free buffers kept per size class; beyond this, returned buffers are
+/// dropped. Bounds arena growth when a workload churns through many
+/// concurrent same-class checkouts once and never again.
+const MAX_PER_CLASS: usize = 8;
+
+struct Arena {
+    /// `classes[i]` holds free buffers of `MIN_CLASS << i` elements.
+    classes: Vec<Vec<Vec<f32>>>,
+}
+
+impl Arena {
+    const fn new() -> Self {
+        Arena {
+            classes: Vec::new(),
+        }
+    }
+
+    fn class_index(len: usize) -> usize {
+        let class = len.next_power_of_two().max(MIN_CLASS);
+        (class / MIN_CLASS).trailing_zeros() as usize
+    }
+
+    fn take(&mut self, len: usize) -> Option<Vec<f32>> {
+        let idx = Self::class_index(len);
+        self.classes.get_mut(idx)?.pop()
+    }
+
+    fn put(&mut self, buf: Vec<f32>) {
+        debug_assert!(buf.len().is_power_of_two() && buf.len() >= MIN_CLASS);
+        let idx = Self::class_index(buf.len());
+        if idx >= self.classes.len() {
+            self.classes.resize_with(idx + 1, Vec::new);
+        }
+        let list = &mut self.classes[idx];
+        if list.len() < MAX_PER_CLASS {
+            list.push(buf);
+        }
+    }
+}
+
+thread_local! {
+    static ARENA: RefCell<Arena> = const { RefCell::new(Arena::new()) };
+}
+
+/// A scratch buffer checked out of this thread's arena. Dereferences to
+/// `[f32]` of exactly the requested length; the guard returns the
+/// backing storage to the arena of whichever thread drops it.
+#[derive(Debug)]
+pub struct ScratchBuf {
+    /// Backing storage, always a full size class long.
+    data: Vec<f32>,
+    /// Requested length (`<= data.len()`).
+    len: usize,
+}
+
+impl Deref for ScratchBuf {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.data[..self.len]
+    }
+}
+
+impl DerefMut for ScratchBuf {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.data[..self.len]
+    }
+}
+
+impl Drop for ScratchBuf {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.data);
+        if !buf.is_empty() {
+            // During thread teardown the arena TLS may already be gone;
+            // the buffer is then simply freed.
+            let _ = ARENA.try_with(|a| a.borrow_mut().put(buf));
+        }
+    }
+}
+
+fn record_checkout(op: &'static str, hit: bool, class_bytes: usize) {
+    if !telemetry::metrics_enabled() {
+        return;
+    }
+    if hit {
+        telemetry::counter(&format!("scratch.{op}.arena_reuse")).inc();
+    } else {
+        telemetry::counter(&format!("scratch.{op}.bytes_alloc")).add(class_bytes as u64);
+        telemetry::counter("scratch.miss_bytes").add(class_bytes as u64);
+    }
+}
+
+/// Checks out a buffer of `len` floats with **unspecified contents** (see
+/// the module docs). `op` names the call site for the per-op allocation
+/// counters — by convention the kernel's span name, e.g.
+/// `"tensor.conv_fwd"`.
+pub fn checkout(op: &'static str, len: usize) -> ScratchBuf {
+    if len == 0 {
+        return ScratchBuf {
+            data: Vec::new(),
+            len: 0,
+        };
+    }
+    let reused = ARENA.try_with(|a| a.borrow_mut().take(len)).ok().flatten();
+    let hit = reused.is_some();
+    let data = reused.unwrap_or_else(|| {
+        let class = len.next_power_of_two().max(MIN_CLASS);
+        vec![0.0f32; class]
+    });
+    record_checkout(op, hit, data.len() * std::mem::size_of::<f32>());
+    ScratchBuf { data, len }
+}
+
+/// [`checkout`] with the first `len` elements zeroed — for buffers the
+/// caller accumulates into rather than overwrites.
+pub fn checkout_zeroed(op: &'static str, len: usize) -> ScratchBuf {
+    let mut buf = checkout(op, len);
+    buf.fill(0.0);
+    buf
+}
+
+/// Drops every free buffer held by the **current thread's** arena. Used
+/// by tests that want a cold-arena baseline; pool worker arenas are
+/// unaffected.
+pub fn clear_thread_arena() {
+    let _ = ARENA.try_with(|a| a.borrow_mut().classes.clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_has_requested_length() {
+        let buf = checkout("test.scratch", 1000);
+        assert_eq!(buf.len(), 1000);
+        assert_eq!(checkout("test.scratch", 0).len(), 0);
+    }
+
+    #[test]
+    fn buffers_are_reused_within_a_thread() {
+        clear_thread_arena();
+        let first = checkout("test.scratch", 500);
+        let ptr = first.as_ptr();
+        drop(first);
+        let second = checkout("test.scratch", 500);
+        assert_eq!(second.as_ptr(), ptr, "same size class must reuse");
+        // A different class gets different storage.
+        let third = checkout("test.scratch", 50_000);
+        assert_ne!(third.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn zeroed_checkout_clears_stale_contents() {
+        clear_thread_arena();
+        {
+            let mut buf = checkout("test.scratch", 300);
+            buf.fill(7.0);
+        }
+        let buf = checkout_zeroed("test.scratch", 300);
+        assert!(buf.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn class_index_rounds_to_power_of_two() {
+        assert_eq!(Arena::class_index(1), 0);
+        assert_eq!(Arena::class_index(MIN_CLASS), 0);
+        assert_eq!(Arena::class_index(MIN_CLASS + 1), 1);
+        assert_eq!(Arena::class_index(4 * MIN_CLASS), 2);
+    }
+
+    #[test]
+    fn per_class_cap_bounds_growth() {
+        clear_thread_arena();
+        let bufs: Vec<_> = (0..2 * MAX_PER_CLASS)
+            .map(|_| checkout("test.scratch", MIN_CLASS))
+            .collect();
+        drop(bufs);
+        let held = ARENA.with(|a| a.borrow().classes[0].len());
+        assert_eq!(held, MAX_PER_CLASS);
+    }
+}

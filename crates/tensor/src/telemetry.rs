@@ -415,6 +415,37 @@ pub struct HistogramSnapshot {
     pub sum: f64,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the fixed buckets by
+    /// linear interpolation inside the bucket holding the target rank.
+    /// The first bucket interpolates from 0; ranks landing in the
+    /// overflow bucket are clamped to the last bound (the histogram does
+    /// not know how far past it the values went). Returns `None` when
+    /// nothing has been recorded.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let last_bound = *self.bounds.last()?;
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if c > 0 && cum as f64 >= target {
+                if i >= self.bounds.len() {
+                    return Some(last_bound);
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                let frac = ((target - prev as f64) / c as f64).clamp(0.0, 1.0);
+                return Some(lower + (upper - lower) * frac);
+            }
+        }
+        Some(last_bound)
+    }
+}
+
 /// Deterministically ordered copy of every registered metric.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Snapshot {
@@ -528,13 +559,17 @@ pub fn snapshot_json() -> String {
         }
         let bounds: Vec<String> = h.bounds.iter().map(|b| json_f64(*b)).collect();
         let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+        let quant = |q: f64| h.quantile(q).map(json_f64).unwrap_or_else(|| "null".into());
         out.push_str(&format!(
-            "\"{}\":{{\"bounds\":[{}],\"counts\":[{}],\"count\":{},\"sum\":{}}}",
+            "\"{}\":{{\"bounds\":[{}],\"counts\":[{}],\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
             json_escape(&h.name),
             bounds.join(","),
             counts.join(","),
             h.count,
             json_f64(h.sum),
+            quant(0.50),
+            quant(0.95),
+            quant(0.99),
         ));
     }
     out.push_str("}}");
@@ -572,10 +607,16 @@ pub fn render_table() -> String {
             } else {
                 0.0
             };
-            out.push_str(&format!(
-                "  {}  count={} sum={:.3} mean={:.4}\n",
-                h.name, h.count, h.sum, mean
-            ));
+            match (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)) {
+                (Some(p50), Some(p95), Some(p99)) => out.push_str(&format!(
+                    "  {}  count={} sum={:.3} mean={:.4} p50={p50:.4} p95={p95:.4} p99={p99:.4}\n",
+                    h.name, h.count, h.sum, mean
+                )),
+                _ => out.push_str(&format!(
+                    "  {}  count={} sum={:.3} mean={:.4}\n",
+                    h.name, h.count, h.sum, mean
+                )),
+            }
             for (i, &c) in h.counts.iter().enumerate() {
                 if c == 0 {
                     continue;
@@ -588,6 +629,14 @@ pub fn render_table() -> String {
                 out.push_str(&format!("    {label:<12} {c}\n"));
             }
         }
+    }
+    if crate::alloc::enabled() {
+        let a = crate::alloc::stats();
+        out.push_str("allocator (SKYNET_ALLOC_STATS)\n");
+        out.push_str(&format!(
+            "  alloc_calls    {}\n  alloc_bytes    {}\n  dealloc_calls  {}\n  dealloc_bytes  {}\n",
+            a.alloc_calls, a.alloc_bytes, a.dealloc_calls, a.dealloc_bytes
+        ));
     }
     out
 }
@@ -622,7 +671,29 @@ impl SpanRecord {
 struct ThreadBuf {
     thread: u32,
     seq: u64,
-    spans: Vec<SpanRecord>,
+    spans: std::collections::VecDeque<SpanRecord>,
+}
+
+/// Per-thread span-buffer capacity: `SKYNET_TRACE_CAP` (default 65 536
+/// spans ≈ 2.5 MiB/thread). When a buffer is full the **oldest** span is
+/// dropped and `telemetry.spans.dropped` incremented — a long-running
+/// process keeps the most recent window instead of growing unboundedly.
+fn trace_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("SKYNET_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(65_536)
+    })
+}
+
+/// Cached handle for the drop counter so the span hot path never takes
+/// the registry lock after the first drop.
+fn dropped_counter() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| counter("telemetry.spans.dropped"))
 }
 
 fn trace_epoch() -> Instant {
@@ -647,7 +718,7 @@ fn with_local_buf(f: impl FnOnce(&mut ThreadBuf)) {
             let buf = Arc::new(Mutex::new(ThreadBuf {
                 thread: all.len() as u32,
                 seq: 0,
-                spans: Vec::new(),
+                spans: std::collections::VecDeque::new(),
             }));
             all.push(Arc::clone(&buf));
             buf
@@ -675,7 +746,11 @@ impl Drop for SpanGuard {
                 let seq = buf.seq;
                 buf.seq += 1;
                 let thread = buf.thread;
-                buf.spans.push(SpanRecord {
+                if buf.spans.len() >= trace_cap() {
+                    buf.spans.pop_front();
+                    dropped_counter().inc();
+                }
+                buf.spans.push_back(SpanRecord {
                     name,
                     thread,
                     seq,
@@ -722,7 +797,7 @@ pub fn drain_spans() -> Vec<SpanRecord> {
     let mut out = Vec::new();
     for buf in all.iter() {
         let mut buf = buf.lock().expect("thread trace buffer");
-        out.append(&mut buf.spans);
+        out.extend(buf.spans.drain(..));
     }
     drop(all);
     out.sort_by_key(|s| (s.start_ns, s.thread, s.seq));
@@ -983,6 +1058,76 @@ mod tests {
             assert!(json.contains("\"test.json.calls\":"));
             assert!(json.contains("\"test.json.gauge\":2.5"));
             assert_eq!(json.matches('{').count(), json.matches('}').count());
+        });
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let hs = HistogramSnapshot {
+            name: "test.q".into(),
+            bounds: vec![1.0, 2.0, 4.0],
+            // 10 values <= 1, 10 in (1, 2], none in (2, 4], 5 overflow.
+            counts: vec![10, 10, 0, 5],
+            count: 25,
+            sum: 0.0,
+        };
+        // Rank 12.5 lands 2.5/10 into the (1, 2] bucket.
+        let p50 = hs.quantile(0.5).unwrap();
+        assert!((p50 - 1.25).abs() < 1e-9, "p50 = {p50}");
+        // Ranks past the last bound clamp to it.
+        assert_eq!(hs.quantile(0.99), Some(4.0));
+        // First-bucket ranks interpolate from zero.
+        let p20 = hs.quantile(0.2).unwrap();
+        assert!((p20 - 0.5).abs() < 1e-9, "p20 = {p20}");
+        // Empty histogram has no quantiles.
+        let empty = HistogramSnapshot {
+            name: "test.q0".into(),
+            bounds: vec![1.0],
+            counts: vec![0, 0],
+            count: 0,
+            sum: 0.0,
+        };
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn json_and_table_surface_percentiles() {
+        with_telemetry(|| {
+            let h = histogram("test.pctl.ms", &[1.0, 10.0]);
+            h.reset();
+            h.record(0.5);
+            h.record(5.0);
+            assert!(snapshot_json().contains("\"p95\":"));
+            assert!(render_table().contains("p95="));
+        });
+    }
+
+    #[test]
+    fn span_buffer_drops_oldest_at_cap() {
+        // The cap is process-wide (OnceLock) so this test exercises the
+        // drop path on a dedicated thread with a pre-filled buffer
+        // instead of overriding the env: record `cap + extra` spans and
+        // check the retention window.
+        with_telemetry(|| {
+            drain_spans();
+            let before = snapshot().counter("telemetry.spans.dropped").unwrap_or(0);
+            let cap = trace_cap();
+            let extra = 16;
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for _ in 0..cap + extra {
+                        let _s = span("test.capped");
+                    }
+                });
+            });
+            let spans = drain_spans();
+            let mine: Vec<_> = spans.iter().filter(|s| s.name == "test.capped").collect();
+            assert_eq!(mine.len(), cap, "buffer must hold exactly the cap");
+            // The survivors are the newest: seq values are the tail.
+            let min_seq = mine.iter().map(|s| s.seq).min().unwrap();
+            assert_eq!(min_seq, extra as u64, "oldest spans must be dropped");
+            let after = snapshot().counter("telemetry.spans.dropped").unwrap_or(0);
+            assert_eq!(after - before, extra as u64);
         });
     }
 }

@@ -1,0 +1,178 @@
+//! Property tests of the specialized depth-wise kernels: the
+//! interior/border split in [`skynet_tensor::dwconv`] must be
+//! **bit-identical** to the generic bounds-checked reference kernels
+//! (`dwconv::reference`) for arbitrary shapes, strides and pads — on the
+//! worker pool and under [`parallel::serial`]. This is the contract that
+//! lets the fast path replace the generic one without a tolerance.
+
+use proptest::prelude::*;
+use skynet_tensor::conv::ConvGeometry;
+use skynet_tensor::dwconv::{dwconv2d, dwconv2d_backward, reference};
+use skynet_tensor::parallel;
+use skynet_tensor::rng::SkyRng;
+use skynet_tensor::{Shape, Tensor};
+
+fn random_tensor(shape: Shape, rng: &mut SkyRng) -> Tensor {
+    let data = (0..shape.numel()).map(|_| rng.range(-2.0, 2.0)).collect();
+    Tensor::from_vec(shape, data).expect("length matches")
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn vec_bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Specialized forward == reference forward, bit for bit, pooled and
+    /// forced-serial, over random geometries (non-square spatial extents
+    /// so row/column interior ranges differ).
+    #[test]
+    fn specialized_forward_matches_reference_bitwise(
+        seed in 0u64..1_000_000,
+        n in 1usize..4,
+        c in 1usize..6,
+        h in 3usize..11,
+        w in 3usize..11,
+        kernel in 1usize..5,
+        stride in 1usize..3,
+        pad in 0usize..3,
+    ) {
+        let geo = ConvGeometry::new(kernel, stride, pad);
+        if geo.out_extent(h) == 0 || geo.out_extent(w) == 0 {
+            return Ok(()); // degenerate geometry: rejected by both kernels
+        }
+        let mut rng = SkyRng::new(seed);
+        let x = random_tensor(Shape::new(n, c, h, w), &mut rng);
+        let wt = random_tensor(Shape::new(c, 1, kernel, kernel), &mut rng);
+        let b: Vec<f32> = (0..c).map(|_| rng.range(-1.0, 1.0)).collect();
+
+        let fast = dwconv2d(&x, &wt, Some(&b), geo).unwrap();
+        let slow = reference::dwconv2d_ref(&x, &wt, Some(&b), geo).unwrap();
+        prop_assert_eq!(bits(&fast), bits(&slow));
+
+        let fast_ser = parallel::serial(|| dwconv2d(&x, &wt, Some(&b), geo)).unwrap();
+        let slow_ser = parallel::serial(|| reference::dwconv2d_ref(&x, &wt, Some(&b), geo)).unwrap();
+        prop_assert_eq!(bits(&fast_ser), bits(&slow_ser));
+        prop_assert_eq!(bits(&fast_ser), bits(&fast));
+
+        // Bias-free path too (distinct accumulator seed).
+        let fast_nb = dwconv2d(&x, &wt, None, geo).unwrap();
+        let slow_nb = reference::dwconv2d_ref(&x, &wt, None, geo).unwrap();
+        prop_assert_eq!(bits(&fast_nb), bits(&slow_nb));
+    }
+
+    /// Specialized backward == reference backward for all three
+    /// gradients, bit for bit, pooled and forced-serial.
+    #[test]
+    fn specialized_backward_matches_reference_bitwise(
+        seed in 0u64..1_000_000,
+        n in 1usize..4,
+        c in 1usize..6,
+        h in 3usize..11,
+        w in 3usize..11,
+        kernel in 1usize..5,
+        stride in 1usize..3,
+        pad in 0usize..3,
+    ) {
+        let geo = ConvGeometry::new(kernel, stride, pad);
+        if geo.out_extent(h) == 0 || geo.out_extent(w) == 0 {
+            return Ok(());
+        }
+        let mut rng = SkyRng::new(seed);
+        let x = random_tensor(Shape::new(n, c, h, w), &mut rng);
+        let wt = random_tensor(Shape::new(c, 1, kernel, kernel), &mut rng);
+        let os = geo.out_shape(x.shape(), c);
+        let go = random_tensor(os, &mut rng);
+
+        let fast = dwconv2d_backward(&x, &wt, &go, geo).unwrap();
+        let slow = reference::dwconv2d_backward_ref(&x, &wt, &go, geo).unwrap();
+        prop_assert_eq!(bits(&fast.input), bits(&slow.input));
+        prop_assert_eq!(bits(&fast.weight), bits(&slow.weight));
+        prop_assert_eq!(vec_bits(&fast.bias), vec_bits(&slow.bias));
+
+        let fast_ser = parallel::serial(|| dwconv2d_backward(&x, &wt, &go, geo)).unwrap();
+        let slow_ser =
+            parallel::serial(|| reference::dwconv2d_backward_ref(&x, &wt, &go, geo)).unwrap();
+        prop_assert_eq!(bits(&fast_ser.input), bits(&slow_ser.input));
+        prop_assert_eq!(bits(&fast_ser.weight), bits(&slow_ser.weight));
+        prop_assert_eq!(vec_bits(&fast_ser.bias), vec_bits(&slow_ser.bias));
+        prop_assert_eq!(bits(&fast_ser.input), bits(&fast.input));
+    }
+
+    /// Sparse upstream gradients exercise the `g == 0.0` skip in both
+    /// interior and border scatter paths.
+    #[test]
+    fn sparse_grad_backward_matches_reference_bitwise(
+        seed in 0u64..1_000_000,
+        h in 4usize..12,
+        w in 4usize..12,
+        stride in 1usize..3,
+    ) {
+        let geo = ConvGeometry::new(3, stride, 1);
+        let mut rng = SkyRng::new(seed);
+        let c = 3;
+        let x = random_tensor(Shape::new(2, c, h, w), &mut rng);
+        let wt = random_tensor(Shape::new(c, 1, 3, 3), &mut rng);
+        let os = geo.out_shape(x.shape(), c);
+        // ~75% exact zeros in the upstream gradient.
+        let data: Vec<f32> = (0..os.numel())
+            .map(|_| {
+                let v = rng.range(-2.0, 2.0);
+                if rng.range(0.0, 1.0) < 0.75 { 0.0 } else { v }
+            })
+            .collect();
+        let go = Tensor::from_vec(os, data).unwrap();
+
+        let fast = dwconv2d_backward(&x, &wt, &go, geo).unwrap();
+        let slow = reference::dwconv2d_backward_ref(&x, &wt, &go, geo).unwrap();
+        prop_assert_eq!(bits(&fast.input), bits(&slow.input));
+        prop_assert_eq!(bits(&fast.weight), bits(&slow.weight));
+        prop_assert_eq!(vec_bits(&fast.bias), vec_bits(&slow.bias));
+    }
+}
+
+/// The exact geometries SkyNet instantiates (3×3 s1 p1 and the stride-2
+/// pooling replacement) at a few real feature-map extents, pinned outside
+/// proptest so they always run.
+#[test]
+fn skynet_geometries_bitwise() {
+    let mut rng = SkyRng::new(0xD0E5);
+    for &(c, h, w, s) in &[
+        (3usize, 40usize, 80usize, 1usize),
+        (24, 20, 40, 1),
+        (48, 10, 20, 2),
+        (160, 5, 10, 1),
+    ] {
+        let geo = ConvGeometry::new(3, s, 1);
+        let x = random_tensor(Shape::new(1, c, h, w), &mut rng);
+        let wt = random_tensor(Shape::new(c, 1, 3, 3), &mut rng);
+        let b: Vec<f32> = (0..c).map(|_| rng.range(-1.0, 1.0)).collect();
+        let fast = dwconv2d(&x, &wt, Some(&b), geo).unwrap();
+        let slow = reference::dwconv2d_ref(&x, &wt, Some(&b), geo).unwrap();
+        assert_eq!(bits(&fast), bits(&slow), "fwd bits diverged at c={c} s={s}");
+
+        let go = random_tensor(fast.shape(), &mut rng);
+        let gf = dwconv2d_backward(&x, &wt, &go, geo).unwrap();
+        let gs = reference::dwconv2d_backward_ref(&x, &wt, &go, geo).unwrap();
+        assert_eq!(
+            bits(&gf.input),
+            bits(&gs.input),
+            "gi diverged at c={c} s={s}"
+        );
+        assert_eq!(
+            bits(&gf.weight),
+            bits(&gs.weight),
+            "gw diverged at c={c} s={s}"
+        );
+        assert_eq!(
+            vec_bits(&gf.bias),
+            vec_bits(&gs.bias),
+            "gb diverged at c={c} s={s}"
+        );
+    }
+}
