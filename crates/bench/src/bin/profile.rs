@@ -28,7 +28,7 @@
 use skynet_bench::Budget;
 use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
 use skynet_nn::{Act, Layer, Mode};
-use skynet_tensor::{alloc, parallel, rng::SkyRng, telemetry, Shape, Tensor};
+use skynet_tensor::{alloc, parallel, rng::SkyRng, simd, telemetry, Shape, Tensor};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -208,8 +208,10 @@ fn main() {
     let _ = writeln!(
         report,
         "Model C (width ÷8), input {shape}, {iters} serial forward iterations \
-         (pool size {} for the pooled trace capture).\n",
-        parallel::num_threads()
+         (pool size {} for the pooled trace capture). Active SIMD backend: \
+         `{}`.\n",
+        parallel::num_threads(),
+        simd::active().name(),
     );
     let _ = writeln!(
         report,

@@ -77,6 +77,10 @@ impl Trainer {
     ) -> Result<Vec<EpochStats>> {
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let mut stats = Vec::with_capacity(self.cfg.epochs);
+        // Resolve the SIMD backend up front: a hard error on a forced but
+        // unavailable backend fires here, before any work, and the
+        // `simd.backend` gauge is registered from the first batch on.
+        let _ = skynet_tensor::simd::active();
         for epoch in 0..self.cfg.epochs {
             let _epoch_span = telemetry::span("train.epoch");
             self.rng.shuffle(&mut order);

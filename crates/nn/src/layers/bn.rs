@@ -3,7 +3,7 @@
 
 use crate::{Layer, Mode, Param};
 use skynet_tensor::ops::{channel_mean, channel_var};
-use skynet_tensor::{Result, Shape, Tensor, TensorError};
+use skynet_tensor::{simd, Result, Shape, Tensor, TensorError};
 
 /// 2-D batch normalization with learnable per-channel scale and shift.
 ///
@@ -103,16 +103,21 @@ impl Layer for BatchNorm2d {
                 let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
                 let mut x_hat = Tensor::zeros(s);
                 let mut y = Tensor::zeros(s);
+                simd::record_lanes("bn", s.n * s.c * simd::vector_cover(plane));
                 for n in 0..s.n {
                     for c in 0..s.c {
                         let base = (n * s.c + c) * plane;
-                        let (m, is) = (mean[c], inv_std[c]);
-                        let (g, b) = (gamma[c], beta[c]);
-                        for i in base..base + plane {
-                            let xh = (x.as_slice()[i] - m) * is;
-                            x_hat.as_mut_slice()[i] = xh;
-                            y.as_mut_slice()[i] = g * xh + b;
-                        }
+                        // Lane-parallel plane apply; replays the scalar
+                        // `x̂ = (x − m)·is; y = g·x̂ + b` op order exactly.
+                        simd::bn_apply_train(
+                            &x.as_slice()[base..base + plane],
+                            &mut x_hat.as_mut_slice()[base..base + plane],
+                            &mut y.as_mut_slice()[base..base + plane],
+                            mean[c],
+                            inv_std[c],
+                            gamma[c],
+                            beta[c],
+                        );
                     }
                 }
                 self.cache = Some(BnCache { x_hat, inv_std });
@@ -120,14 +125,19 @@ impl Layer for BatchNorm2d {
             }
             Mode::Eval | Mode::QuantEval { .. } => {
                 let mut y = Tensor::zeros(s);
+                simd::record_lanes("bn", s.n * s.c * simd::vector_cover(plane));
                 for n in 0..s.n {
                     for c in 0..s.c {
                         let base = (n * s.c + c) * plane;
                         let is = 1.0 / (self.running_var[c] + self.eps).sqrt();
-                        let (m, g, b) = (self.running_mean[c], gamma[c], beta[c]);
-                        for i in base..base + plane {
-                            y.as_mut_slice()[i] = g * (x.as_slice()[i] - m) * is + b;
-                        }
+                        simd::bn_apply_eval(
+                            &x.as_slice()[base..base + plane],
+                            &mut y.as_mut_slice()[base..base + plane],
+                            self.running_mean[c],
+                            is,
+                            gamma[c],
+                            beta[c],
+                        );
                     }
                 }
                 Ok(mode.finalize(y))

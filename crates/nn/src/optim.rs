@@ -6,6 +6,7 @@
 //! profile.
 
 use crate::{Layer, Param};
+use skynet_tensor::simd;
 
 /// Learning-rate schedule evaluated per step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -180,21 +181,20 @@ impl Sgd {
                 "parameter {idx} changed size between optimizer steps"
             );
             let decay = if p.decay { wd } else { 0.0 };
-            for ((vel, val), &g) in v
-                .iter_mut()
-                .zip(p.value.as_mut_slice())
-                .zip(p.grad.as_slice())
-            {
-                // Non-finite gradients (diverged batch) are dropped; the
-                // optional clip bounds the rest.
-                let g = if g.is_finite() { g } else { 0.0 };
-                let g = match clip {
-                    Some(c) => g.clamp(-c, c),
-                    None => g,
-                };
-                *vel = momentum * *vel + g + decay * *val;
-                *val -= lr * *vel;
-            }
+            // Lane-parallel update; drops non-finite gradients (diverged
+            // batch), applies the optional clip, then the same momentum /
+            // decay / lr sequence the scalar loop used — bit-identical on
+            // every SKYNET_SIMD backend.
+            simd::record_lanes("sgd", simd::vector_cover(p.numel()));
+            simd::sgd_axpy_update(
+                p.value.as_mut_slice(),
+                p.grad.as_slice(),
+                v,
+                lr,
+                momentum,
+                decay,
+                clip,
+            );
             p.zero_grad();
             idx += 1;
         });

@@ -278,13 +278,16 @@ pub fn conv2d(
     Ok(out)
 }
 
-/// Adds one bias value per `l`-element output row.
+/// Adds one bias value per `l`-element output row (8-lane splat-add;
+/// lane-independent, so bit-identical to the scalar loop it replaced).
 fn add_bias(out_rows: &mut [f32], bias: Option<&[f32]>, l: usize) {
     if let Some(b) = bias {
+        crate::simd::record_lanes(
+            "bias",
+            b.len().min(out_rows.len() / l.max(1)) * crate::simd::vector_cover(l),
+        );
         for (row, &bv) in out_rows.chunks_mut(l).zip(b) {
-            for v in row {
-                *v += bv;
-            }
+            crate::simd::add_scalar_inplace(row, bv);
         }
     }
 }

@@ -20,15 +20,19 @@
 //! memory behaviour predictable, which is the property the paper's
 //! hardware-aware flow cares about.
 //!
-//! Four infrastructure modules back the kernels: [`parallel`], the
+//! Five infrastructure modules back the kernels: [`parallel`], the
 //! deterministic batch-parallel execution engine (bit-identical results
-//! for any `SKYNET_THREADS`); [`telemetry`], the process-wide
-//! metrics registry + scoped-span tracer that every hot kernel reports
-//! into when `SKYNET_METRICS`/`SKYNET_TRACE` are set; [`scratch`], the
-//! thread-local scratch arena that keeps kernel temporaries off the
-//! allocator in steady state; and [`alloc`], the global-allocator tap
-//! behind `SKYNET_ALLOC_STATS` that proves it (see `OBSERVABILITY.md`
-//! at the repo root).
+//! for any `SKYNET_THREADS`); [`simd`], the fixed-width 8-lane vector
+//! abstraction with runtime-dispatched AVX2/SSE2/scalar backends that
+//! are bit-identical to each other (`SKYNET_SIMD` forces one, extending
+//! the determinism guarantee across ISAs); [`telemetry`], the
+//! process-wide metrics registry + scoped-span tracer that every hot
+//! kernel reports into when `SKYNET_METRICS`/`SKYNET_TRACE` are set;
+//! [`scratch`], the thread-local scratch arena that keeps kernel
+//! temporaries off the allocator in steady state (and hands out
+//! 32-byte-aligned buffers for the vector kernels); and [`alloc`], the
+//! global-allocator tap behind `SKYNET_ALLOC_STATS` that proves it (see
+//! `OBSERVABILITY.md` at the repo root).
 //!
 //! ## Example
 //!
@@ -59,6 +63,7 @@ pub mod pool;
 pub mod reorg;
 pub mod rng;
 pub mod scratch;
+pub mod simd;
 pub mod telemetry;
 
 pub use error::TensorError;

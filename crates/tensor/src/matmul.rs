@@ -2,21 +2,33 @@
 //!
 //! This is the compute core behind standard and point-wise convolutions
 //! (via [`im2col`](crate::conv)). The kernel is a cache-blocked ikj loop
-//! with a unrolled inner update; it is not BLAS, but it is fast enough to
-//! train the scaled-down models used throughout the evaluation, and it has
-//! no unsafe code.
+//! whose inner axpy update runs 8 lanes at a time through the
+//! [`crate::simd`] abstraction (the only unsafe in this module is
+//! the `target_feature` wrapper that instantiates the AVX2 backend after
+//! runtime detection). The axpy is lane-independent — every output
+//! element sees the same `c += a·b` chain on every backend — so results
+//! are **bit-identical** across `SKYNET_SIMD` backends, thread counts,
+//! and the pre-SIMD scalar kernel. It is not BLAS, but it is fast enough
+//! to train the scaled-down models used throughout the evaluation.
 
 use crate::parallel::par_chunks_mut;
+use crate::simd::{self, Backend, F32x8, ScalarV, LANES};
 use crate::{scratch, telemetry};
+
+#[cfg(target_arch = "x86_64")]
+use crate::simd::{Avx2V, Sse2V};
 
 /// Tile edge used for cache blocking. 64 f32 = 256 B per row tile, which
 /// keeps three tiles comfortably inside L1 for the sizes we use.
 const BLOCK: usize = 64;
 
 /// Minimum i-block height before a `b` tile is packed into scratch. A
-/// packed tile is read `i1 - i0` times; under this the copy outweighs
-/// the stride savings.
-const PACK_MIN_ROWS: usize = 8;
+/// packed tile costs one `BLOCK²` copy and saves an `n`-pitch stride on
+/// every one of the i-block's row passes, so it amortizes once the block
+/// is at least one vector-register's worth of rows per cache-line-sized
+/// tile row — `BLOCK / LANES` (8 with a 64-wide block and 8 lanes). The
+/// `pack_threshold_is_neutral` test pins the boundary shapes.
+const PACK_MIN_ROWS: usize = BLOCK / LANES;
 
 /// Computes `c += a * b` where `a` is `m×k`, `b` is `k×n` and `c` is `m×n`,
 /// all dense row-major.
@@ -38,18 +50,40 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
     if m * n == 0 {
         return;
     }
+    let be = simd::active();
     let _span = telemetry::span("tensor.matmul");
     if telemetry::metrics_enabled() {
         telemetry::counter("tensor.matmul.calls").inc();
         telemetry::counter("tensor.matmul.flops").add(2 * (m * k * n) as u64);
+        // Nominal lane count: full j-blocks are all-vector (BLOCK is a
+        // multiple of LANES) plus the vector cover of the last partial
+        // block; the `a == 0` skip is not deducted.
+        let cover = n / BLOCK * BLOCK + simd::vector_cover(n % BLOCK);
+        simd::record_lanes("matmul", m * k * cover);
     }
     par_chunks_mut(&mut c[..m * n], BLOCK * n, |stripe, c_rows| {
         let i0 = stripe * BLOCK;
-        matmul_acc_rows(&a[i0 * k..], b, c_rows, c_rows.len() / n, k, n);
+        matmul_acc_rows(be, &a[i0 * k..], b, c_rows, c_rows.len() / n, k, n);
     });
 }
 
-/// Serial row-stripe body of [`matmul_acc`].
+/// 8-lane axpy: `c[j] += av · b[j]`, scalar tail. Lane-independent, so
+/// every backend reproduces the scalar `c + (a·b)` rounding per element.
+#[inline(always)]
+fn axpy_v<V: F32x8>(c: &mut [f32], av: f32, b: &[f32]) {
+    let avv = V::splat(av);
+    let n8 = simd::vector_cover(c.len());
+    for j in (0..n8).step_by(LANES) {
+        let dst = &mut c[j..];
+        V::load(dst).add(avv.mul(V::load(&b[j..]))).store(dst);
+    }
+    for (cv, &bv) in c[n8..].iter_mut().zip(&b[n8..]) {
+        *cv += av * bv;
+    }
+}
+
+/// Serial row-stripe body of [`matmul_acc`], generic over the SIMD
+/// backend.
 ///
 /// When an i-block is tall enough to amortize the copy, the current
 /// `b` tile is packed contiguously into a scratch-arena buffer before
@@ -57,7 +91,8 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
 /// striding through `b` with an `n`-element row pitch. The packed path
 /// reads the **same values in the same order** as the direct path, so
 /// results are bit-identical either way.
-fn matmul_acc_rows(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+#[inline(always)]
+fn matmul_acc_rows_g<V: F32x8>(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     let mut tile: Option<scratch::ScratchBuf> = None;
     for i0 in (0..m).step_by(BLOCK) {
         let i1 = (i0 + BLOCK).min(m);
@@ -90,13 +125,35 @@ fn matmul_acc_rows(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
                         } else {
                             &b[p * n + j0..p * n + j1]
                         };
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += av * bv;
-                        }
+                        axpy_v::<V>(crow, av, brow);
                     }
                 }
             }
         }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_acc_rows_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_acc_rows_g::<Avx2V>(a, b, c, m, k, n)
+}
+
+/// Dispatches [`matmul_acc_rows_g`] over the given backend. All
+/// backends — including the scalar one — run the same generic skeleton,
+/// which is bit-identical to the pre-SIMD scalar kernel because the
+/// axpy is lane-independent.
+fn matmul_acc_rows(be: Backend, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    match be {
+        Backend::Scalar => matmul_acc_rows_g::<ScalarV>(a, b, c, m, k, n),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => matmul_acc_rows_g::<Sse2V>(a, b, c, m, k, n),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Backend::Avx2` is only ever active after runtime
+        // detection succeeded (`simd::active`/`simd::force` enforce it).
+        Backend::Avx2 => unsafe { matmul_acc_rows_avx2(a, b, c, m, k, n) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector backends are never active off x86_64"),
     }
 }
 
@@ -111,8 +168,30 @@ pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize)
     matmul_acc(a, b, c, m, k, n);
 }
 
+#[inline(always)]
+fn at_b_g<V: F32x8>(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for p in 0..k {
+        let arow = &a[p * m..p * m + m];
+        let brow = &b[p * n..p * n + n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            axpy_v::<V>(&mut c[i * n..i * n + n], av, brow);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn at_b_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    at_b_g::<Avx2V>(a, b, c, m, k, n)
+}
+
 /// Computes `c += aᵀ * b` where `a` is `k×m` (so `aᵀ` is `m×k`), `b` is
 /// `k×n`, `c` is `m×n`. Used by the convolution weight-gradient pass.
+/// Same axpy structure (and the same bit-identity argument) as
+/// [`matmul_acc`].
 ///
 /// # Panics
 ///
@@ -121,28 +200,33 @@ pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     assert!(a.len() >= k * m, "lhs too short");
     assert!(b.len() >= k * n, "rhs too short");
     assert!(c.len() >= m * n, "out too short");
+    let be = simd::active();
     let _span = telemetry::span("tensor.matmul_at_b");
     if telemetry::metrics_enabled() {
         telemetry::counter("tensor.matmul.calls").inc();
         telemetry::counter("tensor.matmul.flops").add(2 * (m * k * n) as u64);
+        simd::record_lanes("matmul", m * k * simd::vector_cover(n));
     }
-    for p in 0..k {
-        let arow = &a[p * m..p * m + m];
-        let brow = &b[p * n..p * n + n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let crow = &mut c[i * n..i * n + n];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
-            }
-        }
+    match be {
+        Backend::Scalar => at_b_g::<ScalarV>(a, b, c, m, k, n),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => at_b_g::<Sse2V>(a, b, c, m, k, n),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Backend::Avx2` is only ever active after runtime
+        // detection succeeded (`simd::active`/`simd::force` enforce it).
+        Backend::Avx2 => unsafe { at_b_avx2(a, b, c, m, k, n) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector backends are never active off x86_64"),
     }
 }
 
 /// Computes `c += a * bᵀ` where `a` is `m×k`, `b` is `n×k`, `c` is `m×n`.
 /// Used by the convolution input-gradient pass.
+///
+/// Deliberately **not** lane-parallel: its inner loop is a dot-product
+/// *reduction* over `k`, so vectorizing it would reorder f32 additions
+/// and change results — the opposite trade from the axpy kernels, which
+/// vectorize for free. It stays on the original scalar chain.
 ///
 /// # Panics
 ///
@@ -228,6 +312,32 @@ mod tests {
         let mut c = vec![1.0; 4];
         matmul_acc(&a, &b, &mut c, m, k, n);
         assert_eq!(c, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn pack_threshold_is_neutral() {
+        // The B-tile packing cutoff (`PACK_MIN_ROWS = BLOCK / LANES`,
+        // `n > BLOCK`) is a pure performance decision: results must be
+        // bitwise the same on either side of it. Row-by-row m=1 calls
+        // never pack (1 < PACK_MIN_ROWS), so comparing them against one
+        // full call pins the boundary shapes.
+        assert_eq!(PACK_MIN_ROWS, BLOCK / LANES);
+        let k = 9;
+        for m in [PACK_MIN_ROWS - 1, PACK_MIN_ROWS, PACK_MIN_ROWS + 1] {
+            for n in [BLOCK - 1, BLOCK, BLOCK + 1, BLOCK + 2] {
+                let a = seq(m * k, 0.05);
+                let b = seq(k * n, 0.07);
+                let mut whole = vec![0.0; m * n];
+                matmul_acc(&a, &b, &mut whole, m, k, n);
+                let mut rowwise = vec![0.0; m * n];
+                for i in 0..m {
+                    matmul_acc(&a[i * k..], &b, &mut rowwise[i * n..], 1, k, n);
+                }
+                let wb: Vec<u32> = whole.iter().map(|v| v.to_bits()).collect();
+                let rb: Vec<u32> = rowwise.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(wb, rb, "packed/unpacked bits diverged at m={m} n={n}");
+            }
+        }
     }
 
     #[test]

@@ -1,11 +1,21 @@
 //! Element-wise and structural operators: activations, channel
 //! concatenation, per-channel statistics and bilinear resizing.
+//!
+//! The activations run through the 8-lane [`crate::simd`] kernels
+//! with x86 `maxps`/`minps` semantics on every backend: `-0.0` and NaN
+//! inputs map to `+0.0` (the second operand of `max(x, 0)` wins on NaN
+//! and on the signed-zero tie). Finite positive inputs — everything a
+//! convolution output can be in practice — are unchanged versus the old
+//! `f32::max`/`clamp` formulation.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{simd, Result, Tensor, TensorError};
 
-/// Forward ReLU: `max(x, 0)`.
+/// Forward ReLU: `max(x, 0)` (lane-parallel, `maxps` semantics).
 pub fn relu(x: &Tensor) -> Tensor {
-    x.map(|v| v.max(0.0))
+    let mut out = x.clone();
+    simd::record_lanes("relu", simd::vector_cover(out.as_slice().len()));
+    simd::relu_inplace(out.as_mut_slice());
+    out
 }
 
 /// Backward ReLU: passes gradient where the *input* was positive.
@@ -22,7 +32,10 @@ pub fn relu_backward(input: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
 /// The clipped range is what makes low-bit fixed-point feature maps viable
 /// on the FPGA (§5.2 of the paper).
 pub fn relu6(x: &Tensor) -> Tensor {
-    x.map(|v| v.clamp(0.0, 6.0))
+    let mut out = x.clone();
+    simd::record_lanes("relu6", simd::vector_cover(out.as_slice().len()));
+    simd::relu6_inplace(out.as_mut_slice());
+    out
 }
 
 /// Backward ReLU6: passes gradient on the open interval `(0, 6)`.

@@ -34,13 +34,37 @@
 //! data from a previous use); callers must fully overwrite it before
 //! reading, which is what `im2col`-style producers do. Accumulating
 //! consumers use [`checkout_zeroed`].
+//!
+//! ## Alignment
+//!
+//! Every checked-out buffer starts on a **32-byte boundary**: the
+//! backing storage is a `Vec` of 32-byte-aligned 8-float `Lane`
+//! groups, matching the [`simd`](crate::simd) vector width (one AVX2
+//! register, two SSE2 registers). The vector kernels use unaligned
+//! loads — tensors themselves carry no alignment guarantee — but
+//! scratch-resident tiles (e.g. the matmul B-pack) land on aligned
+//! addresses, which keeps those loads from splitting cache lines.
 
+use crate::simd::LANES;
 use crate::telemetry;
 use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
 
 /// Smallest size class, in `f32` elements. Requests below this round up.
+/// Always a multiple of [`LANES`], so class storage divides evenly into
+/// [`Lane`] groups.
 const MIN_CLASS: usize = 256;
+
+/// One 32-byte-aligned group of eight `f32` lanes — the allocation unit
+/// that gives every scratch buffer its alignment guarantee. `repr(C)`
+/// with `size_of == align_of == 32`: a `Vec<Lane>` is therefore a gapless
+/// `f32` array starting on a 32-byte boundary.
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(32))]
+struct Lane([f32; LANES]);
+
+const _: () = assert!(std::mem::size_of::<Lane>() == 32 && std::mem::align_of::<Lane>() == 32);
+const _: () = assert!(MIN_CLASS.is_multiple_of(LANES));
 
 /// Free buffers kept per size class; beyond this, returned buffers are
 /// dropped. Bounds arena growth when a workload churns through many
@@ -48,8 +72,9 @@ const MIN_CLASS: usize = 256;
 const MAX_PER_CLASS: usize = 8;
 
 struct Arena {
-    /// `classes[i]` holds free buffers of `MIN_CLASS << i` elements.
-    classes: Vec<Vec<Vec<f32>>>,
+    /// `classes[i]` holds free buffers of `MIN_CLASS << i` elements
+    /// (`(MIN_CLASS << i) / LANES` lane groups).
+    classes: Vec<Vec<Vec<Lane>>>,
 }
 
 impl Arena {
@@ -64,14 +89,15 @@ impl Arena {
         (class / MIN_CLASS).trailing_zeros() as usize
     }
 
-    fn take(&mut self, len: usize) -> Option<Vec<f32>> {
+    fn take(&mut self, len: usize) -> Option<Vec<Lane>> {
         let idx = Self::class_index(len);
         self.classes.get_mut(idx)?.pop()
     }
 
-    fn put(&mut self, buf: Vec<f32>) {
-        debug_assert!(buf.len().is_power_of_two() && buf.len() >= MIN_CLASS);
-        let idx = Self::class_index(buf.len());
+    fn put(&mut self, buf: Vec<Lane>) {
+        let floats = buf.len() * LANES;
+        debug_assert!(floats.is_power_of_two() && floats >= MIN_CLASS);
+        let idx = Self::class_index(floats);
         if idx >= self.classes.len() {
             self.classes.resize_with(idx + 1, Vec::new);
         }
@@ -87,13 +113,14 @@ thread_local! {
 }
 
 /// A scratch buffer checked out of this thread's arena. Dereferences to
-/// `[f32]` of exactly the requested length; the guard returns the
-/// backing storage to the arena of whichever thread drops it.
+/// `[f32]` of exactly the requested length, starting on a 32-byte
+/// boundary; the guard returns the backing storage to the arena of
+/// whichever thread drops it.
 #[derive(Debug)]
 pub struct ScratchBuf {
-    /// Backing storage, always a full size class long.
-    data: Vec<f32>,
-    /// Requested length (`<= data.len()`).
+    /// Backing storage, always a full size class long (in lane groups).
+    data: Vec<Lane>,
+    /// Requested length in `f32` elements (`<= data.len() * LANES`).
     len: usize,
 }
 
@@ -101,13 +128,17 @@ impl Deref for ScratchBuf {
     type Target = [f32];
 
     fn deref(&self) -> &[f32] {
-        &self.data[..self.len]
+        // SAFETY: `Lane` is `repr(C)` with size 32 and no padding, so
+        // `data`'s storage is `data.len() * LANES` contiguous, initialized
+        // f32s; `len` never exceeds that (checkout invariant).
+        unsafe { std::slice::from_raw_parts(self.data.as_ptr().cast::<f32>(), self.len) }
     }
 }
 
 impl DerefMut for ScratchBuf {
     fn deref_mut(&mut self) -> &mut [f32] {
-        &mut self.data[..self.len]
+        // SAFETY: as in `deref`, plus exclusive access through `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.data.as_mut_ptr().cast::<f32>(), self.len) }
     }
 }
 
@@ -149,9 +180,9 @@ pub fn checkout(op: &'static str, len: usize) -> ScratchBuf {
     let hit = reused.is_some();
     let data = reused.unwrap_or_else(|| {
         let class = len.next_power_of_two().max(MIN_CLASS);
-        vec![0.0f32; class]
+        vec![Lane([0.0; LANES]); class / LANES]
     });
-    record_checkout(op, hit, data.len() * std::mem::size_of::<f32>());
+    record_checkout(op, hit, data.len() * std::mem::size_of::<Lane>());
     ScratchBuf { data, len }
 }
 
@@ -211,6 +242,24 @@ mod tests {
         assert_eq!(Arena::class_index(MIN_CLASS), 0);
         assert_eq!(Arena::class_index(MIN_CLASS + 1), 1);
         assert_eq!(Arena::class_index(4 * MIN_CLASS), 2);
+    }
+
+    #[test]
+    fn checkouts_are_32_byte_aligned_across_all_size_classes() {
+        clear_thread_arena();
+        // Below MIN_CLASS, exactly MIN_CLASS, non-power-of-two, several
+        // classes up, and a large class — fresh and reused.
+        for len in [1usize, 8, 255, 256, 300, 4096, 5000, 50_000] {
+            for round in 0..2 {
+                let buf = checkout("test.scratch", len);
+                assert_eq!(
+                    buf.as_ptr() as usize % 32,
+                    0,
+                    "len={len} round={round} not 32-byte aligned"
+                );
+                assert_eq!(buf.len(), len);
+            }
+        }
     }
 
     #[test]

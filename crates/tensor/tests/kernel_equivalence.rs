@@ -1,9 +1,18 @@
-//! Property tests of the specialized depth-wise kernels: the
-//! interior/border split in [`skynet_tensor::dwconv`] must be
-//! **bit-identical** to the generic bounds-checked reference kernels
-//! (`dwconv::reference`) for arbitrary shapes, strides and pads — on the
-//! worker pool and under [`parallel::serial`]. This is the contract that
-//! lets the fast path replace the generic one without a tolerance.
+//! Property tests of the specialized depth-wise kernels against the
+//! generic bounds-checked reference kernels (`dwconv::reference`) for
+//! arbitrary shapes, strides and pads — on the worker pool and under
+//! [`parallel::serial`].
+//!
+//! The **forward** fast path matches the reference **bit for bit** on
+//! every geometry except the SkyNet lane path (`k = 3`, strides 1–2),
+//! whose interior rows use the balanced accumulation tree — a different
+//! (but fixed) f32 summation order, so those geometries get a rounding
+//! tolerance instead. The **backward** fast path for the same
+//! geometries runs the lane-ordered SIMD schedule, which reorders its
+//! reduction sums: it too is compared to the reference with a
+//! tolerance. Both directions stay bitwise against *themselves* across
+//! thread counts (asserted below) and across SIMD backends (the
+//! `simd_equivalence` suite).
 
 use proptest::prelude::*;
 use skynet_tensor::conv::ConvGeometry;
@@ -25,14 +34,31 @@ fn vec_bits(v: &[f32]) -> Vec<u32> {
     v.iter().map(|x| x.to_bits()).collect()
 }
 
+/// Tolerance for the lane-reordered backward schedule vs the reference
+/// ordering: pure rounding drift, far below any real kernel bug (which
+/// produces O(1) relative errors).
+fn close(a: &[f32], b: &[f32]) -> std::result::Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!("length {} vs {}", a.len(), b.len()));
+    }
+    for (i, (&av, &bv)) in a.iter().zip(b).enumerate() {
+        if (av - bv).abs() > 1e-3 * bv.abs().max(1.0) {
+            return Err(format!("[{i}]: {av} vs {bv}"));
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// Specialized forward == reference forward, bit for bit, pooled and
-    /// forced-serial, over random geometries (non-square spatial extents
-    /// so row/column interior ranges differ).
+    /// Specialized forward == reference forward over random geometries
+    /// (non-square spatial extents so row/column interior ranges
+    /// differ): bit for bit off the lane path, rounding tolerance on it
+    /// (`k = 3`, strides 1–2, where interior rows use the balanced
+    /// accumulation tree). Pooled vs forced-serial stays bitwise always.
     #[test]
-    fn specialized_forward_matches_reference_bitwise(
+    fn specialized_forward_matches_reference(
         seed in 0u64..1_000_000,
         n in 1usize..4,
         c in 1usize..6,
@@ -51,25 +77,37 @@ proptest! {
         let wt = random_tensor(Shape::new(c, 1, kernel, kernel), &mut rng);
         let b: Vec<f32> = (0..c).map(|_| rng.range(-1.0, 1.0)).collect();
 
+        // The lane path (k3, strides 1-2) uses the balanced tree: a
+        // fixed but different summation order than the reference chain.
+        let lane_path = kernel == 3 && stride <= 2;
+
         let fast = dwconv2d(&x, &wt, Some(&b), geo).unwrap();
         let slow = reference::dwconv2d_ref(&x, &wt, Some(&b), geo).unwrap();
-        prop_assert_eq!(bits(&fast), bits(&slow));
+        if lane_path {
+            prop_assert!(close(fast.as_slice(), slow.as_slice()).is_ok());
+        } else {
+            prop_assert_eq!(bits(&fast), bits(&slow));
+        }
 
         let fast_ser = parallel::serial(|| dwconv2d(&x, &wt, Some(&b), geo)).unwrap();
-        let slow_ser = parallel::serial(|| reference::dwconv2d_ref(&x, &wt, Some(&b), geo)).unwrap();
-        prop_assert_eq!(bits(&fast_ser), bits(&slow_ser));
         prop_assert_eq!(bits(&fast_ser), bits(&fast));
 
         // Bias-free path too (distinct accumulator seed).
         let fast_nb = dwconv2d(&x, &wt, None, geo).unwrap();
         let slow_nb = reference::dwconv2d_ref(&x, &wt, None, geo).unwrap();
-        prop_assert_eq!(bits(&fast_nb), bits(&slow_nb));
+        if lane_path {
+            prop_assert!(close(fast_nb.as_slice(), slow_nb.as_slice()).is_ok());
+        } else {
+            prop_assert_eq!(bits(&fast_nb), bits(&slow_nb));
+        }
     }
 
-    /// Specialized backward == reference backward for all three
-    /// gradients, bit for bit, pooled and forced-serial.
+    /// Specialized backward ≈ reference backward for all three gradients
+    /// (tolerance: the lane-ordered schedule reorders reduction sums),
+    /// while pooled vs forced-serial stays **bitwise** — the thread-count
+    /// determinism guarantee is unchanged.
     #[test]
-    fn specialized_backward_matches_reference_bitwise(
+    fn specialized_backward_matches_reference_closely(
         seed in 0u64..1_000_000,
         n in 1usize..4,
         c in 1usize..6,
@@ -91,23 +129,20 @@ proptest! {
 
         let fast = dwconv2d_backward(&x, &wt, &go, geo).unwrap();
         let slow = reference::dwconv2d_backward_ref(&x, &wt, &go, geo).unwrap();
-        prop_assert_eq!(bits(&fast.input), bits(&slow.input));
-        prop_assert_eq!(bits(&fast.weight), bits(&slow.weight));
-        prop_assert_eq!(vec_bits(&fast.bias), vec_bits(&slow.bias));
+        prop_assert!(close(fast.input.as_slice(), slow.input.as_slice()).is_ok());
+        prop_assert!(close(fast.weight.as_slice(), slow.weight.as_slice()).is_ok());
+        prop_assert!(close(&fast.bias, &slow.bias).is_ok());
 
         let fast_ser = parallel::serial(|| dwconv2d_backward(&x, &wt, &go, geo)).unwrap();
-        let slow_ser =
-            parallel::serial(|| reference::dwconv2d_backward_ref(&x, &wt, &go, geo)).unwrap();
-        prop_assert_eq!(bits(&fast_ser.input), bits(&slow_ser.input));
-        prop_assert_eq!(bits(&fast_ser.weight), bits(&slow_ser.weight));
-        prop_assert_eq!(vec_bits(&fast_ser.bias), vec_bits(&slow_ser.bias));
         prop_assert_eq!(bits(&fast_ser.input), bits(&fast.input));
+        prop_assert_eq!(bits(&fast_ser.weight), bits(&fast.weight));
+        prop_assert_eq!(vec_bits(&fast_ser.bias), vec_bits(&fast.bias));
     }
 
-    /// Sparse upstream gradients exercise the `g == 0.0` skip in both
-    /// interior and border scatter paths.
+    /// Sparse upstream gradients exercise the `g == 0.0` skip in the
+    /// scalar streams (border + tail) and the skip-free vector stream.
     #[test]
-    fn sparse_grad_backward_matches_reference_bitwise(
+    fn sparse_grad_backward_matches_reference_closely(
         seed in 0u64..1_000_000,
         h in 4usize..12,
         w in 4usize..12,
@@ -130,17 +165,18 @@ proptest! {
 
         let fast = dwconv2d_backward(&x, &wt, &go, geo).unwrap();
         let slow = reference::dwconv2d_backward_ref(&x, &wt, &go, geo).unwrap();
-        prop_assert_eq!(bits(&fast.input), bits(&slow.input));
-        prop_assert_eq!(bits(&fast.weight), bits(&slow.weight));
-        prop_assert_eq!(vec_bits(&fast.bias), vec_bits(&slow.bias));
+        prop_assert!(close(fast.input.as_slice(), slow.input.as_slice()).is_ok());
+        prop_assert!(close(fast.weight.as_slice(), slow.weight.as_slice()).is_ok());
+        prop_assert!(close(&fast.bias, &slow.bias).is_ok());
     }
 }
 
 /// The exact geometries SkyNet instantiates (3×3 s1 p1 and the stride-2
 /// pooling replacement) at a few real feature-map extents, pinned outside
-/// proptest so they always run.
+/// proptest so they always run. Both directions take the lane path here,
+/// so both compare to the reference with the rounding tolerance.
 #[test]
-fn skynet_geometries_bitwise() {
+fn skynet_geometries_close_to_reference() {
     let mut rng = SkyRng::new(0xD0E5);
     for &(c, h, w, s) in &[
         (3usize, 40usize, 80usize, 1usize),
@@ -154,25 +190,16 @@ fn skynet_geometries_bitwise() {
         let b: Vec<f32> = (0..c).map(|_| rng.range(-1.0, 1.0)).collect();
         let fast = dwconv2d(&x, &wt, Some(&b), geo).unwrap();
         let slow = reference::dwconv2d_ref(&x, &wt, Some(&b), geo).unwrap();
-        assert_eq!(bits(&fast), bits(&slow), "fwd bits diverged at c={c} s={s}");
+        close(fast.as_slice(), slow.as_slice())
+            .unwrap_or_else(|e| panic!("fwd diverged at c={c} s={s}: {e}"));
 
         let go = random_tensor(fast.shape(), &mut rng);
         let gf = dwconv2d_backward(&x, &wt, &go, geo).unwrap();
         let gs = reference::dwconv2d_backward_ref(&x, &wt, &go, geo).unwrap();
-        assert_eq!(
-            bits(&gf.input),
-            bits(&gs.input),
-            "gi diverged at c={c} s={s}"
-        );
-        assert_eq!(
-            bits(&gf.weight),
-            bits(&gs.weight),
-            "gw diverged at c={c} s={s}"
-        );
-        assert_eq!(
-            vec_bits(&gf.bias),
-            vec_bits(&gs.bias),
-            "gb diverged at c={c} s={s}"
-        );
+        close(gf.input.as_slice(), gs.input.as_slice())
+            .unwrap_or_else(|e| panic!("gi diverged at c={c} s={s}: {e}"));
+        close(gf.weight.as_slice(), gs.weight.as_slice())
+            .unwrap_or_else(|e| panic!("gw diverged at c={c} s={s}: {e}"));
+        close(&gf.bias, &gs.bias).unwrap_or_else(|e| panic!("gb diverged at c={c} s={s}: {e}"));
     }
 }

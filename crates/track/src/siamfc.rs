@@ -332,6 +332,9 @@ mod tests {
         // One repeated pair keeps the batch-norm statistics stationary
         // (SiamFC steps per pair, so varying pairs at batch size 1 is
         // noisy by construction); the logistic loss must fall steadily.
+        // The lr is deliberately cool: with momentum 0.9 a hotter one
+        // oscillates on this tiny landscape and whether the final step
+        // lands low becomes a coin flip on rounding-level perturbations.
         let mut gen = GotGen::new(GotConfig {
             seq_len: 6,
             distractor_prob: 0.0,
@@ -339,7 +342,7 @@ mod tests {
         });
         let seq = gen.sequence();
         let mut tracker = SiamFc::new(tiny());
-        let mut opt = skynet_nn::Sgd::new(skynet_nn::LrSchedule::Constant(2e-2), 0.9, 0.0);
+        let mut opt = skynet_nn::Sgd::new(skynet_nn::LrSchedule::Constant(5e-3), 0.9, 0.0);
         let mut first = None;
         let mut last = 0.0;
         for _ in 0..40 {
