@@ -67,14 +67,22 @@ impl BBox {
         iw * ih
     }
 
-    /// Intersection over Union with another box, in `[0, 1]`.
+    /// Intersection over Union with another box, always in `[0, 1]`.
+    ///
+    /// Degenerate pairs are defined to have `iou == 0.0`: when both boxes
+    /// have zero (or negative) extent the union is 0 and a naive
+    /// `inter / union` would yield NaN, which silently poisons every mean
+    /// it is folded into — accuracy sweeps, and the serving layer's
+    /// quality metrics. The guard is written NaN-proof (`union > 0.0` is
+    /// false for NaN), so non-finite inputs also collapse to 0.0 instead
+    /// of propagating.
     pub fn iou(&self, other: &BBox) -> f32 {
         let inter = self.intersection(other);
         let union = self.area() + other.area() - inter;
-        if union <= 0.0 {
-            0.0
+        if union > 0.0 && inter.is_finite() {
+            (inter / union).clamp(0.0, 1.0)
         } else {
-            inter / union
+            0.0
         }
     }
 
@@ -156,6 +164,48 @@ mod tests {
         let z = BBox::new(0.5, 0.5, 0.0, 0.0);
         assert_eq!(z.area(), 0.0);
         assert_eq!(z.iou(&z), 0.0);
+    }
+
+    #[test]
+    fn coincident_zero_area_pair_has_zero_iou_not_nan() {
+        // Both zero-area at the same point: inter = 0, union = 0 — the
+        // 0/0 case that used to require the caller to defend against.
+        let a = BBox::new(0.3, 0.7, 0.0, 0.0);
+        let b = BBox::new(0.3, 0.7, 0.0, 0.0);
+        let v = a.iou(&b);
+        assert!(!v.is_nan());
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn zero_area_box_against_real_box_is_zero() {
+        let point = BBox::new(0.5, 0.5, 0.0, 0.0);
+        let real = BBox::new(0.5, 0.5, 0.4, 0.4);
+        assert_eq!(point.iou(&real), 0.0);
+        assert_eq!(real.iou(&point), 0.0);
+    }
+
+    #[test]
+    fn negative_extent_from_corners_is_degenerate_and_safe() {
+        // Inverted corners clamp to zero extent; IoU must stay 0, not NaN.
+        let inv = BBox::from_corners(0.8, 0.8, 0.2, 0.2);
+        assert_eq!(inv.w, 0.0);
+        assert_eq!(inv.h, 0.0);
+        assert_eq!(inv.iou(&inv), 0.0);
+        // Raw negative extents (constructed directly) are equally safe.
+        let neg = BBox::new(0.5, 0.5, -0.3, -0.1);
+        assert_eq!(neg.iou(&neg), 0.0);
+        assert!(!neg.iou(&BBox::new(0.5, 0.5, 0.2, 0.2)).is_nan());
+    }
+
+    #[test]
+    fn non_finite_inputs_collapse_to_zero() {
+        let nan = BBox::new(f32::NAN, f32::NAN, f32::NAN, f32::NAN);
+        let inf = BBox::new(0.5, 0.5, f32::INFINITY, f32::INFINITY);
+        let ok = BBox::new(0.5, 0.5, 0.2, 0.2);
+        for v in [nan.iou(&ok), ok.iou(&nan), nan.iou(&nan), inf.iou(&inf)] {
+            assert!(!v.is_nan(), "iou leaked a NaN");
+        }
     }
 
     #[test]

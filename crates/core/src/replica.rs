@@ -1,0 +1,182 @@
+//! Replica handles: stamping out bit-identical [`Detector`]s from one
+//! immutable, `Arc`-published weight set.
+//!
+//! The serving engine runs N detector replicas on N threads. Each
+//! replica needs its *own* [`Detector`] (forward passes take `&mut self`
+//! and lean on thread-local scratch arenas), but every replica must
+//! answer with exactly the same numbers — a request's result cannot
+//! depend on which replica dequeued it. [`DetectorBlueprint`] captures
+//! the recipe once — architecture config, anchor set, and the trained
+//! parameter blobs behind an [`Arc`] — and [`DetectorBlueprint::spawn`]
+//! builds a fresh detector from it on demand. The blobs are snapshotted
+//! at publication and never mutated, so spawning is wait-free with
+//! respect to other replicas and the weights can be shared with zero
+//! copies until the moment each replica writes them into its own
+//! parameter tensors.
+
+use crate::checkpoint::blob_hash;
+use crate::detector::Detector;
+use crate::head::Anchors;
+use crate::skynet::{SkyNet, SkyNetConfig};
+use skynet_nn::{apply_params, collect_params, CheckpointError};
+use skynet_tensor::rng::SkyRng;
+use std::sync::Arc;
+
+/// An immutable, shareable recipe for building identical detectors.
+#[derive(Debug, Clone)]
+pub struct DetectorBlueprint {
+    cfg: SkyNetConfig,
+    anchors: Anchors,
+    weights: Arc<Vec<Vec<f32>>>,
+}
+
+impl DetectorBlueprint {
+    /// Publishes a blueprint from freshly initialized weights: builds one
+    /// master model from `seed` and snapshots its parameters, so every
+    /// [`spawn`](Self::spawn)ed replica — and any re-publication from the
+    /// same seed — carries bit-identical weights.
+    pub fn from_seed(cfg: SkyNetConfig, anchors: Anchors, seed: u64) -> Self {
+        let mut master = SkyNet::new(cfg.clone(), &mut SkyRng::new(seed));
+        let weights = Arc::new(collect_params(&mut master));
+        DetectorBlueprint {
+            cfg,
+            anchors,
+            weights,
+        }
+    }
+
+    /// Publishes a blueprint around an existing weight snapshot (e.g. the
+    /// `params` blobs of a training checkpoint). The blobs must be in
+    /// `visit_params` order for a [`SkyNet`] built from `cfg`.
+    pub fn from_weights(cfg: SkyNetConfig, anchors: Anchors, weights: Vec<Vec<f32>>) -> Self {
+        DetectorBlueprint {
+            cfg,
+            anchors,
+            weights: Arc::new(weights),
+        }
+    }
+
+    /// The architecture configuration replicas are built from.
+    pub fn config(&self) -> &SkyNetConfig {
+        &self.cfg
+    }
+
+    /// The anchor set replicas decode with.
+    pub fn anchors(&self) -> &Anchors {
+        &self.anchors
+    }
+
+    /// The published weight blobs (shared, never mutated).
+    pub fn weights(&self) -> &Arc<Vec<Vec<f32>>> {
+        &self.weights
+    }
+
+    /// FNV-1a digest of the published weights — the workspace's standard
+    /// witness for "these replicas are serving identical parameters".
+    pub fn weight_hash(&self) -> u64 {
+        blob_hash(&self.weights)
+    }
+
+    /// Builds a new detector replica carrying the published weights.
+    ///
+    /// The structure is instantiated from the config (with a fixed,
+    /// irrelevant init seed) and immediately overwritten by the shared
+    /// blobs; the spawned detector owns its parameters outright and can
+    /// run on any thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::ModelMismatch`] when the published
+    /// blobs do not match the config's parameter inventory (a
+    /// `from_weights` blueprint built from foreign blobs).
+    pub fn spawn(&self) -> Result<Detector, CheckpointError> {
+        let mut net = SkyNet::new(self.cfg.clone(), &mut SkyRng::new(0));
+        apply_params(&mut net, &self.weights)?;
+        Ok(Detector::new(Box::new(net), self.anchors.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::weight_hash;
+    use crate::skynet::Variant;
+    use skynet_nn::{Act, Mode};
+    use skynet_tensor::{Shape, Tensor};
+
+    fn small_blueprint(seed: u64) -> DetectorBlueprint {
+        let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(16);
+        DetectorBlueprint::from_seed(cfg, Anchors::dac_sdc(), seed)
+    }
+
+    #[test]
+    fn spawned_replicas_share_bit_identical_weights() {
+        let bp = small_blueprint(7);
+        let mut a = bp.spawn().unwrap();
+        let mut b = bp.spawn().unwrap();
+        let (ha, hb) = (weight_hash(a.backbone_mut()), weight_hash(b.backbone_mut()));
+        assert_eq!(ha, hb);
+        assert_eq!(ha, bp.weight_hash());
+    }
+
+    #[test]
+    fn replicas_answer_identically_on_any_thread() {
+        let bp = small_blueprint(11);
+        let x = Tensor::ones(Shape::new(2, 3, 16, 32));
+        let here = bp.spawn().unwrap().predict(&x).unwrap();
+        let bp2 = bp.clone();
+        let x2 = x.clone();
+        let there = std::thread::spawn(move || bp2.spawn().unwrap().predict(&x2).unwrap())
+            .join()
+            .unwrap();
+        assert_eq!(here.len(), there.len());
+        for (a, b) in here.iter().zip(&there) {
+            assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+            assert_eq!(a.bbox.cx.to_bits(), b.bbox.cx.to_bits());
+            assert_eq!(a.bbox.w.to_bits(), b.bbox.w.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_weights_roundtrips_a_trained_snapshot() {
+        let bp = small_blueprint(3);
+        let mut det = bp.spawn().unwrap();
+        // Perturb and re-publish, as a trainer hot-swapping weights would.
+        let mut blobs = Vec::new();
+        det.backbone_mut().visit_params(&mut |p| {
+            let mut blob = p.value.as_slice().to_vec();
+            for v in &mut blob {
+                *v += 0.125;
+            }
+            blobs.push(blob);
+        });
+        let republished =
+            DetectorBlueprint::from_weights(bp.config().clone(), bp.anchors().clone(), blobs);
+        assert_ne!(republished.weight_hash(), bp.weight_hash());
+        let mut replica = republished.spawn().unwrap();
+        assert_eq!(
+            weight_hash(replica.backbone_mut()),
+            republished.weight_hash()
+        );
+    }
+
+    #[test]
+    fn mismatched_weights_are_rejected() {
+        let bp = small_blueprint(5);
+        let bad = DetectorBlueprint::from_weights(
+            bp.config().clone(),
+            bp.anchors().clone(),
+            vec![vec![0.0; 3]],
+        );
+        assert!(bad.spawn().is_err());
+    }
+
+    #[test]
+    fn spawned_replica_runs_forward_in_eval_mode() {
+        let bp = small_blueprint(13);
+        let mut det = bp.spawn().unwrap();
+        let x = Tensor::zeros(Shape::new(1, 3, 16, 32));
+        let pred = det.predict_mode(&x, Mode::Eval).unwrap();
+        assert_eq!(pred.len(), 1);
+    }
+}

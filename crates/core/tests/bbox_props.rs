@@ -1,0 +1,59 @@
+//! Property coverage for the IoU metric: over arbitrary (including
+//! degenerate and inverted) boxes, `iou` must never produce NaN, must
+//! stay inside `[0, 1]`, and must be symmetric — the serving metrics and
+//! accuracy sweeps fold IoU values into running means, so a single NaN
+//! would silently poison an entire report.
+
+use proptest::prelude::*;
+use skynet_core::BBox;
+
+/// Expands a handful of sampled scalars into a box, covering the whole
+/// constructor surface: direct center+extent (extents may be negative)
+/// and `from_corners` with corners in either order.
+fn build_box(seed: u64, from_corners: bool) -> BBox {
+    let mut rng = skynet_tensor::rng::SkyRng::new(seed);
+    let a = rng.range(-0.5, 1.5);
+    let b = rng.range(-0.5, 1.5);
+    let c = rng.range(-1.0, 1.0); // may be negative: degenerate extents
+    let d = rng.range(-1.0, 1.0);
+    if from_corners {
+        // Corners deliberately unordered: x2 < x1 half the time.
+        BBox::from_corners(a, b, a + c, b + d)
+    } else {
+        BBox::new(a, b, c, d)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn iou_is_nan_free_bounded_and_symmetric(
+        seed_a in 0u64..u64::MAX,
+        seed_b in 0u64..u64::MAX,
+        corners_a in 0usize..2,
+        corners_b in 0usize..2,
+    ) {
+        let a = build_box(seed_a, corners_a == 1);
+        let b = build_box(seed_b, corners_b == 1);
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!(!ab.is_nan(), "iou({a:?}, {b:?}) is NaN");
+        prop_assert!((0.0..=1.0).contains(&ab), "iou {ab} out of [0,1]");
+        prop_assert!((ab - ba).abs() < 1e-6, "asymmetric: {ab} vs {ba}");
+    }
+
+    #[test]
+    fn self_iou_is_one_for_proper_boxes_and_zero_for_degenerate(
+        seed in 0u64..u64::MAX,
+    ) {
+        let b = build_box(seed, false);
+        let v = b.iou(&b);
+        prop_assert!(!v.is_nan());
+        if b.w > 0.0 && b.h > 0.0 {
+            prop_assert!((v - 1.0).abs() < 1e-5, "self-iou {v} for {b:?}");
+        } else {
+            prop_assert!(v == 0.0, "degenerate self-iou {v} for {b:?}");
+        }
+    }
+}

@@ -190,6 +190,9 @@ pub fn load_samples(path: impl AsRef<Path>) -> Result<Vec<Sample>, DatasetIoErro
         )));
     }
     let mut samples = Vec::with_capacity(count.min(4096));
+    // Bytes of payload already consumed by earlier samples; each
+    // sample's pixel block is validated against what is actually left.
+    let mut consumed: u64 = 0;
     for _ in 0..count {
         let category = read_u32(&mut r)?;
         let bbox = BBox::new(
@@ -201,14 +204,36 @@ pub fn load_samples(path: impl AsRef<Path>) -> Result<Vec<Sample>, DatasetIoErro
         let c = read_u32(&mut r)? as usize;
         let h = read_u32(&mut r)? as usize;
         let w = read_u32(&mut r)? as usize;
-        // Refuse absurd geometry before allocating.
-        if c == 0 || h == 0 || w == 0 || c * h * w > 64 << 20 {
+        // The geometry words are untrusted. The element count must be
+        // computed with checked arithmetic: `c * h * w` on three u32-range
+        // factors can exceed usize (wrapping to a small value in release
+        // builds, sailing past every plausibility check) — and even a
+        // non-wrapping product must not drive `Vec::with_capacity` before
+        // the file can prove it holds that many pixels.
+        let elems = c
+            .checked_mul(h)
+            .and_then(|p| p.checked_mul(w))
+            .ok_or_else(|| {
+                DatasetIoError::Corrupt(format!(
+                    "image geometry {c}x{h}x{w} overflows the element count"
+                ))
+            })?;
+        if c == 0 || h == 0 || w == 0 || elems > 64 << 20 {
             return Err(DatasetIoError::Corrupt(format!(
                 "implausible image geometry {c}x{h}x{w}"
             )));
         }
-        let mut data = Vec::with_capacity(c * h * w);
-        for _ in 0..c * h * w {
+        consumed += 8 * 4; // this sample's 8 header words
+        let pixel_bytes = elems as u64 * 4;
+        if pixel_bytes > payload_len.saturating_sub(consumed) {
+            return Err(DatasetIoError::Corrupt(format!(
+                "image geometry {c}x{h}x{w} needs {pixel_bytes} bytes but only {} remain",
+                payload_len.saturating_sub(consumed)
+            )));
+        }
+        consumed += pixel_bytes;
+        let mut data = Vec::with_capacity(elems);
+        for _ in 0..elems {
             data.push(read_f32(&mut r)?);
         }
         let image = Tensor::from_vec(Shape::new(1, c, h, w), data)
@@ -273,7 +298,7 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_is_an_io_error() {
+    fn truncated_file_is_rejected() {
         let cfg = DacSdcConfig {
             height: 8,
             width: 8,
@@ -285,7 +310,13 @@ mod tests {
         save_samples(&samples, &path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-        assert!(matches!(load_samples(&path), Err(DatasetIoError::Io(_))));
+        // Either structured failure is acceptable: the remaining-length
+        // check usually catches the cut as Corrupt before any allocation;
+        // a cut landing inside a sample header surfaces as a short read.
+        assert!(matches!(
+            load_samples(&path),
+            Err(DatasetIoError::Corrupt(_) | DatasetIoError::Io(_))
+        ));
         std::fs::remove_file(path).ok();
     }
 
@@ -333,6 +364,55 @@ mod tests {
             load_samples(&path),
             Err(DatasetIoError::Corrupt(_))
         ));
+        std::fs::remove_file(path).ok();
+    }
+
+    /// A minimal file holding one sample header with attacker-chosen
+    /// geometry words and `pixels` f32 pixels behind it.
+    fn fixture_with_geometry(c: u32, h: u32, w: u32, pixels: usize) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // v1: no CRC trailer
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one sample
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // category
+        for _ in 0..4 {
+            bytes.extend_from_slice(&0.5f32.to_le_bytes()); // bbox
+        }
+        bytes.extend_from_slice(&c.to_le_bytes());
+        bytes.extend_from_slice(&h.to_le_bytes());
+        bytes.extend_from_slice(&w.to_le_bytes());
+        for _ in 0..pixels {
+            bytes.extend_from_slice(&0.0f32.to_le_bytes());
+        }
+        bytes
+    }
+
+    #[test]
+    fn overflowing_geometry_product_is_rejected() {
+        // 2^22 · 2^21 · 2^21 = 2^64 wraps to 0 under an unchecked usize
+        // multiply, slipping past the size cap and yielding a bogus empty
+        // tensor; checked_mul must reject it as Corrupt instead.
+        let path = tmp("overflowgeom");
+        std::fs::write(&path, fixture_with_geometry(1 << 22, 1 << 21, 1 << 21, 4)).unwrap();
+        match load_samples(&path) {
+            Err(DatasetIoError::Corrupt(d)) => assert!(d.contains("overflow"), "detail: {d}"),
+            other => panic!("expected Corrupt(overflow), got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn geometry_exceeding_remaining_file_is_rejected_before_allocating() {
+        // A plausible product (3·1024·1024 ≈ 3M elements, under the 64M
+        // cap) that the 4-pixel file cannot possibly hold must fail the
+        // remaining-length check — *before* a 12 MB allocation is made —
+        // not just bail with a short-read error afterwards.
+        let path = tmp("hugegeom");
+        std::fs::write(&path, fixture_with_geometry(3, 1024, 1024, 4)).unwrap();
+        match load_samples(&path) {
+            Err(DatasetIoError::Corrupt(d)) => assert!(d.contains("remain"), "detail: {d}"),
+            other => panic!("expected Corrupt(remaining-length), got {other:?}"),
+        }
         std::fs::remove_file(path).ok();
     }
 

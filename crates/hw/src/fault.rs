@@ -179,6 +179,15 @@ impl FaultPlan {
         FaultPlan { faults }
     }
 
+    /// Overlays `other` onto this plan; where both schedule a fault at
+    /// the same coordinate, `other`'s wins. Useful for composing a
+    /// baseline schedule (e.g. a fixed service-time stall on every
+    /// frame) with a sparse chaos schedule.
+    pub fn merge(mut self, other: FaultPlan) -> Self {
+        self.faults.extend(other.faults);
+        self
+    }
+
     /// The fault scheduled at a coordinate, if any.
     pub fn fault_at(&self, stage: StageId, frame: usize) -> Option<Fault> {
         self.faults.get(&(stage, frame)).copied()

@@ -366,8 +366,16 @@ pub enum DegradePolicy {
     /// Re-emit the last successfully processed output — the
     /// single-object-tracking degradation of both SkyNet papers: on a
     /// continuous video stream the best guess for a lost frame is the
-    /// previous detection. Falls back to dropping when no good output
-    /// exists yet.
+    /// previous detection.
+    ///
+    /// **Before the first good frame there is nothing to coast on.** A
+    /// frame that exhausts its retries while `last_good` is still empty
+    /// degrades to [`DropFrame`] semantics for that frame alone: it is
+    /// omitted from the output stream and accounted in
+    /// [`FrameCounters::dropped`] (not `degraded` — nothing was
+    /// re-emitted). Coasting resumes as soon as any frame completes
+    /// cleanly. The serving engine's per-stream coast fallback follows
+    /// the same rule.
     #[default]
     CoastLastGood,
 }

@@ -149,6 +149,59 @@ fn coast_with_no_prior_good_output_drops_instead() {
     assert_eq!(run.report.counters.degraded, 0);
 }
 
+/// Frame 0 is the one coordinate where `CoastLastGood` has no last good
+/// output to re-emit. The specified fallback — degrade to `DropFrame`
+/// for exactly that frame, count it as `dropped`, resume coasting once a
+/// good frame exists — must hold for every stage and every fault kind.
+#[test]
+fn coast_before_first_good_frame_drops_frame_zero_for_every_stage_and_kind() {
+    silence_injected_panics();
+    let frames = 5;
+    for stage in [StageId::Pre, StageId::Infer, StageId::Post] {
+        for (name, kind) in [
+            ("panic", FaultKind::Panic),
+            ("error", FaultKind::Error),
+            ("stall", FaultKind::Stall(Duration::from_millis(40))),
+        ] {
+            let plan = Arc::new(FaultPlan::new().inject(stage, 0, Fault::permanent(kind)));
+            let mut cfg = fast_cfg(DegradePolicy::CoastLastGood);
+            // A permanent stall only fails via the watchdog.
+            cfg.deadline = Some(Duration::from_millis(10));
+            let run = run_supervised(frames, identity().with_faults(plan), &cfg);
+            let tag = format!("{stage}/{name}");
+            // Frame 0 is dropped (not degraded: nothing to re-emit), the
+            // stream recovers from frame 1 onward.
+            assert_eq!(run.outputs, vec![1, 2, 3, 4], "{tag}");
+            assert_eq!(run.report.counters.dropped, 1, "{tag}");
+            assert_eq!(run.report.counters.degraded, 0, "{tag}");
+            assert_eq!(run.report.counters.processed, frames - 1, "{tag}");
+        }
+    }
+}
+
+/// A failure streak at the head of the stream drops every frame until
+/// the first success, then coasting covers later failures.
+#[test]
+fn coast_drops_entire_leading_failure_streak_then_coasts() {
+    silence_injected_panics();
+    let plan = Arc::new(
+        FaultPlan::new()
+            .inject(StageId::Infer, 0, Fault::permanent(FaultKind::Error))
+            .inject(StageId::Infer, 1, Fault::permanent(FaultKind::Error))
+            .inject(StageId::Infer, 4, Fault::permanent(FaultKind::Error)),
+    );
+    let run = run_supervised(
+        6,
+        identity().with_faults(plan),
+        &fast_cfg(DegradePolicy::CoastLastGood),
+    );
+    // Frames 0–1 have nothing to coast on; frame 4 coasts on frame 3.
+    assert_eq!(run.outputs, vec![2, 3, 3, 5]);
+    assert_eq!(run.report.counters.dropped, 2);
+    assert_eq!(run.report.counters.degraded, 1);
+    assert_eq!(run.report.counters.processed, 3);
+}
+
 /// The ISSUE acceptance scenario: a seeded schedule mixing persistent
 /// panics, errors and stalls across at least 5% of frames. The supervised
 /// pipeline must complete all frames under `CoastLastGood` with counters

@@ -1,0 +1,727 @@
+//! The batched async serving engine.
+//!
+//! N detector replicas (stamped from one `Arc`-published
+//! [`DetectorBlueprint`]) each own a bounded request queue and a thread.
+//! Admission round-robins requests across the queues with spill-over;
+//! when every queue is full the engine **sheds load** instead of growing
+//! latency without bound, handling the rejected request per the
+//! supervisor's [`DegradePolicy`]: [`DegradePolicy::DropFrame`] answers
+//! `Shed`, [`DegradePolicy::CoastLastGood`] answers with the stream's
+//! last good detection (`Degraded`) — or `Shed` when the stream has no
+//! good detection yet, the same first-frame rule the pipeline supervisor
+//! specifies. Each replica coalesces its queue through the deterministic
+//! [`Batcher`] (close on size, window expiry, or queue exhaustion) and
+//! feeds the already batch-parallel detector forward once per batch.
+//!
+//! **Accounting invariant:** every submitted request receives exactly
+//! one recorded outcome — `Served`, `Degraded` or `Shed` — delivered on
+//! its reply channel and tallied in [`ServeCounters`]. Shutdown drains
+//! the queues before joining the workers, so
+//! [`ServeCounters::lost`] is zero after [`ServeEngine::shutdown`] even
+//! under injected faults; the serving test-suite and the `serve_load`
+//! smoke run both pin that.
+//!
+//! **Fault tolerance:** an optional [`FaultPlan`] (the same machinery
+//! the pipeline supervisor is tested with) is applied per batch at the
+//! `Infer` coordinate — panics are caught, errors retried up to
+//! [`ServeConfig::max_retries`], and a batch whose retries are exhausted
+//! degrades per-request under the policy. `Post`-coordinate stalls delay
+//! reply delivery, modelling slow response consumers.
+//!
+//! **Isolation:** replicas share nothing mutable but the last-good map
+//! and the counters. Scratch-arena reuse is per-thread by construction
+//! (the arena is a `thread_local`), so one replica's allocation pattern
+//! cannot perturb another's; per-replica queue-depth gauges and
+//! batch/served counters keep the telemetry separable.
+
+use crate::batcher::{BatchPolicy, Batcher};
+use skynet_core::head::Detection;
+use skynet_core::replica::DetectorBlueprint;
+use skynet_hw::fault::FaultPlan;
+use skynet_hw::pipeline::{DegradePolicy, FrameCtx, StageId};
+use skynet_nn::CheckpointError;
+use skynet_tensor::{telemetry, Tensor};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Serving engine knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of detector replicas (threads), each with its own queue.
+    pub replicas: usize,
+    /// Bounded depth of each replica's request queue. Admission sheds
+    /// when every queue is full — this is the knob that converts
+    /// overload into bounded latency plus explicit `Shed` outcomes.
+    pub queue_capacity: usize,
+    /// Dynamic-batching size and window (see [`BatchPolicy`]).
+    pub batch: BatchPolicy,
+    /// What to do with a request the engine cannot serve: shed it, or
+    /// coast on the stream's last good detection (first-frame rule:
+    /// coast with no prior good detection sheds).
+    pub policy: DegradePolicy,
+    /// Extra inference attempts per batch after the first.
+    pub max_retries: u32,
+    /// Batching decisions use request *arrival* stamps and close batches
+    /// on queue exhaustion instead of a wall-clock timer — composition
+    /// becomes a pure function of the submitted sequence (the
+    /// determinism suite runs in this mode). Wall-clock mode stamps
+    /// requests at dequeue time and waits out the coalescing window.
+    pub virtual_time: bool,
+    /// Start with the replicas gated: requests queue up (and shed) but
+    /// nothing is processed until [`ServeEngine::resume`].
+    pub paused: bool,
+    /// Deterministic fault schedule applied at the `Infer` coordinate
+    /// per batch (panic / error / stall) and the `Post` coordinate
+    /// (reply-path stall), keyed by the replica-local batch sequence.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            replicas: 2,
+            queue_capacity: 32,
+            batch: BatchPolicy::default(),
+            policy: DegradePolicy::CoastLastGood,
+            max_retries: 2,
+            virtual_time: false,
+            paused: false,
+            fault_plan: None,
+        }
+    }
+}
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Every replica queue was full at admission.
+    QueueFull,
+    /// Inference failed after every retry and the stream had no last
+    /// good detection to coast on (or the policy was `DropFrame`).
+    InferenceFailed,
+}
+
+/// The single recorded outcome of a request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// Inference ran on this request's batch; fresh detection.
+    Served(Detection),
+    /// Load-shedding answered with the stream's last good detection.
+    Degraded(Detection),
+    /// No answer could be produced; the request was shed.
+    Shed(ShedReason),
+}
+
+/// Reply delivered on the request's response channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Request id assigned at submission (monotonic per engine).
+    pub id: u64,
+    /// Client stream the request belonged to.
+    pub stream: u64,
+    /// What happened — exactly one per request.
+    pub outcome: Outcome,
+    /// Replica that processed the batch (`None` for admission-time
+    /// outcomes, which never reached a replica).
+    pub replica: Option<usize>,
+    /// Replica-local batch sequence and size (`None` at admission time).
+    pub batch: Option<(u64, usize)>,
+    /// Engine-clock arrival stamp (µs).
+    pub arrival_us: u64,
+    /// Engine-clock completion stamp (µs).
+    pub done_us: u64,
+}
+
+/// One queued request.
+struct Request {
+    id: u64,
+    stream: u64,
+    image: Tensor,
+    arrival_us: u64,
+    reply: Sender<Response>,
+}
+
+/// Whether a submission was queued or answered immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueued on the given replica's queue; the outcome arrives later.
+    Queued {
+        /// Replica whose queue accepted the request.
+        replica: usize,
+    },
+    /// Every queue was full; the request was answered immediately
+    /// (`Degraded` or `Shed`) on its reply channel.
+    Rejected,
+}
+
+/// Monotonic totals over the engine's lifetime. `submitted` must equal
+/// `served + degraded + shed` once [`ServeEngine::shutdown`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeCounters {
+    /// Requests offered to [`ServeEngine::submit`].
+    pub submitted: u64,
+    /// Requests answered with a fresh detection.
+    pub served: u64,
+    /// Requests answered by coasting on a last good detection.
+    pub degraded: u64,
+    /// Requests shed (queue-full or unrecoverable inference).
+    pub shed: u64,
+    /// Shed subset: rejected at admission.
+    pub shed_queue_full: u64,
+    /// Inference retry attempts across all batches.
+    pub retried: u64,
+    /// Batches executed across all replicas.
+    pub batches: u64,
+}
+
+impl ServeCounters {
+    /// Requests with no recorded outcome. Zero after a clean shutdown —
+    /// the invariant the serving tests assert.
+    pub fn lost(&self) -> u64 {
+        self.submitted
+            .saturating_sub(self.served + self.degraded + self.shed)
+    }
+}
+
+/// Final report returned by [`ServeEngine::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Lifetime totals (see [`ServeCounters::lost`]).
+    pub counters: ServeCounters,
+    /// Per-replica batch log: `batch_log[r][k]` is the request-id
+    /// composition of replica `r`'s `k`-th batch, in execution order —
+    /// the witness the determinism suite compares across runs.
+    pub batch_log: Vec<Vec<Vec<u64>>>,
+    /// Digest of the weights every replica served.
+    pub weight_hash: u64,
+}
+
+#[derive(Default)]
+struct AtomicCounters {
+    submitted: AtomicU64,
+    served: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    shed_queue_full: AtomicU64,
+    retried: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl AtomicCounters {
+    fn snapshot(&self) -> ServeCounters {
+        ServeCounters {
+            submitted: self.submitted.load(Ordering::SeqCst),
+            served: self.served.load(Ordering::SeqCst),
+            degraded: self.degraded.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
+            shed_queue_full: self.shed_queue_full.load(Ordering::SeqCst),
+            retried: self.retried.load(Ordering::SeqCst),
+            batches: self.batches.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// State shared between the admission side and every replica.
+struct Shared {
+    policy: DegradePolicy,
+    max_retries: u32,
+    virtual_time: bool,
+    batch: BatchPolicy,
+    plan: Option<Arc<FaultPlan>>,
+    counters: AtomicCounters,
+    last_good: Mutex<HashMap<u64, Detection>>,
+    clock: Instant,
+    /// Pause gate: workers wait until `true`.
+    gate: (Mutex<bool>, Condvar),
+}
+
+impl Shared {
+    fn now_us(&self) -> u64 {
+        self.clock.elapsed().as_micros() as u64
+    }
+
+    fn wait_until_running(&self) {
+        let (lock, cv) = &self.gate;
+        let mut running = lock.lock().expect("gate poisoned");
+        while !*running {
+            running = cv.wait(running).expect("gate poisoned");
+        }
+    }
+}
+
+/// The running engine: submit requests, then [`shutdown`](Self::shutdown)
+/// to drain and collect the report.
+pub struct ServeEngine {
+    txs: Vec<SyncSender<Request>>,
+    workers: Vec<std::thread::JoinHandle<Vec<Vec<u64>>>>,
+    shared: Arc<Shared>,
+    depth_gauges: Vec<&'static telemetry::Gauge>,
+    rr: AtomicUsize,
+    next_id: AtomicU64,
+    weight_hash: u64,
+}
+
+impl ServeEngine {
+    /// Spawns the replicas and starts serving (or parks them gated when
+    /// [`ServeConfig::paused`] is set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::ModelMismatch`] when the blueprint's
+    /// published weights do not fit its architecture config.
+    pub fn start(
+        blueprint: &DetectorBlueprint,
+        cfg: &ServeConfig,
+    ) -> Result<Self, CheckpointError> {
+        let replicas = cfg.replicas.max(1);
+        let weight_hash = blueprint.weight_hash();
+        let shared = Arc::new(Shared {
+            policy: cfg.policy,
+            max_retries: cfg.max_retries,
+            virtual_time: cfg.virtual_time,
+            batch: cfg.batch,
+            plan: cfg.fault_plan.clone(),
+            counters: AtomicCounters::default(),
+            last_good: Mutex::new(HashMap::new()),
+            clock: Instant::now(),
+            gate: (Mutex::new(!cfg.paused), Condvar::new()),
+        });
+        if telemetry::metrics_enabled() {
+            telemetry::record_gauge("serve.replicas", replicas as f64);
+        }
+        let mut txs = Vec::with_capacity(replicas);
+        let mut workers = Vec::with_capacity(replicas);
+        let mut depth_gauges = Vec::with_capacity(replicas);
+        // Validate the blueprint on the caller's thread so a bad weight
+        // set is a structured error, not a worker panic. Detectors are
+        // not Send (Box<dyn Layer>), so each replica builds its own from
+        // the (Send) blueprint once inside its thread.
+        drop(blueprint.spawn()?);
+        for idx in 0..replicas {
+            let (tx, rx) = mpsc::sync_channel::<Request>(cfg.queue_capacity.max(1));
+            let depth = telemetry::gauge(&format!("serve.replica{idx}.queue.depth"));
+            let sh = shared.clone();
+            let bp = blueprint.clone();
+            workers.push(std::thread::spawn(move || {
+                let det = bp.spawn().expect("blueprint validated at start");
+                replica_loop(idx, det, rx, sh)
+            }));
+            txs.push(tx);
+            depth_gauges.push(depth);
+        }
+        Ok(ServeEngine {
+            txs,
+            workers,
+            shared,
+            depth_gauges,
+            rr: AtomicUsize::new(0),
+            next_id: AtomicU64::new(0),
+            weight_hash,
+        })
+    }
+
+    /// Releases replicas parked by [`ServeConfig::paused`]. Idempotent.
+    pub fn resume(&self) {
+        let (lock, cv) = &self.shared.gate;
+        *lock.lock().expect("gate poisoned") = true;
+        cv.notify_all();
+    }
+
+    /// Microseconds since the engine clock started — the timebase of
+    /// every `arrival_us` / `done_us` stamp.
+    pub fn now_us(&self) -> u64 {
+        self.shared.now_us()
+    }
+
+    /// Submits a request stamped with the current engine clock.
+    pub fn submit(&self, stream: u64, image: Tensor, reply: &Sender<Response>) -> Admission {
+        let t = self.shared.now_us();
+        self.submit_at(stream, image, t, reply)
+    }
+
+    /// Submits a request with an explicit arrival stamp (virtual-time
+    /// mode: the stamp drives batch composition; the load generator and
+    /// the determinism suite submit pre-computed Poisson schedules).
+    ///
+    /// The request's single outcome is delivered on `reply` — either
+    /// immediately (admission-time shed/coast) or after its batch runs.
+    pub fn submit_at(
+        &self,
+        stream: u64,
+        image: Tensor,
+        arrival_us: u64,
+        reply: &Sender<Response>,
+    ) -> Admission {
+        let shared = &self.shared;
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        shared.counters.submitted.fetch_add(1, Ordering::SeqCst);
+        if telemetry::metrics_enabled() {
+            telemetry::counter("serve.requests.submitted").inc();
+        }
+        let mut req = Request {
+            id,
+            stream,
+            image,
+            arrival_us,
+            reply: reply.clone(),
+        };
+        // Round-robin with spill-over: start at the cursor, try every
+        // queue once. A single-submitter sequence lands deterministically.
+        let n = self.txs.len();
+        let start = self.rr.fetch_add(1, Ordering::SeqCst) % n;
+        for k in 0..n {
+            let r = (start + k) % n;
+            match self.txs[r].try_send(req) {
+                Ok(()) => {
+                    if telemetry::metrics_enabled() {
+                        self.depth_gauges[r].add(1.0);
+                    }
+                    return Admission::Queued { replica: r };
+                }
+                Err(TrySendError::Full(back)) | Err(TrySendError::Disconnected(back)) => {
+                    req = back;
+                }
+            }
+        }
+        // Every queue full: shed or coast, but always answer.
+        let outcome = match shared.policy {
+            DegradePolicy::CoastLastGood => {
+                let good = shared
+                    .last_good
+                    .lock()
+                    .expect("last_good poisoned")
+                    .get(&stream)
+                    .copied();
+                match good {
+                    Some(d) => Outcome::Degraded(d),
+                    // First-frame rule: nothing to coast on yet.
+                    None => Outcome::Shed(ShedReason::QueueFull),
+                }
+            }
+            DegradePolicy::DropFrame => Outcome::Shed(ShedReason::QueueFull),
+        };
+        record_outcome(shared, &outcome, true);
+        let _ = req.reply.send(Response {
+            id,
+            stream,
+            outcome,
+            replica: None,
+            batch: None,
+            arrival_us,
+            done_us: shared.now_us(),
+        });
+        Admission::Rejected
+    }
+
+    /// Lifetime counters so far (exact only after [`shutdown`](Self::shutdown)).
+    pub fn counters(&self) -> ServeCounters {
+        self.shared.counters.snapshot()
+    }
+
+    /// Closes admission, drains every queue, joins the replicas and
+    /// returns the final report. Every request accepted before the call
+    /// has its outcome recorded by the time this returns.
+    pub fn shutdown(mut self) -> ServeReport {
+        // Wake gated replicas first or the drain never starts.
+        self.resume();
+        self.txs.clear(); // disconnect: workers drain and exit
+        let mut batch_log = Vec::with_capacity(self.workers.len());
+        for w in self.workers.drain(..) {
+            batch_log.push(w.join().expect("replica thread panicked"));
+        }
+        ServeReport {
+            counters: self.shared.counters.snapshot(),
+            batch_log,
+            weight_hash: self.weight_hash,
+        }
+    }
+}
+
+/// Tallies one outcome into the shared counters and telemetry.
+/// `at_admission` marks queue-full rejections for the shed breakdown.
+fn record_outcome(shared: &Shared, outcome: &Outcome, at_admission: bool) {
+    let metrics = telemetry::metrics_enabled();
+    match outcome {
+        Outcome::Served(_) => {
+            shared.counters.served.fetch_add(1, Ordering::SeqCst);
+            if metrics {
+                telemetry::counter("serve.requests.served").inc();
+            }
+        }
+        Outcome::Degraded(_) => {
+            shared.counters.degraded.fetch_add(1, Ordering::SeqCst);
+            if metrics {
+                telemetry::counter("serve.requests.degraded").inc();
+            }
+        }
+        Outcome::Shed(_) => {
+            shared.counters.shed.fetch_add(1, Ordering::SeqCst);
+            if at_admission {
+                shared
+                    .counters
+                    .shed_queue_full
+                    .fetch_add(1, Ordering::SeqCst);
+            }
+            if metrics {
+                telemetry::counter("serve.requests.shed").inc();
+                telemetry::counter(if at_admission {
+                    "serve.shed.queue_full"
+                } else {
+                    "serve.shed.infer"
+                })
+                .inc();
+            }
+        }
+    }
+}
+
+/// One replica: drain the queue through the deterministic batcher and
+/// run a batched forward per closed batch. Returns the batch log.
+fn replica_loop(
+    idx: usize,
+    mut det: skynet_core::detector::Detector,
+    rx: Receiver<Request>,
+    shared: Arc<Shared>,
+) -> Vec<Vec<u64>> {
+    shared.wait_until_running();
+    let depth = telemetry::gauge(&format!("serve.replica{idx}.queue.depth"));
+    let replica_batches = telemetry::counter(&format!("serve.replica{idx}.batches"));
+    let mut batcher: Batcher<Request> = Batcher::new(shared.batch);
+    let mut log: Vec<Vec<u64>> = Vec::new();
+    let mut seq: u64 = 0;
+    let stamp = |shared: &Shared, r: &Request| {
+        if shared.virtual_time {
+            r.arrival_us
+        } else {
+            shared.now_us()
+        }
+    };
+    'outer: loop {
+        // Pull without blocking while work is available.
+        let pulled = rx.try_recv();
+        match pulled {
+            Ok(r) => {
+                if telemetry::metrics_enabled() {
+                    depth.add(-1.0);
+                }
+                let t = stamp(&shared, &r);
+                if let Some(batch) = batcher.push(r, t) {
+                    run_batch(idx, &mut det, batch, &shared, &mut log, &mut seq);
+                    replica_batches.inc();
+                }
+            }
+            Err(mpsc::TryRecvError::Empty) => {
+                if batcher.is_empty() {
+                    // Nothing pending: block until work or disconnect.
+                    match rx.recv() {
+                        Ok(r) => {
+                            if telemetry::metrics_enabled() {
+                                depth.add(-1.0);
+                            }
+                            let t = stamp(&shared, &r);
+                            if let Some(batch) = batcher.push(r, t) {
+                                run_batch(idx, &mut det, batch, &shared, &mut log, &mut seq);
+                                replica_batches.inc();
+                            }
+                        }
+                        Err(_) => break 'outer,
+                    }
+                } else if shared.virtual_time {
+                    // Virtual time: queue exhaustion closes the batch —
+                    // no wall clock in the composition decision.
+                    if let Some(batch) = batcher.flush() {
+                        run_batch(idx, &mut det, batch, &shared, &mut log, &mut seq);
+                        replica_batches.inc();
+                    }
+                } else {
+                    // Wall clock: wait out the remaining coalescing
+                    // window, then flush.
+                    let deadline = batcher
+                        .window_deadline_us()
+                        .expect("non-empty batcher has a window");
+                    let now = shared.now_us();
+                    if now >= deadline {
+                        if let Some(batch) = batcher.flush() {
+                            run_batch(idx, &mut det, batch, &shared, &mut log, &mut seq);
+                            replica_batches.inc();
+                        }
+                    } else {
+                        match rx.recv_timeout(Duration::from_micros(deadline - now)) {
+                            Ok(r) => {
+                                if telemetry::metrics_enabled() {
+                                    depth.add(-1.0);
+                                }
+                                let t = stamp(&shared, &r);
+                                if let Some(batch) = batcher.push(r, t) {
+                                    run_batch(idx, &mut det, batch, &shared, &mut log, &mut seq);
+                                    replica_batches.inc();
+                                }
+                            }
+                            Err(RecvTimeoutError::Timeout) => {
+                                if let Some(batch) = batcher.flush() {
+                                    run_batch(idx, &mut det, batch, &shared, &mut log, &mut seq);
+                                    replica_batches.inc();
+                                }
+                            }
+                            Err(RecvTimeoutError::Disconnected) => {
+                                if let Some(batch) = batcher.flush() {
+                                    run_batch(idx, &mut det, batch, &shared, &mut log, &mut seq);
+                                    replica_batches.inc();
+                                }
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            Err(mpsc::TryRecvError::Disconnected) => {
+                // Shutdown drain: everything already pulled must still
+                // get its outcome.
+                if let Some(batch) = batcher.flush() {
+                    run_batch(idx, &mut det, batch, &shared, &mut log, &mut seq);
+                    replica_batches.inc();
+                }
+                break 'outer;
+            }
+        }
+    }
+    log
+}
+
+/// Executes one closed batch: stacked forward with fault injection and
+/// retries, then exactly one outcome per member request.
+fn run_batch(
+    idx: usize,
+    det: &mut skynet_core::detector::Detector,
+    batch: Vec<Request>,
+    shared: &Shared,
+    log: &mut Vec<Vec<u64>>,
+    seq: &mut u64,
+) {
+    let batch_seq = *seq;
+    *seq += 1;
+    shared.counters.batches.fetch_add(1, Ordering::SeqCst);
+    let metrics = telemetry::metrics_enabled();
+    log.push(batch.iter().map(|r| r.id).collect());
+    let size = batch.len();
+    let mut meta = Vec::with_capacity(size);
+    let mut tensors = Vec::with_capacity(size);
+    for r in batch {
+        meta.push((r.id, r.stream, r.arrival_us, r.reply));
+        tensors.push(r.image);
+    }
+    if metrics {
+        telemetry::histogram("serve.batch.size", &BATCH_BOUNDS).record(size as f64);
+        let now = shared.now_us();
+        for &(_, _, arrival, _) in &meta {
+            telemetry::histogram("serve.queue_wait.ms", &telemetry::MS_BOUNDS)
+                .record(now.saturating_sub(arrival) as f64 / 1e3);
+        }
+    }
+    // Batched forward under the fault plan, with panic isolation and
+    // bounded retries — the same discipline as the pipeline supervisor.
+    let stacked = Tensor::stack(&tensors);
+    let infer_started = Instant::now();
+    let mut detections = None;
+    if let Ok(input) = &stacked {
+        for attempt in 0..=shared.max_retries {
+            if attempt > 0 {
+                shared.counters.retried.fetch_add(1, Ordering::SeqCst);
+                if metrics {
+                    telemetry::counter("serve.infer.retried").inc();
+                }
+            }
+            let ctx = FrameCtx {
+                frame: batch_seq as usize,
+                attempt,
+            };
+            let span = telemetry::span("serve.infer");
+            // A panic mid-forward leaves no partial state we reuse: the
+            // detector's transient routing state is reset by the next
+            // forward, and Eval mode never touches the parameters.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(plan) = &shared.plan {
+                    plan.apply(StageId::Infer, &ctx)
+                        .map_err(|e| e.to_string())?;
+                }
+                det.predict(input).map_err(|e| e.to_string())
+            }));
+            drop(span);
+            if let Ok(Ok(dets)) = outcome {
+                detections = Some(dets);
+                break;
+            }
+        }
+    }
+    if metrics {
+        telemetry::histogram("serve.infer.ms", &telemetry::MS_BOUNDS)
+            .record(infer_started.elapsed().as_secs_f64() * 1e3);
+        telemetry::counter("serve.batches").inc();
+    }
+    // Optional reply-path stall (slow response consumer).
+    if let Some(plan) = &shared.plan {
+        let ctx = FrameCtx {
+            frame: batch_seq as usize,
+            attempt: 0,
+        };
+        let _ = catch_unwind(AssertUnwindSafe(|| plan.apply(StageId::Post, &ctx)));
+    }
+    let replica_served = telemetry::counter(&format!("serve.replica{idx}.served"));
+    match detections {
+        Some(dets) => {
+            debug_assert_eq!(dets.len(), meta.len());
+            let mut good = shared.last_good.lock().expect("last_good poisoned");
+            for ((id, stream, arrival_us, reply), det_out) in meta.into_iter().zip(dets) {
+                good.insert(stream, det_out);
+                let outcome = Outcome::Served(det_out);
+                record_outcome(shared, &outcome, false);
+                if metrics {
+                    replica_served.inc();
+                    let done = shared.now_us();
+                    telemetry::histogram("serve.e2e.ms", &telemetry::MS_BOUNDS)
+                        .record(done.saturating_sub(arrival_us) as f64 / 1e3);
+                }
+                let _ = reply.send(Response {
+                    id,
+                    stream,
+                    outcome,
+                    replica: Some(idx),
+                    batch: Some((batch_seq, size)),
+                    arrival_us,
+                    done_us: shared.now_us(),
+                });
+            }
+        }
+        None => {
+            // Retries exhausted (or an impossible stack): degrade each
+            // member per the policy — first-frame rule included.
+            let good = shared.last_good.lock().expect("last_good poisoned");
+            for (id, stream, arrival_us, reply) in meta {
+                let outcome = match shared.policy {
+                    DegradePolicy::CoastLastGood => match good.get(&stream) {
+                        Some(d) => Outcome::Degraded(*d),
+                        None => Outcome::Shed(ShedReason::InferenceFailed),
+                    },
+                    DegradePolicy::DropFrame => Outcome::Shed(ShedReason::InferenceFailed),
+                };
+                record_outcome(shared, &outcome, false);
+                let _ = reply.send(Response {
+                    id,
+                    stream,
+                    outcome,
+                    replica: Some(idx),
+                    batch: Some((batch_seq, size)),
+                    arrival_us,
+                    done_us: shared.now_us(),
+                });
+            }
+        }
+    }
+}
+
+/// Batch-size histogram buckets (powers of two up to 64).
+pub const BATCH_BOUNDS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];

@@ -1,0 +1,188 @@
+//! Deterministic open-loop synthetic load.
+//!
+//! Serving benchmarks lie when the load is closed-loop (each client
+//! waits for its previous answer, so an overloaded server conveniently
+//! slows its own offered load). The generator here is **open-loop**: a
+//! seeded Poisson process decides every arrival time up front,
+//! independent of how the engine is coping. The whole schedule — arrival
+//! stamps, stream assignment, and each request's synthetic image — is a
+//! pure function of `(LoadSpec, seed)`, so a run can be replayed
+//! bit-for-bit: the determinism suite and the `serve_load` benchmark
+//! both lean on that.
+//!
+//! Two arrival shapes are provided: a constant-rate Poisson process and
+//! a **bursty** phase schedule (alternating calm/burst rates, the
+//! overload pattern the admission controller exists for). Slow-client
+//! behaviour is modelled separately, by arming the engine's `Post`-stage
+//! fault plan with stalls — the schedule itself stays time-exact.
+
+use skynet_tensor::rng::SkyRng;
+use skynet_tensor::{Shape, Tensor};
+
+/// One scheduled request: when it arrives, whose stream it is, and the
+/// seed its synthetic image is derived from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival stamp in microseconds from schedule start.
+    pub at_us: u64,
+    /// Client stream id (round-robined across `streams`).
+    pub stream: u64,
+    /// Seed for [`synth_image`] — unique per request.
+    pub image_seed: u64,
+}
+
+/// Shape of the synthetic load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSpec {
+    /// Total requests to schedule.
+    pub requests: usize,
+    /// Mean arrival rate in requests/second during calm phases.
+    pub rate_rps: f64,
+    /// Number of distinct client streams.
+    pub streams: u64,
+    /// Burstiness: every `burst_every`-th slice of `burst_len` requests
+    /// arrives at `burst_multiplier × rate_rps`. Zero disables bursts.
+    pub burst_every: usize,
+    /// Length of each burst, in requests.
+    pub burst_len: usize,
+    /// Rate multiplier inside a burst.
+    pub burst_multiplier: f64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            requests: 256,
+            rate_rps: 200.0,
+            streams: 4,
+            burst_every: 64,
+            burst_len: 16,
+            burst_multiplier: 8.0,
+        }
+    }
+}
+
+impl LoadSpec {
+    /// A constant-rate spec (no bursts).
+    pub fn poisson(requests: usize, rate_rps: f64, streams: u64) -> Self {
+        LoadSpec {
+            requests,
+            rate_rps,
+            streams,
+            burst_every: 0,
+            burst_len: 0,
+            burst_multiplier: 1.0,
+        }
+    }
+
+    /// Materializes the full arrival schedule for `seed`. Inter-arrival
+    /// gaps are exponential (`-ln(1-u)/rate`), giving a Poisson process;
+    /// burst windows shrink the gaps by `burst_multiplier`.
+    pub fn schedule(&self, seed: u64) -> Vec<Arrival> {
+        let mut rng = SkyRng::new(seed);
+        let mut t = 0.0f64;
+        let mut out = Vec::with_capacity(self.requests);
+        for i in 0..self.requests {
+            let bursting = self.burst_every > 0
+                && self.burst_len > 0
+                && (i % self.burst_every) < self.burst_len
+                && i >= self.burst_every; // let the first slice warm up calm
+            let rate = if bursting {
+                self.rate_rps * self.burst_multiplier
+            } else {
+                self.rate_rps
+            };
+            // Exponential inter-arrival; uniform() is f32 in [0,1).
+            let u = f64::from(rng.uniform()).min(1.0 - 1e-9);
+            t += -(1.0 - u).ln() / rate.max(1e-9);
+            out.push(Arrival {
+                at_us: (t * 1e6) as u64,
+                stream: i as u64 % self.streams.max(1),
+                image_seed: seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            });
+        }
+        out
+    }
+}
+
+/// Deterministic synthetic input frame: a `1×3×h×w` image whose pixels
+/// are a pure function of `seed` — cheap structured content (per-channel
+/// gradients plus seeded noise), not just white noise, so detector
+/// outputs vary across requests.
+pub fn synth_image(seed: u64, h: usize, w: usize) -> Tensor {
+    let mut rng = SkyRng::new(seed);
+    let mut img = Tensor::zeros(Shape::new(1, 3, h, w));
+    {
+        let data = img.as_mut_slice();
+        let (hf, wf) = (h as f32, w as f32);
+        for c in 0..3 {
+            let gain = rng.range(0.25, 1.0);
+            let noise = rng.range(0.0, 0.2);
+            for y in 0..h {
+                for x in 0..w {
+                    let base = match c {
+                        0 => x as f32 / wf,
+                        1 => y as f32 / hf,
+                        _ => (x + y) as f32 / (wf + hf),
+                    };
+                    data[(c * h + y) * w + x] = base * gain + noise * rng.uniform();
+                }
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_reproducible_and_monotonic() {
+        let spec = LoadSpec::default();
+        let a = spec.schedule(42);
+        let b = spec.schedule(42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), spec.requests);
+        for pair in a.windows(2) {
+            assert!(pair[0].at_us <= pair[1].at_us);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let spec = LoadSpec::poisson(64, 500.0, 2);
+        assert_ne!(spec.schedule(1), spec.schedule(2));
+    }
+
+    #[test]
+    fn bursts_compress_inter_arrival_gaps() {
+        let spec = LoadSpec {
+            requests: 256,
+            rate_rps: 100.0,
+            streams: 1,
+            burst_every: 64,
+            burst_len: 32,
+            burst_multiplier: 16.0,
+        };
+        let sched = spec.schedule(7);
+        let gap = |i: usize| sched[i].at_us.saturating_sub(sched[i - 1].at_us);
+        // Mean gap inside a burst window vs a calm window.
+        let burst_mean: u64 = (65..96).map(gap).sum::<u64>() / 31;
+        let calm_mean: u64 = (97..128).map(gap).sum::<u64>() / 31;
+        assert!(
+            burst_mean * 4 < calm_mean,
+            "burst gaps {burst_mean}µs should be ≪ calm gaps {calm_mean}µs"
+        );
+    }
+
+    #[test]
+    fn synth_images_are_deterministic_and_seed_sensitive() {
+        let a = synth_image(9, 16, 32);
+        let b = synth_image(9, 16, 32);
+        let c = synth_image(10, 16, 32);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+        assert!(a.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -12,6 +12,7 @@
 //! * [`zoo`] — baseline backbones (ResNet, VGG, AlexNet, MobileNet)
 //! * [`data`] — synthetic DAC-SDC and GOT-style datasets
 //! * [`hw`] — quantization, FPGA/GPU models, DAC-SDC scoring, pipeline
+//! * [`serve`] — batched async serving: replicas, dynamic batching, shedding
 //! * [`nas`] — the bottom-up design flow (Bundles + group-based PSO)
 //! * [`track`] — Siamese trackers (SiamRPN++-style, SiamMask-style)
 //!
@@ -22,6 +23,7 @@ pub use skynet_data as data;
 pub use skynet_hw as hw;
 pub use skynet_nas as nas;
 pub use skynet_nn as nn;
+pub use skynet_serve as serve;
 pub use skynet_tensor as tensor;
 pub use skynet_track as track;
 pub use skynet_zoo as zoo;
