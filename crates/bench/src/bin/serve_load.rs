@@ -13,11 +13,17 @@
 //!   the engine's capacity at `replicas × max_batch / 5ms` regardless of
 //!   host speed, so "overload" means the same thing on every machine.
 //!
-//! The final scenario arms a fault schedule (panics, errors, stalls and
-//! reply-path stalls standing in for slow clients) and asserts the
+//! The `faulted` scenario arms a fault schedule (panics, errors, stalls
+//! and reply-path stalls standing in for slow clients) and asserts the
 //! engine's accounting invariant: **zero requests lost** — every
 //! submitted request gets exactly one outcome even while replicas are
-//! panicking. The report is archived at `bench_results/serve_load.md`.
+//! panicking. The final `chaos` scenario is the **lifecycle soak**: a
+//! replica wedged until its supervised restart, a second replica on
+//! permanently dead hardware, and two mid-storm hot weight swaps (one
+//! canary-validated and promoted, one rejected and rolled back) — all
+//! under load, asserting zero loss, generation-stamped outcomes, zero
+//! admissions to out-of-rotation replicas, and a recovered p99 after
+//! the storm. The report is archived at `bench_results/serve_load.md`.
 //!
 //! Usage: `cargo run --release -p skynet-bench --bin serve_load`
 //! (`SKYNET_BENCH_BUDGET=fast` for the CI smoke pass).
@@ -26,12 +32,16 @@ use skynet_bench::{table, Budget};
 use skynet_core::head::Anchors;
 use skynet_core::replica::DetectorBlueprint;
 use skynet_core::skynet::{SkyNetConfig, Variant};
-use skynet_hw::fault::{silence_injected_panics, Fault, FaultKind, FaultPlan, FaultRates};
+use skynet_hw::fault::{
+    silence_injected_panics, Fault, FaultKind, FaultPlan, FaultRates, ReplicaFault,
+};
 use skynet_hw::pipeline::{DegradePolicy, StageId};
 use skynet_nn::Act;
 use skynet_serve::batcher::BatchPolicy;
-use skynet_serve::engine::{Outcome, Response, ServeConfig, ServeEngine};
+use skynet_serve::engine::{Admission, Outcome, Response, ServeConfig, ServeEngine};
+use skynet_serve::health::HealthPolicy;
 use skynet_serve::loadgen::{synth_image, LoadSpec};
+use skynet_serve::swap::{CanarySpec, SwapOutcome};
 use std::fmt::Write as _;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -98,9 +108,8 @@ fn run_scenario(
         },
         policy: DegradePolicy::CoastLastGood,
         max_retries: 2,
-        virtual_time: false,
-        paused: false,
         fault_plan: Some(Arc::new(plan)),
+        ..ServeConfig::default()
     };
     let engine = ServeEngine::start(bp, &cfg).expect("blueprint weights fit the config");
     let (reply, inbox) = mpsc::channel::<Response>();
@@ -134,6 +143,167 @@ fn run_scenario(
     let c = report.counters;
     Row {
         name,
+        offered_rps: schedule.len() as f64 / wall.as_secs_f64(),
+        submitted: c.submitted,
+        served: c.served,
+        degraded: c.degraded,
+        shed: c.shed,
+        rejected,
+        lost: c.lost(),
+        p50_ms: percentile(&answered_ms, 0.50),
+        p95_ms: percentile(&answered_ms, 0.95),
+        p99_ms: percentile(&answered_ms, 0.99),
+    }
+}
+
+/// The lifecycle chaos soak: moderate load over three replicas while
+/// replica 0 wedges until its supervised restart, replica 1 fails
+/// persistently toward retirement, and two hot swaps land mid-storm —
+/// one promoted through the canary, one rejected and rolled back.
+/// Asserts the full robustness contract under load and reduces the run
+/// to a table row.
+fn run_chaos_soak(bp: &DetectorBlueprint, bp_next: &DetectorBlueprint, n: usize) -> Row {
+    let spec = LoadSpec::poisson(n, 1_600.0, 8);
+    let plan = floor_plan(spec.requests)
+        // Wedged process: fails every batch from its 3rd until the
+        // supervised restart clears it.
+        .inject_replica(0, ReplicaFault::until_restarted(FaultKind::Error, 3))
+        // Dead hardware: failures survive restarts; the restart budget
+        // eventually retires the replica.
+        .inject_replica(1, ReplicaFault::persistent(FaultKind::Error, 6));
+    let cfg = ServeConfig {
+        replicas: 3,
+        queue_capacity: 32,
+        batch: BatchPolicy {
+            max_batch: MAX_BATCH,
+            max_delay_us: 2_000,
+        },
+        policy: DegradePolicy::CoastLastGood,
+        max_retries: 1,
+        health: HealthPolicy {
+            consecutive_failures: 2,
+            restart_budget: 1,
+            backoff_base_ms: 5,
+            backoff_max_ms: 5,
+            ..HealthPolicy::default()
+        },
+        fault_plan: Some(Arc::new(plan)),
+        ..ServeConfig::default()
+    };
+    let engine = ServeEngine::start(bp, &cfg).expect("blueprint weights fit the config");
+    let (reply, inbox) = mpsc::channel::<Response>();
+    let schedule = spec.schedule(44);
+    let storm_us = schedule.last().expect("non-empty schedule").at_us;
+    let start = std::time::Instant::now();
+    let mut rejected = 0u64;
+    let (good_swap, bad_swap) = std::thread::scope(|s| {
+        let engine = &engine;
+        let publisher = s.spawn(move || {
+            // First swap ~40% into the storm: canary-validated, promoted.
+            std::thread::sleep(Duration::from_micros(storm_us * 2 / 5));
+            let reference = synth_image(1, 16, 32);
+            let spec = CanarySpec::for_blueprint(bp_next, reference.clone())
+                .expect("publisher-side probe");
+            let good = engine
+                .publish(bp_next.clone(), spec)
+                .expect("publish reaches a canary verdict");
+            // Second swap ~70% in: wrong expected hash, rolled back.
+            std::thread::sleep(Duration::from_micros(storm_us * 3 / 10));
+            let bad = engine
+                .publish(
+                    bp_next.clone(),
+                    CanarySpec::new(reference).expect_weight_hash(1),
+                )
+                .expect("publish reaches a canary verdict");
+            (good, bad)
+        });
+        for a in &schedule {
+            let target = Duration::from_micros(a.at_us);
+            let elapsed = start.elapsed();
+            if target > elapsed {
+                std::thread::sleep(target - elapsed);
+            }
+            // Zero-admissions check: a replica observed out of rotation
+            // both before and after the submit must not have admitted it.
+            let pre: Vec<bool> = engine
+                .replica_states()
+                .iter()
+                .map(|st| st.admits())
+                .collect();
+            let admission = engine.submit(a.stream, synth_image(a.image_seed, 16, 32), &reply);
+            match admission {
+                Admission::Queued { replica } => {
+                    let post = engine.replica_states()[replica].admits();
+                    assert!(
+                        pre[replica] || post,
+                        "replica {replica} admitted a request while out of rotation"
+                    );
+                }
+                Admission::Rejected => rejected += 1,
+            }
+        }
+        publisher.join().expect("publisher thread")
+    });
+    let wall = start.elapsed();
+    let report = engine.shutdown();
+    let responses: Vec<Response> = inbox.try_iter().collect();
+    assert_eq!(responses.len(), schedule.len(), "one outcome per request");
+
+    // The storm happened as scripted.
+    assert!(
+        matches!(good_swap, SwapOutcome::Published { generation: 1, .. }),
+        "first swap must promote: {good_swap:?}"
+    );
+    assert!(
+        matches!(bad_swap, SwapOutcome::RolledBack { .. }),
+        "second swap must roll back: {bad_swap:?}"
+    );
+    let c = report.counters;
+    assert_eq!(c.lost(), 0, "chaos soak lost requests: {c:?}");
+    assert_eq!(c.swaps_published, 1, "{c:?}");
+    assert_eq!(c.swap_canary_fail, 1, "{c:?}");
+    assert_eq!(c.swap_rolled_back, 1, "{c:?}");
+    assert!(c.quarantines >= 1, "no quarantine under the storm: {c:?}");
+    assert!(c.restarts >= 1, "no supervised restart: {c:?}");
+    // Every outcome carries its weight-generation stamp: 0 before the
+    // promoted swap, 1 after, and never the rolled-back generation 2.
+    assert!(
+        responses.iter().all(|r| r.generation <= 1),
+        "an outcome carries the rolled-back generation"
+    );
+    assert!(
+        responses.iter().any(|r| r.generation == 1),
+        "no outcome was served by the promoted generation"
+    );
+    assert_eq!(report.generation, 1);
+    assert_eq!(report.weight_hash, bp_next.weight_hash());
+
+    // p99 recovery: the last quarter of the storm (restart done, swap
+    // settled) must serve with a queue-bounded tail again.
+    let mut tail_ms: Vec<f64> = responses
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Served(_)) && r.arrival_us >= storm_us * 3 / 4)
+        .map(|r| r.done_us.saturating_sub(r.arrival_us) as f64 / 1e3)
+        .collect();
+    tail_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert!(
+        !tail_ms.is_empty(),
+        "nothing served after the storm settled"
+    );
+    let tail_p99 = percentile(&tail_ms, 0.99);
+    assert!(
+        tail_p99 < 250.0,
+        "post-storm p99 {tail_p99}ms did not recover"
+    );
+
+    let mut answered_ms: Vec<f64> = responses
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Served(_)))
+        .map(|r| r.done_us.saturating_sub(r.arrival_us) as f64 / 1e3)
+        .collect();
+    answered_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Row {
+        name: "chaos",
         offered_rps: schedule.len() as f64 / wall.as_secs_f64(),
         submitted: c.submitted,
         served: c.served,
@@ -203,6 +373,15 @@ fn main() {
     assert_eq!(smoke.lost, 0, "faulted run must not lose a single request");
     rows.push(smoke);
 
+    // Lifecycle chaos soak: persistent replica failures, supervised
+    // restart, and two hot swaps (one rolled back) under moderate load.
+    let bp_next = DetectorBlueprint::from_seed(
+        SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(16),
+        Anchors::dac_sdc(),
+        1,
+    );
+    rows.push(run_chaos_soak(&bp, &bp_next, n));
+
     table::header(
         "Open-loop serving latency vs offered load (5ms/batch service floor)",
         &[
@@ -263,7 +442,10 @@ fn main() {
          freshly served requests; coasts and sheds are immediate\n\
          admission-time answers. The `faulted` row replays the moderate load\n\
          with transient panics/errors/stalls injected into ~12% of batches\n\
-         plus reply-path stalls (slow clients)."
+         plus reply-path stalls (slow clients). The `chaos` row is the\n\
+         lifecycle soak: three replicas, one wedged until its supervised\n\
+         restart, one failing persistently toward retirement, and two hot\n\
+         weight swaps mid-storm — one canary-promoted, one rolled back."
     );
     let _ = writeln!(
         md,
@@ -293,9 +475,11 @@ fn main() {
          (`rejected`), answering each rejection immediately — coasting on\n\
          the stream's last good detection (`degraded`) or shedding outright\n\
          (`shed`) — which keeps the answered-latency tail queue-bounded\n\
-         instead of letting it grow with the backlog. The fault-injected run\n\
-         keeps the exactly-one-outcome invariant (`lost` stays 0) while\n\
-         replicas panic, retry and stall."
+         instead of letting it grow with the backlog. The fault-injected and\n\
+         chaos runs keep the exactly-one-outcome invariant (`lost` stays 0)\n\
+         while replicas panic, retry, stall, quarantine, restart and swap\n\
+         weight generations — with the post-storm p99 recovered and every\n\
+         outcome stamped with the generation that served it."
     );
     print!("{md}");
     std::fs::create_dir_all("bench_results").expect("create bench_results/");

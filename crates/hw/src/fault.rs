@@ -120,10 +120,108 @@ impl Default for FaultRates {
     }
 }
 
-/// A deterministic fault schedule over `(stage, frame)` coordinates.
+/// How a replica-targeted fault manifests when its window fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaFaultKind {
+    /// A stage fault (panic / error / stall) injected into the replica's
+    /// batched forward — caught by the serving engine's unwind guard and
+    /// absorbed by its retry budget or degrade policy.
+    Fault(FaultKind),
+    /// The replica **thread dies**: the injected panic escapes the
+    /// engine's per-batch unwind guard, modelling a replica lost to a
+    /// bug outside the supervised region. The engine must answer the
+    /// replica's orphaned requests at shutdown and report the loss
+    /// instead of panicking its own drain path.
+    Kill,
+}
+
+/// A replica-targeted fault **window**: fires for every replica-local
+/// batch sequence number in `[from_batch, until_batch)` while the
+/// replica's restart count is below `clears_after_restarts`.
+///
+/// The two knobs compose into the persistent-failure shapes the replica
+/// lifecycle layer is tested with:
+///
+/// * `clears_after_restarts == 1` — a *wedged* replica: every batch
+///   fails until the supervisor restarts it once, after which it is
+///   cured (quarantine → restart → healthy).
+/// * `clears_after_restarts == u32::MAX` — *dead hardware*: restarts
+///   never help, the restart budget drains, and the replica must be
+///   permanently retired.
+///
+/// Like every schedule in this module the window is a pure function of
+/// its coordinates — here `(replica, batch_seq, restarts)` — so a chaos
+/// run replays bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaFault {
+    /// What fires inside the window.
+    pub kind: ReplicaFaultKind,
+    /// First replica-local batch sequence the window covers.
+    pub from_batch: u64,
+    /// One past the last covered batch sequence (`u64::MAX` = open).
+    pub until_batch: u64,
+    /// The window stops firing once the replica has been restarted at
+    /// least this many times (`u32::MAX` = a restart never cures it).
+    pub clears_after_restarts: u32,
+}
+
+impl ReplicaFault {
+    /// An open-ended failure a restart **cures**: fires from
+    /// `from_batch` on, until the first supervised restart.
+    pub fn until_restarted(kind: FaultKind, from_batch: u64) -> Self {
+        ReplicaFault {
+            kind: ReplicaFaultKind::Fault(kind),
+            from_batch,
+            until_batch: u64::MAX,
+            clears_after_restarts: 1,
+        }
+    }
+
+    /// An open-ended failure no restart cures — drives the replica
+    /// through its whole restart budget and into retirement.
+    pub fn persistent(kind: FaultKind, from_batch: u64) -> Self {
+        ReplicaFault {
+            kind: ReplicaFaultKind::Fault(kind),
+            from_batch,
+            until_batch: u64::MAX,
+            clears_after_restarts: u32::MAX,
+        }
+    }
+
+    /// Kills the replica thread at exactly one batch coordinate.
+    pub fn kill(at_batch: u64) -> Self {
+        ReplicaFault {
+            kind: ReplicaFaultKind::Kill,
+            from_batch: at_batch,
+            until_batch: at_batch.saturating_add(1),
+            clears_after_restarts: u32::MAX,
+        }
+    }
+
+    /// Bounds the window to `[from_batch, until_batch)` (builder style).
+    pub fn with_window(mut self, from_batch: u64, until_batch: u64) -> Self {
+        self.from_batch = from_batch;
+        self.until_batch = until_batch;
+        self
+    }
+
+    /// Whether the window fires at `(batch, restarts)`.
+    pub fn fires(&self, batch: u64, restarts: u32) -> bool {
+        batch >= self.from_batch
+            && batch < self.until_batch
+            && restarts < self.clears_after_restarts
+    }
+}
+
+/// A deterministic fault schedule over `(stage, frame)` coordinates,
+/// plus replica-targeted windows (keyed by `(replica, batch, restarts)`)
+/// and swap-window canary faults (keyed by weight generation) for the
+/// serving engine's lifecycle layer.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     faults: HashMap<(StageId, usize), Fault>,
+    replica_faults: HashMap<usize, Vec<ReplicaFault>>,
+    canary_faults: HashMap<u64, Fault>,
 }
 
 impl FaultPlan {
@@ -176,16 +274,149 @@ impl FaultPlan {
                 }
             }
         }
-        FaultPlan { faults }
+        FaultPlan {
+            faults,
+            ..FaultPlan::default()
+        }
     }
 
     /// Overlays `other` onto this plan; where both schedule a fault at
-    /// the same coordinate, `other`'s wins. Useful for composing a
-    /// baseline schedule (e.g. a fixed service-time stall on every
-    /// frame) with a sparse chaos schedule.
+    /// the same coordinate, `other`'s wins (replica windows accumulate —
+    /// both sets stay armed). Useful for composing a baseline schedule
+    /// (e.g. a fixed service-time stall on every frame) with a sparse
+    /// chaos schedule.
     pub fn merge(mut self, other: FaultPlan) -> Self {
         self.faults.extend(other.faults);
+        for (replica, windows) in other.replica_faults {
+            self.replica_faults
+                .entry(replica)
+                .or_default()
+                .extend(windows);
+        }
+        self.canary_faults.extend(other.canary_faults);
         self
+    }
+
+    /// Arms a replica-targeted fault window (builder style). Windows for
+    /// the same replica accumulate; the first firing window wins.
+    pub fn inject_replica(mut self, replica: usize, fault: ReplicaFault) -> Self {
+        self.replica_faults.entry(replica).or_default().push(fault);
+        self
+    }
+
+    /// Arms a canary fault for one weight generation: it fires during
+    /// the validation probe of a hot swap publishing that generation —
+    /// the deterministic way to force a canary failure (and therefore a
+    /// rollback) in a swap-window schedule.
+    pub fn inject_canary(mut self, generation: u64, fault: Fault) -> Self {
+        self.canary_faults.insert(generation, fault);
+        self
+    }
+
+    /// The first replica window firing at `(replica, batch, restarts)`.
+    pub fn replica_fault_at(
+        &self,
+        replica: usize,
+        batch: u64,
+        restarts: u32,
+    ) -> Option<ReplicaFault> {
+        self.replica_faults
+            .get(&replica)?
+            .iter()
+            .find(|w| w.fires(batch, restarts))
+            .copied()
+    }
+
+    /// Whether a [`ReplicaFaultKind::Kill`] window fires at this
+    /// coordinate — checked by the engine *outside* its unwind guard.
+    pub fn replica_kill_at(&self, replica: usize, batch: u64, restarts: u32) -> bool {
+        matches!(
+            self.replica_fault_at(replica, batch, restarts),
+            Some(ReplicaFault {
+                kind: ReplicaFaultKind::Kill,
+                ..
+            })
+        )
+    }
+
+    /// Executes the stage-fault replica window firing at this
+    /// coordinate, if any: panics, errors or stalls exactly like
+    /// [`apply`](Self::apply). [`ReplicaFaultKind::Kill`] windows are
+    /// *not* fired here — the engine handles those outside its unwind
+    /// guard via [`replica_kill_at`](Self::replica_kill_at).
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`StageError`] for [`FaultKind::Error`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (with an [`InjectedFault`] payload) for
+    /// [`FaultKind::Panic`].
+    pub fn apply_replica(
+        &self,
+        replica: usize,
+        batch: u64,
+        restarts: u32,
+    ) -> Result<(), StageError> {
+        let Some(ReplicaFault {
+            kind: ReplicaFaultKind::Fault(kind),
+            ..
+        }) = self.replica_fault_at(replica, batch, restarts)
+        else {
+            return Ok(());
+        };
+        match kind {
+            FaultKind::Panic => std::panic::panic_any(InjectedFault {
+                stage: StageId::Infer,
+                frame: batch as usize,
+            }),
+            FaultKind::Error => Err(StageError::new(format!(
+                "injected replica fault: replica {replica}, batch {batch}"
+            ))),
+            FaultKind::Stall(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+        }
+    }
+
+    /// The canary fault armed for `generation`, if any.
+    pub fn canary_fault_at(&self, generation: u64) -> Option<Fault> {
+        self.canary_faults.get(&generation).copied()
+    }
+
+    /// Executes the canary fault armed for `generation` at the given
+    /// probe attempt, if any — same semantics as [`apply`](Self::apply).
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected [`StageError`] for [`FaultKind::Error`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (with an [`InjectedFault`] payload) for
+    /// [`FaultKind::Panic`].
+    pub fn apply_canary(&self, generation: u64, attempt: u32) -> Result<(), StageError> {
+        let Some(fault) = self.canary_fault_at(generation) else {
+            return Ok(());
+        };
+        if attempt >= fault.persist_attempts {
+            return Ok(());
+        }
+        match fault.kind {
+            FaultKind::Panic => std::panic::panic_any(InjectedFault {
+                stage: StageId::Infer,
+                frame: generation as usize,
+            }),
+            FaultKind::Error => Err(StageError::new(format!(
+                "injected canary fault at generation {generation}"
+            ))),
+            FaultKind::Stall(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+        }
     }
 
     /// The fault scheduled at a coordinate, if any.
@@ -193,14 +424,17 @@ impl FaultPlan {
         self.faults.get(&(stage, frame)).copied()
     }
 
-    /// Number of scheduled faults.
+    /// Number of scheduled faults (stage coordinates, replica windows
+    /// and canary faults combined).
     pub fn len(&self) -> usize {
         self.faults.len()
+            + self.replica_faults.values().map(Vec::len).sum::<usize>()
+            + self.canary_faults.len()
     }
 
     /// Whether the plan schedules no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.replica_faults.is_empty() && self.canary_faults.is_empty()
     }
 
     /// Number of distinct frames with at least one fault in `0..frames`.
@@ -366,6 +600,73 @@ mod tests {
                 }
             )
             .is_ok());
+    }
+
+    #[test]
+    fn replica_window_fires_until_restart_clears_it() {
+        let plan =
+            FaultPlan::new().inject_replica(1, ReplicaFault::until_restarted(FaultKind::Error, 3));
+        // Outside the window / wrong replica: nothing.
+        assert!(plan.apply_replica(1, 2, 0).is_ok());
+        assert!(plan.apply_replica(0, 5, 0).is_ok());
+        // Inside the window, no restarts yet: fires, open-ended.
+        assert!(plan.apply_replica(1, 3, 0).is_err());
+        assert!(plan.apply_replica(1, 1_000, 0).is_err());
+        // One restart cures it.
+        assert!(plan.apply_replica(1, 1_000, 1).is_ok());
+    }
+
+    #[test]
+    fn persistent_replica_window_survives_restarts() {
+        let plan =
+            FaultPlan::new().inject_replica(0, ReplicaFault::persistent(FaultKind::Error, 0));
+        for restarts in [0, 1, 7, u32::MAX - 1] {
+            assert!(plan.apply_replica(0, 4, restarts).is_err());
+        }
+    }
+
+    #[test]
+    fn kill_window_is_reported_but_not_applied() {
+        let plan = FaultPlan::new().inject_replica(2, ReplicaFault::kill(5));
+        assert!(plan.replica_kill_at(2, 5, 0));
+        assert!(!plan.replica_kill_at(2, 4, 0));
+        assert!(!plan.replica_kill_at(2, 6, 0));
+        assert!(!plan.replica_kill_at(1, 5, 0));
+        // apply_replica never fires a Kill window.
+        assert!(plan.apply_replica(2, 5, 0).is_ok());
+    }
+
+    #[test]
+    fn bounded_window_and_merge_accumulate() {
+        let a = FaultPlan::new().inject_replica(
+            0,
+            ReplicaFault::persistent(FaultKind::Error, 0).with_window(2, 4),
+        );
+        let b = FaultPlan::new()
+            .inject_replica(
+                0,
+                ReplicaFault::persistent(FaultKind::Error, 0).with_window(8, 9),
+            )
+            .inject_canary(3, Fault::permanent(FaultKind::Error));
+        let merged = a.merge(b);
+        assert!(merged.apply_replica(0, 1, 0).is_ok());
+        assert!(merged.apply_replica(0, 2, 0).is_err());
+        assert!(merged.apply_replica(0, 4, 0).is_ok());
+        assert!(merged.apply_replica(0, 8, 0).is_err());
+        assert_eq!(merged.len(), 3);
+        assert!(!merged.is_empty());
+    }
+
+    #[test]
+    fn canary_fault_keys_on_generation_and_attempt() {
+        let plan = FaultPlan::new().inject_canary(2, Fault::transient(FaultKind::Error));
+        assert!(plan.apply_canary(1, 0).is_ok());
+        assert!(plan.apply_canary(2, 0).is_err());
+        assert!(plan.apply_canary(2, 1).is_ok(), "transient clears on retry");
+        assert_eq!(
+            plan.canary_fault_at(2),
+            Some(Fault::transient(FaultKind::Error))
+        );
     }
 
     #[test]

@@ -160,21 +160,54 @@ impl<T: Clone> Strategy for Just<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Strategy producing a `Vec` of `len` samples of `elem`.
-    pub fn vec<S: Strategy>(elem: S, len: usize) -> VecStrategy<S> {
-        VecStrategy { elem, len }
+    /// Length specification for [`vec()`]: a fixed `usize` or a
+    /// half-open `Range<usize>` (mirroring upstream's `SizeRange`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange {
+                start: len,
+                end: len + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty vec length range");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` of `elem` samples with a length drawn
+    /// from `len` (fixed, or uniform over a range).
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            len: len.into(),
+        }
     }
 
     /// See [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
-        len: usize,
+        len: SizeRange,
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            (0..self.len).map(|_| self.elem.sample(rng)).collect()
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
         }
     }
 }

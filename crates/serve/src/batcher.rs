@@ -112,6 +112,18 @@ impl<T> Batcher<T> {
         self.take_open()
     }
 
+    /// The swap barrier: closes the open batch so that everything
+    /// offered before this call is in a batch that precedes anything
+    /// offered after it. Semantically identical to [`flush`](Self::flush)
+    /// — the distinct name marks the call sites where the engine
+    /// guarantees *no batch spans two weight generations* (canary,
+    /// adopt, retire). A barrier on an empty batcher is a no-op, so
+    /// barrier placement never changes the composition of already-closed
+    /// batches.
+    pub fn barrier(&mut self) -> Option<Vec<T>> {
+        self.take_open()
+    }
+
     fn take_open(&mut self) -> Option<Vec<T>> {
         if self.open.is_empty() {
             return None;

@@ -1,0 +1,442 @@
+//! Per-replica health scoring as a pure, deterministic state machine.
+//!
+//! The serving engine survives *per-batch* faults with retries and the
+//! degrade policy, but a replica that fails persistently would keep
+//! absorbing its round-robin share of traffic forever. This module
+//! scores each replica from its own **batch outcome log** — nothing
+//! else — and moves it through the lifecycle
+//!
+//! ```text
+//!            window error rate ≥ degrade ‰
+//!   Healthy ──────────────────────────────▶ Degraded
+//!      ▲  ◀──────────────────────────────      │
+//!      │        rate back under threshold      │
+//!      │                                       │ consecutive failures
+//!      │ restart                               │ ≥ threshold, or rate
+//!      │ (budget left)                         ▼ ≥ quarantine ‰
+//!      └───────────────────────────── Quarantined
+//!                                              │ budget exhausted
+//!                                              ▼
+//!                                          Retired        (terminal)
+//! ```
+//!
+//! plus a fifth, engine-assigned terminal state — [`ReplicaState::Lost`]
+//! — for replicas whose thread died or never drained (the health score
+//! cannot observe those from the outcome log; the engine records them).
+//!
+//! Two transition triggers feed quarantine, mirroring how real serving
+//! fleets score replicas:
+//!
+//! * **consecutive failures** — `N` failed batches in a row is a wedged
+//!   replica regardless of long-run rate;
+//! * **sliding-window error rate** — a replica failing 50% of a full
+//!   window is sick even if successes are interleaved.
+//!
+//! Every decision is a pure function of the recorded outcome sequence
+//! and the [`HealthPolicy`] (integer per-mille thresholds; no floats, no
+//! clocks), so a virtual-time replay of the same fault plan walks the
+//! replica through bit-identical state transitions — the property the
+//! lifecycle determinism suite pins.
+
+use std::collections::VecDeque;
+
+/// Lifecycle state of one detector replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Serving normally; receives admissions.
+    Healthy,
+    /// Sliding-window error rate is elevated but below the quarantine
+    /// threshold. Still receives admissions — this state is the early
+    /// warning surfaced in telemetry, not a traffic decision.
+    Degraded,
+    /// Health score tripped: receives **zero** admissions (its
+    /// round-robin share spills over to the other replicas) while the
+    /// supervisor restarts it from the active blueprint.
+    Quarantined,
+    /// Restart budget exhausted; permanently out of rotation. The
+    /// engine degrades capacity gracefully instead of retry-looping.
+    Retired,
+    /// The replica's thread died (panicked outside the unwind guard) or
+    /// failed to drain by the shutdown deadline. Terminal, assigned by
+    /// the engine — the outcome log cannot observe it.
+    Lost,
+}
+
+impl ReplicaState {
+    /// Whether admission may route new requests to this replica.
+    pub fn admits(self) -> bool {
+        matches!(self, ReplicaState::Healthy | ReplicaState::Degraded)
+    }
+
+    /// Stable numeric code for the `serve.replica<i>.state` gauge.
+    pub fn code(self) -> u8 {
+        match self {
+            ReplicaState::Healthy => 0,
+            ReplicaState::Degraded => 1,
+            ReplicaState::Quarantined => 2,
+            ReplicaState::Retired => 3,
+            ReplicaState::Lost => 4,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            0 => ReplicaState::Healthy,
+            1 => ReplicaState::Degraded,
+            2 => ReplicaState::Quarantined,
+            3 => ReplicaState::Retired,
+            _ => ReplicaState::Lost,
+        }
+    }
+}
+
+impl std::fmt::Display for ReplicaState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ReplicaState::Healthy => "healthy",
+            ReplicaState::Degraded => "degraded",
+            ReplicaState::Quarantined => "quarantined",
+            ReplicaState::Retired => "retired",
+            ReplicaState::Lost => "lost",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Thresholds and budgets of the replica health score. All thresholds
+/// are integers (error rates in per-mille) so scoring never touches
+/// floating point — determinism by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive failed batches that trip quarantine (min 1).
+    pub consecutive_failures: u32,
+    /// Sliding-window length in batches. The rate thresholds below only
+    /// apply once the window is full; `0` disables rate-based scoring
+    /// (consecutive failures still quarantine).
+    pub window: usize,
+    /// Window error rate (‰) at or above which a replica is `Degraded`.
+    pub degrade_per_mille: u32,
+    /// Window error rate (‰) at or above which a replica is quarantined
+    /// even without a consecutive-failure streak.
+    pub quarantine_per_mille: u32,
+    /// Supervised restarts allowed before the replica is permanently
+    /// retired.
+    pub restart_budget: u32,
+    /// Base of the deterministic exponential restart backoff:
+    /// `min(backoff_base_ms << restarts, backoff_max_ms)`. The engine
+    /// sleeps it in wall-clock mode and skips the sleep in virtual-time
+    /// mode (the decision sequence is identical either way).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_max_ms: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            consecutive_failures: 3,
+            window: 16,
+            degrade_per_mille: 250,
+            quarantine_per_mille: 500,
+            restart_budget: 3,
+            backoff_base_ms: 10,
+            backoff_max_ms: 1_000,
+        }
+    }
+}
+
+/// What the supervisor should do with a quarantined replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartDecision {
+    /// Budget left: back off for `backoff_ms`, then respawn from the
+    /// active blueprint.
+    Restart {
+        /// Deterministic exponential backoff for this attempt.
+        backoff_ms: u64,
+    },
+    /// Budget exhausted: permanently retire the replica.
+    Retire,
+}
+
+/// The per-replica health score: a deterministic fold over the batch
+/// outcome log.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    policy: HealthPolicy,
+    state: ReplicaState,
+    /// Most recent batch outcomes, `true` = failed; bounded by
+    /// `policy.window`.
+    window: VecDeque<bool>,
+    consecutive: u32,
+    restarts: u32,
+    quarantines: u64,
+}
+
+impl HealthTracker {
+    /// A healthy tracker under `policy`.
+    pub fn new(policy: HealthPolicy) -> Self {
+        HealthTracker {
+            policy,
+            state: ReplicaState::Healthy,
+            window: VecDeque::with_capacity(policy.window),
+            consecutive: 0,
+            restarts: 0,
+            quarantines: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ReplicaState {
+        self.state
+    }
+
+    /// Supervised restarts performed so far.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// Times this replica has entered quarantine.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// Window error rate in per-mille (0 when the window is empty).
+    pub fn error_per_mille(&self) -> u32 {
+        if self.window.is_empty() {
+            return 0;
+        }
+        let fails = self.window.iter().filter(|&&f| f).count() as u64;
+        (fails * 1_000 / self.window.len() as u64) as u32
+    }
+
+    /// Records one batch outcome and returns the (possibly new) state.
+    /// Only meaningful while the replica is in rotation; terminal states
+    /// are sticky and quarantine is left via [`begin_restart`].
+    ///
+    /// [`begin_restart`]: Self::begin_restart
+    pub fn record_batch(&mut self, failed: bool) -> ReplicaState {
+        if !matches!(self.state, ReplicaState::Healthy | ReplicaState::Degraded) {
+            return self.state;
+        }
+        if self.policy.window > 0 {
+            if self.window.len() == self.policy.window {
+                self.window.pop_front();
+            }
+            self.window.push_back(failed);
+        }
+        self.consecutive = if failed { self.consecutive + 1 } else { 0 };
+        let rate_applies = self.policy.window > 0 && self.window.len() == self.policy.window;
+        let rate = self.error_per_mille();
+        self.state = if self.consecutive >= self.policy.consecutive_failures.max(1)
+            || (rate_applies && rate >= self.policy.quarantine_per_mille)
+        {
+            self.quarantines += 1;
+            ReplicaState::Quarantined
+        } else if rate_applies && rate >= self.policy.degrade_per_mille {
+            ReplicaState::Degraded
+        } else {
+            ReplicaState::Healthy
+        };
+        self.state
+    }
+
+    /// Decides a quarantined replica's fate: restart (with deterministic
+    /// exponential backoff) while budget remains, otherwise retire. Must
+    /// only be called in [`ReplicaState::Quarantined`].
+    pub fn begin_restart(&mut self) -> RestartDecision {
+        debug_assert_eq!(self.state, ReplicaState::Quarantined);
+        if self.restarts >= self.policy.restart_budget {
+            self.state = ReplicaState::Retired;
+            return RestartDecision::Retire;
+        }
+        let shift = self.restarts.min(63);
+        let backoff_ms = self
+            .policy
+            .backoff_base_ms
+            .checked_shl(shift)
+            .unwrap_or(u64::MAX)
+            .min(self.policy.backoff_max_ms);
+        RestartDecision::Restart { backoff_ms }
+    }
+
+    /// Marks a supervised restart complete: the outcome log is cleared
+    /// (the new detector's record starts fresh) and the replica rejoins
+    /// rotation healthy.
+    pub fn complete_restart(&mut self) {
+        self.restarts += 1;
+        self.consecutive = 0;
+        self.window.clear();
+        self.state = ReplicaState::Healthy;
+    }
+
+    /// Marks the replica lost (thread death / undrained at deadline).
+    pub fn mark_lost(&mut self) {
+        self.state = ReplicaState::Lost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> HealthPolicy {
+        HealthPolicy {
+            consecutive_failures: 3,
+            window: 8,
+            degrade_per_mille: 250,
+            quarantine_per_mille: 500,
+            restart_budget: 2,
+            backoff_base_ms: 10,
+            backoff_max_ms: 1_000,
+        }
+    }
+
+    #[test]
+    fn consecutive_failures_quarantine() {
+        let mut h = HealthTracker::new(policy());
+        assert_eq!(h.record_batch(true), ReplicaState::Healthy);
+        assert_eq!(h.record_batch(true), ReplicaState::Healthy);
+        assert_eq!(h.record_batch(true), ReplicaState::Quarantined);
+        assert_eq!(h.quarantines(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut h = HealthTracker::new(policy());
+        for _ in 0..2 {
+            h.record_batch(true);
+        }
+        assert_eq!(h.record_batch(false), ReplicaState::Healthy);
+        for _ in 0..2 {
+            h.record_batch(true);
+        }
+        assert_eq!(h.state(), ReplicaState::Healthy);
+    }
+
+    #[test]
+    fn window_rate_degrades_then_quarantines() {
+        let mut h = HealthTracker::new(policy());
+        // Alternate failures so the consecutive streak never trips: 4/8
+        // failed = 500‰ ≥ quarantine threshold once the window is full.
+        let mut last = ReplicaState::Healthy;
+        for i in 0..8 {
+            last = h.record_batch(i % 2 == 0);
+        }
+        assert_eq!(last, ReplicaState::Quarantined);
+        // A 2/8 window (250‰) only degrades.
+        let mut h = HealthTracker::new(policy());
+        for i in 0..8 {
+            h.record_batch(i % 4 == 0);
+        }
+        assert_eq!(h.state(), ReplicaState::Degraded);
+        // And recovery drops back to healthy as failures age out.
+        for _ in 0..8 {
+            h.record_batch(false);
+        }
+        assert_eq!(h.state(), ReplicaState::Healthy);
+    }
+
+    #[test]
+    fn rate_rules_wait_for_a_full_window() {
+        let mut h = HealthTracker::new(policy());
+        // 1 failure in a 2-element window is 500‰, but the window isn't
+        // full yet — no verdict from the rate rule.
+        h.record_batch(true);
+        assert_eq!(h.record_batch(false), ReplicaState::Healthy);
+    }
+
+    #[test]
+    fn restart_budget_then_retire_with_exponential_backoff() {
+        let mut h = HealthTracker::new(policy());
+        for _ in 0..3 {
+            h.record_batch(true);
+        }
+        assert_eq!(
+            h.begin_restart(),
+            RestartDecision::Restart { backoff_ms: 10 }
+        );
+        h.complete_restart();
+        assert_eq!(h.state(), ReplicaState::Healthy);
+        assert_eq!(h.restarts(), 1);
+        for _ in 0..3 {
+            h.record_batch(true);
+        }
+        assert_eq!(
+            h.begin_restart(),
+            RestartDecision::Restart { backoff_ms: 20 }
+        );
+        h.complete_restart();
+        for _ in 0..3 {
+            h.record_batch(true);
+        }
+        assert_eq!(h.begin_restart(), RestartDecision::Retire);
+        assert_eq!(h.state(), ReplicaState::Retired);
+        // Terminal: further outcomes don't move it.
+        assert_eq!(h.record_batch(false), ReplicaState::Retired);
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let mut p = policy();
+        p.restart_budget = 20;
+        p.backoff_base_ms = 100;
+        p.backoff_max_ms = 400;
+        let mut h = HealthTracker::new(p);
+        for round in 0..5 {
+            for _ in 0..3 {
+                h.record_batch(true);
+            }
+            let RestartDecision::Restart { backoff_ms } = h.begin_restart() else {
+                panic!("budget not exhausted yet");
+            };
+            assert_eq!(backoff_ms, (100u64 << round).min(400));
+            h.complete_restart();
+        }
+    }
+
+    #[test]
+    fn scoring_is_a_pure_function_of_the_outcome_log() {
+        let outcomes: Vec<bool> = (0..200)
+            .map(|i| (i * 7) % 5 == 0 || (i % 11) == 3)
+            .collect();
+        let run = |log: &[bool]| {
+            let mut h = HealthTracker::new(policy());
+            let mut trace = Vec::new();
+            for &f in log {
+                let s = h.record_batch(f);
+                if s == ReplicaState::Quarantined {
+                    match h.begin_restart() {
+                        RestartDecision::Restart { backoff_ms } => {
+                            trace.push((s.code(), backoff_ms));
+                            h.complete_restart();
+                        }
+                        RestartDecision::Retire => trace.push((ReplicaState::Retired.code(), 0)),
+                    }
+                } else {
+                    trace.push((s.code(), 0));
+                }
+            }
+            trace
+        };
+        assert_eq!(run(&outcomes), run(&outcomes));
+    }
+
+    #[test]
+    fn state_codes_roundtrip() {
+        for s in [
+            ReplicaState::Healthy,
+            ReplicaState::Degraded,
+            ReplicaState::Quarantined,
+            ReplicaState::Retired,
+            ReplicaState::Lost,
+        ] {
+            assert_eq!(ReplicaState::from_code(s.code()), s);
+        }
+        assert!(ReplicaState::Healthy.admits());
+        assert!(ReplicaState::Degraded.admits());
+        assert!(!ReplicaState::Quarantined.admits());
+        assert!(!ReplicaState::Retired.admits());
+        assert!(!ReplicaState::Lost.admits());
+    }
+}

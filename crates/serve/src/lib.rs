@@ -31,13 +31,30 @@
 //!   [`FaultPlan`](skynet_hw::fault::FaultPlan) panicking and stalling
 //!   the infer stage.
 //!
+//! On top of per-batch fault tolerance the engine is
+//! **self-healing per replica** ([`health`]): every replica scores its
+//! batch outcomes through a deterministic health state machine
+//! (`Healthy → Degraded → Quarantined`), quarantined replicas receive
+//! zero admissions and are supervised-restarted from the active
+//! blueprint with exponential backoff until a bounded restart budget
+//! retires them permanently. Weights can be **hot-swapped** into the
+//! running engine ([`swap`]):
+//! [`ServeEngine::publish`](engine::ServeEngine::publish) validates the
+//! new blueprint on a single canary replica against a pinned reference
+//! input before promoting it — or rolls back automatically — and every
+//! [`Response`](engine::Response) records the weight generation that
+//! served it.
+//!
 //! Replicas are isolated where it matters: scratch-arena reuse is
 //! per-thread by construction, and telemetry is split per replica
-//! (`serve.replica<i>.queue.depth` gauges, `serve.replica<i>.batches` /
-//! `.served` counters) on top of the engine-wide `serve.*` counters and
-//! latency histograms. See `docs/OBSERVABILITY.md` for the full metric
-//! inventory and `bench/src/bin/serve_load.rs` for the open-loop load
-//! harness ([`loadgen`]) that produces `bench_results/serve_load.md`.
+//! (`serve.replica<i>.queue.depth` / `.state` gauges,
+//! `serve.replica<i>.batches` / `.served` / `.restarts` /
+//! `.quarantines` counters) on top of the engine-wide `serve.*`
+//! counters, `serve.swap.*` counters and latency histograms. See
+//! `docs/OBSERVABILITY.md` for the full metric inventory and
+//! `bench/src/bin/serve_load.rs` for the open-loop load harness
+//! ([`loadgen`]) — including its chaos-soak scenario — that produces
+//! `bench_results/serve_load.md`.
 //!
 //! ```
 //! use skynet_core::head::Anchors;
@@ -63,10 +80,14 @@
 
 pub mod batcher;
 pub mod engine;
+pub mod health;
 pub mod loadgen;
+pub mod swap;
 
 pub use batcher::{BatchPolicy, Batcher};
 pub use engine::{
     Admission, Outcome, Response, ServeConfig, ServeCounters, ServeEngine, ServeReport, ShedReason,
 };
+pub use health::{HealthPolicy, HealthTracker, ReplicaState, RestartDecision};
 pub use loadgen::{synth_image, Arrival, LoadSpec};
+pub use swap::{CanaryFailure, CanarySpec, CanaryVerdict, SwapError, SwapOutcome};

@@ -1,0 +1,225 @@
+//! Hot weight swap: canary validation, promotion and rollback types.
+//!
+//! [`ServeEngine::publish`](crate::engine::ServeEngine::publish)
+//! republishes a new [`DetectorBlueprint`] into a *running* engine
+//! without dropping a request. The protocol is canary-first:
+//!
+//! 1. the blueprint is validated structurally on the publisher's thread
+//!    (weights must fit the architecture);
+//! 2. one healthy replica — the **canary** — adopts the new weights at
+//!    its next batch boundary (no batch ever spans two weight
+//!    generations) and runs a **validation probe**: a forward pass over
+//!    the [`CanarySpec`]'s pinned reference input, checked against the
+//!    expected `weight_hash` and detection/IoU bounds;
+//! 3. on a passing probe the swap is **promoted**: every other replica
+//!    adopts the blueprint at its own next batch boundary, and restarts
+//!    from then on respawn from the new generation;
+//! 4. on a failing probe the canary **rolls back** to the previous
+//!    blueprint and the engine keeps serving the old generation — the
+//!    failure is returned to the publisher and counted in
+//!    `serve.swap.canary_fail` / `serve.swap.rolled_back`.
+//!
+//! Every published (or attempted) blueprint gets a monotonically
+//! increasing **generation** number, and every
+//! [`Response`](crate::engine::Response) records the generation that
+//! served it — the audit trail that makes "which weights answered this
+//! request?" answerable after the fact.
+
+use skynet_core::head::Detection;
+use skynet_core::replica::DetectorBlueprint;
+use skynet_nn::CheckpointError;
+use skynet_tensor::Tensor;
+
+/// The validation contract a canary must meet before a new blueprint is
+/// promoted to the whole engine.
+#[derive(Debug, Clone)]
+pub struct CanarySpec {
+    /// Pinned reference input the probe runs on (batch dimension 1..N).
+    pub reference: Tensor,
+    /// Expected FNV-1a digest of the published weights; `None` skips
+    /// the check. A mismatch means the publisher shipped different
+    /// parameters than it intended — the canonical fat-finger guard.
+    pub expected_weight_hash: Option<u64>,
+    /// Expected detections on `reference` (one per batch item). Empty
+    /// skips the comparison; the probe then only requires a successful
+    /// forward pass.
+    pub expected: Vec<Detection>,
+    /// Minimum IoU between each probe detection and its expected box.
+    pub min_iou: f32,
+}
+
+impl CanarySpec {
+    /// A spec that only requires the probe forward pass to succeed on
+    /// `reference` (no hash or detection expectations).
+    pub fn new(reference: Tensor) -> Self {
+        CanarySpec {
+            reference,
+            expected_weight_hash: None,
+            expected: Vec::new(),
+            min_iou: 0.5,
+        }
+    }
+
+    /// Builds the full expectation for `blueprint` by probing it on the
+    /// publisher's thread: records its weight hash and its detections on
+    /// `reference`. The resulting spec accepts exactly this blueprint —
+    /// the strongest (and usual) validation contract.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapError::InvalidBlueprint`] when the weights do not fit the
+    /// architecture; [`SwapError::ProbeFailed`] when the reference
+    /// forward pass fails (wrong input geometry).
+    pub fn for_blueprint(
+        blueprint: &DetectorBlueprint,
+        reference: Tensor,
+    ) -> Result<Self, SwapError> {
+        let mut det = blueprint.spawn().map_err(SwapError::InvalidBlueprint)?;
+        let expected = det
+            .predict(&reference)
+            .map_err(|e| SwapError::ProbeFailed(e.to_string()))?;
+        Ok(CanarySpec {
+            reference,
+            expected_weight_hash: Some(blueprint.weight_hash()),
+            expected,
+            min_iou: 0.5,
+        })
+    }
+
+    /// Sets the expected weight hash (builder style).
+    pub fn expect_weight_hash(mut self, hash: u64) -> Self {
+        self.expected_weight_hash = Some(hash);
+        self
+    }
+
+    /// Sets the IoU floor (builder style).
+    pub fn with_min_iou(mut self, min_iou: f32) -> Self {
+        self.min_iou = min_iou;
+        self
+    }
+}
+
+/// Why a canary probe rejected a published blueprint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CanaryFailure {
+    /// The blueprint's weight hash is not the one the spec expected.
+    WeightHashMismatch {
+        /// Hash the spec demanded.
+        expected: u64,
+        /// Hash the published blueprint actually carries.
+        got: u64,
+    },
+    /// Building a detector from the blueprint failed on the canary.
+    SpawnFailed(String),
+    /// The probe forward pass panicked (caught by the unwind guard).
+    ProbePanicked,
+    /// The probe forward pass returned an error.
+    ProbeError(String),
+    /// The probe produced a different number of detections than the
+    /// spec expects.
+    DetectionCount {
+        /// Expected detections.
+        expected: usize,
+        /// Observed detections.
+        got: usize,
+    },
+    /// A probe detection's IoU against its expected box fell below the
+    /// spec's floor.
+    IouBelowFloor {
+        /// Index of the offending detection.
+        index: usize,
+        /// Observed IoU.
+        iou: f32,
+        /// The spec's floor.
+        floor: f32,
+    },
+    /// The selected canary replica left rotation (retired/lost) between
+    /// selection and probe execution.
+    ReplicaUnavailable,
+}
+
+impl std::fmt::Display for CanaryFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CanaryFailure::WeightHashMismatch { expected, got } => {
+                write!(
+                    f,
+                    "weight hash mismatch: expected {expected:#018x}, got {got:#018x}"
+                )
+            }
+            CanaryFailure::SpawnFailed(e) => write!(f, "canary spawn failed: {e}"),
+            CanaryFailure::ProbePanicked => write!(f, "canary probe panicked"),
+            CanaryFailure::ProbeError(e) => write!(f, "canary probe error: {e}"),
+            CanaryFailure::DetectionCount { expected, got } => {
+                write!(f, "canary detection count: expected {expected}, got {got}")
+            }
+            CanaryFailure::IouBelowFloor { index, iou, floor } => {
+                write!(
+                    f,
+                    "canary detection {index} IoU {iou:.3} below floor {floor:.3}"
+                )
+            }
+            CanaryFailure::ReplicaUnavailable => write!(f, "canary replica left rotation"),
+        }
+    }
+}
+
+/// The canary replica's answer to a publish request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CanaryVerdict {
+    /// Probe passed; the canary is already serving the new generation.
+    Pass,
+    /// Probe failed; the canary rolled back to the previous blueprint.
+    Fail(CanaryFailure),
+}
+
+/// What a completed [`publish`](crate::engine::ServeEngine::publish)
+/// call did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwapOutcome {
+    /// The canary validated the blueprint and every replica adopts it at
+    /// its next batch boundary.
+    Published {
+        /// The new active weight generation.
+        generation: u64,
+        /// Replica that served as canary.
+        canary: usize,
+    },
+    /// The canary rejected the blueprint; the engine still serves the
+    /// previous generation.
+    RolledBack {
+        /// The generation that was attempted (not activated).
+        generation: u64,
+        /// Replica that served as canary.
+        canary: usize,
+        /// Why the probe failed.
+        failure: CanaryFailure,
+    },
+}
+
+/// Why a publish attempt could not even reach a canary verdict.
+#[derive(Debug)]
+pub enum SwapError {
+    /// The blueprint's weights do not fit its architecture config.
+    InvalidBlueprint(CheckpointError),
+    /// No replica is in an admitting state to act as canary.
+    NoHealthyReplica,
+    /// The canary did not answer within the configured deadline (engine
+    /// paused, canary stalled past the deadline, or shut down).
+    CanaryUnresponsive,
+    /// A publisher-side probe failed (see [`CanarySpec::for_blueprint`]).
+    ProbeFailed(String),
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::InvalidBlueprint(e) => write!(f, "invalid blueprint: {e}"),
+            SwapError::NoHealthyReplica => write!(f, "no healthy replica available as canary"),
+            SwapError::CanaryUnresponsive => write!(f, "canary did not answer before the deadline"),
+            SwapError::ProbeFailed(e) => write!(f, "publisher-side probe failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}

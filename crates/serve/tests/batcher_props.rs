@@ -1,0 +1,166 @@
+//! Property coverage for the dynamic-batcher state machine — the
+//! invariants the serving engine's accounting and determinism contracts
+//! stand on: every offered request lands in **exactly one** batch, no
+//! batch exceeds `max_batch`, FIFO order survives batching, coalescing
+//! respects the window, replay is bit-identical, and batch composition
+//! is invariant both to redundant flushes and to *who* closes an
+//! expired window (the engine's timer vs the next late arrival) — the
+//! virtual-time flush-timing invariance the determinism suite relies
+//! on.
+
+use proptest::prelude::*;
+use skynet_serve::batcher::{BatchPolicy, Batcher};
+
+/// Items carry their stamp so window properties can be checked on the
+/// closed batches afterwards.
+type Item = (u64, u64); // (id, t_us)
+
+/// Pushes the whole arrival sequence and final-flushes, collecting every
+/// closed batch in order.
+fn run_plain(policy: BatchPolicy, arrivals: &[Item]) -> Vec<Vec<Item>> {
+    let mut b = Batcher::new(policy);
+    let mut batches = Vec::new();
+    for &(id, t) in arrivals {
+        if let Some(done) = b.push((id, t), t) {
+            batches.push(done);
+        }
+    }
+    if let Some(done) = b.flush() {
+        batches.push(done);
+    }
+    batches
+}
+
+/// Like [`run_plain`], but whenever the next arrival's stamp falls past
+/// the open window the batch is closed by an explicit `flush()` *before*
+/// the push — modelling the engine's wall-clock timer firing instead of
+/// the late arrival itself forcing the close. Composition must not care
+/// which of the two closed it.
+fn run_timer_closed(policy: BatchPolicy, arrivals: &[Item]) -> Vec<Vec<Item>> {
+    let mut b = Batcher::new(policy);
+    let mut batches = Vec::new();
+    for &(id, t) in arrivals {
+        if let Some(deadline) = b.window_deadline_us() {
+            if t > deadline {
+                if let Some(done) = b.flush() {
+                    batches.push(done);
+                }
+            }
+        }
+        if let Some(done) = b.push((id, t), t) {
+            batches.push(done);
+        }
+    }
+    if let Some(done) = b.flush() {
+        batches.push(done);
+    }
+    batches
+}
+
+/// Like [`run_plain`], but with a `barrier()` fired whenever the batcher
+/// is empty (the positions the engine may interleave control messages
+/// at). A barrier on an empty batcher must never perturb composition.
+fn run_with_empty_barriers(policy: BatchPolicy, arrivals: &[Item]) -> Vec<Vec<Item>> {
+    let mut b = Batcher::new(policy);
+    let mut batches = Vec::new();
+    for &(id, t) in arrivals {
+        if b.is_empty() {
+            assert!(b.barrier().is_none(), "barrier on empty batcher yielded");
+        }
+        if let Some(done) = b.push((id, t), t) {
+            batches.push(done);
+        }
+    }
+    if let Some(done) = b.flush() {
+        batches.push(done);
+    }
+    batches
+}
+
+/// Monotone arrival sequences: ids 0..n with non-decreasing stamps built
+/// from bounded deltas (bursts included via zero deltas).
+fn arrivals_from(deltas: &[u64]) -> Vec<Item> {
+    let mut t = 0u64;
+    deltas
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            t += d;
+            (i as u64, t)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn every_item_lands_in_exactly_one_batch_in_fifo_order(
+        max_batch in 1usize..9,
+        max_delay_us in 0u64..5_000,
+        deltas in proptest::collection::vec(0u64..2_500, 0..120),
+    ) {
+        let policy = BatchPolicy { max_batch, max_delay_us };
+        let arrivals = arrivals_from(&deltas);
+        let batches = run_plain(policy, &arrivals);
+        for batch in &batches {
+            prop_assert!(!batch.is_empty(), "batcher closed an empty batch");
+            prop_assert!(
+                batch.len() <= max_batch,
+                "batch of {} exceeds max_batch {max_batch}",
+                batch.len()
+            );
+        }
+        // Concatenating the closed batches reproduces the arrival
+        // sequence exactly: every item once, in FIFO order.
+        let replayed: Vec<Item> = batches.iter().flatten().copied().collect();
+        prop_assert_eq!(replayed, arrivals);
+    }
+
+    #[test]
+    fn batches_never_span_more_than_the_coalescing_window(
+        max_batch in 1usize..9,
+        max_delay_us in 0u64..5_000,
+        deltas in proptest::collection::vec(0u64..2_500, 0..120),
+    ) {
+        let policy = BatchPolicy { max_batch, max_delay_us };
+        let arrivals = arrivals_from(&deltas);
+        for batch in run_plain(policy, &arrivals) {
+            let first = batch.first().expect("no empty batches").1;
+            let last = batch.last().expect("no empty batches").1;
+            prop_assert!(
+                last.saturating_sub(first) <= max_delay_us,
+                "batch spans {}us, window is {max_delay_us}us",
+                last - first
+            );
+        }
+    }
+
+    #[test]
+    fn replay_is_bit_identical(
+        max_batch in 1usize..9,
+        max_delay_us in 0u64..5_000,
+        deltas in proptest::collection::vec(0u64..2_500, 0..120),
+    ) {
+        let policy = BatchPolicy { max_batch, max_delay_us };
+        let arrivals = arrivals_from(&deltas);
+        prop_assert_eq!(run_plain(policy, &arrivals), run_plain(policy, &arrivals));
+    }
+
+    #[test]
+    fn composition_is_invariant_to_flush_timing(
+        max_batch in 1usize..9,
+        max_delay_us in 0u64..5_000,
+        deltas in proptest::collection::vec(0u64..2_500, 0..120),
+    ) {
+        let policy = BatchPolicy { max_batch, max_delay_us };
+        let arrivals = arrivals_from(&deltas);
+        let plain = run_plain(policy, &arrivals);
+        // Whether an expired window is closed by the engine's timer
+        // (explicit flush) or by the late arrival's push, the resulting
+        // batches are identical...
+        prop_assert_eq!(&plain, &run_timer_closed(policy, &arrivals));
+        // ...and barriers at empty-queue points change nothing at all.
+        prop_assert_eq!(&plain, &run_with_empty_barriers(policy, &arrivals));
+    }
+}

@@ -1,0 +1,539 @@
+//! Replica lifecycle suite: health-scored quarantine with zero
+//! admissions, supervised restart and permanent retirement, hot weight
+//! swap with canary validation and rollback, bounded shutdown under a
+//! stalled replica, structured handling of a killed replica thread, and
+//! the virtual-time chaos replay that pins all of it bit-identically.
+
+use skynet_core::head::Anchors;
+use skynet_core::replica::DetectorBlueprint;
+use skynet_core::skynet::{SkyNetConfig, Variant};
+use skynet_hw::fault::{silence_injected_panics, Fault, FaultKind, FaultPlan, ReplicaFault};
+use skynet_hw::pipeline::{DegradePolicy, StageId};
+use skynet_nn::Act;
+use skynet_serve::batcher::BatchPolicy;
+use skynet_serve::engine::{Admission, Outcome, Response, ServeConfig, ServeEngine, ShedReason};
+use skynet_serve::health::{HealthPolicy, ReplicaState};
+use skynet_serve::loadgen::{synth_image, LoadSpec};
+use skynet_serve::swap::{CanaryFailure, CanarySpec, SwapOutcome};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn blueprint(seed: u64) -> DetectorBlueprint {
+    let cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(16);
+    DetectorBlueprint::from_seed(cfg, Anchors::dac_sdc(), seed)
+}
+
+fn drain(inbox: &mpsc::Receiver<Response>) -> Vec<Response> {
+    let mut out = Vec::new();
+    while let Ok(r) = inbox.try_recv() {
+        out.push(r);
+    }
+    out
+}
+
+/// Spin-waits for `cond` with a hard timeout — lifecycle transitions
+/// happen on replica threads.
+fn wait_for(mut cond: impl FnMut() -> bool, timeout: Duration, what: &str) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Instant-close batches: every request is its own batch, so health
+/// scoring advances one request at a time.
+fn singleton_batches() -> BatchPolicy {
+    BatchPolicy {
+        max_batch: 1,
+        max_delay_us: 0,
+    }
+}
+
+#[test]
+fn quarantined_replica_receives_zero_admissions_until_restart() {
+    // Replica 0 fails every batch until its (long-backoff) restart
+    // clears the fault; while it sits in quarantine, admission must
+    // route strictly around it.
+    let bp = blueprint(31);
+    let plan =
+        FaultPlan::new().inject_replica(0, ReplicaFault::until_restarted(FaultKind::Error, 0));
+    let cfg = ServeConfig {
+        replicas: 2,
+        queue_capacity: 64,
+        batch: singleton_batches(),
+        policy: DegradePolicy::DropFrame,
+        max_retries: 0,
+        health: HealthPolicy {
+            consecutive_failures: 2,
+            restart_budget: 3,
+            backoff_base_ms: 1_500,
+            backoff_max_ms: 1_500,
+            ..HealthPolicy::default()
+        },
+        fault_plan: Some(Arc::new(plan)),
+        ..ServeConfig::default()
+    };
+    let engine = ServeEngine::start(&bp, &cfg).unwrap();
+    let (reply, inbox) = mpsc::channel();
+    // Feed both replicas until replica 0's score trips (2 consecutive
+    // failed batches).
+    let mut fed = 0u64;
+    wait_for(
+        || {
+            engine.submit(fed % 4, synth_image(fed, 16, 32), &reply);
+            fed += 1;
+            std::thread::sleep(Duration::from_millis(1));
+            engine.replica_states()[0] == ReplicaState::Quarantined
+        },
+        Duration::from_secs(20),
+        "replica 0 to enter quarantine",
+    );
+    // Quarantine lasts the 1.5s backoff: this whole wave must admit on
+    // replica 1 only — the zero-admissions guarantee.
+    for i in 0..24u64 {
+        match engine.submit(10 + i, synth_image(i, 16, 32), &reply) {
+            Admission::Queued { replica } => {
+                assert_ne!(replica, 0, "quarantined replica got an admission")
+            }
+            Admission::Rejected => {}
+        }
+    }
+    assert_eq!(
+        engine.replica_states()[0],
+        ReplicaState::Quarantined,
+        "wave outlasted the quarantine window; assertions above are void"
+    );
+    // Supervised restart brings it back, and the cleared fault lets it
+    // serve again.
+    wait_for(
+        || engine.replica_states()[0] == ReplicaState::Healthy,
+        Duration::from_secs(20),
+        "replica 0 to restart into rotation",
+    );
+    let report = engine.shutdown();
+    assert_eq!(report.counters.lost(), 0);
+    assert!(report.counters.quarantines >= 1, "{:?}", report.counters);
+    assert!(report.counters.restarts >= 1, "{:?}", report.counters);
+    assert_eq!(report.counters.retired, 0, "{:?}", report.counters);
+    let responses = drain(&inbox);
+    assert_eq!(responses.len() as u64, report.counters.submitted);
+}
+
+#[test]
+fn restart_budget_exhaustion_retires_the_replica_gracefully() {
+    // Replica 0's fault survives restarts (dead hardware, not a wedged
+    // process). With a zero restart budget the first quarantine retires
+    // it permanently; the engine keeps serving on replica 1.
+    let bp = blueprint(33);
+    let plan = FaultPlan::new().inject_replica(0, ReplicaFault::persistent(FaultKind::Error, 0));
+    let cfg = ServeConfig {
+        replicas: 2,
+        queue_capacity: 64,
+        batch: singleton_batches(),
+        policy: DegradePolicy::DropFrame,
+        max_retries: 0,
+        health: HealthPolicy {
+            consecutive_failures: 1,
+            restart_budget: 0,
+            ..HealthPolicy::default()
+        },
+        fault_plan: Some(Arc::new(plan)),
+        ..ServeConfig::default()
+    };
+    let engine = ServeEngine::start(&bp, &cfg).unwrap();
+    let (reply, inbox) = mpsc::channel();
+    let mut fed = 0u64;
+    wait_for(
+        || {
+            engine.submit(fed, synth_image(fed, 16, 32), &reply);
+            fed += 1;
+            std::thread::sleep(Duration::from_millis(1));
+            engine.replica_states()[0] == ReplicaState::Retired
+        },
+        Duration::from_secs(20),
+        "replica 0 to retire",
+    );
+    // Capacity degrades gracefully: the survivor still serves fresh
+    // requests, and nothing routes to the retiree.
+    let (r2, inbox2) = mpsc::channel();
+    for i in 0..12u64 {
+        match engine.submit(100 + i, synth_image(i, 16, 32), &r2) {
+            Admission::Queued { replica } => assert_eq!(replica, 1),
+            Admission::Rejected => {}
+        }
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.counters.lost(), 0);
+    assert_eq!(report.states[0], ReplicaState::Retired);
+    assert_eq!(report.states[1], ReplicaState::Healthy);
+    assert_eq!(report.counters.retired, 1, "{:?}", report.counters);
+    assert_eq!(report.counters.restarts, 0, "{:?}", report.counters);
+    let served_late = drain(&inbox2)
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Served(_)))
+        .count();
+    assert!(
+        served_late > 0,
+        "survivor must keep serving after retirement"
+    );
+    drop(inbox);
+}
+
+#[test]
+fn hot_swap_promotes_a_canary_validated_generation_to_every_replica() {
+    let bp_v1 = blueprint(41);
+    let bp_v2 = blueprint(42);
+    let cfg = ServeConfig {
+        replicas: 2,
+        queue_capacity: 64,
+        batch: singleton_batches(),
+        ..ServeConfig::default()
+    };
+    let engine = ServeEngine::start(&bp_v1, &cfg).unwrap();
+    let (reply, inbox) = mpsc::channel();
+    engine.submit(0, synth_image(0, 16, 32), &reply);
+    let before = inbox.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(before.generation, 0);
+
+    let reference = synth_image(7, 16, 32);
+    let spec = CanarySpec::for_blueprint(&bp_v2, reference).unwrap();
+    let outcome = engine.publish(bp_v2.clone(), spec).unwrap();
+    assert_eq!(
+        outcome,
+        SwapOutcome::Published {
+            generation: 1,
+            canary: 0
+        }
+    );
+    assert_eq!(engine.generation(), 1);
+
+    // Adopt commands precede any later submission in each replica's
+    // FIFO, so everything submitted from here on serves generation 1 —
+    // on both replicas.
+    let (r2, inbox2) = mpsc::channel();
+    for i in 0..8u64 {
+        engine.submit(i, synth_image(100 + i, 16, 32), &r2);
+    }
+    let mut replicas_seen = [false; 2];
+    for _ in 0..8 {
+        let r = inbox2.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(matches!(r.outcome, Outcome::Served(_)), "{:?}", r.outcome);
+        assert_eq!(r.generation, 1, "post-swap outcome on old weights");
+        replicas_seen[r.replica.unwrap()] = true;
+    }
+    assert!(
+        replicas_seen.iter().all(|&b| b),
+        "both replicas must serve the new generation"
+    );
+    let report = engine.shutdown();
+    assert_eq!(report.counters.lost(), 0);
+    assert_eq!(report.counters.swaps_published, 1);
+    assert_eq!(report.counters.swap_rolled_back, 0);
+    assert_eq!(report.generation, 1);
+    assert_eq!(report.weight_hash, bp_v2.weight_hash());
+}
+
+#[test]
+fn canary_hash_mismatch_rolls_back_and_keeps_the_old_generation() {
+    let bp_v1 = blueprint(51);
+    let bp_v2 = blueprint(52);
+    let cfg = ServeConfig {
+        replicas: 2,
+        batch: singleton_batches(),
+        ..ServeConfig::default()
+    };
+    let engine = ServeEngine::start(&bp_v1, &cfg).unwrap();
+    // The spec demands a hash the published blueprint does not carry —
+    // the fat-finger publish. The canary must reject it.
+    let spec = CanarySpec::new(synth_image(7, 16, 32)).expect_weight_hash(0xDEAD_BEEF);
+    let outcome = engine.publish(bp_v2, spec).unwrap();
+    match outcome {
+        SwapOutcome::RolledBack {
+            generation,
+            failure: CanaryFailure::WeightHashMismatch { expected, .. },
+            ..
+        } => {
+            assert_eq!(generation, 1);
+            assert_eq!(expected, 0xDEAD_BEEF);
+        }
+        other => panic!("expected hash-mismatch rollback, got {other:?}"),
+    }
+    assert_eq!(
+        engine.generation(),
+        0,
+        "rollback must not advance the generation"
+    );
+    let (reply, inbox) = mpsc::channel();
+    engine.submit(0, synth_image(0, 16, 32), &reply);
+    let r = inbox.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(r.generation, 0);
+    let report = engine.shutdown();
+    assert_eq!(report.counters.swap_canary_fail, 1);
+    assert_eq!(report.counters.swap_rolled_back, 1);
+    assert_eq!(report.counters.swaps_published, 0);
+    assert_eq!(report.weight_hash, bp_v1.weight_hash());
+}
+
+#[test]
+fn canary_fault_injection_forces_rollback() {
+    silence_injected_panics();
+    let bp_v1 = blueprint(61);
+    let bp_v2 = blueprint(62);
+    // The swap-window schedule panics the probe of generation 1: the
+    // canary must catch it and roll back, not die.
+    let plan = FaultPlan::new().inject_canary(1, Fault::permanent(FaultKind::Panic));
+    let cfg = ServeConfig {
+        replicas: 1,
+        batch: singleton_batches(),
+        fault_plan: Some(Arc::new(plan)),
+        ..ServeConfig::default()
+    };
+    let engine = ServeEngine::start(&bp_v1, &cfg).unwrap();
+    let outcome = engine
+        .publish(bp_v2, CanarySpec::new(synth_image(7, 16, 32)))
+        .unwrap();
+    match outcome {
+        SwapOutcome::RolledBack {
+            failure: CanaryFailure::ProbePanicked,
+            ..
+        } => {}
+        other => panic!("expected probe-panic rollback, got {other:?}"),
+    }
+    // The canary replica survived its own probe failure and still serves.
+    let (reply, inbox) = mpsc::channel();
+    engine.submit(0, synth_image(0, 16, 32), &reply);
+    let r = inbox.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert!(matches!(r.outcome, Outcome::Served(_)));
+    assert_eq!(r.generation, 0);
+    let report = engine.shutdown();
+    assert_eq!(report.counters.lost(), 0);
+    assert_eq!(report.counters.swap_rolled_back, 1);
+}
+
+#[test]
+fn bounded_shutdown_force_drains_a_stalled_replica() {
+    // The only replica wedges for 2s per batch; the drain deadline is
+    // 200ms. Shutdown must come back fast, record the loss, and answer
+    // everything still pending — lost() == 0 even here.
+    let bp = blueprint(71);
+    let plan = FaultPlan::new().inject(
+        StageId::Infer,
+        0,
+        Fault::permanent(FaultKind::Stall(Duration::from_secs(2))),
+    );
+    let cfg = ServeConfig {
+        replicas: 1,
+        queue_capacity: 8,
+        batch: singleton_batches(),
+        policy: DegradePolicy::DropFrame,
+        max_retries: 0,
+        fault_plan: Some(Arc::new(plan)),
+        drain_deadline: Some(Duration::from_millis(200)),
+        ..ServeConfig::default()
+    };
+    let engine = ServeEngine::start(&bp, &cfg).unwrap();
+    let (reply, inbox) = mpsc::channel();
+    for i in 0..3u64 {
+        engine.submit(i, synth_image(i, 16, 32), &reply);
+    }
+    std::thread::sleep(Duration::from_millis(50)); // let batch 0 wedge
+    let started = Instant::now();
+    let report = engine.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_millis(1_500),
+        "shutdown must respect the drain deadline, took {:?}",
+        started.elapsed()
+    );
+    assert_eq!(report.counters.submitted, 3);
+    assert_eq!(report.counters.lost(), 0, "{:?}", report.counters);
+    assert!(report.counters.force_drained >= 2, "{:?}", report.counters);
+    assert_eq!(report.states[0], ReplicaState::Lost);
+    assert_eq!(report.counters.replica_lost, 1);
+    let responses = drain(&inbox);
+    assert_eq!(responses.len(), 3, "every request still gets its outcome");
+    assert!(responses
+        .iter()
+        .any(|r| r.outcome == Outcome::Shed(ShedReason::ReplicaUnavailable)));
+}
+
+#[test]
+fn killed_replica_thread_is_a_structured_loss_not_a_drain_panic() {
+    silence_injected_panics();
+    // Replica 0's thread dies outside the per-batch unwind guard at its
+    // first batch — the join-side handling must fold it into the report
+    // instead of panicking shutdown, and its orphans must be answered.
+    let bp = blueprint(81);
+    let plan = FaultPlan::new().inject_replica(0, ReplicaFault::kill(0));
+    let cfg = ServeConfig {
+        replicas: 2,
+        queue_capacity: 16,
+        batch: singleton_batches(),
+        policy: DegradePolicy::DropFrame,
+        fault_plan: Some(Arc::new(plan)),
+        ..ServeConfig::default()
+    };
+    let engine = ServeEngine::start(&bp, &cfg).unwrap();
+    let (reply, inbox) = mpsc::channel();
+    let total = 30u64;
+    for i in 0..total {
+        engine.submit(i, synth_image(i, 16, 32), &reply);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.states[0], ReplicaState::Lost);
+    assert_eq!(report.counters.replica_lost, 1, "{:?}", report.counters);
+    assert_eq!(report.counters.submitted, total);
+    assert_eq!(report.counters.lost(), 0, "{:?}", report.counters);
+    assert!(report.counters.served > 0, "survivor keeps serving");
+    assert!(
+        report.batch_log[0].is_empty(),
+        "lost log dies with the thread"
+    );
+    let responses = drain(&inbox);
+    assert_eq!(responses.len() as u64, total, "one outcome per request");
+}
+
+/// The acceptance chaos replay: one replica, virtual time, a
+/// wedged-until-restart fault window, one promoted hot swap and one
+/// canary-failing rollback — run twice, the outcome fingerprints must be
+/// bit-identical, with every outcome carrying its generation stamp.
+#[test]
+fn chaos_replay_with_faults_and_swaps_is_bit_identical() {
+    type Print = (u64, u64, u8, u32, u64); // id, stream, kind, conf bits, generation
+
+    fn run() -> (Vec<Print>, skynet_serve::engine::ServeReport) {
+        let bp_v1 = blueprint(91);
+        let bp_v2 = blueprint(92);
+        let bp_bad = blueprint(93);
+        let plan =
+            FaultPlan::new().inject_replica(0, ReplicaFault::until_restarted(FaultKind::Error, 2));
+        let cfg = ServeConfig {
+            replicas: 1,
+            queue_capacity: 256,
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_delay_us: 2_000,
+            },
+            policy: DegradePolicy::CoastLastGood,
+            max_retries: 0,
+            health: HealthPolicy {
+                consecutive_failures: 1,
+                restart_budget: 3,
+                backoff_base_ms: 1, // decision recorded; sleep skipped in virtual time
+                ..HealthPolicy::default()
+            },
+            virtual_time: true,
+            paused: true,
+            fault_plan: Some(Arc::new(plan)),
+            ..ServeConfig::default()
+        };
+        let engine = ServeEngine::start(&bp_v1, &cfg).unwrap();
+        let (reply, inbox) = mpsc::channel();
+        // Wave 1 prefills the (paused) queue: its batch compositions and
+        // the fault window at batch 2 are a pure function of the stamps.
+        let schedule = LoadSpec::poisson(40, 2_000.0, 4).schedule(17);
+        for a in &schedule {
+            engine.submit_at(a.stream, synth_image(a.image_seed, 16, 32), a.at_us, &reply);
+        }
+        let wave1_end = schedule.last().unwrap().at_us;
+        // Both publishes enqueue their canary commands *after* wave 1 in
+        // the replica's FIFO — the swap barrier sits at a deterministic
+        // batch boundary. The publisher blocks on the canary verdict, so
+        // it runs alongside the resumed drain.
+        let (good, bad) = std::thread::scope(|s| {
+            let engine = &engine;
+            let bp_v2 = bp_v2.clone();
+            let publisher = s.spawn(move || {
+                let reference = synth_image(7, 16, 32);
+                let spec = CanarySpec::for_blueprint(&bp_v2, reference.clone()).unwrap();
+                let good = engine.publish(bp_v2, spec).unwrap();
+                let bad_spec = CanarySpec::new(reference).expect_weight_hash(0x0BAD_CAFE);
+                let bad = engine.publish(bp_bad, bad_spec).unwrap();
+                (good, bad)
+            });
+            // Give the publisher time to enqueue canary #1 before the
+            // drain starts; FIFO position is deterministic regardless.
+            std::thread::sleep(Duration::from_millis(20));
+            engine.resume();
+            publisher.join().unwrap()
+        });
+        assert_eq!(
+            good,
+            SwapOutcome::Published {
+                generation: 1,
+                canary: 0
+            }
+        );
+        assert!(matches!(
+            bad,
+            SwapOutcome::RolledBack {
+                generation: 2,
+                failure: CanaryFailure::WeightHashMismatch { .. },
+                ..
+            }
+        ));
+        // Wave 2 rides the promoted generation: fault window cleared by
+        // the restart, every outcome served on generation 1.
+        let wave2 = LoadSpec::poisson(20, 2_000.0, 4).schedule(18);
+        for a in &wave2 {
+            engine.submit_at(
+                a.stream,
+                synth_image(400 + a.image_seed, 16, 32),
+                wave1_end + 10_000 + a.at_us,
+                &reply,
+            );
+        }
+        let report = engine.shutdown();
+        assert_eq!(report.counters.lost(), 0, "{:?}", report.counters);
+        let mut prints: Vec<Print> = drain(&inbox)
+            .iter()
+            .map(|r| {
+                let (kind, bits) = match r.outcome {
+                    Outcome::Served(d) => (0u8, d.confidence.to_bits()),
+                    Outcome::Degraded(d) => (1, d.confidence.to_bits()),
+                    Outcome::Shed(ShedReason::QueueFull) => (2, 0),
+                    Outcome::Shed(ShedReason::InferenceFailed) => (3, 0),
+                    Outcome::Shed(ShedReason::ReplicaUnavailable) => (4, 0),
+                };
+                (r.id, r.stream, kind, bits, r.generation)
+            })
+            .collect();
+        prints.sort();
+        (prints, report)
+    }
+
+    let (prints_a, report_a) = run();
+    let (prints_b, report_b) = run();
+    assert_eq!(prints_a, prints_b, "chaos replay must be bit-identical");
+    // Wave 2 is submitted live, so its *batch boundaries* may differ
+    // between runs (queue-exhaustion flush is scheduler-timed); every
+    // per-request outcome is composition-independent and compared above.
+    let except_batches = |mut c: skynet_serve::engine::ServeCounters| {
+        c.batches = 0;
+        c
+    };
+    assert_eq!(
+        except_batches(report_a.counters),
+        except_batches(report_b.counters)
+    );
+
+    // The storm actually happened, exactly once each.
+    assert_eq!(report_a.counters.quarantines, 1, "{:?}", report_a.counters);
+    assert_eq!(report_a.counters.restarts, 1, "{:?}", report_a.counters);
+    assert_eq!(report_a.counters.swaps_published, 1);
+    assert_eq!(report_a.counters.swap_canary_fail, 1);
+    assert_eq!(report_a.counters.swap_rolled_back, 1);
+    assert_eq!(report_a.generation, 1);
+    assert_eq!(report_a.weight_hash, blueprint(92).weight_hash());
+    // Generation stamps: wave 1 (ids 0..40) predates the swap, wave 2
+    // (ids 40..60) rides it; failed-window outcomes are degraded/shed.
+    assert!(prints_a.iter().filter(|p| p.0 < 40).all(|p| p.4 == 0));
+    assert!(prints_a.iter().filter(|p| p.0 >= 40).all(|p| p.4 == 1));
+    assert!(prints_a.iter().filter(|p| p.0 >= 40).all(|p| p.2 == 0));
+    assert!(
+        prints_a.iter().any(|p| p.2 == 1 || p.2 == 3),
+        "the fault window must have degraded or shed something"
+    );
+}

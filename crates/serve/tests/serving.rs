@@ -30,9 +30,10 @@ fn drain(inbox: &mpsc::Receiver<Response>) -> Vec<Response> {
 }
 
 /// Replay-stable view of one outcome: `(id, stream, outcome kind,
-/// confidence bits, (replica, batch seq, batch size))` — everything a
-/// replayed run must reproduce, wall-clock stamps excluded.
-type Fingerprint = (u64, u64, u8, u32, Option<(usize, u64, usize)>);
+/// confidence bits, weight generation, (replica, batch seq, batch
+/// size))` — everything a replayed run must reproduce, wall-clock
+/// stamps excluded.
+type Fingerprint = (u64, u64, u8, u32, u64, Option<(usize, u64, usize)>);
 
 fn fingerprint(r: &Response) -> Fingerprint {
     let (kind, bits) = match r.outcome {
@@ -40,6 +41,7 @@ fn fingerprint(r: &Response) -> Fingerprint {
         Outcome::Degraded(d) => (1, d.confidence.to_bits()),
         Outcome::Shed(ShedReason::QueueFull) => (2, 0),
         Outcome::Shed(ShedReason::InferenceFailed) => (3, 0),
+        Outcome::Shed(ShedReason::ReplicaUnavailable) => (4, 0),
     };
     let placement = r.batch.map(|(seq, size)| {
         (
@@ -48,7 +50,7 @@ fn fingerprint(r: &Response) -> Fingerprint {
             size,
         )
     });
-    (r.id, r.stream, kind, bits, placement)
+    (r.id, r.stream, kind, bits, r.generation, placement)
 }
 
 /// One paused, prefilled, virtual-time run: submit the whole schedule,
@@ -66,7 +68,7 @@ fn deterministic_run(seed: u64) -> (Vec<Vec<Vec<u64>>>, Vec<Fingerprint>) {
         max_retries: 1,
         virtual_time: true,
         paused: true,
-        fault_plan: None,
+        ..ServeConfig::default()
     };
     let engine = ServeEngine::start(&bp, &cfg).unwrap();
     let (reply, inbox) = mpsc::channel();
@@ -208,9 +210,8 @@ fn coast_last_good_answers_queue_full_with_stale_detection() {
         },
         policy: DegradePolicy::CoastLastGood,
         max_retries: 0,
-        virtual_time: false,
-        paused: false,
         fault_plan: Some(Arc::new(plan)),
+        ..ServeConfig::default()
     };
     let engine = ServeEngine::start(&bp, &cfg).unwrap();
     let (reply, inbox) = mpsc::channel();
@@ -279,9 +280,8 @@ fn injected_faults_shed_or_degrade_but_never_lose_requests() {
         },
         policy: DegradePolicy::CoastLastGood,
         max_retries: 2,
-        virtual_time: false,
-        paused: false,
         fault_plan: Some(Arc::new(plan)),
+        ..ServeConfig::default()
     };
     let engine = ServeEngine::start(&bp, &cfg).unwrap();
     let (reply, inbox) = mpsc::channel();
