@@ -5,15 +5,18 @@
 //! code runs SkyNet and every Table 2 baseline backbone.
 
 use crate::head::{decode_best, Anchors, Detection, DetectionLoss};
+use crate::quant::QuantizedSkyNet;
 use crate::BBox;
 use skynet_nn::{Layer, Mode};
-use skynet_tensor::{Result, Tensor};
+use skynet_tensor::{Result, Tensor, TensorError};
+use std::sync::Arc;
 
 /// A trainable single-object detector.
 pub struct Detector {
     backbone: Box<dyn Layer>,
     anchors: Anchors,
     loss: DetectionLoss,
+    int8: Option<Arc<QuantizedSkyNet>>,
 }
 
 impl Detector {
@@ -26,7 +29,20 @@ impl Detector {
             backbone,
             anchors,
             loss: DetectionLoss::default(),
+            int8: None,
         }
+    }
+
+    /// Attaches an executable INT8 engine: [`Detector::predict`] runs
+    /// the integer path from now on (training and explicit
+    /// [`Detector::predict_mode`] calls keep using the float backbone).
+    pub fn attach_int8(&mut self, engine: Arc<QuantizedSkyNet>) {
+        self.int8 = Some(engine);
+    }
+
+    /// The attached INT8 engine, if any.
+    pub fn int8_engine(&self) -> Option<&Arc<QuantizedSkyNet>> {
+        self.int8.as_ref()
     }
 
     /// Overrides the loss weighting.
@@ -50,13 +66,34 @@ impl Detector {
         self.backbone.param_count()
     }
 
-    /// Runs inference and decodes the best box per image.
+    /// Runs inference and decodes the best box per image — through the
+    /// INT8 engine when one is attached, the float backbone otherwise.
     ///
     /// # Errors
     ///
     /// Propagates backbone shape errors.
     pub fn predict(&mut self, images: &Tensor) -> Result<Vec<Detection>> {
+        if self.int8.is_some() {
+            return self.predict_int8(images);
+        }
         self.predict_mode(images, Mode::Eval)
+    }
+
+    /// Runs inference through the attached INT8 engine explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] when no engine is
+    /// attached; otherwise propagates stage-graph shape errors.
+    pub fn predict_int8(&mut self, images: &Tensor) -> Result<Vec<Detection>> {
+        let Some(engine) = &self.int8 else {
+            return Err(TensorError::InvalidDimension {
+                op: "Detector::predict_int8",
+                detail: "no INT8 engine attached (see Detector::attach_int8)".into(),
+            });
+        };
+        let pred = engine.forward(images)?;
+        decode_best(&pred, &self.anchors)
     }
 
     /// Runs inference under an explicit mode — pass

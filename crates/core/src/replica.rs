@@ -17,6 +17,7 @@
 use crate::checkpoint::blob_hash;
 use crate::detector::Detector;
 use crate::head::Anchors;
+use crate::quant::QuantizedSkyNet;
 use crate::skynet::{SkyNet, SkyNetConfig};
 use skynet_nn::{apply_params, collect_params, CheckpointError};
 use skynet_tensor::rng::SkyRng;
@@ -28,6 +29,7 @@ pub struct DetectorBlueprint {
     cfg: SkyNetConfig,
     anchors: Anchors,
     weights: Arc<Vec<Vec<f32>>>,
+    int8: Option<Arc<QuantizedSkyNet>>,
 }
 
 impl DetectorBlueprint {
@@ -42,6 +44,7 @@ impl DetectorBlueprint {
             cfg,
             anchors,
             weights,
+            int8: None,
         }
     }
 
@@ -53,7 +56,29 @@ impl DetectorBlueprint {
             cfg,
             anchors,
             weights: Arc::new(weights),
+            int8: None,
         }
+    }
+
+    /// Publishes a quantized generation: every spawned replica carries
+    /// the shared INT8 engine and serves the integer path.
+    ///
+    /// The engine must be built (via
+    /// [`QuantizedSkyNet::build`]) from the **live trained** network —
+    /// BN running statistics are folded into it and are not recoverable
+    /// from the weight blobs. The blueprint keeps the float blobs too,
+    /// so [`DetectorBlueprint::weight_hash`] still witnesses the source
+    /// weights (a canary's hash check passes for the quantized form of
+    /// the same model).
+    pub fn with_int8(mut self, engine: Arc<QuantizedSkyNet>) -> Self {
+        self.int8 = Some(engine);
+        self
+    }
+
+    /// The shared INT8 engine, when this blueprint publishes a
+    /// quantized generation.
+    pub fn int8_engine(&self) -> Option<&Arc<QuantizedSkyNet>> {
+        self.int8.as_ref()
     }
 
     /// The architecture configuration replicas are built from.
@@ -92,7 +117,11 @@ impl DetectorBlueprint {
     pub fn spawn(&self) -> Result<Detector, CheckpointError> {
         let mut net = SkyNet::new(self.cfg.clone(), &mut SkyRng::new(0));
         apply_params(&mut net, &self.weights)?;
-        Ok(Detector::new(Box::new(net), self.anchors.clone()))
+        let mut det = Detector::new(Box::new(net), self.anchors.clone());
+        if let Some(engine) = &self.int8 {
+            det.attach_int8(Arc::clone(engine));
+        }
+        Ok(det)
     }
 }
 

@@ -167,12 +167,12 @@ impl SkyNetConfig {
 /// Implements [`Layer`], producing the raw `N×10×(H/8)×(W/8)` prediction
 /// map; decode it with [`crate::head::decode_best`].
 pub struct SkyNet {
-    cfg: SkyNetConfig,
-    bundles: Vec<Sequential>, // Bundles 1–5
-    pools: Vec<MaxPool2d>,    // after Bundles 1–3
-    reorg: Reorg,
-    bundle6: Option<Sequential>, // DW+BN+act, PW+BN+act (B/C only)
-    head: Conv2d,
+    pub(crate) cfg: SkyNetConfig,
+    pub(crate) bundles: Vec<Sequential>, // Bundles 1–5
+    pub(crate) pools: Vec<MaxPool2d>,    // after Bundles 1–3
+    pub(crate) reorg: Reorg,
+    pub(crate) bundle6: Option<Sequential>, // DW+BN+act, PW+BN+act (B/C only)
+    pub(crate) head: Conv2d,
     // Backward routing state.
     split_at: Option<usize>,
 }
@@ -381,6 +381,14 @@ impl Layer for SkyNet {
 
     fn name(&self) -> String {
         format!("SkyNet-{} ({})", self.cfg.variant, self.cfg.act)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 

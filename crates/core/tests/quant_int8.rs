@@ -1,0 +1,121 @@
+//! End-to-end INT8 engine determinism: the full quantized forward pass
+//! (quantize → 6 bundles of integer DW/PW stages → pool/reorg/concat →
+//! dequantizing head) must produce **CRC-identical** f32 prediction
+//! maps on every available SIMD backend, on the worker pool and under
+//! forced-serial execution — the serving determinism contract extended
+//! to the integer path. Also pins the detector-level dispatch:
+//! `predict` routes through an attached engine, and a blueprint
+//! publishing one spawns replicas that agree bit-for-bit.
+
+use skynet_core::head::Anchors;
+use skynet_core::quant::{CalibMethod, Calibrator, QuantizedSkyNet};
+use skynet_core::replica::DetectorBlueprint;
+use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
+use skynet_nn::{Act, Layer};
+use skynet_tensor::crc32::crc32;
+use skynet_tensor::rng::SkyRng;
+use skynet_tensor::simd::{self, Backend};
+use skynet_tensor::{parallel, Shape, Tensor};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn with_backend<T>(be: Backend, f: impl FnOnce() -> T) -> T {
+    let prev = simd::active();
+    simd::force(be);
+    let out = f();
+    simd::force(prev);
+    out
+}
+
+fn random_images(n: usize, h: usize, w: usize, seed: u64) -> Tensor {
+    let mut rng = SkyRng::new(seed);
+    let shape = Shape::new(n, 3, h, w);
+    Tensor::from_vec(
+        shape,
+        (0..shape.numel()).map(|_| rng.normal(0.5, 0.25)).collect(),
+    )
+    .unwrap()
+}
+
+fn calibrated_engine(variant: Variant, seed: u64) -> (SkyNet, QuantizedSkyNet) {
+    let cfg = SkyNetConfig::new(variant, Act::Relu6).with_width_divisor(16);
+    let mut net = SkyNet::new(cfg, &mut SkyRng::new(seed));
+    let mut cal = Calibrator::new(variant, CalibMethod::MaxAbs);
+    for s in 0..3 {
+        cal.observe(&mut net, &random_images(2, 16, 32, 500 + s))
+            .unwrap();
+    }
+    let plan = cal.finish().unwrap();
+    let engine = QuantizedSkyNet::build(&net, &plan).unwrap();
+    (net, engine)
+}
+
+fn output_crc(t: &Tensor) -> u32 {
+    let bytes: Vec<u8> = t
+        .as_slice()
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect();
+    crc32(&bytes)
+}
+
+#[test]
+fn int8_forward_is_crc_identical_across_backends_and_thread_modes() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for variant in [Variant::A, Variant::C] {
+        let (_, engine) = calibrated_engine(variant, 11);
+        let x = random_images(2, 16, 32, 21);
+        let run = || output_crc(&engine.forward(&x).unwrap());
+        let oracle = with_backend(Backend::Scalar, run);
+        for be in simd::available_backends() {
+            let pooled = with_backend(be, run);
+            let serial = with_backend(be, || parallel::serial(run));
+            assert_eq!(
+                oracle,
+                pooled,
+                "{variant}: {} pooled diverged from scalar oracle",
+                be.name()
+            );
+            assert_eq!(
+                oracle,
+                serial,
+                "{variant}: {} serial diverged from scalar oracle",
+                be.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn detector_predict_dispatches_to_attached_engine() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (mut net, engine) = calibrated_engine(Variant::C, 13);
+    let x = random_images(1, 16, 32, 23);
+
+    // An undispatched detector without an engine rejects predict_int8.
+    let cfg = net.config().clone();
+    let mut blobs = Vec::new();
+    net.visit_params(&mut |p| blobs.push(p.value.as_slice().to_vec()));
+    let bp = DetectorBlueprint::from_weights(cfg, Anchors::dac_sdc(), blobs);
+    let mut float_det = bp.spawn().unwrap();
+    assert!(float_det.int8_engine().is_none());
+    assert!(float_det.predict_int8(&x).is_err());
+
+    // The int8-published blueprint spawns replicas that dispatch
+    // predict through the engine and agree bit-for-bit.
+    let bp_q = bp.with_int8(std::sync::Arc::new(engine));
+    let mut a = bp_q.spawn().unwrap();
+    let mut b = bp_q.spawn().unwrap();
+    assert!(a.int8_engine().is_some());
+    let da = a.predict(&x).unwrap();
+    let db = b.predict_int8(&x).unwrap();
+    assert_eq!(da.len(), db.len());
+    for (p, q) in da.iter().zip(&db) {
+        assert_eq!(p.confidence.to_bits(), q.confidence.to_bits());
+        assert_eq!(p.bbox.cx.to_bits(), q.bbox.cx.to_bits());
+        assert_eq!(p.bbox.cy.to_bits(), q.bbox.cy.to_bits());
+        assert_eq!(p.bbox.w.to_bits(), q.bbox.w.to_bits());
+        assert_eq!(p.bbox.h.to_bits(), q.bbox.h.to_bits());
+    }
+}

@@ -370,7 +370,7 @@ pub enum DegradePolicy {
     ///
     /// **Before the first good frame there is nothing to coast on.** A
     /// frame that exhausts its retries while `last_good` is still empty
-    /// degrades to [`DropFrame`] semantics for that frame alone: it is
+    /// degrades to [`DegradePolicy::DropFrame`] semantics for that frame alone: it is
     /// omitted from the output stream and accounted in
     /// [`FrameCounters::dropped`] (not `degraded` — nothing was
     /// re-emitted). Coasting resumes as soon as any frame completes

@@ -33,8 +33,27 @@ impl QuantScheme {
         QuantScheme::new(32, 32)
     }
 
-    /// The four fixed-point schemes explored in Table 7, in order:
-    /// (FM 9, W 11), (FM 9, W 10), (FM 8, W 11), (FM 8, W 10).
+    /// The four fixed-point schemes explored in Table 7, from most to
+    /// least precise. Note the argument order of
+    /// [`QuantScheme::new(weight_bits, fm_bits)`](QuantScheme::new) is
+    /// **weight-first**, while the paper's table reads feature-map-first;
+    /// spelled out both ways, the four schemes are:
+    ///
+    /// | index | `weight_bits` | `fm_bits` | paper notation |
+    /// |-------|---------------|-----------|----------------|
+    /// | 0     | 11            | 9         | FM 9 / W 11    |
+    /// | 1     | 10            | 9         | FM 9 / W 10    |
+    /// | 2     | 11            | 8         | FM 8 / W 11    |
+    /// | 3     | 10            | 8         | FM 8 / W 10    |
+    ///
+    /// These schemes are **analytic** (fake-quant): weights snap to a
+    /// `weight_bits` grid but arithmetic stays f32, and feature maps are
+    /// rounded after each layer under [`Mode::QuantEval`]. The
+    /// *executable* integer path (`skynet_core::quant`) is a separate
+    /// W8/FM8 design — `i8` storage, `i8×i8→i32` kernels — which is
+    /// strictly narrower than every scheme here; the `quant_sweep` bench
+    /// compares its measured IoU against scheme 3 (FM 8 / W 10), the
+    /// closest analytic point.
     pub fn table7() -> [QuantScheme; 4] {
         [
             QuantScheme::new(11, 9),
@@ -109,10 +128,19 @@ mod tests {
     #[test]
     fn table7_schemes_are_ordered_most_to_least_precise() {
         let s = QuantScheme::table7();
-        assert_eq!(s[0], QuantScheme::new(11, 9));
-        assert_eq!(s[3], QuantScheme::new(10, 8));
-        // Total bits strictly decrease scheme 0 → 3 is not required, but
-        // the first dominates the last in both axes.
+        // Pin all four (weight_bits, fm_bits) pairs: the constructor is
+        // weight-first even though the paper's table reads FM-first.
+        assert_eq!(s[0], QuantScheme::new(11, 9)); // FM 9 / W 11
+        assert_eq!(s[1], QuantScheme::new(10, 9)); // FM 9 / W 10
+        assert_eq!(s[2], QuantScheme::new(11, 8)); // FM 8 / W 11
+        assert_eq!(s[3], QuantScheme::new(10, 8)); // FM 8 / W 10
+        for sch in s {
+            assert_eq!(
+                sch.to_string(),
+                format!("FM{} bits / W{} bits", sch.fm_bits, sch.weight_bits)
+            );
+        }
+        // The first dominates the last in both axes.
         assert!(s[0].weight_bits >= s[3].weight_bits && s[0].fm_bits >= s[3].fm_bits);
     }
 

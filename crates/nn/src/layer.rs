@@ -102,4 +102,18 @@ pub trait Layer {
     fn zero_grad(&mut self) {
         self.visit_params(&mut |p| p.zero_grad());
     }
+
+    /// Downcast hook for structure-aware passes (quantization, fusion)
+    /// that need the concrete layer behind a `Box<dyn Layer>`. Layers
+    /// that opt in return `Some(self)`; the default opts out, so the
+    /// hook is additive — implementors outside this crate are
+    /// unaffected.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Mutable counterpart of [`Layer::as_any`].
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }

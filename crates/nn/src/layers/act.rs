@@ -83,6 +83,14 @@ impl Layer for Activation {
     fn name(&self) -> String {
         self.act.to_string()
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

@@ -204,6 +204,14 @@ impl Layer for BatchNorm2d {
     fn name(&self) -> String {
         format!("BatchNorm2d({})", self.channels)
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,18 @@ impl Sequential {
         self.layers.is_empty()
     }
 
+    /// The layer chain (read-only view for structure-aware passes such
+    /// as INT8 quantization, which downcast via [`Layer::as_any`]).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable view of the layer chain (structure-aware passes that
+    /// run individual sub-layers, e.g. stage-by-stage calibration).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
     /// One-line summary of the chain, e.g. for model printouts.
     pub fn summary(&self) -> String {
         self.layers

@@ -70,6 +70,18 @@ impl Conv2d {
         self.bias.as_ref().map(|b| b.value.as_slice())
     }
 
+    /// The weight tensor, shape `out_c×in_c×k×k` (read-only view for
+    /// structure-aware passes such as INT8 quantization).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The bias values (one per output channel), if this convolution
+    /// carries a bias.
+    pub fn bias_values(&self) -> Option<&[f32]> {
+        self.bias_slice()
+    }
+
     /// Folds a following batch-norm's per-channel affine transform
     /// (`y = scale·conv(x) + shift`, from
     /// [`BatchNorm2d::folded_scale_shift`](crate::BatchNorm2d::folded_scale_shift))
@@ -140,6 +152,14 @@ impl Layer for Conv2d {
             "Conv{}x{}({}, {}, s{}, p{})",
             self.geo.kernel, self.geo.kernel, self.in_c, self.out_c, self.geo.stride, self.geo.pad
         )
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 

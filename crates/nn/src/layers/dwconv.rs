@@ -38,6 +38,12 @@ impl DwConv2d {
     pub fn channels(&self) -> usize {
         self.channels
     }
+
+    /// The weight tensor, shape `channels×1×k×k` (read-only view for
+    /// structure-aware passes such as INT8 quantization).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
 }
 
 impl Layer for DwConv2d {
@@ -68,6 +74,14 @@ impl Layer for DwConv2d {
             "DwConv{}x{}({}, s{})",
             self.geo.kernel, self.geo.kernel, self.channels, self.geo.stride
         )
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 

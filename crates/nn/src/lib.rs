@@ -36,6 +36,7 @@ mod init;
 mod layer;
 mod optim;
 mod param;
+pub mod qint;
 
 mod layers {
     pub mod act;
@@ -63,3 +64,4 @@ pub use layers::pool::{GlobalAvgPool, MaxPool2d};
 pub use layers::reorg::Reorg;
 pub use optim::{LrSchedule, Sgd, SgdState};
 pub use param::Param;
+pub use qint::{QDwConv3, QFeature, QPointwise, QScale};

@@ -25,7 +25,7 @@
 //!   shed). Under overload, latency stays bounded and the pressure shows
 //!   up in the `serve.requests.shed` counter where it belongs.
 //! * **Exactly-one-outcome accounting**: every submitted request gets
-//!   exactly one [`Outcome`](engine::Outcome) on its reply channel, and
+//!   exactly one [`Outcome`] on its reply channel, and
 //!   [`ServeEngine::shutdown`](engine::ServeEngine::shutdown) drains the
 //!   queues before joining — zero requests lost, even with an armed
 //!   [`FaultPlan`](skynet_hw::fault::FaultPlan) panicking and stalling
@@ -42,7 +42,7 @@
 //! [`ServeEngine::publish`](engine::ServeEngine::publish) validates the
 //! new blueprint on a single canary replica against a pinned reference
 //! input before promoting it — or rolls back automatically — and every
-//! [`Response`](engine::Response) records the weight generation that
+//! [`Response`] records the weight generation that
 //! served it.
 //!
 //! Replicas are isolated where it matters: scratch-arena reuse is

@@ -5,8 +5,9 @@
 //! the virtual-time chaos replay that pins all of it bit-identically.
 
 use skynet_core::head::Anchors;
+use skynet_core::quant::{CalibMethod, Calibrator, QuantizedSkyNet};
 use skynet_core::replica::DetectorBlueprint;
-use skynet_core::skynet::{SkyNetConfig, Variant};
+use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
 use skynet_hw::fault::{silence_injected_panics, Fault, FaultKind, FaultPlan, ReplicaFault};
 use skynet_hw::pipeline::{DegradePolicy, StageId};
 use skynet_nn::Act;
@@ -232,6 +233,70 @@ fn hot_swap_promotes_a_canary_validated_generation_to_every_replica() {
     assert_eq!(report.counters.swaps_published, 1);
     assert_eq!(report.counters.swap_rolled_back, 0);
     assert_eq!(report.generation, 1);
+    assert_eq!(report.weight_hash, bp_v2.weight_hash());
+}
+
+#[test]
+fn int8_generation_publishes_through_canary_and_serves_the_integer_path() {
+    // Publish a quantized generation: the blueprint carries a prebuilt
+    // INT8 engine, so the canary probe — and every replica after
+    // promotion — runs integer inference. The weight hash still
+    // witnesses the float source weights, so `for_blueprint`'s
+    // fat-finger guard holds for the quantized form of the same model.
+    let bp_v1 = blueprint(45);
+    let cfg = ServeConfig {
+        replicas: 2,
+        queue_capacity: 64,
+        batch: singleton_batches(),
+        ..ServeConfig::default()
+    };
+    let engine = ServeEngine::start(&bp_v1, &cfg).unwrap();
+
+    // Build the quantized generation from a live float model (the
+    // calibrator folds its BN running statistics into the engine).
+    let net_cfg = SkyNetConfig::new(Variant::C, Act::Relu6).with_width_divisor(16);
+    let mut net = SkyNet::new(net_cfg.clone(), &mut skynet_tensor::rng::SkyRng::new(46));
+    let mut cal = Calibrator::new(Variant::C, CalibMethod::MaxAbs);
+    for s in 0..4 {
+        cal.observe(&mut net, &synth_image(200 + s, 16, 32))
+            .unwrap();
+    }
+    let plan = cal.finish().unwrap();
+    let int8 = Arc::new(QuantizedSkyNet::build(&net, &plan).unwrap());
+    let mut blobs = Vec::new();
+    skynet_nn::Layer::visit_params(&mut net, &mut |p| {
+        blobs.push(p.value.as_slice().to_vec());
+    });
+    let bp_v2 = DetectorBlueprint::from_weights(net_cfg, Anchors::dac_sdc(), blobs).with_int8(int8);
+    assert!(bp_v2.spawn().unwrap().int8_engine().is_some());
+
+    let reference = synth_image(7, 16, 32);
+    let spec = CanarySpec::for_blueprint(&bp_v2, reference).unwrap();
+    let outcome = engine.publish(bp_v2.clone(), spec).unwrap();
+    assert_eq!(
+        outcome,
+        SwapOutcome::Published {
+            generation: 1,
+            canary: 0
+        }
+    );
+
+    // Every request from here on is answered by the integer path of
+    // generation 1 on both replicas.
+    let (reply, inbox) = mpsc::channel();
+    for i in 0..8u64 {
+        engine.submit(i, synth_image(300 + i, 16, 32), &reply);
+    }
+    let mut replicas_seen = [false; 2];
+    for _ in 0..8 {
+        let r = inbox.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(matches!(r.outcome, Outcome::Served(_)), "{:?}", r.outcome);
+        assert_eq!(r.generation, 1);
+        replicas_seen[r.replica.unwrap()] = true;
+    }
+    assert!(replicas_seen.iter().all(|&b| b));
+    let report = engine.shutdown();
+    assert_eq!(report.counters.swaps_published, 1);
     assert_eq!(report.weight_hash, bp_v2.weight_hash());
 }
 

@@ -20,6 +20,13 @@
 //! memory behaviour predictable, which is the property the paper's
 //! hardware-aware flow cares about.
 //!
+//! The [`qint`] module adds the executable INT8 twin of the hot
+//! kernels: `i8`×`i8`→`i32` matmul / point-wise / 3×3 depth-wise
+//! convolutions on 32-lane integer SIMD (same `SKYNET_SIMD` dispatch,
+//! structurally bit-identical across backends), plus the scalar
+//! quantize/requantize epilogues (see `QUANTIZATION.md` at the repo
+//! root).
+//!
 //! Five infrastructure modules back the kernels: [`parallel`], the
 //! deterministic batch-parallel execution engine (bit-identical results
 //! for any `SKYNET_THREADS`); [`simd`], the fixed-width 8-lane vector
@@ -60,6 +67,7 @@ pub mod matmul;
 pub mod ops;
 pub mod parallel;
 pub mod pool;
+pub mod qint;
 pub mod reorg;
 pub mod rng;
 pub mod scratch;

@@ -1,0 +1,794 @@
+//! Quantized integer kernels: `i8`×`i8`→`i32` with a **32-lane
+//! integer determinism contract**.
+//!
+//! This is the executable INT8 counterpart of the f32 kernel family
+//! ([`dwconv`](crate::dwconv), [`matmul`](crate::matmul)). The hot
+//! kernels are written once as generic functions over the [`QI8x32`]
+//! trait — the integer sibling of [`F32x8`](crate::simd::F32x8) — and
+//! instantiated for the same three backends under the same
+//! `SKYNET_SIMD` runtime dispatch ([`simd::active`]):
+//!
+//! * [`ScalarQ`] — plain Rust replaying the 32-lane structure;
+//! * [`Sse2Q`] — `__m128i` lanes (sign-extend via unpack, exact
+//!   `mullo_epi16` products, `add_epi32` accumulate);
+//! * [`Avx2Q`] — `__m256i` lanes (`cvtepi8_epi16` / `cvtepi16_epi32`).
+//!
+//! ## Why the integer contract is *stronger* than the f32 one
+//!
+//! The f32 kernels are bit-identical across backends because every
+//! backend performs the same IEEE-754 operations in the same order —
+//! a carefully engineered property (no FMA, fixed reduction trees).
+//! The integer kernels get bit-identity **structurally**: an `i8`×`i8`
+//! product always fits exactly in `i16` (|−128·−128| = 16384 < 2¹⁵),
+//! its sign-extension to `i32` is exact, and two's-complement wrapping
+//! `i32` addition is associative *and* commutative. Any grouping of
+//! the same multiset of products — 32-wide blocks, scalar tails,
+//! different thread splits — produces the same accumulator bits. The
+//! `qint_equivalence` proptest suite still asserts it bitwise, wrap
+//! boundaries included.
+//!
+//! Requantization (`i32` accumulator → `i8` activation) runs in
+//! scalar f32 on every backend — one multiply, one add, one
+//! `f32::round` (ties away from zero), one clamp per element, in
+//! element order — so it is deterministic by the same
+//! replay-the-exact-sequence argument as the f32 kernels.
+//!
+//! ## Lane width
+//!
+//! [`QLANES`] is 32: one AVX2 register holds 32 `i8`s, four times the
+//! 8-lane f32 ceiling — the bigger win the ROADMAP's quantization item
+//! promises. SSE2 processes the same 32-element block as two 16-byte
+//! halves and the scalar backend replays it as a 32-iteration loop;
+//! the block structure (not the register width) defines the contract.
+//!
+//! ## Telemetry
+//!
+//! When metrics are on, `quant.<op>.lanes_used` counters tally the
+//! elements processed through full 32-lane blocks, and the saturation
+//! helpers return clamp counts their callers publish as
+//! `quant.<op>.saturated` (see OBSERVABILITY.md).
+
+use crate::parallel::par_chunks_mut;
+use crate::simd::{self, Backend};
+use crate::telemetry;
+
+/// Lane count of the integer kernel family: one AVX2 register of
+/// `i8`s. Fixed on every backend so the block structure — and the
+/// vector-vs-tail split — never depends on the ISA.
+pub const QLANES: usize = 32;
+
+/// Quantized activations saturate to this magnitude: the symmetric
+/// `i8` range `[-127, 127]`. `-128` is excluded so that negation is
+/// always representable and the range is symmetric around zero
+/// (zero-point is identically 0 in this scheme).
+pub const QMAX: i32 = 127;
+
+/// Rows per parallel stripe of [`matmul_i8_acc`]. 32 rows of `i32`
+/// accumulators keep a stripe's working set near the f32 kernel's
+/// (which uses 64 f32 rows).
+const QBLOCK: usize = 32;
+
+/// Number of elements of a `len`-element loop that the 32-lane kernels
+/// process as full blocks (the remainder runs scalar).
+#[inline]
+pub fn qvector_cover(len: usize) -> usize {
+    len / QLANES * QLANES
+}
+
+/// Tallies `quant.<op>.lanes_used` when metrics are enabled.
+#[inline]
+pub fn record_qlanes(op: &'static str, lanes: usize) {
+    if lanes > 0 && telemetry::metrics_enabled() {
+        telemetry::counter(&format!("quant.{op}.lanes_used")).add(lanes as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The integer lane abstraction
+// ---------------------------------------------------------------------------
+
+/// A broadcast `i8` weight that can axpy one 32-element block:
+/// `acc[j] = acc[j] ⊞ w · x[j]` for `j in 0..32`, where `⊞` is
+/// two's-complement wrapping `i32` addition and `w · x[j]` is the exact
+/// integer product (always representable: |w·x| ≤ 16384).
+///
+/// Implementations must be **exact**: no saturating arithmetic inside
+/// the accumulation (saturation happens only at requantization), so
+/// every backend produces identical accumulator bits by the
+/// associativity of wrapping addition.
+pub trait QI8x32: Copy {
+    /// Broadcasts a weight into the backend's lane type.
+    fn splat(w: i8) -> Self;
+    /// `acc[j] = acc[j].wrapping_add(w * x[j])` for `j in 0..QLANES`.
+    ///
+    /// # Safety
+    ///
+    /// `acc` must be valid for reads and writes of `QLANES` consecutive
+    /// `i32`s and `x` for reads of `QLANES` consecutive `i8`s.
+    unsafe fn axpy(self, acc: *mut i32, x: *const i8);
+}
+
+/// The scalar backend: a 32-iteration loop replaying the lane
+/// structure literally. This is the oracle the `qint_equivalence`
+/// suite compares the ISA backends against (they must agree bitwise —
+/// and do, structurally; see the module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarQ(i32);
+
+impl QI8x32 for ScalarQ {
+    #[inline(always)]
+    fn splat(w: i8) -> Self {
+        ScalarQ(i32::from(w))
+    }
+
+    #[inline(always)]
+    unsafe fn axpy(self, acc: *mut i32, x: *const i8) {
+        for j in 0..QLANES {
+            // SAFETY: caller guarantees QLANES readable/writable elements.
+            unsafe {
+                let p = acc.add(j);
+                *p = (*p).wrapping_add(self.0 * i32::from(*x.add(j)));
+            }
+        }
+    }
+}
+
+/// SSE2 backend: 16-byte halves, sign-extended to `i16` by interleaving
+/// with a compare-derived sign mask, multiplied exactly with
+/// `mullo_epi16`, widened to `i32` the same way, and accumulated with
+/// `add_epi32` (inherently wrapping). SSE2 is the x86_64 baseline.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy)]
+pub struct Sse2Q(std::arch::x86_64::__m128i);
+
+#[cfg(target_arch = "x86_64")]
+impl QI8x32 for Sse2Q {
+    #[inline(always)]
+    fn splat(w: i8) -> Self {
+        use std::arch::x86_64::*;
+        unsafe { Sse2Q(_mm_set1_epi16(i16::from(w))) }
+    }
+
+    #[inline(always)]
+    unsafe fn axpy(self, acc: *mut i32, x: *const i8) {
+        use std::arch::x86_64::*;
+        // SAFETY: caller guarantees QLANES readable x bytes and QLANES
+        // readable/writable acc elements; all loads/stores unaligned.
+        unsafe {
+            let zero = _mm_setzero_si128();
+            for half in 0..2 {
+                let xb = _mm_loadu_si128(x.add(16 * half) as *const __m128i);
+                // Sign-extend i8 → i16: interleave with the sign mask.
+                let xneg = _mm_cmpgt_epi8(zero, xb);
+                let xlo = _mm_unpacklo_epi8(xb, xneg); // elements 0..8 as i16
+                let xhi = _mm_unpackhi_epi8(xb, xneg); // elements 8..16
+                for (q, prod) in [
+                    (0usize, _mm_mullo_epi16(xlo, self.0)),
+                    (1usize, _mm_mullo_epi16(xhi, self.0)),
+                ] {
+                    // Exact: |i8·i8| ≤ 16384 fits i16, so mullo never
+                    // truncates. Widen to i32 by the same interleave.
+                    let pneg = _mm_cmpgt_epi16(zero, prod);
+                    let p0 = _mm_unpacklo_epi16(prod, pneg); // 4 i32
+                    let p1 = _mm_unpackhi_epi16(prod, pneg); // 4 i32
+                    let base = acc.add(16 * half + 8 * q) as *mut __m128i;
+                    _mm_storeu_si128(base, _mm_add_epi32(_mm_loadu_si128(base), p0));
+                    let base1 = base.add(1);
+                    _mm_storeu_si128(base1, _mm_add_epi32(_mm_loadu_si128(base1), p1));
+                }
+            }
+        }
+    }
+}
+
+/// AVX2 backend: `cvtepi8_epi16` → exact `mullo_epi16` →
+/// `cvtepi16_epi32` → `add_epi32`, 32 elements per call. Only
+/// instantiated behind `#[target_feature(enable = "avx2")]` wrappers
+/// after runtime detection, exactly like
+/// [`Avx2V`](crate::simd::Avx2V).
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy)]
+pub struct Avx2Q(std::arch::x86_64::__m256i);
+
+#[cfg(target_arch = "x86_64")]
+impl QI8x32 for Avx2Q {
+    #[inline(always)]
+    fn splat(w: i8) -> Self {
+        use std::arch::x86_64::*;
+        unsafe { Avx2Q(_mm256_set1_epi16(i16::from(w))) }
+    }
+
+    #[inline(always)]
+    unsafe fn axpy(self, acc: *mut i32, x: *const i8) {
+        use std::arch::x86_64::*;
+        // SAFETY: caller guarantees QLANES readable x bytes and QLANES
+        // readable/writable acc elements; all loads/stores unaligned.
+        unsafe {
+            for half in 0..2 {
+                let xb = _mm_loadu_si128(x.add(16 * half) as *const __m128i);
+                let x16 = _mm256_cvtepi8_epi16(xb); // 16 i16, order kept
+                let prod = _mm256_mullo_epi16(x16, self.0); // exact (see Sse2Q)
+                let lo = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod));
+                let hi = _mm256_cvtepi16_epi32(_mm256_extracti128_si256::<1>(prod));
+                let base = acc.add(16 * half) as *mut __m256i;
+                _mm256_storeu_si256(base, _mm256_add_epi32(_mm256_loadu_si256(base), lo));
+                let base1 = base.add(1);
+                _mm256_storeu_si256(base1, _mm256_add_epi32(_mm256_loadu_si256(base1), hi));
+            }
+        }
+    }
+}
+
+/// 32-lane axpy over a row: full blocks through the backend, wrapping
+/// scalar tail. Exact on every backend, so the split point never
+/// affects results.
+#[inline(always)]
+fn axpy_row_q<Q: QI8x32>(c: &mut [i32], w: i8, x: &[i8]) {
+    let n = c.len().min(x.len());
+    let nq = qvector_cover(n);
+    let wv = Q::splat(w);
+    for j in (0..nq).step_by(QLANES) {
+        // SAFETY: j + QLANES <= nq <= n bounds both slices.
+        unsafe { wv.axpy(c.as_mut_ptr().add(j), x.as_ptr().add(j)) }
+    }
+    let wi = i32::from(w);
+    for (cv, &xv) in c[nq..n].iter_mut().zip(&x[nq..n]) {
+        *cv = cv.wrapping_add(wi * i32::from(xv));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer matmul (point-wise convolutions)
+// ---------------------------------------------------------------------------
+
+/// Serial row-stripe body of [`matmul_i8_acc`], generic over the
+/// backend.
+#[inline(always)]
+fn matmul_i8_rows_g<Q: QI8x32>(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..i * k + k];
+        let crow = &mut c[i * n..i * n + n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0 {
+                continue; // exact for integers: the skipped axpy adds 0
+            }
+            axpy_row_q::<Q>(crow, av, &b[p * n..p * n + n]);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_i8_rows_avx2(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    matmul_i8_rows_g::<Avx2Q>(a, b, c, m, k, n)
+}
+
+fn matmul_i8_rows(be: Backend, a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    match be {
+        Backend::Scalar => matmul_i8_rows_g::<ScalarQ>(a, b, c, m, k, n),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => matmul_i8_rows_g::<Sse2Q>(a, b, c, m, k, n),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Backend::Avx2` is only ever active after runtime
+        // detection succeeded (`simd::active`/`simd::force` enforce it).
+        Backend::Avx2 => unsafe { matmul_i8_rows_avx2(a, b, c, m, k, n) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector backends are never active off x86_64"),
+    }
+}
+
+/// Computes `c ⊞= a * b` where `a` is `m×k` `i8`, `b` is `k×n` `i8` and
+/// `c` is `m×n` `i32`, all dense row-major; `⊞` is wrapping addition.
+///
+/// Output rows are distributed over the [`parallel`](crate::parallel)
+/// pool in fixed 32-row stripes; wrapping integer addition is
+/// associative, so the stripe split, thread count, and SIMD backend
+/// can never change a single output bit.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+pub fn matmul_i8_acc(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k, "lhs too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "rhs too short: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "out too short: {} < {}", c.len(), m * n);
+    if m * n == 0 {
+        return;
+    }
+    let be = simd::active();
+    let _span = telemetry::span("tensor.qmatmul");
+    if telemetry::metrics_enabled() {
+        telemetry::counter("quant.matmul.calls").inc();
+        // Nominal: the `a == 0` skip is not deducted.
+        record_qlanes("matmul", m * k * qvector_cover(n));
+    }
+    par_chunks_mut(&mut c[..m * n], QBLOCK * n, |stripe, c_rows| {
+        let i0 = stripe * QBLOCK;
+        matmul_i8_rows(be, &a[i0 * k..], b, c_rows, c_rows.len() / n, k, n);
+    });
+}
+
+/// Computes `c = a * b` (overwriting `c`) with the same conventions as
+/// [`matmul_i8_acc`].
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+pub fn matmul_i8(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    c[..m * n].fill(0);
+    matmul_i8_acc(a, b, c, m, k, n);
+}
+
+// ---------------------------------------------------------------------------
+// Integer 3×3 depth-wise convolution (stride 1, padding 1)
+// ---------------------------------------------------------------------------
+
+/// One guarded output cell of the 3×3 stencil: taps outside the plane
+/// contribute nothing (zero padding). Shared verbatim by every backend
+/// for border columns and narrow planes.
+#[inline(always)]
+fn dw_cell_scalar(x: &[i8], w9: &[i8], h: usize, wd: usize, y: usize, xc: usize) -> i32 {
+    let mut acc = 0i32;
+    for ky in 0..3 {
+        let iy = y + ky;
+        if iy < 1 || iy > h {
+            continue;
+        }
+        let row = (iy - 1) * wd;
+        for kx in 0..3 {
+            let ix = xc + kx;
+            if ix < 1 || ix > wd {
+                continue;
+            }
+            acc = acc.wrapping_add(i32::from(w9[ky * 3 + kx]) * i32::from(x[row + ix - 1]));
+        }
+    }
+    acc
+}
+
+/// One `(item, channel)` plane of [`dwconv3_i8`], generic over the
+/// backend: 32-wide blocks across the interior columns (all nine taps
+/// in-bounds horizontally, rows guarded), guarded scalar cells for the
+/// borders and the interior remainder.
+#[inline(always)]
+fn dw_plane_g<Q: QI8x32>(x: &[i8], w9: &[i8], o: &mut [i32], h: usize, wd: usize) {
+    let wi = wd.saturating_sub(2); // interior columns 1..=wd-2
+    let nq = qvector_cover(wi);
+    for y in 0..h {
+        let orow = &mut o[y * wd..(y + 1) * wd];
+        for bx in 0..nq / QLANES {
+            let xs = 1 + bx * QLANES;
+            for ky in 0..3 {
+                let iy = y + ky;
+                if iy < 1 || iy > h {
+                    continue;
+                }
+                let row = (iy - 1) * wd;
+                for kx in 0..3 {
+                    // In-bounds: xs-1 >= 0 and xs+1 + (QLANES-1) <= wd-1.
+                    let src = row + xs + kx - 1;
+                    // SAFETY: src + QLANES <= row + wd <= x.len(), and the
+                    // orow block is QLANES long starting at xs <= wd-QLANES-1.
+                    unsafe {
+                        Q::splat(w9[ky * 3 + kx])
+                            .axpy(orow.as_mut_ptr().add(xs), x.as_ptr().add(src));
+                    }
+                }
+            }
+        }
+        orow[0] = dw_cell_scalar(x, w9, h, wd, y, 0);
+        for (xc, cell) in orow.iter_mut().enumerate().skip(1 + nq) {
+            *cell = dw_cell_scalar(x, w9, h, wd, y, xc);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dw_plane_avx2(x: &[i8], w9: &[i8], o: &mut [i32], h: usize, wd: usize) {
+    dw_plane_g::<Avx2Q>(x, w9, o, h, wd)
+}
+
+fn dw_plane(be: Backend, x: &[i8], w9: &[i8], o: &mut [i32], h: usize, wd: usize) {
+    match be {
+        Backend::Scalar => dw_plane_g::<ScalarQ>(x, w9, o, h, wd),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => dw_plane_g::<Sse2Q>(x, w9, o, h, wd),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Backend::Avx2` is only ever active after runtime
+        // detection succeeded (`simd::active`/`simd::force` enforce it).
+        Backend::Avx2 => unsafe { dw_plane_avx2(x, w9, o, h, wd) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector backends are never active off x86_64"),
+    }
+}
+
+/// Integer 3×3 depth-wise convolution, stride 1, zero padding 1 (the
+/// "same" geometry every SkyNet DW-Conv uses). `x` is `n×c×h×w` `i8`,
+/// `w` holds `c` filters of 9 taps (`c×1×3×3` flattened), and `out`
+/// receives `n×c×h×w` raw `i32` accumulators (overwritten), one plane
+/// per parallel task. Bit-identical across backends and thread counts
+/// for the same structural reason as [`matmul_i8_acc`].
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied extent.
+pub fn dwconv3_i8(x: &[i8], w: &[i8], out: &mut [i32], n: usize, c: usize, h: usize, wd: usize) {
+    let plane = h * wd;
+    assert!(x.len() >= n * c * plane, "input too short");
+    assert!(w.len() >= c * 9, "weights too short");
+    assert!(out.len() >= n * c * plane, "out too short");
+    if n * c * plane == 0 {
+        return;
+    }
+    let be = simd::active();
+    let _span = telemetry::span("tensor.qdwconv3");
+    if telemetry::metrics_enabled() {
+        telemetry::counter("quant.dwconv3.calls").inc();
+        record_qlanes("dwconv3", n * c * h * qvector_cover(wd.saturating_sub(2)));
+    }
+    par_chunks_mut(&mut out[..n * c * plane], plane, |pi, o| {
+        let ch = pi % c;
+        dw_plane(
+            be,
+            &x[pi * plane..(pi + 1) * plane],
+            &w[ch * 9..ch * 9 + 9],
+            o,
+            h,
+            wd,
+        );
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Quantize / requantize / dequantize (scalar, shared by all backends)
+// ---------------------------------------------------------------------------
+
+/// Quantizes `src` to symmetric `i8`: `q = round(v / scale)` clamped to
+/// `[-QMAX, QMAX]`, zero-point 0. `f32::round` ties away from zero —
+/// the requantization rounding mode of the whole INT8 path. Returns the
+/// number of elements that clamped (callers publish it as a
+/// `quant.<op>.saturated` counter). Non-finite inputs quantize to 0 and
+/// count as saturated.
+///
+/// # Panics
+///
+/// Panics when `dst` is shorter than `src` or `scale` is not a
+/// strictly positive finite number.
+pub fn quantize_i8(src: &[f32], scale: f32, dst: &mut [i8]) -> u64 {
+    assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+    assert!(dst.len() >= src.len(), "dst too short");
+    let mut saturated = 0u64;
+    for (d, &v) in dst.iter_mut().zip(src) {
+        let q = (v / scale).round();
+        if q.abs() > QMAX as f32 || !q.is_finite() {
+            saturated += 1;
+        }
+        *d = if q.is_finite() {
+            q.clamp(-(QMAX as f32), QMAX as f32) as i8
+        } else {
+            0
+        };
+    }
+    saturated
+}
+
+/// Requantizes raw `i32` accumulators to the next stage's `i8`
+/// activations:
+///
+/// ```text
+/// v = (acc as f32) · mult + bias          // dequantized pre-activation
+/// v = clamp(v, lo, hi)                    // fused activation (optional)
+/// q = clamp(round(v / out_scale), ±127)   // next stage's i8 domain
+/// ```
+///
+/// `mult` is `in_scale · w_scale` for the producing channel; `bias` is
+/// the (BN-folded) f32 bias. Every operation is a scalar f32 op in
+/// element order on every backend — the deterministic epilogue of the
+/// integer kernels. Returns the clamp count at the `i8` step (the
+/// activation clamp is semantics, not saturation).
+///
+/// # Panics
+///
+/// Panics when `dst` is shorter than `acc` or `out_scale` is not a
+/// strictly positive finite number.
+pub fn requant_i8(
+    acc: &[i32],
+    mult: f32,
+    bias: f32,
+    clamp: Option<(f32, f32)>,
+    out_scale: f32,
+    dst: &mut [i8],
+) -> u64 {
+    assert!(
+        out_scale.is_finite() && out_scale > 0.0,
+        "out_scale must be positive"
+    );
+    assert!(dst.len() >= acc.len(), "dst too short");
+    let mut saturated = 0u64;
+    for (d, &a) in dst.iter_mut().zip(acc) {
+        let mut v = (a as f32) * mult + bias;
+        if let Some((lo, hi)) = clamp {
+            v = if v > lo { v } else { lo };
+            v = if v < hi { v } else { hi };
+        }
+        let q = (v / out_scale).round();
+        if q.abs() > QMAX as f32 {
+            saturated += 1;
+        }
+        *d = q.clamp(-(QMAX as f32), QMAX as f32) as i8;
+    }
+    saturated
+}
+
+/// Dequantizes raw `i32` accumulators straight to f32:
+/// `dst[j] = (acc[j] as f32) · mult + bias` — the network-exit epilogue
+/// (the detection head leaves the integer domain here).
+///
+/// # Panics
+///
+/// Panics when `dst` is shorter than `acc`.
+pub fn dequant_f32(acc: &[i32], mult: f32, bias: f32, dst: &mut [f32]) {
+    assert!(dst.len() >= acc.len(), "dst too short");
+    for (d, &a) in dst.iter_mut().zip(acc) {
+        *d = (a as f32) * mult + bias;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer data movement: max-pool and reorg (pure permutations/selects)
+// ---------------------------------------------------------------------------
+
+/// 2-D max pooling on `i8` planes with a square `k×k` window and stride
+/// `k`, mirroring [`maxpool2d`](crate::pool::maxpool2d). Legal directly
+/// in the quantized domain: with a positive scale and zero zero-point,
+/// `q ↦ q·scale` is monotone, so the integer max picks the same winner
+/// the f32 max would.
+///
+/// # Panics
+///
+/// Panics when `k == 0`, the spatial extents are not divisible by `k`,
+/// or `src` is shorter than `n·c·h·w`.
+pub fn maxpool2d_i8(src: &[i8], n: usize, c: usize, h: usize, w: usize, k: usize) -> Vec<i8> {
+    assert!(k > 0, "window size must be positive");
+    assert!(
+        h.is_multiple_of(k) && w.is_multiple_of(k),
+        "spatial extents {h}×{w} not divisible by {k}"
+    );
+    assert!(src.len() >= n * c * h * w, "input too short");
+    let (oh, ow) = (h / k, w / k);
+    let mut out = vec![0i8; n * c * oh * ow];
+    for pi in 0..n * c {
+        let base = pi * h * w;
+        let obase = pi * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = i8::MIN;
+                for ky in 0..k {
+                    let row = base + (oy * k + ky) * w + ox * k;
+                    for kx in 0..k {
+                        let v = src[row + kx];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                out[obase + oy * ow + ox] = best;
+            }
+        }
+    }
+    out
+}
+
+/// Space-to-depth reordering on `i8` planes with block size `s`,
+/// mirroring [`reorg`](crate::reorg::reorg): input channel `c` and
+/// intra-block offset `(dy, dx)` land in output channel
+/// `c·s² + dy·s + dx`. A pure permutation, so the quantization scale
+/// rides along unchanged.
+///
+/// # Panics
+///
+/// Panics when `s == 0`, the spatial extents are not divisible by `s`,
+/// or `src` is shorter than `n·c·h·w`.
+pub fn reorg_i8(src: &[i8], n: usize, c: usize, h: usize, w: usize, s: usize) -> Vec<i8> {
+    assert!(s > 0, "block size must be positive");
+    assert!(
+        h.is_multiple_of(s) && w.is_multiple_of(s),
+        "spatial extents {h}×{w} not divisible by {s}"
+    );
+    assert!(src.len() >= n * c * h * w, "input too short");
+    let (oh, ow, oc) = (h / s, w / s, c * s * s);
+    let mut out = vec![0i8; n * oc * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            let in_base = (ni * c + ci) * h * w;
+            for dy in 0..s {
+                for dx in 0..s {
+                    let och = ci * s * s + dy * s + dx;
+                    let out_base = (ni * oc + och) * oh * ow;
+                    for oy in 0..oh {
+                        let in_row = in_base + (oy * s + dy) * w + dx;
+                        let out_row = out_base + oy * ow;
+                        for ox in 0..ow {
+                            out[out_row + ox] = src[in_row + ox * s];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+        let mut c = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] = c[i * n + j]
+                        .wrapping_add(i32::from(a[i * k + p]) * i32::from(b[p * n + j]));
+                }
+            }
+        }
+        c
+    }
+
+    fn seq_i8(len: usize, stride: usize) -> Vec<i8> {
+        (0..len)
+            .map(|i| ((i * stride + 13) % 255) as u8 as i8)
+            .collect()
+    }
+
+    #[test]
+    fn matmul_matches_naive_across_tail_boundaries() {
+        for n in [1, 31, 32, 33, 64, 67] {
+            let (m, k) = (5, 7);
+            let a = seq_i8(m * k, 3);
+            let b = seq_i8(k * n, 5);
+            let mut c = vec![0i32; m * n];
+            matmul_i8(&a, &b, &mut c, m, k, n);
+            assert_eq!(c, naive_matmul(&a, &b, m, k, n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn matmul_acc_adds_to_existing() {
+        let a = vec![1i8, 0, 0, 1];
+        let b = vec![5i8, 6, 7, 8];
+        let mut c = vec![1i32; 4];
+        matmul_i8_acc(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, vec![6, 7, 8, 9]);
+    }
+
+    fn naive_dw(x: &[i8], w9: &[i8], h: usize, wd: usize) -> Vec<i32> {
+        let mut o = vec![0i32; h * wd];
+        for y in 0..h {
+            for xc in 0..wd {
+                let mut acc = 0i32;
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        let (iy, ix) = (y + ky, xc + kx);
+                        if iy < 1 || iy > h || ix < 1 || ix > wd {
+                            continue;
+                        }
+                        acc = acc.wrapping_add(
+                            i32::from(w9[ky * 3 + kx]) * i32::from(x[(iy - 1) * wd + ix - 1]),
+                        );
+                    }
+                }
+                o[y * wd + xc] = acc;
+            }
+        }
+        o
+    }
+
+    #[test]
+    fn dwconv3_matches_naive_across_widths() {
+        for wd in [1, 2, 3, 33, 34, 40, 70] {
+            let h = 5;
+            let x = seq_i8(h * wd, 7);
+            let w9 = seq_i8(9, 11);
+            let mut out = vec![0i32; h * wd];
+            dwconv3_i8(&x, &w9, &mut out, 1, 1, h, wd);
+            assert_eq!(out, naive_dw(&x, &w9, h, wd), "wd={wd}");
+        }
+    }
+
+    #[test]
+    fn dwconv3_multichannel_uses_per_channel_filters() {
+        let (n, c, h, wd) = (2, 3, 4, 36);
+        let x = seq_i8(n * c * h * wd, 3);
+        let w = seq_i8(c * 9, 5);
+        let mut out = vec![0i32; n * c * h * wd];
+        dwconv3_i8(&x, &w, &mut out, n, c, h, wd);
+        for pi in 0..n * c {
+            let ch = pi % c;
+            let want = naive_dw(
+                &x[pi * h * wd..(pi + 1) * h * wd],
+                &w[ch * 9..ch * 9 + 9],
+                h,
+                wd,
+            );
+            assert_eq!(
+                &out[pi * h * wd..(pi + 1) * h * wd],
+                &want[..],
+                "plane {pi}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_clamps_and_counts() {
+        let src = [0.0f32, 0.5, -0.5, 100.0, -100.0, 1.49, f32::NAN];
+        let mut dst = [0i8; 7];
+        let sat = quantize_i8(&src, 0.5, &mut dst);
+        // 100/0.5 = 200 and -200 clamp; NaN counts and maps to 0.
+        assert_eq!(sat, 3);
+        assert_eq!(dst, [0, 1, -1, 127, -127, 3, 0]);
+    }
+
+    #[test]
+    fn requant_rounds_ties_away_and_clamps() {
+        // acc·mult+bias = [1.5, -1.5, 300, -0.5] with out_scale 1.
+        let acc = [3i32, -3, 600, -1];
+        let mut dst = [0i8; 4];
+        let sat = requant_i8(&acc, 0.5, 0.0, None, 1.0, &mut dst);
+        assert_eq!(sat, 1);
+        // round ties away from zero: 1.5 → 2, -1.5 → -2, -0.5 → -1.
+        assert_eq!(dst, [2, -2, 127, -1]);
+    }
+
+    #[test]
+    fn requant_applies_activation_clamp() {
+        let acc = [-10i32, 4, 100];
+        let mut dst = [0i8; 3];
+        let sat = requant_i8(&acc, 1.0, 0.0, Some((0.0, 6.0)), 0.5, &mut dst);
+        assert_eq!(sat, 0);
+        assert_eq!(dst, [0, 8, 12]); // clamp to [0,6] then /0.5
+    }
+
+    #[test]
+    fn dequant_is_affine() {
+        let acc = [2i32, -4];
+        let mut dst = [0f32; 2];
+        dequant_f32(&acc, 0.25, 1.0, &mut dst);
+        assert_eq!(dst, [1.5, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_i8_picks_winner() {
+        let src = [1i8, 5, 3, 2, 4, 0, -1, 9];
+        let out = maxpool2d_i8(&src, 1, 1, 2, 4, 2);
+        assert_eq!(out, vec![5, 9]);
+    }
+
+    #[test]
+    fn reorg_i8_matches_fig5() {
+        let src: Vec<i8> = (0..16).collect();
+        let out = reorg_i8(&src, 1, 1, 4, 4, 2);
+        assert_eq!(
+            out,
+            vec![0, 2, 8, 10, 1, 3, 9, 11, 4, 6, 12, 14, 5, 7, 13, 15]
+        );
+    }
+
+    #[test]
+    fn wrapping_accumulation_is_backend_stable() {
+        // Products of -128·-128 accumulate past i32::MAX and must wrap
+        // identically to the naive wrapping loop.
+        let k = 1 << 18; // 262144 · 16384 = 2^32 → wraps twice over
+        let a = vec![i8::MIN; k];
+        let b = vec![i8::MIN; k]; // k×1 matrix
+        let mut c = vec![0i32; 1];
+        matmul_i8(&a, &b, &mut c, 1, k, 1);
+        let mut want = 0i32;
+        for _ in 0..k {
+            want = want.wrapping_add(16384);
+        }
+        assert_eq!(c[0], want);
+    }
+}

@@ -1,0 +1,200 @@
+//! The INT8 determinism contract: every available SIMD backend must be
+//! **bit-identical** to the 32-lane scalar oracle on the integer
+//! kernels (`matmul_i8_acc`, `dwconv3_i8`) over random shapes and
+//! values — including the `i8::MIN` corner and accumulators driven
+//! through i32 wrap-around — on the worker pool and under
+//! [`parallel::serial`].
+//!
+//! Unlike the f32 contract (which is engineered: no FMA, lane-ordered
+//! tails), integer equality is *structural* — wrapping i32 addition is
+//! associative and commutative, so any lane split or thread count must
+//! produce the same bits. These tests pin that the implementations
+//! don't break the structure (e.g. via a widening shortcut that
+//! saturates instead of wrapping).
+//!
+//! Backend forcing is process-global, so every test serializes on a
+//! mutex (same discipline as `simd_equivalence.rs`).
+
+use proptest::prelude::*;
+use skynet_tensor::parallel;
+use skynet_tensor::qint::{dwconv3_i8, matmul_i8_acc, quantize_i8, requant_i8};
+use skynet_tensor::rng::SkyRng;
+use skynet_tensor::simd::{self, Backend};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn with_backend<T>(be: Backend, f: impl FnOnce() -> T) -> T {
+    let prev = simd::active();
+    simd::force(be);
+    let out = f();
+    simd::force(prev);
+    out
+}
+
+/// Random i8 buffer with the extremes planted at deterministic
+/// positions so every run exercises `i8::MIN`/`i8::MAX`.
+fn random_i8(len: usize, rng: &mut SkyRng) -> Vec<i8> {
+    let mut v: Vec<i8> = (0..len)
+        .map(|_| rng.range(-128.0, 128.0).floor().clamp(-128.0, 127.0) as i8)
+        .collect();
+    if len > 0 {
+        v[0] = i8::MIN;
+    }
+    if len > 1 {
+        v[len / 2] = i8::MAX;
+    }
+    v
+}
+
+/// Runs `f` under the scalar oracle and under every other available
+/// backend (pooled and forced-serial), asserting exact i32 equality.
+fn assert_backends_agree(label: &str, f: impl Fn() -> Vec<i32>) {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let oracle = with_backend(Backend::Scalar, &f);
+    let oracle_ser = with_backend(Backend::Scalar, || parallel::serial(&f));
+    assert_eq!(oracle, oracle_ser, "{label}: scalar pooled vs serial");
+    for be in simd::available_backends() {
+        if be == Backend::Scalar {
+            continue;
+        }
+        let got = with_backend(be, &f);
+        assert_eq!(
+            oracle,
+            got,
+            "{label}: {} diverged from scalar oracle (pooled)",
+            be.name()
+        );
+        let got_ser = with_backend(be, || parallel::serial(&f));
+        assert_eq!(
+            oracle,
+            got_ser,
+            "{label}: {} diverged from scalar oracle (serial)",
+            be.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_i8_backends_agree(
+        m in 1usize..12,
+        k in 1usize..24,
+        n in 1usize..80,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SkyRng::new(seed);
+        let a = random_i8(m * k, &mut rng);
+        let b = random_i8(k * n, &mut rng);
+        // Pre-seeded accumulators: the kernel must add, not overwrite.
+        let acc0: Vec<i32> = (0..m * n)
+            .map(|_| rng.range(-1000.0, 1000.0) as i32)
+            .collect();
+        assert_backends_agree("matmul_i8", || {
+            let mut c = acc0.clone();
+            matmul_i8_acc(&a, &b, &mut c, m, k, n);
+            c
+        });
+    }
+
+    #[test]
+    fn dwconv3_i8_backends_agree(
+        n in 1usize..3,
+        c in 1usize..5,
+        h in 1usize..8,
+        w in 1usize..72,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SkyRng::new(seed);
+        let x = random_i8(n * c * h * w, &mut rng);
+        let wt = random_i8(c * 9, &mut rng);
+        assert_backends_agree("dwconv3_i8", || {
+            let mut out = vec![0i32; n * c * h * w];
+            dwconv3_i8(&x, &wt, &mut out, n, c, h, w);
+            out
+        });
+    }
+
+    #[test]
+    fn requant_saturation_is_exactly_counted(
+        seed in 0u64..1000,
+        mult in 0.001f32..2.0,
+        bias in -5.0f32..5.0,
+    ) {
+        // The requant epilogue is scalar f32 by contract (identical on
+        // every backend); pin its clamp window and saturation count on
+        // accumulators spanning the i32 extremes.
+        let mut rng = SkyRng::new(seed);
+        let mut acc: Vec<i32> = (0..64)
+            .map(|_| rng.range(-3.0e4, 3.0e4) as i32)
+            .collect();
+        acc[0] = i32::MAX;
+        acc[1] = i32::MIN;
+        let mut out = vec![0i8; acc.len()];
+        let sat = requant_i8(&acc, mult, bias, None, 0.05, &mut out);
+        let expected_sat = acc
+            .iter()
+            .filter(|&&a| {
+                let q = ((a as f32 * mult + bias) / 0.05).round();
+                !(-127.0..=127.0).contains(&q)
+            })
+            .count() as u64;
+        prop_assert_eq!(sat, expected_sat);
+        // Symmetric grid: -128 is never produced.
+        prop_assert!(out.iter().all(|&q| (-127..=127).contains(&q)));
+        prop_assert_eq!(out[0], 127);
+        prop_assert_eq!(out[1], -127);
+    }
+
+    #[test]
+    fn quantize_never_emits_negative_128(
+        seed in 0u64..1000,
+        scale in 0.001f32..1.0,
+    ) {
+        let mut rng = SkyRng::new(seed);
+        let mut src: Vec<f32> = (0..256).map(|_| rng.range(-300.0, 300.0) * scale).collect();
+        src[0] = -1e30; // far past the clamp (finite; non-finite maps to 0)
+        let mut dst = vec![0i8; src.len()];
+        let _ = quantize_i8(&src, scale, &mut dst);
+        prop_assert!(dst.iter().all(|&q| (-127..=127).contains(&q)));
+        prop_assert_eq!(dst[0], -127);
+    }
+}
+
+/// i32 wrap-around: k accumulation steps of (−128)² exceed i32::MAX
+/// partway through; every backend and lane split must wrap identically
+/// (two's-complement), not saturate.
+#[test]
+fn accumulator_wraps_identically_across_backends() {
+    let k = 1usize << 18; // 2^18 · 16384 = 2^32: wraps past i32::MAX
+    let n = 67; // full 32-blocks + scalar tail
+    let a = vec![i8::MIN; k];
+    let b = vec![i8::MIN; k * n];
+    assert_backends_agree("matmul_i8 wrap", || {
+        let mut c = vec![0i32; n];
+        matmul_i8_acc(&a, &b, &mut c, 1, k, n);
+        c
+    });
+    // And the wrapped value itself is pinned: 2^18 · 2^14 ≡ 0 (mod 2^32).
+    let mut c = vec![0i32; n];
+    matmul_i8_acc(&a, &b, &mut c, 1, k, n);
+    assert!(c.iter().all(|&v| v == 0), "2^32 wraps to exactly zero");
+}
+
+/// The pinned SkyNet geometries (quarter-scale bundle widths) agree
+/// across backends end-to-end through the depth-wise kernel.
+#[test]
+fn skynet_geometries_agree() {
+    for (c, h, w) in [(12, 20, 40), (24, 10, 20), (48, 5, 10), (96, 5, 10)] {
+        let mut rng = SkyRng::new((c * h + w) as u64);
+        let x = random_i8(c * h * w, &mut rng);
+        let wt = random_i8(c * 9, &mut rng);
+        assert_backends_agree("dwconv3_i8 skynet-geo", || {
+            let mut out = vec![0i32; c * h * w];
+            dwconv3_i8(&x, &wt, &mut out, 1, c, h, w);
+            out
+        });
+    }
+}
