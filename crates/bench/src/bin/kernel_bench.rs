@@ -21,6 +21,13 @@
 //!    serial so the numbers are scheduling-free) and reports per-backend
 //!    speedups over the scalar backend.
 //!
+//! Two further lanes ride along: the **INT8 lane** times the
+//! executable-INT8 kernels (`qint::dwconv3_i8`, `qint::matmul_i8`)
+//! against their f32 counterparts on the same shapes, and the **fused
+//! lane** times `fused::fused_bundle_forward` against the unfused
+//! DW→BN→Act→PW→BN→Act layer sequence with the two paths asserted
+//! bit-identical per backend.
+//!
 //! The report is archived at `bench_results/kernel_bench.md`. The run
 //! fails if the aggregate forward speedup of the widest backend over the
 //! scalar backend drops below the budget's floor, for the backbone
@@ -31,10 +38,11 @@ use skynet_bench::Budget;
 use skynet_tensor::conv::{conv2d, ConvGeometry};
 use skynet_tensor::crc32::Crc32;
 use skynet_tensor::dwconv::{dwconv2d, dwconv2d_backward, reference};
+use skynet_tensor::fused::{fused_bundle_forward, BnAct};
 use skynet_tensor::matmul::matmul_acc;
 use skynet_tensor::rng::SkyRng;
 use skynet_tensor::simd::{self, Backend};
-use skynet_tensor::{parallel, Shape, Tensor};
+use skynet_tensor::{ops, parallel, qint, Shape, Tensor};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -445,6 +453,211 @@ fn main() {
                 be.name(),
                 t * 1e3,
                 ts[0] / t,
+                crc.unwrap(),
+            );
+        }
+    }
+
+    // ---- INT8 kernels vs their f32 counterparts --------------------------
+    let _ = writeln!(report, "\n## INT8 kernels vs f32 counterparts\n");
+    let _ = writeln!(
+        report,
+        "The executable-INT8 lane: `qint::dwconv3_i8` / `qint::matmul_i8_acc` \
+         against the f32 kernels on the same shapes, per backend (serial, \
+         reps interleaved). The INT8 kernels return raw i32 accumulators; \
+         the quantize/requantize epilogues are costed separately by \
+         `quant_sweep`, so these ratios isolate the compute-kernel win.\n"
+    );
+    let _ = writeln!(report, "| case | backend | f32 ms | i8 ms | i8 speedup |");
+    let _ = writeln!(report, "|---|---|---:|---:|---:|");
+    let mut q_f32_widest = 0.0f64;
+    let mut q_i8_widest = 0.0f64;
+    for (label, c, h, w) in [
+        ("dw bundle3 12@40x80", 12usize, 40usize, 80usize),
+        ("dw bundle5 48@20x40", 48, 20, 40),
+        ("dw bundle6 160@20x40", 160, 20, 40),
+    ] {
+        let geo = ConvGeometry::same3x3();
+        let shape = Shape::new(1, c, h, w);
+        let x = random_tensor(shape, &mut rng);
+        let wt = random_tensor(Shape::new(c, 1, 3, 3), &mut rng);
+        let mut xq = vec![0i8; shape.numel()];
+        let mut wq = vec![0i8; c * 9];
+        qint::quantize_i8(x.as_slice(), 1.0 / 32.0, &mut xq);
+        qint::quantize_i8(wt.as_slice(), 1.0 / 64.0, &mut wq);
+        let mut acc = vec![0i32; shape.numel()];
+        let (tf, ti) = parallel::serial(|| {
+            let tf = time_backends(reps, &backends, || dwconv2d(&x, &wt, None, geo).unwrap());
+            let ti = time_backends(reps, &backends, || {
+                qint::dwconv3_i8(&xq, &wq, &mut acc, 1, c, h, w)
+            });
+            (tf, ti)
+        });
+        for (i, &be) in backends.iter().enumerate() {
+            if be == widest {
+                q_f32_widest += tf[i];
+                q_i8_widest += ti[i];
+            }
+            let _ = writeln!(
+                report,
+                "| {label} | {} | {:.3} | {:.3} | {:.2}x |",
+                be.name(),
+                tf[i] * 1e3,
+                ti[i] * 1e3,
+                tf[i] / ti[i],
+            );
+        }
+    }
+    for (label, m, k, n) in [
+        ("mm pw-lowered 48x24x800", 48usize, 24usize, 800usize),
+        ("mm pw-lowered 96x48x800", 96, 48, 800),
+        ("mm square 256x256x256", 256, 256, 256),
+    ] {
+        let a: Vec<f32> = (0..m * k).map(|_| rng.range(-2.0, 2.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.range(-2.0, 2.0)).collect();
+        let mut aq = vec![0i8; m * k];
+        let mut bq = vec![0i8; k * n];
+        qint::quantize_i8(&a, 1.0 / 32.0, &mut aq);
+        qint::quantize_i8(&b, 1.0 / 32.0, &mut bq);
+        let mut c = vec![0.0f32; m * n];
+        let mut cq = vec![0i32; m * n];
+        let (tf, ti) = parallel::serial(|| {
+            let tf = time_backends(reps, &backends, || {
+                c.fill(0.0);
+                matmul_acc(&a, &b, &mut c, m, k, n);
+            });
+            let ti = time_backends(reps, &backends, || {
+                qint::matmul_i8(&aq, &bq, &mut cq, m, k, n)
+            });
+            (tf, ti)
+        });
+        for (i, &be) in backends.iter().enumerate() {
+            if be == widest {
+                q_f32_widest += tf[i];
+                q_i8_widest += ti[i];
+            }
+            let _ = writeln!(
+                report,
+                "| {label} | {} | {:.3} | {:.3} | {:.2}x |",
+                be.name(),
+                tf[i] * 1e3,
+                ti[i] * 1e3,
+                tf[i] / ti[i],
+            );
+        }
+    }
+    let q_agg = q_f32_widest / q_i8_widest;
+    let _ = writeln!(
+        report,
+        "\nRealized INT8 kernel speedup over f32 on `{}` (aggregate over \
+         the shapes above): **{q_agg:.2}x**.\n",
+        widest.name(),
+    );
+
+    // ---- Fused bundle vs unfused layer sequence --------------------------
+    let _ = writeln!(report, "\n## Fused bundle (DW→BN→Act→PW→BN→Act)\n");
+    let _ = writeln!(
+        report,
+        "`fused::fused_bundle_forward` against the unfused layer sequence \
+         it replaces (serial, reps interleaved). The CRC column is \
+         asserted identical between the two paths on every backend — the \
+         fusion bit-identity contract on real bundle shapes; `fusion_bench` \
+         measures the end-to-end forward win.\n"
+    );
+    let _ = writeln!(
+        report,
+        "| case | backend | unfused ms | fused ms | speedup | crc |"
+    );
+    let _ = writeln!(report, "|---|---|---:|---:|---:|---|");
+    for (label, c, c2, h, w) in [
+        ("bundle2 6->12@80x160", 6usize, 12usize, 80usize, 160usize),
+        ("bundle3 12->24@40x80", 12, 24, 40, 80),
+        ("bundle5 48->96@20x40", 48, 96, 20, 40),
+    ] {
+        let geo = ConvGeometry::same3x3();
+        let x = random_tensor(Shape::new(1, c, h, w), &mut rng);
+        let dw_w = random_tensor(Shape::new(c, 1, 3, 3), &mut rng);
+        let pw_w = random_tensor(Shape::new(c2, c, 1, 1), &mut rng);
+        let mk_bn = |rng: &mut SkyRng, ch: usize| {
+            BnAct::new(
+                (0..ch).map(|_| rng.range(-0.5, 0.5)).collect(),
+                &(0..ch).map(|_| rng.range(0.1, 1.1)).collect::<Vec<_>>(),
+                1e-5,
+                (0..ch).map(|_| rng.range(0.5, 1.5)).collect(),
+                (0..ch).map(|_| rng.range(-0.5, 0.5)).collect(),
+                Some(6.0),
+            )
+        };
+        let bn1 = mk_bn(&mut rng, c);
+        let bn2 = mk_bn(&mut rng, c2);
+        let unfused = |x: &Tensor| {
+            let t = dwconv2d(x, &dw_w, None, geo).unwrap();
+            let s = t.shape();
+            let mut u = Tensor::zeros(s);
+            for ch in 0..s.c {
+                let o = ch * s.plane();
+                let (m, is, g, b, _) = bn1.channel(ch);
+                simd::bn_apply_eval(
+                    &t.as_slice()[o..o + s.plane()],
+                    &mut u.as_mut_slice()[o..o + s.plane()],
+                    m,
+                    is,
+                    g,
+                    b,
+                );
+            }
+            let t = ops::relu6(&u);
+            let t = conv2d(&t, &pw_w, None, ConvGeometry::pointwise()).unwrap();
+            let s = t.shape();
+            let mut u = Tensor::zeros(s);
+            for ch in 0..s.c {
+                let o = ch * s.plane();
+                let (m, is, g, b, _) = bn2.channel(ch);
+                simd::bn_apply_eval(
+                    &t.as_slice()[o..o + s.plane()],
+                    &mut u.as_mut_slice()[o..o + s.plane()],
+                    m,
+                    is,
+                    g,
+                    b,
+                );
+            }
+            ops::relu6(&u)
+        };
+        let mut crc = None;
+        for &be in &backends {
+            simd::force(be);
+            let yu = unfused(&x);
+            let yf = fused_bundle_forward(&x, &dw_w, geo, &bn1, &pw_w, &bn2).unwrap();
+            assert_eq!(
+                bits(&yu),
+                bits(&yf),
+                "{label} [{}]: fused output diverged from unfused",
+                be.name()
+            );
+            let h = hash_f32(&[yf.as_slice()]);
+            assert_eq!(
+                *crc.get_or_insert(h),
+                h,
+                "{label} [{}]: hash diverged across backends",
+                be.name()
+            );
+        }
+        let (tu, tf) = parallel::serial(|| {
+            let tu = time_backends(reps, &backends, || unfused(&x));
+            let tf = time_backends(reps, &backends, || {
+                fused_bundle_forward(&x, &dw_w, geo, &bn1, &pw_w, &bn2).unwrap()
+            });
+            (tu, tf)
+        });
+        for (i, &be) in backends.iter().enumerate() {
+            let _ = writeln!(
+                report,
+                "| {label} | {} | {:.3} | {:.3} | {:.2}x | {:08x} |",
+                be.name(),
+                tu[i] * 1e3,
+                tf[i] * 1e3,
+                tu[i] / tf[i],
                 crc.unwrap(),
             );
         }

@@ -28,7 +28,7 @@
 use skynet_bench::Budget;
 use skynet_core::skynet::{SkyNet, SkyNetConfig, Variant};
 use skynet_nn::{Act, Layer, Mode};
-use skynet_tensor::{alloc, parallel, rng::SkyRng, simd, telemetry, Shape, Tensor};
+use skynet_tensor::{alloc, fusion, parallel, rng::SkyRng, simd, telemetry, Shape, Tensor};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -39,11 +39,12 @@ const BASE_DWCONV_SELF_MS: f64 = 320.668 / 40.0;
 const BASE_E2E_MS: f64 = 12.03;
 
 /// Scratch-arena checkout sites (the `op` tags in `tensor::scratch`).
-const SCRATCH_OPS: [&str; 4] = [
+const SCRATCH_OPS: [&str; 5] = [
     "tensor.conv_fwd",
     "tensor.conv_bwd",
     "tensor.dwconv_bwd",
     "tensor.matmul",
+    "tensor.fused_fwd",
 ];
 
 /// Sums `scratch.<op>.bytes_alloc` — bytes newly allocated because the
@@ -123,25 +124,32 @@ fn main() {
 
     // Warm up every phase's code path *and* thread arena: pooled forward
     // (pool spawn + worker arenas), serial forward and serial
-    // train-forward+backward (this thread's arena, both directions).
-    // Everything after the reset below runs against warm arenas.
-    for _ in 0..2 {
-        net.forward(&x, Mode::Eval).expect("warmup forward");
-    }
-    parallel::serial(|| {
+    // train-forward+backward (this thread's arena, both directions),
+    // fused and unfused. Everything after the reset below runs against
+    // warm arenas.
+    for fuse in [false, true] {
+        fusion::force(fuse);
         for _ in 0..2 {
-            net.forward(&x, Mode::Eval).expect("warmup serial forward");
-            let y = net.forward(&x, Mode::Train).expect("warmup train forward");
-            net.backward(&y).expect("warmup backward");
+            net.forward(&x, Mode::Eval).expect("warmup forward");
         }
-    });
+        parallel::serial(|| {
+            for _ in 0..2 {
+                net.forward(&x, Mode::Eval).expect("warmup serial forward");
+                let y = net.forward(&x, Mode::Train).expect("warmup train forward");
+                net.backward(&y).expect("warmup backward");
+            }
+        });
+    }
     telemetry::drain_spans();
     telemetry::reset_metrics();
 
-    // Phase 1 — serial forward. With every parallel region inlined, all
-    // spans land on one thread and nest exactly, so per-op self times
-    // partition the wall clock; the scratch counters must show zero
-    // misses (the arena was warmed above).
+    // Phase 1 — serial forward, unfused. With every parallel region
+    // inlined, all spans land on one thread and nest exactly, so per-op
+    // self times partition the wall clock; the scratch counters must
+    // show zero misses (the arena was warmed above). The unfused path is
+    // profiled first because the PR-3 baseline (and its speedup floors)
+    // predate the execution plan.
+    fusion::force(false);
     let alloc_before = alloc::stats();
     let t0 = Instant::now();
     parallel::serial(|| {
@@ -173,6 +181,30 @@ fn main() {
         .find(|s| s.name == "tensor.dwconv_fwd")
         .map(|s| s.self_ns as f64 / 1e6 / iters as f64)
         .unwrap_or(0.0);
+
+    // Phase 1b — serial forward through the fused execution plan
+    // (`SKYNET_FUSION=on`, the default). Same invariants as phase 1: the
+    // per-op table must still cover >= 90 % of wall time (the fused
+    // spans `fused.bundleN` replace `skynet.bundleN`, never coexist with
+    // it) and the steady-state loop must stay on the arena's hit path.
+    telemetry::reset_metrics();
+    fusion::force(true);
+    let t0f = Instant::now();
+    parallel::serial(|| {
+        for _ in 0..iters {
+            net.forward(&x, Mode::Eval).expect("profiled fused forward");
+        }
+    });
+    let fused_wall = t0f.elapsed();
+    let fused_spans = telemetry::drain_spans();
+    let fused_stats = telemetry::aggregate(&fused_spans);
+    let fused_snap = telemetry::snapshot();
+    let fused_wall_ns = fused_wall.as_nanos() as u64;
+    let (fused_table, fused_covered_ns) =
+        render_ops_table(&fused_stats, &fused_snap, fused_wall_ns);
+    let fused_coverage = fused_covered_ns as f64 / fused_wall_ns as f64;
+    let fused_miss_bytes = arena_miss_bytes(&fused_snap);
+    let fused_e2e_ms = fused_wall.as_secs_f64() * 1e3 / iters as f64;
 
     // Phase 2 — serial training step (train-mode forward + backward)
     // with the per-layer backward spans.
@@ -247,6 +279,30 @@ fn main() {
 
     let _ = writeln!(
         report,
+        "## Fused execution plan (`SKYNET_FUSION=on`, serial forward)\n"
+    );
+    let _ = writeln!(
+        report,
+        "{fused_e2e_ms:.2} ms/iter through the graph-level plan \
+         (BN-fold + fused activation + cache-resident DW→PW bundle \
+         tiles) vs {e2e_ms:.2} ms/iter unfused — **{:.2}x** — with \
+         bit-identical output (see `fusion_bench`). The `fused.bundleN` \
+         spans replace `skynet.bundleN`; coverage and the zero-arena-miss \
+         invariant hold on the fused path too.\n",
+        e2e_ms / fused_e2e_ms.max(1e-9),
+    );
+    let _ = writeln!(report, "{fused_table}");
+    let _ = writeln!(report, "\n`fusion.*` counters over the fused phase:\n");
+    let _ = writeln!(report, "```");
+    for (name, v) in &fused_snap.counters {
+        if name.starts_with("fusion.") {
+            let _ = writeln!(report, "{name} = {v}");
+        }
+    }
+    let _ = writeln!(report, "```\n");
+
+    let _ = writeln!(
+        report,
         "## Training step (train-mode forward + backward, {bwd_iters} serial iterations)\n"
     );
     let _ = writeln!(
@@ -288,6 +344,19 @@ fn main() {
     assert_eq!(
         fwd_miss_bytes, 0,
         "steady-state forward allocated {fwd_miss_bytes} bytes from the arena miss path"
+    );
+    assert!(
+        fused_coverage >= 0.90,
+        "fused per-op table covers only {:.1} % of wall time (need >= 90 %)",
+        100.0 * fused_coverage
+    );
+    assert_eq!(
+        fused_miss_bytes, 0,
+        "steady-state fused forward allocated {fused_miss_bytes} bytes from the arena miss path"
+    );
+    assert!(
+        fused_stats.iter().any(|s| s.name == "fused.bundle1"),
+        "fused phase produced no fused.bundleN spans — plan did not execute"
     );
     assert_eq!(
         bwd_miss_bytes, 0,

@@ -44,6 +44,7 @@ pub mod checkpoint;
 pub mod desc;
 pub mod detector;
 pub mod head;
+pub mod plan;
 pub mod quant;
 pub mod replica;
 pub mod sample;

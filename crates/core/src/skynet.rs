@@ -17,7 +17,7 @@ use crate::bundle::BundleSpec;
 use crate::desc::{LayerDesc, NetDesc};
 use skynet_nn::{Act, Conv2d, Layer, MaxPool2d, Mode, Param, Reorg, Sequential};
 use skynet_tensor::ops::{concat_channels, split_channels};
-use skynet_tensor::{rng::SkyRng, telemetry, Result, Tensor};
+use skynet_tensor::{fusion, rng::SkyRng, telemetry, Result, Tensor};
 
 /// Which SkyNet configuration to build (Table 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -175,6 +175,9 @@ pub struct SkyNet {
     pub(crate) head: Conv2d,
     // Backward routing state.
     split_at: Option<usize>,
+    /// Cached fused execution plan (eval-mode fast path); `None` until
+    /// the first fused forward and after every invalidation.
+    plan: Option<crate::plan::ExecPlan>,
 }
 
 impl SkyNet {
@@ -212,7 +215,33 @@ impl SkyNet {
             bundle6,
             head,
             split_at: None,
+            plan: None,
         }
+    }
+
+    /// Drops the cached execution plan. Called whenever the weights or
+    /// BN statistics may change (optimizer visits, training forwards) so
+    /// a stale plan can never serve.
+    pub(crate) fn invalidate_plan(&mut self) {
+        if self.plan.is_some() {
+            telemetry::counter("fusion.plan_invalidations").inc();
+        }
+        self.plan = None;
+    }
+
+    /// The cached plan, building it on first use. Returns `None` (with a
+    /// `fusion.fallback` count) when the structure is not fusable.
+    fn plan(&mut self) -> Option<&crate::plan::ExecPlan> {
+        if self.plan.is_none() {
+            match crate::plan::ExecPlan::build(self) {
+                Ok(p) => self.plan = Some(p),
+                Err(_) => {
+                    telemetry::counter("fusion.fallback").inc();
+                    return None;
+                }
+            }
+        }
+        self.plan.as_ref()
     }
 
     /// The configuration this instance was built with.
@@ -287,6 +316,22 @@ const POOL_BWD_SPANS: [&str; 3] = ["skynet.pool1.bwd", "skynet.pool2.bwd", "skyn
 impl Layer for SkyNet {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
         let _whole = telemetry::span("skynet.forward");
+        match mode {
+            // Training mutates BN running statistics without a
+            // `visit_params` pass — any cached plan is stale after it.
+            Mode::Train => self.invalidate_plan(),
+            // The fused plan captures eval-path BN epilogues; it is
+            // bit-identical to the unfused eval path (QuantEval's
+            // per-layer fake-quantize points make it non-fusable).
+            Mode::Eval => {
+                if fusion::enabled() {
+                    if let Some(plan) = self.plan() {
+                        return plan.run(x);
+                    }
+                }
+            }
+            Mode::QuantEval { .. } => {}
+        }
         // Bundles 1–3 with pooling after each.
         let mut cur = x.clone();
         let mut bypass = None;
@@ -370,6 +415,9 @@ impl Layer for SkyNet {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        // The visitor may mutate any weight (optimizer steps, checkpoint
+        // loads), so the cached plan must go.
+        self.invalidate_plan();
         for b in &mut self.bundles {
             b.visit_params(f);
         }

@@ -55,6 +55,24 @@ impl BatchNorm2d {
         &self.running_var
     }
 
+    /// The per-channel scale `γ` (read-only view for the execution
+    /// planner's epilogue capture).
+    pub fn gamma(&self) -> &[f32] {
+        self.gamma.value.as_slice()
+    }
+
+    /// The per-channel shift `β`.
+    pub fn beta(&self) -> &[f32] {
+        self.beta.value.as_slice()
+    }
+
+    /// The numerical-stability epsilon added to the variance. The fused
+    /// epilogue must compute `1/√(σ² + ε)` with this exact value to
+    /// reproduce the eval path's bits.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Effective per-channel scale `γ/√(var+ε)` and shift `β − mean·scale`
     /// under the running statistics — the values a deployment folds into
     /// the preceding convolution's weights and bias.

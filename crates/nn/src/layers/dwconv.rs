@@ -41,6 +41,13 @@ impl DwConv2d {
 
     /// The weight tensor, shape `channels×1×k×k` (read-only view for
     /// structure-aware passes such as INT8 quantization).
+    /// The convolution geometry (kernel/stride/pad) — read by the
+    /// execution planner when fusing the bundle.
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geo
+    }
+
+    /// The `[c, 1, k, k]` filter tensor.
     pub fn weight(&self) -> &Tensor {
         &self.weight.value
     }

@@ -378,6 +378,282 @@ fn dw3_fwd_interior_dispatch<const S: usize>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fused-store variants: DW-Conv3 + BN-eval + clamped activation
+// ---------------------------------------------------------------------------
+
+/// Splatted per-channel BN-eval + clamp epilogue constants for the fused
+/// store loops: `y = min(max(g·(x − m)·inv_std + b, 0), hi)`.
+#[derive(Clone, Copy)]
+struct EpV<V> {
+    mv: V,
+    sv: V,
+    gv: V,
+    bv: V,
+    zero: V,
+    hv: V,
+}
+
+impl<V: F32x8> EpV<V> {
+    #[inline(always)]
+    fn new((m, inv_std, g, b, hi): (f32, f32, f32, f32, f32)) -> Self {
+        EpV {
+            mv: V::splat(m),
+            sv: V::splat(inv_std),
+            gv: V::splat(g),
+            bv: V::splat(b),
+            zero: V::splat(0.0),
+            hv: V::splat(hi),
+        }
+    }
+
+    /// [`simd::bn_act_inplace`]'s exact vector operation sequence.
+    #[inline(always)]
+    fn apply(&self, x: V) -> V {
+        self.gv
+            .mul(x.sub(self.mv))
+            .mul(self.sv)
+            .add(self.bv)
+            .max(self.zero)
+            .min(self.hv)
+    }
+}
+
+/// Scalar epilogue, bitwise-equal to [`EpV::apply`] per element (the
+/// same `maxps`/`minps` lane semantics the elementwise kernels' scalar
+/// tails replay).
+#[inline(always)]
+fn bnact_scalar(xs: &mut [f32], (m, inv_std, g, b, hi): (f32, f32, f32, f32, f32)) {
+    for v in xs {
+        let y = g * (*v - m) * inv_std + b;
+        let t = if y > 0.0 { y } else { 0.0 };
+        *v = if t < hi { t } else { hi };
+    }
+}
+
+/// [`dw3_fwd_block`] with the BN+activation epilogue applied in
+/// register before the store — the fused store loop. The accumulator
+/// replays the documented balanced tree bit-for-bit; the epilogue is
+/// per-lane, so overlapped blocks still recompute identical bits.
+///
+/// # Safety
+/// Same contract as [`dw3_fwd_block`].
+#[inline(always)]
+unsafe fn dw3_bnact_block<V: F32x8, const S: usize>(
+    p0: *const f32,
+    p1: *const f32,
+    p2: *const f32,
+    po: *mut f32,
+    fv: &[V; 9],
+    bvv: V,
+    ep: &EpV<V>,
+) {
+    // SAFETY: forwarded to the caller.
+    unsafe {
+        let t0 = tap::<V, S>(p0).mul(fv[0]);
+        let t1 = tap::<V, S>(p0.add(1)).mul(fv[1]);
+        let t2 = tap::<V, S>(p0.add(2)).mul(fv[2]);
+        let t3 = tap::<V, S>(p1).mul(fv[3]);
+        let t4 = tap::<V, S>(p1.add(1)).mul(fv[4]);
+        let t5 = tap::<V, S>(p1.add(2)).mul(fv[5]);
+        let t6 = tap::<V, S>(p2).mul(fv[6]);
+        let t7 = tap::<V, S>(p2.add(1)).mul(fv[7]);
+        let t8 = tap::<V, S>(p2.add(2)).mul(fv[8]);
+        // The documented balanced tree — do not reassociate.
+        let left = t0.add(t1).add(t2.add(t3));
+        let right = t4.add(t5).add(t6.add(t7));
+        let acc = left.add(right).add(t8.add(bvv));
+        ep.apply(acc).store_ptr(po);
+    }
+}
+
+/// [`dw3_fwd_row_pre`] with the fused BN+activation store: identical
+/// block schedule (two independent blocks per iteration, overlapped
+/// final block), identical sub-8-pixel fallback — the chain-ordered
+/// [`dw3_fwd_row`] followed by the bitwise-equal scalar epilogue.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn dw3_bnact_row_pre<V: F32x8, const S: usize>(
+    out: &mut [f32],
+    r0: &[f32],
+    r1: &[f32],
+    r2: &[f32],
+    fv: &[V; 9],
+    bvv: V,
+    epv: &EpV<V>,
+    f: &[f32],
+    bv: f32,
+    ep: (f32, f32, f32, f32, f32),
+) {
+    let m = out.len();
+    if m < LANES {
+        dw3_fwd_row::<S>(out, r0, r1, r2, f, bv);
+        bnact_scalar(out, ep);
+        return;
+    }
+    let need = (m - 1) * S + 3;
+    assert!(
+        r0.len() >= need && r1.len() >= need && r2.len() >= need,
+        "interior rows too short for vector blocks"
+    );
+    let m8 = simd::vector_cover(m);
+    let (p0, p1, p2, po) = (r0.as_ptr(), r1.as_ptr(), r2.as_ptr(), out.as_mut_ptr());
+    let mut j = 0;
+    // SAFETY: the assert above proves every tap of every block ending at
+    // or before pixel `m` stays inside `r0`/`r1`/`r2`, and `j + 8 <= m
+    // <= out.len()` covers each store (same proof as `dw3_fwd_row_pre`).
+    while j + 2 * LANES <= m8 {
+        let x = j * S;
+        unsafe {
+            dw3_bnact_block::<V, S>(p0.add(x), p1.add(x), p2.add(x), po.add(j), fv, bvv, epv);
+            let x2 = x + LANES * S;
+            dw3_bnact_block::<V, S>(
+                p0.add(x2),
+                p1.add(x2),
+                p2.add(x2),
+                po.add(j + LANES),
+                fv,
+                bvv,
+                epv,
+            );
+        }
+        j += 2 * LANES;
+    }
+    if j < m8 {
+        let x = j * S;
+        // SAFETY: as above; `j + LANES <= m8` by `vector_cover`.
+        unsafe {
+            dw3_bnact_block::<V, S>(p0.add(x), p1.add(x), p2.add(x), po.add(j), fv, bvv, epv);
+        }
+    }
+    if m8 < m {
+        let j = m - LANES;
+        let x = j * S;
+        // SAFETY: as above; `j + LANES == m`.
+        unsafe {
+            dw3_bnact_block::<V, S>(p0.add(x), p1.add(x), p2.add(x), po.add(j), fv, bvv, epv);
+        }
+    }
+}
+
+/// Output rows `y0..y1` of one fused `DW-Conv3 → BN-eval → activation`
+/// plane, written contiguously into a `(y1 − y0) × os.w` destination
+/// tile. Replays [`dw_plane_fwd`]'s exact per-row structure for the
+/// `k = 3`, stride-1/2 lane geometries — border pixels through
+/// [`dw_fwd_border`] plus the scalar epilogue, interior pixels through
+/// the fused-store lane kernel — so each output element's bits equal
+/// `dwconv2d` → `bn_apply_eval` → `relu/relu6` applied layerwise.
+/// Output rows are computed from input rows `y·S − p ..` only, so band
+/// decompositions over `y` cannot change any value.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn dw3_bnact_band_v<V: F32x8, const S: usize>(
+    dst: &mut [f32],
+    chan_in: &[f32],
+    filt: &[f32],
+    bv: f32,
+    is: Shape,
+    os: Shape,
+    p: usize,
+    (y0, y1): (usize, usize),
+    ep: (f32, f32, f32, f32, f32),
+) {
+    let (y_lo, y_hi) = interior_range(os.h, is.h, 3, S, p);
+    let (x_lo, x_hi) = interior_range(os.w, is.w, 3, S, p);
+    let lane = x_lo < x_hi && y_lo < y_hi;
+    let fv: [V; 9] = std::array::from_fn(|t| V::splat(filt[t]));
+    let bvv = V::splat(bv);
+    let epv = EpV::<V>::new(ep);
+    for oy in y0..y1 {
+        let row = &mut dst[(oy - y0) * os.w..(oy - y0 + 1) * os.w];
+        if !lane || oy < y_lo || oy >= y_hi {
+            dw_fwd_border(row, chan_in, filt, bv, oy, 0..os.w, is, 3, S, p);
+            bnact_scalar(row, ep);
+            continue;
+        }
+        dw_fwd_border(row, chan_in, filt, bv, oy, 0..x_lo, is, 3, S, p);
+        bnact_scalar(&mut row[..x_lo], ep);
+        dw_fwd_border(row, chan_in, filt, bv, oy, x_hi..os.w, is, 3, S, p);
+        bnact_scalar(&mut row[x_hi..], ep);
+        let iy0 = oy * S - p;
+        let ix0 = x_lo * S - p;
+        let span = (x_hi - 1 - x_lo) * S + 3;
+        let r0 = &chan_in[iy0 * is.w + ix0..iy0 * is.w + ix0 + span];
+        let r1 = &chan_in[(iy0 + 1) * is.w + ix0..(iy0 + 1) * is.w + ix0 + span];
+        let r2 = &chan_in[(iy0 + 2) * is.w + ix0..(iy0 + 2) * is.w + ix0 + span];
+        let interior = &mut row[x_lo..x_hi];
+        dw3_bnact_row_pre::<V, S>(interior, r0, r1, r2, &fv, bvv, &epv, filt, bv, ep);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn dw3_bnact_band_avx2<const S: usize>(
+    dst: &mut [f32],
+    chan_in: &[f32],
+    filt: &[f32],
+    bv: f32,
+    is: Shape,
+    os: Shape,
+    p: usize,
+    yr: (usize, usize),
+    ep: (f32, f32, f32, f32, f32),
+) {
+    dw3_bnact_band_v::<Avx2V, S>(dst, chan_in, filt, bv, is, os, p, yr, ep)
+}
+
+/// Fused `DW-Conv3 → BN-eval → activation` band dispatch — the
+/// crate-internal entry the fused bundle executor ([`crate::fused`])
+/// drives. `ep` is `(mean, inv_std, gamma, beta, ceiling)` with
+/// `ceiling = f32::INFINITY` for plain ReLU.
+///
+/// # Panics
+///
+/// Panics when the stride is not 1 or 2 (the only fused geometries; the
+/// planner never builds a fused plan for anything else).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dw3_bnact_band(
+    be: Backend,
+    dst: &mut [f32],
+    chan_in: &[f32],
+    filt: &[f32],
+    bv: f32,
+    is: Shape,
+    os: Shape,
+    s: usize,
+    p: usize,
+    yr: (usize, usize),
+    ep: (f32, f32, f32, f32, f32),
+) {
+    macro_rules! go {
+        ($S:literal) => {
+            match be {
+                Backend::Scalar => {
+                    dw3_bnact_band_v::<ScalarV, $S>(dst, chan_in, filt, bv, is, os, p, yr, ep)
+                }
+                #[cfg(target_arch = "x86_64")]
+                Backend::Sse2 => {
+                    dw3_bnact_band_v::<Sse2V, $S>(dst, chan_in, filt, bv, is, os, p, yr, ep)
+                }
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: `Backend::Avx2` is only ever active after
+                // runtime detection succeeded.
+                Backend::Avx2 => unsafe {
+                    dw3_bnact_band_avx2::<$S>(dst, chan_in, filt, bv, is, os, p, yr, ep)
+                },
+                #[cfg(not(target_arch = "x86_64"))]
+                _ => unreachable!("vector backends are never active off x86_64"),
+            }
+        };
+    }
+    match s {
+        1 => go!(1),
+        2 => go!(2),
+        other => panic!("dw3_bnact_band: unsupported stride {other} (expected 1 or 2)"),
+    }
+}
+
 /// Border path: the original generic per-pixel loop over an `ox` range.
 /// `k = 3` takes a specialized body with the same tap order — the valid
 /// `(ky, kx)` window is computed once per pixel instead of testing every

@@ -1,0 +1,428 @@
+//! Cache-resident fused execution of one SkyNet bundle:
+//! `DW-Conv3 → BN → Act → PW-Conv → BN → Act` in a single pass over row
+//! tiles.
+//!
+//! The unfused path materializes five full feature maps per bundle
+//! (DW output, two BN outputs, two activation outputs) and streams each
+//! through DRAM between layers. This executor instead walks the output
+//! in **row bands**: for each `(item, band)` task the DW-Conv3 output
+//! tile (all `C` channels × `R` rows) is produced straight into the
+//! thread-local [`scratch`] arena with the BN+activation epilogue fused
+//! into the store loop ([`crate::dwconv`]'s fused band kernel), then fed
+//! directly into the point-wise matmul whose output tile gets the second
+//! BN+activation epilogue before the only DRAM write — the final output
+//! rows. The full-size intermediates never exist.
+//!
+//! ## Bit-identity
+//!
+//! The fused output is **bit-identical** to the unfused layer-by-layer
+//! path on every `SKYNET_SIMD` backend and thread count, because each
+//! stage reuses the unfused kernels' exact per-element f32 operation
+//! sequences and none of them depends on position or tile extent:
+//!
+//! * DW rows are row-local (output row `y` reads input rows
+//!   `y·s − p ..= y·s − p + 2` only) and replay `dw_plane_fwd`'s
+//!   border/interior split per row;
+//! * the BN+activation epilogues replay `bn_apply_eval` +
+//!   `relu/relu6`'s per-element sequence, which is independent of the
+//!   vector/tail boundary ([`simd::bn_act_inplace`]);
+//! * [`matmul_acc`](crate::matmul::matmul_acc) accumulates each output
+//!   element over `k` in a fixed ascending chain, independent of the
+//!   column count of the call — so a band tile (`n = R·W`) produces the
+//!   same bits as the whole plane (`n = H·W`);
+//! * the band decomposition is a fixed function of the shape, never of
+//!   the thread count.
+//!
+//! `core::plan` drives this executor from the graph-level execution
+//! plan; [`crate::fusion`] (`SKYNET_FUSION`) toggles it, keeping the
+//! unfused path as the equivalence oracle.
+
+use crate::conv::{pw_bnact_tile, ConvGeometry};
+use crate::dwconv::dw3_bnact_band;
+use crate::{parallel, scratch, simd, telemetry};
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Per-channel BatchNorm-eval + activation epilogue parameters, captured
+/// at plan-build time from a `BatchNorm2d` + `Activation` pair.
+///
+/// `inv_std[c]` is computed as `1.0 / (var[c] + eps).sqrt()` — the exact
+/// f32 expression the unfused BN eval path evaluates per forward — so
+/// the epilogue `y = γ·(x − μ)·inv_std + β` reproduces its bits.
+#[derive(Debug, Clone)]
+pub struct BnAct {
+    /// Per-channel running mean `μ`.
+    pub mean: Vec<f32>,
+    /// Per-channel `1/√(σ² + ε)`, precomputed from the running variance.
+    pub inv_std: Vec<f32>,
+    /// Per-channel scale `γ`.
+    pub gamma: Vec<f32>,
+    /// Per-channel shift `β`.
+    pub beta: Vec<f32>,
+    /// Activation ceiling: `6.0` for ReLU6, `f32::INFINITY` for ReLU
+    /// (value-neutral upper clamp).
+    pub ceiling: f32,
+}
+
+impl BnAct {
+    /// Builds the epilogue from BN statistics and an activation ceiling
+    /// (`None` = plain ReLU).
+    pub fn new(
+        mean: Vec<f32>,
+        var: &[f32],
+        eps: f32,
+        gamma: Vec<f32>,
+        beta: Vec<f32>,
+        ceiling: Option<f32>,
+    ) -> Self {
+        let inv_std = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+        BnAct {
+            mean,
+            inv_std,
+            gamma,
+            beta,
+            ceiling: ceiling.unwrap_or(f32::INFINITY),
+        }
+    }
+
+    /// Number of channels this epilogue covers.
+    pub fn channels(&self) -> usize {
+        self.mean.len()
+    }
+
+    fn check(&self, c: usize, which: &'static str) -> Result<()> {
+        if self.mean.len() != c
+            || self.inv_std.len() != c
+            || self.gamma.len() != c
+            || self.beta.len() != c
+        {
+            return Err(TensorError::ShapeMismatch {
+                op: "fused_bundle_forward",
+                expected: format!("{which} epilogue over {c} channels"),
+                got: format!("{} channels", self.mean.len()),
+            });
+        }
+        Ok(())
+    }
+
+    /// The `(mean, inv_std, gamma, beta, ceiling)` tuple for channel `c`.
+    #[inline]
+    pub fn channel(&self, c: usize) -> (f32, f32, f32, f32, f32) {
+        (
+            self.mean[c],
+            self.inv_std[c],
+            self.gamma[c],
+            self.beta[c],
+            self.ceiling,
+        )
+    }
+}
+
+/// `*mut f32` wrapper for the disjoint per-task output writes.
+struct SendPtr(*mut f32);
+// SAFETY: each `(item, band)` task writes a disjoint set of output rows
+// (the decomposition partitions `item × band`), so sharing the base
+// pointer across the pool is race-free.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Whole-struct access so closures capture `SendPtr` (which is
+    /// `Sync`), not the raw pointer field.
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Row-band height for a fused bundle: a **fixed function of the shape**
+/// (never the thread count), chosen so the DW and PW tiles together stay
+/// cache-resident while still yielding enough `(item, band)` tasks to
+/// feed the pool.
+fn band_rows(c: usize, c2: usize, os: Shape) -> usize {
+    // Both tiles live in L2: (c + c2) · R · W floats ≲ 384 KiB.
+    const TILE_F32_BUDGET: usize = 96 * 1024;
+    let per_row = (c + c2) * os.w.max(1);
+    let r_cache = (TILE_F32_BUDGET / per_row).max(1);
+    // At least ~8 bands per item so single-image inference parallelizes.
+    let r_par = os.h.div_ceil(8).max(1);
+    r_cache.min(r_par).min(os.h.max(1))
+}
+
+/// Executes one fused bundle: `DW-Conv3(w_dw) → BN₁ → Act → PW(w_pw) →
+/// BN₂ → Act`, bit-identical to the unfused layer sequence (see the
+/// module docs) while keeping every intermediate tile in the scratch
+/// arena.
+///
+/// `dw_weight` is `[c, 1, 3, 3]`, `pw_weight` is `[c2, c, 1, 1]`
+/// (bias-free, as in the SkyNet bundle), `bn1`/`bn2` cover `c`/`c2`
+/// channels.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when the geometry is not a 3×3 stride-1/2
+/// depth-wise convolution or any shape disagrees.
+pub fn fused_bundle_forward(
+    input: &Tensor,
+    dw_weight: &Tensor,
+    dw_geo: ConvGeometry,
+    bn1: &BnAct,
+    pw_weight: &Tensor,
+    bn2: &BnAct,
+) -> Result<Tensor> {
+    let is = input.shape();
+    let c = is.c;
+    let (k, s, p) = (dw_geo.kernel, dw_geo.stride, dw_geo.pad);
+    if k != 3 || (s != 1 && s != 2) {
+        return Err(TensorError::InvalidDimension {
+            op: "fused_bundle_forward",
+            detail: format!("unsupported DW geometry k={k} s={s} (expected k=3, s=1|2)"),
+        });
+    }
+    let dws = dw_weight.shape();
+    if dws.n != c || dws.c != 1 || dws.h != 3 || dws.w != 3 {
+        return Err(TensorError::ShapeMismatch {
+            op: "fused_bundle_forward",
+            expected: format!("DW weight [{c}, 1, 3, 3]"),
+            got: dws.to_string(),
+        });
+    }
+    let pws = pw_weight.shape();
+    let c2 = pws.n;
+    if pws.c != c || pws.h != 1 || pws.w != 1 {
+        return Err(TensorError::ShapeMismatch {
+            op: "fused_bundle_forward",
+            expected: format!("PW weight [c2, {c}, 1, 1]"),
+            got: pws.to_string(),
+        });
+    }
+    bn1.check(c, "BN1")?;
+    bn2.check(c2, "BN2")?;
+    let os_dw = dw_geo.out_shape(is, c);
+    let os = Shape::new(is.n, c2, os_dw.h, os_dw.w);
+    let mut out = Tensor::zeros(os);
+
+    let r = band_rows(c, c2, os_dw);
+    let nbands = os_dw.h.div_ceil(r).max(1);
+    let tasks = is.n * nbands;
+
+    let _span = telemetry::span("tensor.fused_fwd");
+    if telemetry::metrics_enabled() {
+        telemetry::counter("tensor.fused.fwd_calls").inc();
+        let dw_flops = 2 * os_dw.numel() * 9;
+        let pw_flops = 2 * os.numel() * c;
+        telemetry::counter("tensor.fused.fwd_flops").add((dw_flops + pw_flops) as u64);
+        telemetry::counter("fusion.bundles_executed").inc();
+        // The five per-bundle intermediates the unfused path writes to
+        // (and re-reads from) memory: DW out, BN1 out, Act1 out (c
+        // planes each), PW out, BN2 out (c2 planes each).
+        let saved = (3 * c + 2 * c2) * os_dw.plane() * is.n * std::mem::size_of::<f32>();
+        telemetry::counter("fusion.dram_bytes_saved").add(saved as u64);
+        telemetry::record_gauge("fusion.band_rows", r as f64);
+        simd::record_lanes(
+            "fused_fwd",
+            is.n * c * os_dw.h * simd::vector_cover(os_dw.w),
+        );
+    }
+
+    let be = simd::active();
+    let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+    let x = input.as_slice();
+    let dw_w = dw_weight.as_slice();
+    let pw_w = pw_weight.as_slice();
+    let in_plane = is.plane();
+    let out_plane = os.plane();
+
+    parallel::run_indexed(tasks, |t| {
+        let item = t / nbands;
+        let band = t % nbands;
+        let y0 = band * r;
+        let y1 = (y0 + r).min(os_dw.h);
+        let l = (y1 - y0) * os_dw.w;
+        // Fixed-capacity checkouts (`r`, not `y1-y0`) so every band hits
+        // the same arena size class.
+        let mut dw_tile = scratch::checkout("tensor.fused_fwd", c * r * os_dw.w);
+        let mut pw_tile = scratch::checkout("tensor.fused_fwd", c2 * r * os_dw.w);
+        for ch in 0..c {
+            let chan_in = &x[(item * c + ch) * in_plane..(item * c + ch + 1) * in_plane];
+            dw3_bnact_band(
+                be,
+                &mut dw_tile[ch * l..(ch + 1) * l],
+                chan_in,
+                &dw_w[ch * 9..(ch + 1) * 9],
+                0.0,
+                is,
+                os_dw,
+                s,
+                p,
+                (y0, y1),
+                bn1.channel(ch),
+            );
+        }
+        pw_bnact_tile(
+            pw_w,
+            &dw_tile[..c * l],
+            &mut pw_tile[..c2 * l],
+            c2,
+            c,
+            l,
+            bn2,
+        );
+        for oc in 0..c2 {
+            // SAFETY: `(item, band)` tasks partition the output rows, so
+            // this range is written by exactly one task; the range is in
+            // bounds by the shape arithmetic above.
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(
+                    out_ptr.get().add((item * c2 + oc) * out_plane + y0 * os.w),
+                    l,
+                )
+            };
+            dst.copy_from_slice(&pw_tile[oc * l..(oc + 1) * l]);
+        }
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dwconv::dwconv2d;
+    use crate::rng::SkyRng;
+    use crate::{conv::conv2d, ops};
+
+    fn rand_tensor(rng: &mut SkyRng, s: Shape) -> Tensor {
+        let mut t = Tensor::zeros(s);
+        for v in t.as_mut_slice() {
+            *v = rng.range(-1.0, 1.0);
+        }
+        t
+    }
+
+    /// The unfused oracle: the exact layer sequence a bundle runs.
+    fn unfused(
+        x: &Tensor,
+        dw_w: &Tensor,
+        geo: ConvGeometry,
+        bn1: &BnAct,
+        pw_w: &Tensor,
+        bn2: &BnAct,
+    ) -> Tensor {
+        let apply_bn_act = |t: &Tensor, bn: &BnAct| {
+            let s = t.shape();
+            let mut y = Tensor::zeros(s);
+            for n in 0..s.n {
+                for ch in 0..s.c {
+                    let o = (n * s.c + ch) * s.plane();
+                    crate::simd::bn_apply_eval(
+                        &t.as_slice()[o..o + s.plane()],
+                        &mut y.as_mut_slice()[o..o + s.plane()],
+                        bn.mean[ch],
+                        bn.inv_std[ch],
+                        bn.gamma[ch],
+                        bn.beta[ch],
+                    );
+                }
+            }
+            if bn.ceiling.is_finite() {
+                ops::relu6(&y)
+            } else {
+                ops::relu(&y)
+            }
+        };
+        let t = dwconv2d(x, dw_w, None, geo).unwrap();
+        let t = apply_bn_act(&t, bn1);
+        let t = conv2d(&t, pw_w, None, ConvGeometry::pointwise()).unwrap();
+        apply_bn_act(&t, bn2)
+    }
+
+    fn rand_bnact(rng: &mut SkyRng, c: usize, ceiling: Option<f32>) -> BnAct {
+        let mean: Vec<f32> = (0..c).map(|_| rng.range(-0.5, 0.5)).collect();
+        let var: Vec<f32> = (0..c).map(|_| rng.range(0.1, 1.1)).collect();
+        let gamma: Vec<f32> = (0..c).map(|_| rng.range(0.5, 1.5)).collect();
+        let beta: Vec<f32> = (0..c).map(|_| rng.range(-0.5, 0.5)).collect();
+        BnAct::new(mean, &var, 1e-5, gamma, beta, ceiling)
+    }
+
+    #[test]
+    fn fused_bundle_matches_unfused_bitwise() {
+        let mut rng = SkyRng::new(7);
+        for &(n, c, c2, h, w, ceil) in &[
+            (1usize, 3usize, 8usize, 11usize, 13usize, Some(6.0)),
+            (2, 4, 6, 8, 8, None),
+            (1, 8, 16, 20, 40, Some(6.0)),
+            (3, 2, 3, 3, 3, Some(6.0)),
+            (1, 1, 1, 1, 1, None),
+        ] {
+            let x = rand_tensor(&mut rng, Shape::new(n, c, h, w));
+            let dw_w = rand_tensor(&mut rng, Shape::new(c, 1, 3, 3));
+            let pw_w = rand_tensor(&mut rng, Shape::new(c2, c, 1, 1));
+            let bn1 = rand_bnact(&mut rng, c, ceil);
+            let bn2 = rand_bnact(&mut rng, c2, ceil);
+            let geo = ConvGeometry::same3x3();
+            let fused = fused_bundle_forward(&x, &dw_w, geo, &bn1, &pw_w, &bn2).unwrap();
+            let oracle = unfused(&x, &dw_w, geo, &bn1, &pw_w, &bn2);
+            assert_eq!(fused.shape(), oracle.shape());
+            let fb: Vec<u32> = fused.as_slice().iter().map(|v| v.to_bits()).collect();
+            let ob: Vec<u32> = oracle.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fb, ob, "fused != unfused for n={n} c={c} c2={c2} {h}x{w}");
+        }
+    }
+
+    #[test]
+    fn fused_bundle_stride2_matches_unfused_bitwise() {
+        let mut rng = SkyRng::new(9);
+        let (n, c, c2, h, w) = (2usize, 5usize, 7usize, 14usize, 18usize);
+        let x = rand_tensor(&mut rng, Shape::new(n, c, h, w));
+        let dw_w = rand_tensor(&mut rng, Shape::new(c, 1, 3, 3));
+        let pw_w = rand_tensor(&mut rng, Shape::new(c2, c, 1, 1));
+        let bn1 = rand_bnact(&mut rng, c, Some(6.0));
+        let bn2 = rand_bnact(&mut rng, c2, Some(6.0));
+        let geo = ConvGeometry {
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let fused = fused_bundle_forward(&x, &dw_w, geo, &bn1, &pw_w, &bn2).unwrap();
+        let oracle = unfused(&x, &dw_w, geo, &bn1, &pw_w, &bn2);
+        assert_eq!(
+            fused
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            oracle
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let x = Tensor::zeros(Shape::new(1, 2, 4, 4));
+        let dw_w = Tensor::zeros(Shape::new(2, 1, 3, 3));
+        let pw_w = Tensor::zeros(Shape::new(3, 2, 1, 1));
+        let bn1 = BnAct::new(
+            vec![0.0; 2],
+            &[1.0; 2],
+            1e-5,
+            vec![1.0; 2],
+            vec![0.0; 2],
+            None,
+        );
+        let bn2 = BnAct::new(
+            vec![0.0; 3],
+            &[1.0; 3],
+            1e-5,
+            vec![1.0; 3],
+            vec![0.0; 3],
+            None,
+        );
+        let geo = ConvGeometry {
+            kernel: 5,
+            stride: 1,
+            pad: 2,
+        };
+        assert!(fused_bundle_forward(&x, &dw_w, geo, &bn1, &pw_w, &bn2).is_err());
+    }
+}

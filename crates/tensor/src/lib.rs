@@ -20,6 +20,12 @@
 //! memory behaviour predictable, which is the property the paper's
 //! hardware-aware flow cares about.
 //!
+//! The [`fused`] module executes a whole SkyNet bundle
+//! (`DW-Conv3 → BN → Act → PW → BN → Act`) over cache-resident row
+//! tiles, bit-identical to the layer-by-layer path; [`fusion`] is the
+//! `SKYNET_FUSION` runtime toggle that selects between them (the
+//! unfused path stays on as the equivalence oracle).
+//!
 //! The [`qint`] module adds the executable INT8 twin of the hot
 //! kernels: `i8`×`i8`→`i32` matmul / point-wise / 3×3 depth-wise
 //! convolutions on 32-lane integer SIMD (same `SKYNET_SIMD` dispatch,
@@ -63,6 +69,8 @@ pub mod alloc;
 pub mod conv;
 pub mod crc32;
 pub mod dwconv;
+pub mod fused;
+pub mod fusion;
 pub mod matmul;
 pub mod ops;
 pub mod parallel;

@@ -852,6 +852,48 @@ elementwise! {
 }
 
 #[inline(always)]
+fn bn_act_g<V: F32x8>(xs: &mut [f32], m: f32, inv_std: f32, g: f32, b: f32, hi: f32) {
+    let (mv, sv, gv, bv) = (V::splat(m), V::splat(inv_std), V::splat(g), V::splat(b));
+    let zero = V::splat(0.0);
+    let hv = V::splat(hi);
+    let n8 = vector_cover(xs.len());
+    for j in (0..n8).step_by(LANES) {
+        gv.mul(V::load(&xs[j..]).sub(mv))
+            .mul(sv)
+            .add(bv)
+            .max(zero)
+            .min(hv)
+            .store(&mut xs[j..]);
+    }
+    for v in &mut xs[n8..] {
+        let y = g * (*v - m) * inv_std + b;
+        let t = if y > 0.0 { y } else { 0.0 };
+        *v = if t < hi { t } else { hi };
+    }
+}
+
+elementwise! {
+    /// Fused batch-norm-eval + clamped-activation store epilogue, in
+    /// place over one channel row/plane:
+    /// `y = min(max(g·(x − m)·inv_std + b, 0), hi)`.
+    ///
+    /// The affine part replays [`bn_apply_eval`]'s exact f32 operation
+    /// sequence; the clamp replays [`relu6_inplace`]'s `maxps`/`minps`
+    /// semantics (NaN and `-0.0` become `+0.0`). Pass
+    /// `hi = f32::INFINITY` for plain ReLU — `min(x, +∞)` returns any
+    /// non-NaN `x` bitwise unchanged (and the preceding `max(x, 0)`
+    /// already mapped NaN to `+0.0`), so the extra op is value-neutral
+    /// and [`relu_inplace`]-compatible. Every element's value depends
+    /// only on its own input, never on its position relative to the
+    /// vector/tail boundary, so applying this kernel to row tiles vs
+    /// whole planes is bit-identical — the property the fused bundle
+    /// executor ([`crate::fused`]) relies on.
+    bn_act_inplace / bn_act_avx2 = bn_act_g(
+        xs: &mut [f32], m: f32, inv_std: f32, g: f32, b: f32, hi: f32
+    )
+}
+
+#[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn sgd_g<V: F32x8>(
     val: &mut [f32],

@@ -1,0 +1,206 @@
+//! Fused-bundle equivalence: `fused::fused_bundle_forward` must be
+//! **bit-identical** to the unfused layer-by-layer composition
+//! (`dwconv2d → bn_apply_eval → relu/relu6 → conv2d → bn_apply_eval →
+//! relu/relu6`) over random shapes/strides, the pinned SkyNet bundle
+//! geometries, and every available `SKYNET_SIMD` backend — pooled and
+//! forced-serial. CI additionally runs this suite under
+//! `SKYNET_THREADS=1` and the default pool, and with `SKYNET_FUSION`
+//! on/off (the toggle must not affect these kernel-level calls at all).
+//!
+//! Backend forcing is process-global, so tests serialize on a mutex
+//! (same discipline as `simd_equivalence`).
+
+use proptest::prelude::*;
+use skynet_tensor::conv::{conv2d, ConvGeometry};
+use skynet_tensor::dwconv::dwconv2d;
+use skynet_tensor::fused::{fused_bundle_forward, BnAct};
+use skynet_tensor::rng::SkyRng;
+use skynet_tensor::simd::{self, Backend};
+use skynet_tensor::{ops, parallel, Shape, Tensor};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn with_backend<T>(be: Backend, f: impl FnOnce() -> T) -> T {
+    let prev = simd::active();
+    simd::force(be);
+    let out = f();
+    simd::force(prev);
+    out
+}
+
+fn random_tensor(shape: Shape, rng: &mut SkyRng) -> Tensor {
+    let data = (0..shape.numel()).map(|_| rng.range(-2.0, 2.0)).collect();
+    Tensor::from_vec(shape, data).expect("length matches")
+}
+
+fn random_bnact(rng: &mut SkyRng, c: usize, ceiling: Option<f32>) -> BnAct {
+    BnAct::new(
+        (0..c).map(|_| rng.range(-0.5, 0.5)).collect(),
+        &(0..c).map(|_| rng.range(0.05, 1.5)).collect::<Vec<_>>(),
+        1e-5,
+        (0..c).map(|_| rng.range(0.5, 1.5)).collect(),
+        (0..c).map(|_| rng.range(-0.5, 0.5)).collect(),
+        ceiling,
+    )
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The unfused oracle: the exact eval-mode layer sequence of a bundle.
+fn unfused_bundle(
+    x: &Tensor,
+    dw_w: &Tensor,
+    geo: ConvGeometry,
+    bn1: &BnAct,
+    pw_w: &Tensor,
+    bn2: &BnAct,
+) -> Tensor {
+    let bn_act = |t: &Tensor, bn: &BnAct| {
+        let s = t.shape();
+        let mut y = Tensor::zeros(s);
+        for n in 0..s.n {
+            for ch in 0..s.c {
+                let o = (n * s.c + ch) * s.plane();
+                simd::bn_apply_eval(
+                    &t.as_slice()[o..o + s.plane()],
+                    &mut y.as_mut_slice()[o..o + s.plane()],
+                    bn.mean[ch],
+                    bn.inv_std[ch],
+                    bn.gamma[ch],
+                    bn.beta[ch],
+                );
+            }
+        }
+        if bn.ceiling.is_finite() {
+            ops::relu6(&y)
+        } else {
+            ops::relu(&y)
+        }
+    };
+    let t = dwconv2d(x, dw_w, None, geo).unwrap();
+    let t = bn_act(&t, bn1);
+    let t = conv2d(&t, pw_w, None, ConvGeometry::pointwise()).unwrap();
+    bn_act(&t, bn2)
+}
+
+/// Asserts fused == unfused bitwise on every available backend, pooled
+/// and serial, with the scalar unfused run as the cross-backend anchor.
+#[allow(clippy::too_many_arguments)]
+fn bundle_case(
+    seed: u64,
+    n: usize,
+    c: usize,
+    c2: usize,
+    h: usize,
+    w: usize,
+    s: usize,
+    relu6: bool,
+) {
+    let geo = ConvGeometry::new(3, s, 1);
+    if geo.out_extent(h) == 0 || geo.out_extent(w) == 0 {
+        return;
+    }
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = SkyRng::new(seed);
+    let x = random_tensor(Shape::new(n, c, h, w), &mut rng);
+    let dw_w = random_tensor(Shape::new(c, 1, 3, 3), &mut rng);
+    let pw_w = random_tensor(Shape::new(c2, c, 1, 1), &mut rng);
+    let ceiling = if relu6 { Some(6.0) } else { None };
+    let bn1 = random_bnact(&mut rng, c, ceiling);
+    let bn2 = random_bnact(&mut rng, c2, ceiling);
+
+    let anchor = with_backend(Backend::Scalar, || {
+        unfused_bundle(&x, &dw_w, geo, &bn1, &pw_w, &bn2)
+            .as_slice()
+            .to_vec()
+    });
+    for be in simd::available_backends() {
+        let label = be.name();
+        let unf = with_backend(be, || {
+            unfused_bundle(&x, &dw_w, geo, &bn1, &pw_w, &bn2)
+                .as_slice()
+                .to_vec()
+        });
+        assert_eq!(bits(&anchor), bits(&unf), "{label}: unfused vs scalar");
+        let fus = with_backend(be, || {
+            fused_bundle_forward(&x, &dw_w, geo, &bn1, &pw_w, &bn2)
+                .unwrap()
+                .as_slice()
+                .to_vec()
+        });
+        assert_eq!(
+            bits(&anchor),
+            bits(&fus),
+            "{label}: fused vs unfused (pooled)"
+        );
+        let fus_ser = with_backend(be, || {
+            parallel::serial(|| {
+                fused_bundle_forward(&x, &dw_w, geo, &bn1, &pw_w, &bn2)
+                    .unwrap()
+                    .as_slice()
+                    .to_vec()
+            })
+        });
+        assert_eq!(
+            bits(&anchor),
+            bits(&fus_ser),
+            "{label}: fused vs unfused (serial)"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random bundle geometries: the fused executor agrees with the
+    /// layerwise oracle bitwise on every backend.
+    #[test]
+    fn fused_bundle_matches_unfused_random(
+        seed in 0u64..1_000_000,
+        n in 1usize..3,
+        c in 1usize..7,
+        c2 in 1usize..9,
+        h in 1usize..20,
+        w in 1usize..24,
+        stride in 1usize..3,
+        relu6 in 0usize..2,
+    ) {
+        bundle_case(seed, n, c, c2, h, w, stride, relu6 == 1);
+    }
+}
+
+/// The pinned SkyNet model-C bundle geometries at width divisor 8
+/// (the shapes `kernel_bench` times), plus the full-width first bundle.
+#[test]
+fn fused_bundle_matches_unfused_skynet_geometries() {
+    for &(seed, n, c, c2, h, w) in &[
+        (1u64, 1usize, 3usize, 6usize, 40usize, 80usize), // bundle1 (÷8)
+        (2, 1, 6, 12, 20, 40),                            // bundle2
+        (3, 1, 12, 24, 10, 20),                           // bundle3
+        (4, 1, 24, 48, 5, 10),                            // bundle4
+        (5, 1, 48, 64, 5, 10),                            // bundle5
+        (6, 1, 160, 12, 5, 10),                           // bundle6 (48+96·?/8 concat)
+        (7, 2, 12, 24, 10, 20),                           // batched
+    ] {
+        bundle_case(seed, n, c, c2, h, w, 1, true);
+    }
+}
+
+/// Degenerate spatial extents: rows shorter than one vector block,
+/// border-only planes, single pixels.
+#[test]
+fn fused_bundle_matches_unfused_degenerate() {
+    for &(seed, h, w) in &[
+        (11u64, 1usize, 1usize),
+        (12, 1, 9),
+        (13, 9, 1),
+        (14, 2, 2),
+        (15, 3, 40),
+    ] {
+        bundle_case(seed, 1, 3, 4, h, w, 1, true);
+        bundle_case(seed, 1, 3, 4, h, w, 2, false);
+    }
+}

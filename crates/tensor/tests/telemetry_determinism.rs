@@ -158,3 +158,57 @@ fn disabled_telemetry_records_nothing() {
     assert!(snap.histograms.iter().all(|h| h.count == 0));
     assert!(telemetry::drain_spans().is_empty());
 }
+
+/// Pins [`telemetry::aggregate`]'s self-time attribution on the span
+/// shape the fused executor produces: `fused.bundleN` wrapping
+/// `tensor.fused_fwd` wrapping `tensor.matmul`. Each nanosecond must be
+/// charged to exactly one op (the innermost enclosing span) — a fused
+/// parent must **not** also be billed for its children, and self times
+/// must partition the traced wall time exactly.
+#[test]
+fn aggregate_does_not_double_count_fused_nesting() {
+    let rec = |name: &'static str, thread: u32, seq: u64, start_ns: u64, dur_ns: u64| {
+        telemetry::SpanRecord {
+            name,
+            thread,
+            seq,
+            start_ns,
+            dur_ns,
+        }
+    };
+    // Thread 0: two sequential fused bundles, each with the executor
+    // span and a nested matmul; thread 1 replays bundle 1 concurrently
+    // (same names, same wall window) to pin per-thread reconstruction.
+    let spans = vec![
+        rec("tensor.matmul", 0, 1, 20, 30),
+        rec("tensor.fused_fwd", 0, 2, 10, 80),
+        rec("fused.bundle1", 0, 3, 0, 100),
+        rec("tensor.matmul", 0, 4, 130, 10),
+        rec("tensor.fused_fwd", 0, 5, 120, 40),
+        rec("fused.bundle2", 0, 6, 100, 70),
+        rec("tensor.matmul", 1, 1, 20, 30),
+        rec("tensor.fused_fwd", 1, 2, 10, 80),
+        rec("fused.bundle1", 1, 3, 0, 100),
+    ];
+    let stats = telemetry::aggregate(&spans);
+    let self_ns = |name: &str| {
+        stats
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing op {name}"))
+            .self_ns
+    };
+    // Parents are charged only for time outside their children.
+    assert_eq!(self_ns("fused.bundle1"), 2 * (100 - 80));
+    assert_eq!(self_ns("fused.bundle2"), 70 - 40);
+    assert_eq!(self_ns("tensor.fused_fwd"), 2 * (80 - 30) + (40 - 10));
+    assert_eq!(self_ns("tensor.matmul"), 2 * 30 + 10);
+    // Self times partition the traced intervals: thread 0 covers
+    // [0, 170), thread 1 covers [0, 100) — nothing counted twice.
+    let total_self: u64 = stats.iter().map(|s| s.self_ns).sum();
+    assert_eq!(total_self, 170 + 100);
+    // Inclusive totals still report the full per-op durations.
+    let bundle1 = stats.iter().find(|s| s.name == "fused.bundle1").unwrap();
+    assert_eq!(bundle1.calls, 2);
+    assert_eq!(bundle1.total_ns, 200);
+}
