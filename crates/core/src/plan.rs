@@ -501,6 +501,116 @@ impl ExecPlan {
     }
 }
 
+/// One step of the quantized (INT8) execution plan.
+///
+/// The integer engine has a much coarser op vocabulary than the float
+/// graph: its stages are *already* BN-folded and activation-fused at
+/// [`crate::quant::QuantizedSkyNet::build`] time, so the only fusion
+/// decision left is whether a bundle's DW→PW pair runs as two full-map
+/// kernels or as one cache-resident fused tile
+/// ([`skynet_tensor::fused::qfused_bundle_forward`]). That decision is
+/// the `fused` flag on [`QOp::Bundle`], set by
+/// [`QExecPlan::lower_fused`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QOp {
+    /// Quantize the f32 input into the `i8` activation domain.
+    Quantize,
+    /// One DW→PW stage pair of the integer engine.
+    Bundle {
+        /// Bundle position (0-based; 5 = Bundle 6).
+        bundle: usize,
+        /// Lowered to the fused INT8 row-tile kernel. The engine still
+        /// checks the runtime [`skynet_tensor::fusion`] toggle at each
+        /// forward and counts `quant.fused.fallback` when a
+        /// fused-lowered bundle has to run unfused.
+        fused: bool,
+    },
+    /// 2×2 max-pool after bundles 1–3.
+    Pool {
+        /// Pool position (0–2).
+        idx: usize,
+    },
+    /// Fork point: reorg the current map and stash it as the bypass
+    /// operand for [`QOp::Concat`] (variants B/C only).
+    ReorgFork,
+    /// Join point: concatenate the stashed bypass onto the current map.
+    Concat,
+    /// The dequantizing 1×1 head (`i8×i8→i32` accumulate, f32 exit).
+    Head,
+}
+
+/// The compiled step list of the INT8 engine: the same topology
+/// [`Graph::from_skynet`] encodes for the float path, at bundle
+/// granularity. Built once in `QuantizedSkyNet::build` and walked on
+/// every integer forward — the fuse/don't-fuse decision is made at
+/// plan time, not per call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QExecPlan {
+    ops: Vec<QOp>,
+}
+
+impl QExecPlan {
+    /// Builds the unlowered (all-unfused) plan for a variant, mirroring
+    /// the integer engine's op order exactly: quantize, bundles 1–3
+    /// each followed by a pool (with the reorg fork after Bundle 3's
+    /// body, before pool 3), bundles 4–5, the concat + Bundle 6 join
+    /// for B/C, then the head.
+    pub fn for_variant(variant: Variant) -> QExecPlan {
+        let has_b6 = variant != Variant::A;
+        let mut ops = vec![QOp::Quantize];
+        for i in 0..3 {
+            ops.push(QOp::Bundle {
+                bundle: i,
+                fused: false,
+            });
+            if i == 2 && has_b6 {
+                ops.push(QOp::ReorgFork);
+            }
+            ops.push(QOp::Pool { idx: i });
+        }
+        for b in 3..5 {
+            ops.push(QOp::Bundle {
+                bundle: b,
+                fused: false,
+            });
+        }
+        if has_b6 {
+            ops.push(QOp::Concat);
+            ops.push(QOp::Bundle {
+                bundle: 5,
+                fused: false,
+            });
+        }
+        ops.push(QOp::Head);
+        QExecPlan { ops }
+    }
+
+    /// The lowering pass: marks every bundle the predicate accepts as
+    /// fused. The engine passes "does the PW stage requantize back to
+    /// `i8`?" — a head-style stage with no output scale exits to f32
+    /// and can never feed the fused epilogue.
+    pub fn lower_fused(&mut self, fusable: impl Fn(usize) -> bool) {
+        for op in &mut self.ops {
+            if let QOp::Bundle { bundle, fused } = op {
+                *fused = fusable(*bundle);
+            }
+        }
+    }
+
+    /// The step list (read-only; tests assert the lowering against it).
+    pub fn ops(&self) -> &[QOp] {
+        &self.ops
+    }
+
+    /// Number of bundles lowered to the fused kernel.
+    pub fn fused_bundles(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, QOp::Bundle { fused: true, .. }))
+            .count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,5 +680,53 @@ mod tests {
                 .count();
             assert_eq!(fused, if v == Variant::A { 5 } else { 6 });
         }
+    }
+
+    #[test]
+    fn qplan_mirrors_engine_op_order() {
+        let p = QExecPlan::for_variant(Variant::C);
+        // quantize + 6 bundles + 3 pools + fork + join + head = 13.
+        assert_eq!(p.ops().len(), 13);
+        assert_eq!(p.ops()[0], QOp::Quantize);
+        assert_eq!(*p.ops().last().unwrap(), QOp::Head);
+        // The fork sits after Bundle 3, before pool 3 — same topology
+        // as the float graph.
+        let fork = p.ops().iter().position(|o| *o == QOp::ReorgFork).unwrap();
+        assert_eq!(
+            p.ops()[fork - 1],
+            QOp::Bundle {
+                bundle: 2,
+                fused: false
+            }
+        );
+        assert_eq!(p.ops()[fork + 1], QOp::Pool { idx: 2 });
+        let join = p.ops().iter().position(|o| *o == QOp::Concat).unwrap();
+        assert_eq!(
+            p.ops()[join + 1],
+            QOp::Bundle {
+                bundle: 5,
+                fused: false
+            }
+        );
+        // Variant A: 1 + 5 + 3 + 1 = 10 steps, no fork/join.
+        let pa = QExecPlan::for_variant(Variant::A);
+        assert_eq!(pa.ops().len(), 10);
+        assert!(!pa.ops().contains(&QOp::ReorgFork));
+        assert!(!pa.ops().contains(&QOp::Concat));
+    }
+
+    #[test]
+    fn qplan_lowering_marks_exactly_the_accepted_bundles() {
+        let mut p = QExecPlan::for_variant(Variant::C);
+        assert_eq!(p.fused_bundles(), 0);
+        p.lower_fused(|b| b != 3);
+        assert_eq!(p.fused_bundles(), 5);
+        for op in p.ops() {
+            if let QOp::Bundle { bundle, fused } = op {
+                assert_eq!(*fused, *bundle != 3, "bundle {bundle}");
+            }
+        }
+        p.lower_fused(|_| true);
+        assert_eq!(p.fused_bundles(), 6);
     }
 }

@@ -33,11 +33,12 @@
 //!
 //! See `QUANTIZATION.md` at the repo root for the end-to-end workflow.
 
+use crate::plan::{QExecPlan, QOp};
 use crate::skynet::{SkyNet, Variant};
-use skynet_nn::qint::{QDwConv3, QFeature, QPointwise};
+use skynet_nn::qint::{qfused_forward, QDwConv3, QFeature, QPointwise};
 use skynet_nn::{Activation, BatchNorm2d, Conv2d, DwConv2d, Layer, Mode, Sequential};
 use skynet_tensor::ops::concat_channels;
-use skynet_tensor::{telemetry, Tensor};
+use skynet_tensor::{fusion, telemetry, Tensor};
 
 /// How a requant point's activation histogram becomes a scale.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -383,6 +384,9 @@ pub struct QuantizedSkyNet {
     /// Bundles 1–5 (+ Bundle 6 last, for B/C).
     bundles: Vec<(QDwConv3, QPointwise)>,
     head: QPointwise,
+    /// The lowered step list (see [`QExecPlan`]): built once here,
+    /// walked on every forward.
+    plan: QExecPlan,
 }
 
 impl QuantizedSkyNet {
@@ -408,12 +412,23 @@ impl QuantizedSkyNet {
             bundles.push(quantize_bundle(b6, plan.stage_scales[5], 5)?);
         }
         let head = QPointwise::fold(net.head.weight(), net.head.bias_values(), None, None, None);
+        let mut steps = QExecPlan::for_variant(net.cfg.variant);
+        // A bundle fuses when its PW stage requantizes back to `i8`
+        // (always true for real bundles — the predicate guards against
+        // head-style stages ever landing in the bundle list).
+        steps.lower_fused(|b| bundles[b].1.out_scale().is_some());
         Ok(QuantizedSkyNet {
             variant: net.cfg.variant,
             input_scale: plan.input_scale,
             bundles,
             head,
+            plan: steps,
         })
+    }
+
+    /// The lowered execution plan (for tests and diagnostics).
+    pub fn plan(&self) -> &QExecPlan {
+        &self.plan
     }
 
     /// The variant this engine was folded from.
@@ -426,41 +441,105 @@ impl QuantizedSkyNet {
         self.input_scale
     }
 
-    /// Runs the integer forward pass: quantize input → `i8` stage graph
-    /// → dequantizing head. Output is the same `N×10×(H/8)×(W/8)` f32
-    /// prediction map the float network produces, ready for
-    /// [`crate::head::decode_best`].
+    /// Runs one bundle. A fused-lowered bundle first checks the runtime
+    /// [`fusion`] toggle; when it has to run unfused anyway (toggle off,
+    /// or a structural rejection from the fused kernel) the detour is
+    /// counted under `quant.fused.fallback` — the same observability
+    /// contract the float path keeps with `fusion.fallback`. Either way
+    /// the output bits are identical (wrapping-i32 accumulation is
+    /// grouping-independent; see [`skynet_tensor::qint`]).
+    fn run_bundle(&self, idx: usize, fused: bool, q: &QFeature) -> skynet_tensor::Result<QFeature> {
+        let (dw, pw) = &self.bundles[idx];
+        if fused {
+            if fusion::enabled() {
+                match qfused_forward(dw, pw, q) {
+                    Ok((out, sats)) => {
+                        record_bundle_saturation(idx, sats.dw, sats.pw);
+                        return Ok(out);
+                    }
+                    Err(_) => record_fused_fallback(),
+                }
+            } else {
+                record_fused_fallback();
+            }
+        }
+        let (mid, dw_sat) = dw.forward_counted(q)?;
+        let (out, pw_sat) = pw.forward_counted(&mid)?;
+        record_bundle_saturation(idx, dw_sat, pw_sat);
+        Ok(out)
+    }
+
+    /// Runs the integer forward pass by walking the lowered
+    /// [`QExecPlan`]: quantize input → `i8` stage graph → dequantizing
+    /// head. Output is the same `N×10×(H/8)×(W/8)` f32 prediction map
+    /// the float network produces, ready for
+    /// [`crate::head::decode_best`], and **bit-identical** whether
+    /// bundles run fused or unfused.
     ///
     /// # Errors
     ///
     /// Propagates shape errors from the stage graph.
     pub fn forward(&self, images: &Tensor) -> skynet_tensor::Result<Tensor> {
         let _whole = telemetry::span("skynet.int8.forward");
-        let (mut q, sat) = QFeature::quantize(images, self.input_scale);
-        if sat > 0 && telemetry::metrics_enabled() {
-            telemetry::counter("quant.input.saturated").add(sat);
-        }
-        let has_b6 = self.variant != Variant::A;
+        let mut cur: Option<QFeature> = None;
         let mut bypass = None;
-        for i in 0..3 {
-            q = self.bundles[i].0.forward(&q)?;
-            q = self.bundles[i].1.forward(&q)?;
-            if i == 2 && has_b6 {
-                bypass = Some(q.reorg(2)?);
-            }
-            q = q.maxpool(2)?;
+        for &op in self.plan.ops() {
+            let q = match op {
+                QOp::Quantize => {
+                    let (q, sat) = QFeature::quantize(images, self.input_scale);
+                    if sat > 0 && telemetry::metrics_enabled() {
+                        telemetry::counter("quant.input.saturated").add(sat);
+                    }
+                    q
+                }
+                QOp::Bundle { bundle, fused } => {
+                    let q = cur.take().expect("Quantize precedes bundles");
+                    self.run_bundle(bundle, fused, &q)?
+                }
+                QOp::Pool { .. } => cur.take().expect("Quantize precedes pools").maxpool(2)?,
+                QOp::ReorgFork => {
+                    let q = cur.take().expect("Quantize precedes the fork");
+                    bypass = Some(q.reorg(2)?);
+                    q
+                }
+                QOp::Concat => {
+                    let by = bypass.take().expect("ReorgFork precedes Concat");
+                    cur.take()
+                        .expect("Quantize precedes Concat")
+                        .concat_channels(&by)?
+                }
+                QOp::Head => {
+                    let q = cur.take().expect("Quantize precedes the head");
+                    return self.head.forward_dequant(&q);
+                }
+            };
+            cur = Some(q);
         }
-        q = self.bundles[3].0.forward(&q)?;
-        q = self.bundles[3].1.forward(&q)?;
-        q = self.bundles[4].0.forward(&q)?;
-        q = self.bundles[4].1.forward(&q)?;
-        if has_b6 {
-            let by = bypass.expect("variants B/C produce a bypass");
-            let cat = q.concat_channels(&by)?;
-            q = self.bundles[5].0.forward(&cat)?;
-            q = self.bundles[5].1.forward(&q)?;
-        }
-        self.head.forward_dequant(&q)
+        unreachable!("every QExecPlan ends with QOp::Head")
+    }
+}
+
+/// Counts one fused-lowered bundle that had to take the unfused path.
+fn record_fused_fallback() {
+    if telemetry::metrics_enabled() {
+        telemetry::counter("quant.fused.fallback").inc();
+    }
+}
+
+/// Publishes a bundle's requant saturation totals under
+/// `quant.bundle<N>.{dw,pw}.saturated` (1-based bundle numbering, the
+/// paper's). The totals are schedule-independent — per-band counts are
+/// summed with commutative `u64` adds — so the counters read the same
+/// on every backend, thread count, and fusion mode.
+fn record_bundle_saturation(idx: usize, dw: u64, pw: u64) {
+    if !telemetry::metrics_enabled() {
+        return;
+    }
+    if dw > 0 {
+        telemetry::counter(&format!("quant.bundle{}.dw.saturated", idx + 1)).add(dw);
+    }
+    if pw > 0 {
+        telemetry::counter(&format!("quant.bundle{}.pw.saturated", idx + 1)).add(pw);
     }
 }
 

@@ -15,7 +15,7 @@ use skynet_nn::{Act, Layer};
 use skynet_tensor::crc32::crc32;
 use skynet_tensor::rng::SkyRng;
 use skynet_tensor::simd::{self, Backend};
-use skynet_tensor::{parallel, Shape, Tensor};
+use skynet_tensor::{fusion, parallel, telemetry, Shape, Tensor};
 use std::sync::Mutex;
 
 static LOCK: Mutex<()> = Mutex::new(());
@@ -25,6 +25,14 @@ fn with_backend<T>(be: Backend, f: impl FnOnce() -> T) -> T {
     simd::force(be);
     let out = f();
     simd::force(prev);
+    out
+}
+
+fn with_fusion<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    let prev = fusion::enabled();
+    fusion::force(on);
+    let out = f();
+    fusion::force(prev);
     out
 }
 
@@ -85,6 +93,89 @@ fn int8_forward_is_crc_identical_across_backends_and_thread_modes() {
             );
         }
     }
+}
+
+/// The tentpole equivalence: the fused INT8 engine (DW tile → requant →
+/// PW → requant, all inside one scratch-resident band) is CRC-identical
+/// to the unfused stage-pair walk — per variant, per backend, pooled
+/// and forced-serial. Wrapping-i32 accumulation is grouping-independent
+/// and the requant epilogue is per-element, so this holds structurally;
+/// the test is the witness.
+#[test]
+fn fused_engine_is_crc_identical_to_unfused_across_backends() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for variant in [Variant::A, Variant::C] {
+        let (_, engine) = calibrated_engine(variant, 17);
+        let x = random_images(2, 16, 32, 27);
+        let run = || output_crc(&engine.forward(&x).unwrap());
+        let oracle = with_backend(Backend::Scalar, || with_fusion(false, run));
+        for be in simd::available_backends() {
+            for fused in [false, true] {
+                let pooled = with_backend(be, || with_fusion(fused, run));
+                let serial = with_backend(be, || with_fusion(fused, || parallel::serial(run)));
+                assert_eq!(
+                    oracle,
+                    pooled,
+                    "{variant}: {} fused={fused} pooled diverged",
+                    be.name()
+                );
+                assert_eq!(
+                    oracle,
+                    serial,
+                    "{variant}: {} fused={fused} serial diverged",
+                    be.name()
+                );
+            }
+        }
+    }
+}
+
+/// Guards the fused-engine suite against vacuity: with the toggle on,
+/// every bundle must actually execute through the fused kernel (no
+/// fallback); with it off, every fused-lowered bundle must count a
+/// fallback. The per-bundle `quant.bundle<N>.{dw,pw}.saturated`
+/// counters must read identically either way — saturation totals are
+/// commutative `u64` sums, so the fused band schedule cannot change
+/// them.
+#[test]
+fn fused_engine_counters_prove_the_fused_path_ran() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (_, engine) = calibrated_engine(Variant::C, 19);
+    assert_eq!(engine.plan().fused_bundles(), 6);
+    let x = random_images(1, 16, 32, 29);
+    let sat_counters = |snap: &telemetry::Snapshot| -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for b in 1..=6 {
+            for stage in ["dw", "pw"] {
+                let name = format!("quant.bundle{b}.{stage}.saturated");
+                out.push((name.clone(), snap.counter(&name).unwrap_or(0)));
+            }
+        }
+        out
+    };
+
+    telemetry::Builder::new().metrics(true).trace(false).apply();
+    telemetry::reset_metrics();
+    let _ = with_fusion(true, || engine.forward(&x).unwrap());
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.counter("quant.fused.bundles_executed"), Some(6));
+    assert_eq!(snap.counter("quant.fused.fallback").unwrap_or(0), 0);
+    let fused_sats = sat_counters(&snap);
+
+    telemetry::reset_metrics();
+    let _ = with_fusion(false, || engine.forward(&x).unwrap());
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.counter("quant.fused.bundles_executed").unwrap_or(0), 0);
+    assert_eq!(snap.counter("quant.fused.fallback"), Some(6));
+    assert_eq!(
+        fused_sats,
+        sat_counters(&snap),
+        "per-bundle saturation totals depend on the schedule"
+    );
+    telemetry::Builder::new()
+        .metrics(false)
+        .trace(false)
+        .apply();
 }
 
 #[test]

@@ -32,6 +32,7 @@
 //! plan. See `QUANTIZATION.md` at the repo root for the full contract.
 
 use crate::Act;
+use skynet_tensor::fused::{qfused_bundle_forward, QEpilogue, QFusedSats};
 use skynet_tensor::qint::{self, QMAX};
 use skynet_tensor::{telemetry, Result, Shape, Tensor, TensorError};
 
@@ -317,6 +318,17 @@ impl QDwConv3 {
     ///
     /// Returns [`TensorError::ShapeMismatch`] on a channel mismatch.
     pub fn forward(&self, x: &QFeature) -> Result<QFeature> {
+        Ok(self.forward_counted(x)?.0)
+    }
+
+    /// [`QDwConv3::forward`] that also returns the stage's saturation
+    /// count, so callers (the quantized engine) can publish per-bundle
+    /// counters on top of the aggregate `quant.dwconv3.saturated`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QDwConv3::forward`].
+    pub fn forward_counted(&self, x: &QFeature) -> Result<(QFeature, u64)> {
         let s = x.shape;
         if s.c != self.channels {
             return Err(TensorError::ShapeMismatch {
@@ -344,11 +356,14 @@ impl QDwConv3 {
             );
         }
         record_saturation("dwconv3", saturated);
-        Ok(QFeature {
-            data,
-            shape: s,
-            scale: QScale::PerTensor(self.out_scale),
-        })
+        Ok((
+            QFeature {
+                data,
+                shape: s,
+                scale: QScale::PerTensor(self.out_scale),
+            },
+            saturated,
+        ))
     }
 }
 
@@ -466,6 +481,16 @@ impl QPointwise {
     /// [`TensorError::InvalidDimension`] on a per-channel input scale
     /// or a head-configured stage (no `out_scale`).
     pub fn forward(&self, x: &QFeature) -> Result<QFeature> {
+        Ok(self.forward_counted(x)?.0)
+    }
+
+    /// [`QPointwise::forward`] that also returns the stage's saturation
+    /// count (see [`QDwConv3::forward_counted`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QPointwise::forward`].
+    pub fn forward_counted(&self, x: &QFeature) -> Result<(QFeature, u64)> {
         let Some(out_scale) = self.out_scale else {
             return Err(TensorError::InvalidDimension {
                 op: "QPointwise",
@@ -489,11 +514,14 @@ impl QPointwise {
             );
         }
         record_saturation("pointwise", saturated);
-        Ok(QFeature {
-            data,
-            shape: os,
-            scale: QScale::PerTensor(out_scale),
-        })
+        Ok((
+            QFeature {
+                data,
+                shape: os,
+                scale: QScale::PerTensor(out_scale),
+            },
+            saturated,
+        ))
     }
 
     /// Runs the stage with the dequantizing epilogue: the network-exit
@@ -519,6 +547,85 @@ impl QPointwise {
         }
         Tensor::from_vec(os, out)
     }
+}
+
+/// Runs a `QDwConv3 → QPointwise` stage pair through the cache-resident
+/// fused executor
+/// ([`qfused_bundle_forward`]):
+/// the DW `i32` tile, its requantized activations, and the PW `i32`
+/// tile stay in the scratch arena, and the requant epilogues run inside
+/// the band store loops. Bit-identical to
+/// `pw.forward(&dw.forward(x)?)` — the equivalence suites assert it —
+/// and it publishes the same `quant.{dwconv3,pointwise}.saturated`
+/// counters. Returns the output feature plus the per-stage saturation
+/// counts (for the engine's per-bundle counters).
+///
+/// Accepts a per-channel input scale exactly like the unfused DW stage
+/// (the per-channel multiplier is folded into the DW epilogue; the PW
+/// stage consumes the DW output's per-tensor scale).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on channel mismatches between
+/// `x`, `dw`, and `pw`, and [`TensorError::InvalidDimension`] when `pw`
+/// is head-configured (no `out_scale` — the head never fuses).
+pub fn qfused_forward(
+    dw: &QDwConv3,
+    pw: &QPointwise,
+    x: &QFeature,
+) -> Result<(QFeature, QFusedSats)> {
+    let s = x.shape;
+    if s.c != dw.channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "qfused_forward",
+            expected: format!("{} channels", dw.channels),
+            got: s.to_string(),
+        });
+    }
+    if pw.in_c != dw.channels {
+        return Err(TensorError::ShapeMismatch {
+            op: "qfused_forward",
+            expected: format!("PW over {} channels", dw.channels),
+            got: format!("{} channels", pw.in_c),
+        });
+    }
+    let Some(pw_out_scale) = pw.out_scale else {
+        return Err(TensorError::InvalidDimension {
+            op: "qfused_forward",
+            detail: "head stage has no out_scale and never fuses".into(),
+        });
+    };
+    let dw_mult: Vec<f32> = (0..dw.channels)
+        .map(|c| x.scale.channel(c) * dw.w_scale[c])
+        .collect();
+    // The PW input scale is the DW stage's per-tensor out_scale.
+    let pw_mult: Vec<f32> = pw.w_scale.iter().map(|&ws| dw.out_scale * ws).collect();
+    let dw_ep = QEpilogue {
+        mult: &dw_mult,
+        bias: &dw.bias,
+        clamp: act_clamp(dw.act),
+        out_scale: dw.out_scale,
+    };
+    let pw_ep = QEpilogue {
+        mult: &pw_mult,
+        bias: &pw.bias,
+        clamp: act_clamp(pw.act),
+        out_scale: pw_out_scale,
+    };
+    let mut data = vec![0i8; s.n * pw.out_c * s.plane()];
+    let sats = qfused_bundle_forward(
+        &x.data, s, &dw.weight, &dw_ep, &pw.weight, pw.out_c, &pw_ep, &mut data,
+    )?;
+    record_saturation("dwconv3", sats.dw);
+    record_saturation("pointwise", sats.pw);
+    Ok((
+        QFeature {
+            data,
+            shape: Shape::new(s.n, pw.out_c, s.h, s.w),
+            scale: QScale::PerTensor(pw_out_scale),
+        },
+        sats,
+    ))
 }
 
 #[cfg(test)]
@@ -648,6 +755,47 @@ mod tests {
         let weight = Tensor::ones(Shape::new(3, 1, 3, 3));
         let stage = QDwConv3::fold(&weight, &[1.0; 3], &[0.0; 3], None, 0.25);
         assert!(stage.forward(&cat).is_ok());
+    }
+
+    #[test]
+    fn qfused_forward_matches_stage_pair_bitwise() {
+        let (c, c2, h, w) = (4usize, 6usize, 10usize, 14usize);
+        let dw_weight = random_tensor(Shape::new(c, 1, 3, 3), 11, 0.4);
+        let pw_weight = random_tensor(Shape::new(c2, c, 1, 1), 12, 0.3);
+        let bn_scale = vec![1.1, 0.9, 1.0, 1.05];
+        let bn_shift = vec![0.05, -0.1, 0.0, 0.02];
+        let pw_bn_scale = vec![1.0; c2];
+        let pw_bn_shift = vec![0.01; c2];
+        let dw = QDwConv3::fold(&dw_weight, &bn_scale, &bn_shift, Some(Act::Relu6), 0.04);
+        let pw = QPointwise::fold(
+            &pw_weight,
+            None,
+            Some((&pw_bn_scale, &pw_bn_shift)),
+            Some(Act::Relu6),
+            Some(0.05),
+        );
+        let x = random_tensor(Shape::new(2, c, h, w), 13, 0.8);
+        let (qx, _) = QFeature::quantize(&x, 0.01);
+
+        let want = pw.forward(&dw.forward(&qx).unwrap()).unwrap();
+        let (got, _sats) = qfused_forward(&dw, &pw, &qx).unwrap();
+        assert_eq!(got.data, want.data, "fused must be bit-identical");
+        assert_eq!(got.shape, want.shape);
+        assert_eq!(got.scale, want.scale);
+
+        // A per-channel input scale (the concat case) fuses too.
+        let qcat = QFeature {
+            data: qx.data.clone(),
+            shape: qx.shape,
+            scale: QScale::PerChannel(vec![0.01, 0.02, 0.015, 0.01]),
+        };
+        let want = pw.forward(&dw.forward(&qcat).unwrap()).unwrap();
+        let (got, _) = qfused_forward(&dw, &pw, &qcat).unwrap();
+        assert_eq!(got.data, want.data, "per-channel input must fuse exactly");
+
+        // The head (no out_scale) never fuses.
+        let head = QPointwise::fold(&pw_weight, None, None, None, None);
+        assert!(qfused_forward(&dw, &head, &qx).is_err());
     }
 
     #[test]

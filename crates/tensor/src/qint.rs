@@ -13,6 +13,31 @@
 //!   `mullo_epi16` products, `add_epi32` accumulate);
 //! * [`Avx2Q`] — `__m256i` lanes (`cvtepi8_epi16` / `cvtepi16_epi32`).
 //!
+//! A fourth tier, [`Backend::Avx2Pair`], does not go through the
+//! [`QI8x32`] axpy at all: it restructures the reduction so adjacent
+//! `i8×i8` products are summed **in pairs** by `vpmaddwd`
+//! (`_mm256_madd_epi16`) — one instruction per pair instead of the
+//! widen-multiply-widen-add chain — roughly doubling integer multiply
+//! throughput. See *Why pairing keeps bit-identity* below.
+//!
+//! ## Why pairing keeps bit-identity
+//!
+//! `vpmaddwd` multiplies eight pairs of `i16`s and adds each pair into
+//! an `i32`. Our operands are sign-extended `i8`s, so |x| ≤ 128, every
+//! product is ≤ 16384, and a pair sum is ≤ 32768 — produced directly
+//! in `i32`, these sums are **exact** for all `i8` inputs including
+//! `i8::MIN` (the instruction's only saturating case is
+//! `(−32768)² + (−32768)²`, unreachable from 8-bit operands). In the
+//! quantized activation domain the bound is tighter still:
+//! [`quantize_i8`] never emits −128, so products are ≤ 16129 and pair
+//! sums ≤ 32258 — exact even as `i16`s. Either way the pair sums are
+//! exact integers, and two's-complement wrapping `i32` addition is
+//! associative and commutative, so regrouping the same multiset of
+//! products into pairs cannot change a single accumulator bit — the
+//! pairing tier is bit-identical to [`ScalarQ`] by construction, and
+//! the `qint_equivalence` suite (which plants `±127` and `i8::MIN`
+//! extremes) asserts it bitwise.
+//!
 //! ## Why the integer contract is *stronger* than the f32 one
 //!
 //! The f32 kernels are bit-identical across backends because every
@@ -263,15 +288,130 @@ unsafe fn matmul_i8_rows_avx2(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: us
     matmul_i8_rows_g::<Avx2Q>(a, b, c, m, k, n)
 }
 
-fn matmul_i8_rows(be: Backend, a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+/// Packs two `i8` weights into the `[w0, w1]` `i16` pair `vpmaddwd`
+/// expects, replicated across a register by `_mm256_set1_epi32`.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn pair_weights(w0: i8, w1: i8) -> i32 {
+    (((w1 as i16 as u16 as u32) << 16) | (w0 as i16 as u16 as u32)) as i32
+}
+
+/// The pairing-tier matmul body: 16-column register blocks whose
+/// accumulators stay in `vpmaddwd`'s interleaved pair layout across the
+/// whole `k` loop (no accumulator memory traffic per `k`), reducing two
+/// `i8×i8` products per instruction.
+///
+/// Layout: `_mm256_unpacklo_epi16(x0, x1)` interleaves in-lane, so the
+/// `madd` of the lo/hi unpacks yields columns `[0..4, 8..12]` and
+/// `[4..8, 12..16]`. The same two `_mm256_permute2x128_si256` shuffles
+/// (selectors `0x20`/`0x31`) convert between that layout and the
+/// natural `[0..8]`/`[8..16]` order in both directions, so existing
+/// accumulator values are permuted in once and the finished block is
+/// permuted back out once.
+///
+/// Exactness: pair sums from sign-extended `i8`s are exact in `i32`
+/// (see the module docs), and wrapping addition is associative, so
+/// this produces the same bits as [`matmul_i8_rows_g`] for every
+/// input, wrap-arounds included. A pair whose two weights are both
+/// zero is skipped — exact, since it contributes nothing; an odd final
+/// weight is processed as the pair `[w, 0]`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_i8_rows_avx2pair(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    use std::arch::x86_64::*;
+    let nb = n / 16 * 16;
+    for i in 0..m {
+        let arow = &a[i * k..i * k + k];
+        let crow = &mut c[i * n..i * n + n];
+        for j in (0..nb).step_by(16) {
+            // SAFETY: j + 16 <= nb <= n bounds every 16-wide access in
+            // this block; p + 1 < k bounds the paired rows of `b`.
+            unsafe {
+                let cp = crow.as_mut_ptr().add(j);
+                let acc0 = _mm256_loadu_si256(cp as *const __m256i);
+                let acc1 = _mm256_loadu_si256((cp as *const __m256i).add(1));
+                let mut m0 = _mm256_permute2x128_si256::<0x20>(acc0, acc1);
+                let mut m1 = _mm256_permute2x128_si256::<0x31>(acc0, acc1);
+                let mut p = 0usize;
+                while p + 1 < k {
+                    let (w0, w1) = (arow[p], arow[p + 1]);
+                    if w0 != 0 || w1 != 0 {
+                        let wp = _mm256_set1_epi32(pair_weights(w0, w1));
+                        let x0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                            b.as_ptr().add(p * n + j) as *const __m128i
+                        ));
+                        let x1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                            b.as_ptr().add((p + 1) * n + j) as *const __m128i,
+                        ));
+                        m0 = _mm256_add_epi32(
+                            m0,
+                            _mm256_madd_epi16(_mm256_unpacklo_epi16(x0, x1), wp),
+                        );
+                        m1 = _mm256_add_epi32(
+                            m1,
+                            _mm256_madd_epi16(_mm256_unpackhi_epi16(x0, x1), wp),
+                        );
+                    }
+                    p += 2;
+                }
+                if p < k {
+                    let w0 = arow[p];
+                    if w0 != 0 {
+                        let wp = _mm256_set1_epi32(pair_weights(w0, 0));
+                        let x0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                            b.as_ptr().add(p * n + j) as *const __m128i
+                        ));
+                        m0 = _mm256_add_epi32(
+                            m0,
+                            _mm256_madd_epi16(_mm256_unpacklo_epi16(x0, x0), wp),
+                        );
+                        m1 = _mm256_add_epi32(
+                            m1,
+                            _mm256_madd_epi16(_mm256_unpackhi_epi16(x0, x0), wp),
+                        );
+                    }
+                }
+                _mm256_storeu_si256(
+                    cp as *mut __m256i,
+                    _mm256_permute2x128_si256::<0x20>(m0, m1),
+                );
+                _mm256_storeu_si256(
+                    (cp as *mut __m256i).add(1),
+                    _mm256_permute2x128_si256::<0x31>(m0, m1),
+                );
+            }
+        }
+        // Column tail: plain wrapping scalar (any order is bit-identical).
+        for j in nb..n {
+            let mut acc = crow[j];
+            for (p, &w) in arow.iter().enumerate() {
+                acc = acc.wrapping_add(i32::from(w) * i32::from(b[p * n + j]));
+            }
+            crow[j] = acc;
+        }
+    }
+}
+
+pub(crate) fn matmul_i8_rows(
+    be: Backend,
+    a: &[i8],
+    b: &[i8],
+    c: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     match be {
         Backend::Scalar => matmul_i8_rows_g::<ScalarQ>(a, b, c, m, k, n),
         #[cfg(target_arch = "x86_64")]
         Backend::Sse2 => matmul_i8_rows_g::<Sse2Q>(a, b, c, m, k, n),
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: `Backend::Avx2` is only ever active after runtime
+        // SAFETY: the Avx2 backends are only ever active after runtime
         // detection succeeded (`simd::active`/`simd::force` enforce it).
         Backend::Avx2 => unsafe { matmul_i8_rows_avx2(a, b, c, m, k, n) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — `Avx2Pair` requires the same `avx2` detection.
+        Backend::Avx2Pair => unsafe { matmul_i8_rows_avx2pair(a, b, c, m, k, n) },
         #[cfg(not(target_arch = "x86_64"))]
         _ => unreachable!("vector backends are never active off x86_64"),
     }
@@ -346,16 +486,32 @@ fn dw_cell_scalar(x: &[i8], w9: &[i8], h: usize, wd: usize, y: usize, xc: usize)
     acc
 }
 
-/// One `(item, channel)` plane of [`dwconv3_i8`], generic over the
-/// backend: 32-wide blocks across the interior columns (all nine taps
-/// in-bounds horizontally, rows guarded), guarded scalar cells for the
-/// borders and the interior remainder.
+/// Output rows `y0..y1` of one `(item, channel)` plane of
+/// [`dwconv3_i8`], generic over the backend: 32-wide blocks across the
+/// interior columns (all nine taps in-bounds horizontally, rows
+/// guarded), guarded scalar cells for the borders and the interior
+/// remainder. `o` covers exactly the destination rows (`(y1-y0)·wd`
+/// elements) and is **overwritten** — stale contents are zeroed before
+/// the interior accumulation, so callers may hand in dirty scratch.
+///
+/// Rows are computed independently (the stencil reads only `x`), so any
+/// row banding produces the same bits as a full-plane pass — the fused
+/// INT8 bundle leans on this.
 #[inline(always)]
-fn dw_plane_g<Q: QI8x32>(x: &[i8], w9: &[i8], o: &mut [i32], h: usize, wd: usize) {
+fn dw_plane_rows_g<Q: QI8x32>(
+    x: &[i8],
+    w9: &[i8],
+    o: &mut [i32],
+    h: usize,
+    wd: usize,
+    y0: usize,
+    y1: usize,
+) {
     let wi = wd.saturating_sub(2); // interior columns 1..=wd-2
     let nq = qvector_cover(wi);
-    for y in 0..h {
-        let orow = &mut o[y * wd..(y + 1) * wd];
+    for y in y0..y1 {
+        let orow = &mut o[(y - y0) * wd..(y - y0 + 1) * wd];
+        orow[1..1 + nq].fill(0);
         for bx in 0..nq / QLANES {
             let xs = 1 + bx * QLANES;
             for ky in 0..3 {
@@ -385,22 +541,175 @@ fn dw_plane_g<Q: QI8x32>(x: &[i8], w9: &[i8], o: &mut [i32], h: usize, wd: usize
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-unsafe fn dw_plane_avx2(x: &[i8], w9: &[i8], o: &mut [i32], h: usize, wd: usize) {
-    dw_plane_g::<Avx2Q>(x, w9, o, h, wd)
+unsafe fn dw_plane_rows_avx2(
+    x: &[i8],
+    w9: &[i8],
+    o: &mut [i32],
+    h: usize,
+    wd: usize,
+    y0: usize,
+    y1: usize,
+) {
+    dw_plane_rows_g::<Avx2Q>(x, w9, o, h, wd, y0, y1)
 }
 
-fn dw_plane(be: Backend, x: &[i8], w9: &[i8], o: &mut [i32], h: usize, wd: usize) {
+/// One 16-column pairing block of the DW stencil at column `xs`:
+/// reduces the row's in-bounds tap list two taps per `vpmaddwd` into
+/// zeroed register accumulators and stores once (overwrite semantics),
+/// in the same permuted layout as [`matmul_i8_rows_avx2pair`]. The
+/// taps of a pair may come from different input rows, each carrying
+/// its own base offset.
+///
+/// # Safety
+///
+/// Requires AVX2, `1 <= xs` and `xs + 15 <= wd - 2` (so every 16-byte
+/// tap load and the 16-wide store stay inside their rows), and `orow`
+/// spanning a full `wd`-column output row of the plane `x`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn dw_block16_avx2pair(
+    x: &[i8],
+    taps: &[(i8, usize); 9],
+    nt: usize,
+    orow: *mut i32,
+    xs: usize,
+) {
+    use std::arch::x86_64::*;
+    let mut m0 = _mm256_setzero_si256();
+    let mut m1 = _mm256_setzero_si256();
+    let mut t = 0usize;
+    while t + 1 < nt {
+        let ((wa, ba), (wb, bb)) = (taps[t], taps[t + 1]);
+        if wa != 0 || wb != 0 {
+            let wp = _mm256_set1_epi32(pair_weights(wa, wb));
+            let xa = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                x.as_ptr().add(ba + xs - 1) as *const __m128i
+            ));
+            let xb = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                x.as_ptr().add(bb + xs - 1) as *const __m128i
+            ));
+            m0 = _mm256_add_epi32(m0, _mm256_madd_epi16(_mm256_unpacklo_epi16(xa, xb), wp));
+            m1 = _mm256_add_epi32(m1, _mm256_madd_epi16(_mm256_unpackhi_epi16(xa, xb), wp));
+        }
+        t += 2;
+    }
+    if t < nt {
+        let (wa, ba) = taps[t];
+        if wa != 0 {
+            let wp = _mm256_set1_epi32(pair_weights(wa, 0));
+            let xa = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                x.as_ptr().add(ba + xs - 1) as *const __m128i
+            ));
+            m0 = _mm256_add_epi32(m0, _mm256_madd_epi16(_mm256_unpacklo_epi16(xa, xa), wp));
+            m1 = _mm256_add_epi32(m1, _mm256_madd_epi16(_mm256_unpackhi_epi16(xa, xa), wp));
+        }
+    }
+    let op = orow.add(xs);
+    _mm256_storeu_si256(
+        op as *mut __m256i,
+        _mm256_permute2x128_si256::<0x20>(m0, m1),
+    );
+    _mm256_storeu_si256(
+        (op as *mut __m256i).add(1),
+        _mm256_permute2x128_si256::<0x31>(m0, m1),
+    );
+}
+
+/// The pairing-tier DW body: per output row the in-bounds taps are
+/// collected into a flat list (nine entries in the interior, six or
+/// three at the vertical borders) and reduced over 16-column register
+/// blocks ([`dw_block16_avx2pair`]). Because each block computes its
+/// cells from scratch and stores once — it never accumulates into the
+/// output — an interior column remainder is covered by one extra block
+/// **overlapping** the previous one (re-storing identical bits), so
+/// only the two border columns ever take the guarded scalar path.
+/// Bit-identity is the same exact-pairs argument: every output cell is
+/// the same wrapping-i32 tap sum no matter which block computes it.
+/// Planes too narrow for a block (interior < 16 columns) fall back to
+/// [`dw_cell_scalar`] for every cell, shared with every other backend.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dw_plane_rows_avx2pair(
+    x: &[i8],
+    w9: &[i8],
+    o: &mut [i32],
+    h: usize,
+    wd: usize,
+    y0: usize,
+    y1: usize,
+) {
+    let wi = wd.saturating_sub(2); // interior columns 1..=wd-2
+    for y in y0..y1 {
+        let orow = &mut o[(y - y0) * wd..(y - y0 + 1) * wd];
+        // In-bounds taps for this output row: (weight, row base + kx),
+        // so a block at column xs loads 16 bytes from base + xs - 1.
+        let mut taps = [(0i8, 0usize); 9];
+        let mut nt = 0;
+        for ky in 0..3 {
+            let iy = y + ky;
+            if iy < 1 || iy > h {
+                continue;
+            }
+            let row = (iy - 1) * wd;
+            for kx in 0..3 {
+                taps[nt] = (w9[ky * 3 + kx], row + kx);
+                nt += 1;
+            }
+        }
+        if wi >= 16 {
+            // SAFETY: every xs satisfies 1 <= xs and xs + 15 <= wi <=
+            // wd - 2, so loads and stores stay inside their rows.
+            unsafe {
+                let op = orow.as_mut_ptr();
+                for bx in 0..wi / 16 {
+                    dw_block16_avx2pair(x, &taps, nt, op, 1 + bx * 16);
+                }
+                if !wi.is_multiple_of(16) {
+                    // Overlapping tail block: recomputes some cells of
+                    // the previous block to the same bits.
+                    dw_block16_avx2pair(x, &taps, nt, op, 1 + wi - 16);
+                }
+            }
+            orow[0] = dw_cell_scalar(x, w9, h, wd, y, 0);
+            orow[wd - 1] = dw_cell_scalar(x, w9, h, wd, y, wd - 1);
+        } else {
+            for (xc, cell) in orow.iter_mut().enumerate() {
+                *cell = dw_cell_scalar(x, w9, h, wd, y, xc);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dw_plane_rows(
+    be: Backend,
+    x: &[i8],
+    w9: &[i8],
+    o: &mut [i32],
+    h: usize,
+    wd: usize,
+    y0: usize,
+    y1: usize,
+) {
     match be {
-        Backend::Scalar => dw_plane_g::<ScalarQ>(x, w9, o, h, wd),
+        Backend::Scalar => dw_plane_rows_g::<ScalarQ>(x, w9, o, h, wd, y0, y1),
         #[cfg(target_arch = "x86_64")]
-        Backend::Sse2 => dw_plane_g::<Sse2Q>(x, w9, o, h, wd),
+        Backend::Sse2 => dw_plane_rows_g::<Sse2Q>(x, w9, o, h, wd, y0, y1),
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: `Backend::Avx2` is only ever active after runtime
+        // SAFETY: the Avx2 backends are only ever active after runtime
         // detection succeeded (`simd::active`/`simd::force` enforce it).
-        Backend::Avx2 => unsafe { dw_plane_avx2(x, w9, o, h, wd) },
+        Backend::Avx2 => unsafe { dw_plane_rows_avx2(x, w9, o, h, wd, y0, y1) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — `Avx2Pair` requires the same `avx2` detection.
+        Backend::Avx2Pair => unsafe { dw_plane_rows_avx2pair(x, w9, o, h, wd, y0, y1) },
         #[cfg(not(target_arch = "x86_64"))]
         _ => unreachable!("vector backends are never active off x86_64"),
     }
+}
+
+fn dw_plane(be: Backend, x: &[i8], w9: &[i8], o: &mut [i32], h: usize, wd: usize) {
+    dw_plane_rows(be, x, w9, o, h, wd, 0, h)
 }
 
 /// Integer 3×3 depth-wise convolution, stride 1, zero padding 1 (the
@@ -774,6 +1083,85 @@ mod tests {
             out,
             vec![0, 2, 8, 10, 1, 3, 9, 11, 4, 6, 12, 14, 5, 7, 13, 15]
         );
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn pairing_matmul_matches_scalar_generic_across_shapes() {
+        if !Backend::Avx2Pair.is_available() {
+            return;
+        }
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 4, 16),
+            (5, 7, 33),
+            (2, 9, 64),
+            (4, 5, 17),
+            (3, 8, 16),
+            (6, 2, 80),
+        ] {
+            let a = seq_i8(m * k, 3);
+            let b = seq_i8(k * n, 5);
+            // Pre-seeded accumulators exercise the permute-in path.
+            let mut want = vec![7i32; m * n];
+            let mut got = want.clone();
+            matmul_i8_rows_g::<ScalarQ>(&a, &b, &mut want, m, k, n);
+            // SAFETY: guarded by the availability check above.
+            unsafe { matmul_i8_rows_avx2pair(&a, &b, &mut got, m, k, n) };
+            assert_eq!(want, got, "m={m} k={k} n={n}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn pairing_matmul_wraps_identically() {
+        if !Backend::Avx2Pair.is_available() {
+            return;
+        }
+        let k = 1 << 18; // 262144 · 16384 = 2^32: wraps the i32 accumulator
+        let (a, b) = (vec![i8::MIN; k], vec![i8::MIN; k * 16]);
+        let mut want = vec![0i32; 16];
+        let mut got = vec![0i32; 16];
+        matmul_i8_rows_g::<ScalarQ>(&a, &b, &mut want, 1, k, 16);
+        // SAFETY: guarded by the availability check above.
+        unsafe { matmul_i8_rows_avx2pair(&a, &b, &mut got, 1, k, 16) };
+        assert_eq!(want, got);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn pairing_dwconv_matches_scalar_generic_across_widths() {
+        if !Backend::Avx2Pair.is_available() {
+            return;
+        }
+        for wd in [1, 2, 3, 16, 17, 18, 19, 33, 40, 70] {
+            let h = 5;
+            let x = seq_i8(h * wd, 7);
+            let w9 = seq_i8(9, 11);
+            // Dirty scratch: dw_plane_rows has overwrite semantics.
+            let mut want = vec![-1i32; h * wd];
+            let mut got = vec![13i32; h * wd];
+            dw_plane_rows_g::<ScalarQ>(&x, &w9, &mut want, h, wd, 0, h);
+            // SAFETY: guarded by the availability check above.
+            unsafe { dw_plane_rows_avx2pair(&x, &w9, &mut got, h, wd, 0, h) };
+            assert_eq!(want, got, "wd={wd}");
+        }
+    }
+
+    #[test]
+    fn dw_row_bands_match_full_plane_on_every_backend() {
+        let (h, wd) = (7, 40);
+        let x = seq_i8(h * wd, 7);
+        let w9 = seq_i8(9, 11);
+        for be in simd::available_backends() {
+            let mut full = vec![0i32; h * wd];
+            dw_plane_rows(be, &x, &w9, &mut full, h, wd, 0, h);
+            let mut banded = vec![-7i32; h * wd];
+            for (y0, y1) in [(0usize, 2usize), (2, 3), (3, 7)] {
+                dw_plane_rows(be, &x, &w9, &mut banded[y0 * wd..y1 * wd], h, wd, y0, y1);
+            }
+            assert_eq!(full, banded, "backend {}", be.name());
+        }
     }
 
     #[test]

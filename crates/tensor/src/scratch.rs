@@ -165,6 +165,24 @@ fn record_checkout(op: &'static str, hit: bool, class_bytes: usize) {
     }
 }
 
+/// Pops (or allocates) backing storage covering `units` f32-equivalent
+/// elements — the shared body of every typed checkout. The arena pools
+/// raw lane groups, so f32, i32, and i8 checkouts of the same class all
+/// draw from one free list.
+fn checkout_lanes(op: &'static str, units: usize) -> Vec<Lane> {
+    let reused = ARENA
+        .try_with(|a| a.borrow_mut().take(units))
+        .ok()
+        .flatten();
+    let hit = reused.is_some();
+    let data = reused.unwrap_or_else(|| {
+        let class = units.next_power_of_two().max(MIN_CLASS);
+        vec![Lane([0.0; LANES]); class / LANES]
+    });
+    record_checkout(op, hit, data.len() * std::mem::size_of::<Lane>());
+    data
+}
+
 /// Checks out a buffer of `len` floats with **unspecified contents** (see
 /// the module docs). `op` names the call site for the per-op allocation
 /// counters — by convention the kernel's span name, e.g.
@@ -176,14 +194,10 @@ pub fn checkout(op: &'static str, len: usize) -> ScratchBuf {
             len: 0,
         };
     }
-    let reused = ARENA.try_with(|a| a.borrow_mut().take(len)).ok().flatten();
-    let hit = reused.is_some();
-    let data = reused.unwrap_or_else(|| {
-        let class = len.next_power_of_two().max(MIN_CLASS);
-        vec![Lane([0.0; LANES]); class / LANES]
-    });
-    record_checkout(op, hit, data.len() * std::mem::size_of::<Lane>());
-    ScratchBuf { data, len }
+    ScratchBuf {
+        data: checkout_lanes(op, len),
+        len,
+    }
 }
 
 /// [`checkout`] with the first `len` elements zeroed — for buffers the
@@ -193,6 +207,96 @@ pub fn checkout_zeroed(op: &'static str, len: usize) -> ScratchBuf {
     buf.fill(0.0);
     buf
 }
+
+/// Declares an integer-typed scratch guard plus its checkout. The
+/// backing storage is the same `Lane` pool the f32 buffers use — `Lane`
+/// is plain initialized bytes, every bit pattern is a valid `i32`/`i8`,
+/// and the 32-byte alignment exceeds any integer's — so the INT8 fused
+/// path shares free lists (and the zero-hot-loop-allocation guarantee)
+/// with the f32 kernels.
+macro_rules! typed_scratch {
+    (
+        $(#[$doc:meta])* $guard:ident, $elem:ty, $per_unit:expr,
+        $(#[$cdoc:meta])* $checkout:ident
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $guard {
+            /// Backing storage, always a full size class long.
+            data: Vec<Lane>,
+            /// Requested length in elements.
+            len: usize,
+        }
+
+        impl Deref for $guard {
+            type Target = [$elem];
+
+            fn deref(&self) -> &[$elem] {
+                // SAFETY: `Lane` is `repr(C)` f32s with no padding —
+                // initialized bytes that are valid at any integer type;
+                // `len` elements never exceed the storage (checkout
+                // invariant) and the 32-byte alignment is sufficient.
+                unsafe { std::slice::from_raw_parts(self.data.as_ptr().cast::<$elem>(), self.len) }
+            }
+        }
+
+        impl DerefMut for $guard {
+            fn deref_mut(&mut self) -> &mut [$elem] {
+                // SAFETY: as in `deref`, plus exclusivity through `&mut self`.
+                unsafe {
+                    std::slice::from_raw_parts_mut(self.data.as_mut_ptr().cast::<$elem>(), self.len)
+                }
+            }
+        }
+
+        impl Drop for $guard {
+            fn drop(&mut self) {
+                let buf = std::mem::take(&mut self.data);
+                if !buf.is_empty() {
+                    // Integer writes through the guard may leave storage
+                    // bit patterns that are signalling-NaN f32s; that is
+                    // fine — f32 checkouts have unspecified contents and
+                    // never read them.
+                    let _ = ARENA.try_with(|a| a.borrow_mut().put(buf));
+                }
+            }
+        }
+
+        $(#[$cdoc])*
+        pub fn $checkout(op: &'static str, len: usize) -> $guard {
+            if len == 0 {
+                return $guard {
+                    data: Vec::new(),
+                    len: 0,
+                };
+            }
+            $guard {
+                data: checkout_lanes(op, len.div_ceil($per_unit)),
+                len,
+            }
+        }
+    };
+}
+
+typed_scratch!(
+    /// An `i32` scratch buffer (raw integer accumulators) checked out of
+    /// this thread's arena; see [`ScratchBuf`] for the guard contract.
+    ScratchBufI32,
+    i32,
+    1,
+    /// Checks out `len` `i32`s with **unspecified contents**.
+    checkout_i32
+);
+
+typed_scratch!(
+    /// An `i8` scratch buffer (quantized activations) checked out of
+    /// this thread's arena; see [`ScratchBuf`] for the guard contract.
+    ScratchBufI8,
+    i8,
+    4,
+    /// Checks out `len` `i8`s with **unspecified contents**.
+    checkout_i8
+);
 
 /// Drops every free buffer held by the **current thread's** arena. Used
 /// by tests that want a cold-arena baseline; pool worker arenas are
@@ -260,6 +364,35 @@ mod tests {
                 assert_eq!(buf.len(), len);
             }
         }
+    }
+
+    #[test]
+    fn typed_checkouts_share_the_lane_pool() {
+        clear_thread_arena();
+        let f = checkout("test.scratch", 512);
+        let ptr = f.as_ptr() as usize;
+        drop(f);
+        let ib = checkout_i32("test.scratch", 512);
+        assert_eq!(ib.as_ptr() as usize, ptr, "i32 must reuse the f32 class");
+        assert_eq!(ib.len(), 512);
+        drop(ib);
+        // 2048 i8s occupy the same 512-f32-unit class.
+        let qb = checkout_i8("test.scratch", 2048);
+        assert_eq!(qb.as_ptr() as usize, ptr, "i8 must reuse the same class");
+        assert_eq!(qb.len(), 2048);
+        assert_eq!(qb.as_ptr() as usize % 32, 0);
+        assert_eq!(checkout_i8("test.scratch", 0).len(), 0);
+        assert_eq!(checkout_i32("test.scratch", 0).len(), 0);
+    }
+
+    #[test]
+    fn typed_checkouts_are_writable_at_full_length() {
+        let mut ib = checkout_i32("test.scratch", 300);
+        ib.fill(i32::MIN);
+        assert!(ib.iter().all(|&v| v == i32::MIN));
+        let mut qb = checkout_i8("test.scratch", 1001); // non-multiple of 4
+        qb.fill(-128);
+        assert!(qb.iter().all(|&v| v == -128));
     }
 
     #[test]

@@ -25,17 +25,23 @@
 //! ## Backend selection
 //!
 //! The active backend is a process-wide setting resolved once from the
-//! `SKYNET_SIMD` environment variable (`scalar`, `sse2`, `avx2`, or
-//! `auto` — the default — which picks the widest available). Forcing a
-//! backend the CPU cannot run is a **hard error** (panic), never a
-//! silent fallback. [`force`] flips the backend at runtime — safe
-//! precisely because all backends produce identical bits, so tests and
-//! benches can sweep backends in-process.
+//! `SKYNET_SIMD` environment variable (`scalar`, `sse2`, `avx2`,
+//! `avx2pair`, or `auto` — the default — which picks the widest
+//! available). Forcing a backend the CPU cannot run is a **hard error**
+//! (panic), never a silent fallback. [`force`] flips the backend at
+//! runtime — safe precisely because all backends produce identical
+//! bits, so tests and benches can sweep backends in-process.
+//!
+//! [`Backend::Avx2Pair`] is the integer pairing tier: its f32 kernels
+//! are exactly the AVX2 ones, but the INT8 kernels in
+//! [`qint`](crate::qint) accumulate adjacent `i8×i8` products through
+//! `madd`-style pair reduction (still bit-identical — see the module
+//! docs there). It is preferred by `auto` wherever AVX2 is available.
 //!
 //! ## Telemetry
 //!
 //! When metrics are on, the `simd.backend` gauge reports the resolved
-//! backend (0 = scalar, 1 = sse2, 2 = avx2) and `simd.<op>.lanes_used`
+//! backend (0 = scalar, 1 = sse2, 2 = avx2, 3 = avx2pair) and `simd.<op>.lanes_used`
 //! counters tally elements processed through the 8-lane kernels (the
 //! scalar backend replays the same lane structure, so its elements count
 //! too; for `matmul` the count is nominal — the `a == 0` skip is not
@@ -58,6 +64,10 @@ pub enum Backend {
     Sse2,
     /// AVX2 (`__m256`) — requires runtime CPU support.
     Avx2,
+    /// AVX2 with pairwise-`madd` INT8 accumulation. The f32 kernels are
+    /// identical to [`Backend::Avx2`]; only the integer kernels differ
+    /// (and only in throughput — never in output bits).
+    Avx2Pair,
 }
 
 impl Backend {
@@ -67,6 +77,7 @@ impl Backend {
             Backend::Scalar => "scalar",
             Backend::Sse2 => "sse2",
             Backend::Avx2 => "avx2",
+            Backend::Avx2Pair => "avx2pair",
         }
     }
 
@@ -77,7 +88,7 @@ impl Backend {
             #[cfg(target_arch = "x86_64")]
             Backend::Sse2 => true,
             #[cfg(target_arch = "x86_64")]
-            Backend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            Backend::Avx2 | Backend::Avx2Pair => std::arch::is_x86_feature_detected!("avx2"),
             #[cfg(not(target_arch = "x86_64"))]
             _ => false,
         }
@@ -89,25 +100,42 @@ impl Backend {
             Backend::Scalar => 0,
             Backend::Sse2 => 1,
             Backend::Avx2 => 2,
+            Backend::Avx2Pair => 3,
         }
     }
+}
+
+/// Every `SKYNET_SIMD` value [`init_from_env`] accepts, in the order the
+/// hard error lists them. Pinned by a unit test so the message cannot
+/// silently drift from the parser.
+const ACCEPTED_SIMD_VALUES: &str = "scalar|sse2|avx2|avx2pair|auto";
+
+/// The unknown-`SKYNET_SIMD` hard-error text. Kept in a helper so the
+/// panic and the test pinning its wording share one definition.
+fn unknown_simd_value_message(other: &str) -> String {
+    format!("SKYNET_SIMD={other:?} is not a backend (expected {ACCEPTED_SIMD_VALUES})")
 }
 
 /// Every backend this process can execute, widest last. The first entry
 /// is always [`Backend::Scalar`], so sweeps have a fixed oracle.
 pub fn available_backends() -> Vec<Backend> {
-    [Backend::Scalar, Backend::Sse2, Backend::Avx2]
-        .into_iter()
-        .filter(|b| b.is_available())
-        .collect()
+    [
+        Backend::Scalar,
+        Backend::Sse2,
+        Backend::Avx2,
+        Backend::Avx2Pair,
+    ]
+    .into_iter()
+    .filter(|b| b.is_available())
+    .collect()
 }
 
 /// `ACTIVE` encoding: 0 = unresolved, otherwise `Backend::code() + 1`.
 static ACTIVE: AtomicU8 = AtomicU8::new(0);
 
 fn widest_available() -> Backend {
-    if Backend::Avx2.is_available() {
-        Backend::Avx2
+    if Backend::Avx2Pair.is_available() {
+        Backend::Avx2Pair
     } else if Backend::Sse2.is_available() {
         Backend::Sse2
     } else {
@@ -131,7 +159,8 @@ pub fn active() -> Backend {
         0 => init_from_env(),
         1 => Backend::Scalar,
         2 => Backend::Sse2,
-        _ => Backend::Avx2,
+        3 => Backend::Avx2,
+        _ => Backend::Avx2Pair,
     }
 }
 
@@ -142,9 +171,8 @@ fn init_from_env() -> Backend {
         Ok("scalar") => Backend::Scalar,
         Ok("sse2") => Backend::Sse2,
         Ok("avx2") => Backend::Avx2,
-        Ok(other) => {
-            panic!("SKYNET_SIMD={other:?} is not a backend (expected scalar|sse2|avx2|auto)")
-        }
+        Ok("avx2pair") => Backend::Avx2Pair,
+        Ok(other) => panic!("{}", unknown_simd_value_message(other)),
     };
     assert!(
         be.is_available(),
@@ -730,9 +758,9 @@ macro_rules! elementwise {
                 #[cfg(target_arch = "x86_64")]
                 Backend::Sse2 => $generic::<Sse2V>($($arg),*),
                 #[cfg(target_arch = "x86_64")]
-                // SAFETY: the Avx2 backend is only ever stored after a
+                // SAFETY: the Avx2 backends are only ever stored after a
                 // successful runtime `avx2` detection.
-                Backend::Avx2 => unsafe { $avx2($($arg),*) },
+                Backend::Avx2 | Backend::Avx2Pair => unsafe { $avx2($($arg),*) },
                 #[cfg(not(target_arch = "x86_64"))]
                 _ => unreachable!("x86 backends are never active off x86_64"),
             }
@@ -1054,6 +1082,33 @@ mod tests {
         let all = available_backends();
         assert_eq!(all[0], Backend::Scalar);
         assert!(all.iter().all(|b| b.is_available()));
+    }
+
+    #[test]
+    fn avx2pair_tracks_avx2_availability() {
+        assert_eq!(
+            Backend::Avx2Pair.is_available(),
+            Backend::Avx2.is_available()
+        );
+        let all = available_backends();
+        assert_eq!(
+            all.contains(&Backend::Avx2Pair),
+            Backend::Avx2.is_available()
+        );
+    }
+
+    /// Pins the unknown-`SKYNET_SIMD` hard-error wording: it must list
+    /// every accepted value, including the pairing tier.
+    #[test]
+    fn unknown_simd_value_error_lists_all_accepted_values() {
+        let msg = unknown_simd_value_message("turbo");
+        assert_eq!(
+            msg,
+            "SKYNET_SIMD=\"turbo\" is not a backend (expected scalar|sse2|avx2|avx2pair|auto)"
+        );
+        for accepted in ["scalar", "sse2", "avx2", "avx2pair", "auto"] {
+            assert!(msg.contains(accepted), "message must list {accepted:?}");
+        }
     }
 
     #[test]
